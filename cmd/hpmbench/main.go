@@ -1,0 +1,199 @@
+// Command hpmbench regenerates the paper's figures and tables (see
+// DESIGN.md §4 for the experiment index). Figures are rendered as ASCII
+// series; tables as aligned text.
+//
+// Usage:
+//
+//	hpmbench -fig 3                 # Fig. 3: frequency catalogue
+//	hpmbench -fig 4                 # Fig. 4: workload, predictions, computers
+//	hpmbench -fig 5                 # Fig. 5: C4 frequencies, response times
+//	hpmbench -fig 6 -scale 0.5      # Fig. 6 at half the day
+//	hpmbench -fig 7
+//	hpmbench -table overhead-module # §4.3 overhead (m = 4, 6, 10)
+//	hpmbench -table overhead-cluster
+//	hpmbench -table energy          # EXT1: LLC vs baselines
+//	hpmbench -table ablations       # EXT2: design-choice ablations
+//	hpmbench -all                   # everything at the given scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hierctl"
+	"hierctl/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hpmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("hpmbench", flag.ContinueOnError)
+	fig := fs.Int("fig", 0, "figure to regenerate (3-7)")
+	table := fs.String("table", "", "table to regenerate: overhead-module, overhead-cluster, energy, ablations, scalability")
+	all := fs.Bool("all", false, "regenerate every figure and table")
+	scale := fs.Float64("scale", 1, "fraction of each trace to simulate (0, 1]")
+	seed := fs.Int64("seed", 1, "random seed")
+	fast := fs.Bool("fast", false, "coarse learning grids (quick runs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := hierctl.ExperimentOptions{Scale: *scale, Seed: *seed, Fast: *fast}
+
+	if *all {
+		for _, f := range []int{3, 4, 5, 6, 7} {
+			if err := runFig(w, f, opts); err != nil {
+				return err
+			}
+		}
+		for _, t := range []string{"overhead-module", "overhead-cluster", "energy", "ablations", "scalability"} {
+			if err := runTable(w, t, opts); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if *fig != 0 {
+		return runFig(w, *fig, opts)
+	}
+	if *table != "" {
+		return runTable(w, *table, opts)
+	}
+	return fmt.Errorf("nothing to do: pass -fig, -table, or -all")
+}
+
+func runFig(w io.Writer, fig int, opts hierctl.ExperimentOptions) error {
+	switch fig {
+	case 3:
+		tab, err := hierctl.Fig3Table()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "== Fig. 3: operating frequencies available within each computer ==")
+		fmt.Fprintln(w, tab)
+		return nil
+	case 4, 5:
+		rec, err := hierctl.RunFig4Fig5(opts)
+		if err != nil {
+			return err
+		}
+		if fig == 4 {
+			fmt.Fprintln(w, "== Fig. 4: synthetic workload, Kalman predictions, operational computers ==")
+			fmt.Fprint(w, rec.Trace.ASCIIPlot("workload (requests per 30 s bin)", 100, 10))
+			fmt.Fprint(w, rec.PredictedL1.ASCIIPlot("predicted arrivals per T_L1 (Kalman)", 100, 8))
+			fmt.Fprint(w, rec.ActualL1.ASCIIPlot("actual arrivals per T_L1", 100, 8))
+			fmt.Fprint(w, rec.Operational.ASCIIPlot("operational computers", 100, 6))
+			pr, ar := rec.PredictedL1.Values, rec.ActualL1.Values
+			mae, err := metrics.MAE(pr, ar)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "forecast MAE: %.0f requests per T_L1 (mean actual %.0f)\n\n", mae, rec.ActualL1.Mean())
+			return nil
+		}
+		fmt.Fprintln(w, "== Fig. 5: C4 operating frequency and achieved response times ==")
+		if s, ok := rec.FreqByComputer["M1-C4"]; ok {
+			fmt.Fprint(w, s.ASCIIPlot("C4 frequency (Hz)", 100, 8))
+		}
+		fmt.Fprint(w, rec.ResponseMean.ASCIIPlot("mean response per T_L0 bin (s)", 100, 8))
+		fmt.Fprintf(w, "mean response %.3f s; target %.1f s met in %.1f%% of intervals\n\n",
+			rec.MeanResponse(), rec.TargetResponse, 100*(1-rec.ViolationFrac))
+		return nil
+	case 6, 7:
+		rec, err := hierctl.RunFig6Fig7(opts)
+		if err != nil {
+			return err
+		}
+		if fig == 6 {
+			fmt.Fprintln(w, "== Fig. 6: WC'98-like workload and operational computers ==")
+			fmt.Fprint(w, rec.Trace.ASCIIPlot("workload (requests per 2 min bin)", 100, 10))
+			fmt.Fprint(w, rec.Operational.ASCIIPlot("operational computers (of 16)", 100, 8))
+			fmt.Fprintf(w, "mean response %.3f s; violations %.1f%%; energy %.0f\n\n",
+				rec.MeanResponse(), 100*rec.ViolationFrac, rec.Energy)
+			return nil
+		}
+		fmt.Fprintln(w, "== Fig. 7: load distribution factor γ_i per module ==")
+		for i, g := range rec.GammaModules {
+			fmt.Fprint(w, g.ASCIIPlot(fmt.Sprintf("module %d γ", i+1), 100, 5))
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %d (have 3-7)", fig)
+	}
+}
+
+func runTable(w io.Writer, name string, opts hierctl.ExperimentOptions) error {
+	switch name {
+	case "overhead-module":
+		fmt.Fprintln(w, "== §4.3 controller overhead: module sizes (paper: ≈858 states, 2.0 s / 1.1 s / 2.0 s on MATLAB) ==")
+		tab := metrics.NewTable("config", "computers", "states/L1 period", "decide/period", "offline learn", "mean resp (s)", "energy")
+		for _, c := range []struct {
+			m int
+			q float64
+		}{{4, 0.05}, {6, 0.1}, {10, 0.1}} {
+			row, err := hierctl.RunOverheadModule(c.m, c.q, opts)
+			if err != nil {
+				return err
+			}
+			tab.AddRow(row.Label, row.Computers, row.ExploredPerL1, row.DecisionTime.String(), row.LearnTime.String(), row.MeanResponse, row.Energy)
+		}
+		fmt.Fprintln(w, tab)
+		return nil
+	case "overhead-cluster":
+		fmt.Fprintln(w, "== §5.2 controller overhead: cluster sizes (paper: ≈2.5 s at 16, ≈3.4 s at 20 on MATLAB) ==")
+		tab := metrics.NewTable("config", "computers", "states/L1 period", "decide/period", "offline learn", "mean resp (s)", "energy")
+		for _, p := range []int{4, 5} {
+			row, err := hierctl.RunOverheadCluster(p, opts)
+			if err != nil {
+				return err
+			}
+			tab.AddRow(row.Label, row.Computers, row.ExploredPerL1, row.DecisionTime.String(), row.LearnTime.String(), row.MeanResponse, row.Energy)
+		}
+		fmt.Fprintln(w, tab)
+		return nil
+	case "energy":
+		fmt.Fprintln(w, "== EXT1: energy and QoS, hierarchical LLC vs baselines (synthetic day, §4.3 module) ==")
+		rows, err := hierctl.RunEnergyComparison(opts)
+		if err != nil {
+			return err
+		}
+		tab := metrics.NewTable("policy", "energy", "mean resp (s)", "p95 (s)", "violations", "switches", "completed", "profit ($)")
+		for _, r := range rows {
+			tab.AddRow(r.Policy, r.Energy, r.MeanResponse, r.ResponseP95, r.ViolationFrac, r.Switches, r.Completed, r.ProfitUSD)
+		}
+		fmt.Fprintln(w, tab)
+		return nil
+	case "scalability":
+		fmt.Fprintln(w, "== EXT3: hierarchical vs centralized control overhead (§3's dimensionality argument) ==")
+		rows, err := hierctl.RunScalability(nil, opts)
+		if err != nil {
+			return err
+		}
+		tab := metrics.NewTable("controller", "computers", "states/period", "decide/period", "mean resp (s)", "energy")
+		for _, r := range rows {
+			tab.AddRow(r.Controller, r.Computers, r.ExploredPerPeriod, r.DecideTimePerPeriod.String(), r.MeanResponse, r.Energy)
+		}
+		fmt.Fprintln(w, tab)
+		return nil
+	case "ablations":
+		fmt.Fprintln(w, "== EXT2: design-choice ablations (synthetic day, §4.3 module) ==")
+		rows, err := hierctl.RunAblations(opts)
+		if err != nil {
+			return err
+		}
+		tab := metrics.NewTable("variant", "energy", "mean resp (s)", "violations", "switches", "states/L1")
+		for _, r := range rows {
+			tab.AddRow(r.Label, r.Energy, r.MeanResponse, r.ViolationFrac, r.Switches, r.ExploredPerL1)
+		}
+		fmt.Fprintln(w, tab)
+		return nil
+	default:
+		return fmt.Errorf("unknown table %q", name)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFig3(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 3") {
+		t.Errorf("missing header:\n%s", out.String())
+	}
+}
+
+func TestRunFig4And5ShareExperiment(t *testing.T) {
+	for _, fig := range []string{"4", "5"} {
+		var out bytes.Buffer
+		if err := run([]string{"-fig", fig, "-scale", "0.02", "-fast"}, &out); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		if !strings.Contains(out.String(), "Fig. "+fig) {
+			t.Errorf("fig %s missing header:\n%s", fig, out.String())
+		}
+	}
+}
+
+func TestRunFig6And7(t *testing.T) {
+	for _, fig := range []string{"6", "7"} {
+		var out bytes.Buffer
+		if err := run([]string{"-fig", fig, "-scale", "0.02", "-fast"}, &out); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		if !strings.Contains(out.String(), "Fig. "+fig) {
+			t.Errorf("fig %s missing header:\n%s", fig, out.String())
+		}
+	}
+}
+
+func TestRunEnergyTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "energy", "-scale", "0.02", "-fast"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"hierarchical-llc", "always-on", "threshold", "profit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("energy table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunScalabilityTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "scalability", "-scale", "0.02", "-fast"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "hierarchical") || !strings.Contains(s, "centralized") {
+		t.Errorf("scalability table incomplete:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                           // nothing to do
+		{"-fig", "99"},               // unknown figure
+		{"-table", "nope"},           // unknown table
+		{"-fig", "4", "-scale", "7"}, // bad scale
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command hpmgen generates workload traces (requests per bin) as CSV on
+// stdout or into a file.
+//
+// Usage:
+//
+//	hpmgen -profile synthetic            # §4.3 trace, 6400 30-second bins
+//	hpmgen -profile wc98 -out day.csv    # Fig. 6 World-Cup-98-like day
+//	hpmgen -profile step -lo 150 -hi 3600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hierctl"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hpmgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hpmgen", flag.ContinueOnError)
+	profile := fs.String("profile", "synthetic", "trace profile: synthetic, wc98, or step")
+	out := fs.String("out", "", "output file (default stdout)")
+	seed := fs.Int64("seed", 1, "noise seed")
+	bins := fs.Int("bins", 0, "override bin count (0 = profile default)")
+	lo := fs.Float64("lo", 150, "step profile: low requests per bin")
+	hi := fs.Float64("hi", 3600, "step profile: high requests per bin")
+	period := fs.Int("period", 20, "step profile: bins per half-cycle")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var trace *hierctl.Series
+	var err error
+	switch *profile {
+	case "synthetic":
+		cfg := hierctl.DefaultSyntheticConfig()
+		cfg.Seed = *seed
+		if *bins > 0 {
+			cfg.Bins = *bins
+			cfg.NoiseBounds = []int{cfg.Bins / 5, cfg.Bins / 5 * 3, cfg.Bins}
+		}
+		trace, err = hierctl.SyntheticTrace(cfg)
+	case "wc98":
+		cfg := hierctl.DefaultWC98Config()
+		cfg.Seed = *seed
+		if *bins > 0 {
+			cfg.Bins = *bins
+		}
+		trace, err = hierctl.WC98Trace(cfg)
+	case "step":
+		n := *bins
+		if n == 0 {
+			n = 120
+		}
+		trace, err = hierctl.StepTrace(n, 30, *lo, *hi, *period)
+	default:
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return trace.WriteCSV(w)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSyntheticToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "synthetic", "-bins", "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 101 { // header + 100 bins
+		t.Errorf("got %d lines, want 101", len(lines))
+	}
+	if lines[0] != "time_s,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRunWC98ToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wc.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "wc98", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time_s,value") {
+		t.Error("file missing header")
+	}
+	if out.Len() != 0 {
+		t.Error("stdout should be empty when -out is used")
+	}
+}
+
+func TestRunStepProfile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "step", "-bins", "4", "-lo", "1", "-hi", "9", "-period", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "9") {
+		t.Errorf("step profile missing high value:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownProfile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "nope"}, &out); err == nil {
+		t.Error("unknown profile: want error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nonsense"}, &out); err == nil {
+		t.Error("bad flag: want error")
+	}
+}

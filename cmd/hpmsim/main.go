@@ -1,0 +1,144 @@
+// Command hpmsim runs one closed-loop simulation — the hierarchical LLC
+// controller or a baseline policy — against a chosen cluster and workload,
+// and prints a summary.
+//
+// Usage:
+//
+//	hpmsim                                  # §4.3 module, synthetic load, LLC
+//	hpmsim -cluster 4 -workload wc98        # §5.2: 4 modules / 16 computers
+//	hpmsim -policy threshold -workload wc98
+//	hpmsim -policy always-on -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hierctl"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hpmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hpmsim", flag.ContinueOnError)
+	policy := fs.String("policy", "llc", "control policy: llc, threshold, threshold-dvfs, always-on")
+	workloadFlag := fs.String("workload", "synthetic", "workload: synthetic or wc98")
+	clusterFlag := fs.Int("cluster", 0, "number of 4-computer modules (0 = single §4.3 module)")
+	moduleSize := fs.Int("module-size", 4, "computers in the single module (when -cluster 0)")
+	scale := fs.Float64("scale", 1, "fraction of the trace to simulate (0, 1]")
+	seed := fs.Int64("seed", 1, "random seed")
+	fast := fs.Bool("fast", false, "coarse learning grids (quick runs)")
+	artifacts := fs.String("artifacts", "", "directory caching offline learning results (must exist)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spec hierctl.ClusterSpec
+	var err error
+	if *clusterFlag > 0 {
+		spec, err = hierctl.StandardCluster(*clusterFlag)
+	} else if *moduleSize == 4 {
+		spec, err = hierctl.StandardModuleCluster()
+	} else {
+		spec, err = hierctl.ScaledModuleCluster(*moduleSize)
+	}
+	if err != nil {
+		return err
+	}
+
+	var trace *hierctl.Series
+	switch *workloadFlag {
+	case "synthetic":
+		cfg := hierctl.DefaultSyntheticConfig()
+		cfg.Seed = *seed
+		trace, err = hierctl.SyntheticTrace(cfg)
+	case "wc98":
+		cfg := hierctl.DefaultWC98Config()
+		cfg.Seed = *seed
+		trace, err = hierctl.WC98Trace(cfg)
+	default:
+		return fmt.Errorf("unknown workload %q", *workloadFlag)
+	}
+	if err != nil {
+		return err
+	}
+	opts := hierctl.ExperimentOptions{Scale: *scale, Seed: *seed, Fast: *fast}
+	trace = trimTrace(trace, *scale)
+
+	store, err := hierctl.NewStore(*seed, hierctl.DefaultStoreConfig())
+	if err != nil {
+		return err
+	}
+
+	if *policy == "llc" {
+		cfg := opts.Config()
+		cfg.ArtifactDir = *artifacts
+		mgr, err := hierctl.NewManager(spec, cfg)
+		if err != nil {
+			return err
+		}
+		rec, err := mgr.Run(trace, store)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "policy            hierarchical-llc\n")
+		fmt.Fprintf(stdout, "computers         %d\n", spec.Computers())
+		fmt.Fprintf(stdout, "requests          %d completed, %d dropped\n", rec.Completed, rec.Dropped)
+		fmt.Fprintf(stdout, "mean response     %.3f s (target %.1f s)\n", rec.MeanResponse(), rec.TargetResponse)
+		fmt.Fprintf(stdout, "response p50/p95  %.3f / %.3f s (p99 %.3f, max %.3f)\n",
+			rec.ResponseP50, rec.ResponseP95, rec.ResponseP99, rec.ResponseMax)
+		fmt.Fprintf(stdout, "violation frac    %.3f of intervals\n", rec.ViolationFrac)
+		fmt.Fprintf(stdout, "energy            %.1f units\n", rec.Energy)
+		fmt.Fprintf(stdout, "power switches    %d\n", rec.Switches)
+		fmt.Fprintf(stdout, "operational mean  %.2f computers\n", rec.Operational.Mean())
+		fmt.Fprintf(stdout, "states per L1     %.0f\n", rec.ExploredPerL1Decision())
+		fmt.Fprintf(stdout, "decide per period %v\n", rec.DecisionTimePerPeriod())
+		fmt.Fprintf(stdout, "offline learning  %v\n", rec.LearnTime)
+		return nil
+	}
+
+	var pol hierctl.BaselinePolicy
+	switch *policy {
+	case "threshold":
+		pol, err = hierctl.ThresholdPolicy(0.35, 0.8, 1)
+	case "threshold-dvfs":
+		pol, err = hierctl.ThresholdDVFSPolicy(0.35, 0.8, 1, 0.8)
+	case "always-on":
+		pol = hierctl.AlwaysOnPolicy()
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	if err != nil {
+		return err
+	}
+	bcfg := hierctl.DefaultBaselineConfig()
+	bcfg.Seed = *seed
+	res, err := hierctl.RunBaseline(spec, pol, trace, store, bcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "policy            %s\n", res.Policy)
+	fmt.Fprintf(stdout, "computers         %d\n", spec.Computers())
+	fmt.Fprintf(stdout, "requests          %d completed, %d dropped\n", res.Completed, res.Dropped)
+	fmt.Fprintf(stdout, "mean response     %.3f s (target %.1f s)\n", res.MeanResponse, bcfg.TargetResponse)
+	fmt.Fprintf(stdout, "violation frac    %.3f of intervals\n", res.ViolationFrac)
+	fmt.Fprintf(stdout, "energy            %.1f units\n", res.Energy)
+	fmt.Fprintf(stdout, "power switches    %d\n", res.Switches)
+	fmt.Fprintf(stdout, "operational mean  %.2f computers\n", res.Operational.Mean())
+	return nil
+}
+
+func trimTrace(tr *hierctl.Series, scale float64) *hierctl.Series {
+	n := int(float64(tr.Len()) * scale)
+	if n < 16 {
+		n = min(16, tr.Len())
+	}
+	return tr.Slice(0, n)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunLLCModule(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.02", "-fast"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"hierarchical-llc", "mean response", "energy", "states per L1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBaselinePolicies(t *testing.T) {
+	for _, pol := range []string{"threshold", "threshold-dvfs", "always-on"} {
+		var out bytes.Buffer
+		if err := run([]string{"-policy", pol, "-scale", "0.02"}, &out); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if !strings.Contains(out.String(), "completed") {
+			t.Errorf("%s output missing summary:\n%s", pol, out.String())
+		}
+	}
+}
+
+func TestRunWC98Cluster(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-cluster", "2", "-workload", "wc98", "-scale", "0.03", "-fast"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "computers         8") {
+		t.Errorf("cluster size not reported:\n%s", out.String())
+	}
+}
+
+func TestRunScaledModule(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-module-size", "6", "-scale", "0.02", "-fast"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "computers         6") {
+		t.Errorf("module size not reported:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-policy", "nope"},
+		{"-workload", "nope"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}

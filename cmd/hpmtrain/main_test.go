@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSummaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("offline learning takes a few seconds")
+	}
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"abstraction maps", "C1", "C4", "module cost tree"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("offline learning takes a few seconds")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-probe"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "g probe") {
+		t.Errorf("probe output missing:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag: want error")
+	}
+}

@@ -1,0 +1,121 @@
+// Customcontroller: the framework beyond the cluster case study. The
+// generic LLC machinery (internal/llc) controls a *different* switching
+// hybrid system — an admission controller for a rate-limited service that
+// chooses from a finite set of admission quotas to keep a token bucket
+// near its set-point under a forecast, bursty demand.
+//
+// This demonstrates what §2.3 promises: "one can systematically pose
+// various performance control problems of interest within the same basic
+// framework" — the model changes, the controller does not.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hierctl/internal/forecast"
+	"hierctl/internal/llc"
+)
+
+// bucketModel is a switching hybrid system: the state is the backlog of
+// admitted-but-unserved work; the input is one of a finite set of
+// admission quotas (requests/second); the environment is the offered
+// demand. Admitting more keeps clients happy (low rejection cost) but
+// grows the backlog; the backlog above the set-point is penalized like the
+// paper's response-time slack.
+type bucketModel struct {
+	serviceRate float64   // drain rate, req/s
+	quotas      []float64 // admissible admission rates
+	setpoint    float64   // desired backlog
+	step        float64   // control period, s
+}
+
+func (m bucketModel) Step(backlog float64, quota int, env llc.Env) float64 {
+	demand := env[0]
+	admitted := demand
+	if q := m.quotas[quota]; admitted > q {
+		admitted = q
+	}
+	next := backlog + (admitted-m.serviceRate)*m.step
+	if next < 0 {
+		next = 0
+	}
+	return next
+}
+
+func (m bucketModel) Cost(next float64, quota int, env llc.Env) float64 {
+	demand := env[0]
+	rejected := demand - m.quotas[quota]
+	if rejected < 0 {
+		rejected = 0
+	}
+	// Soft constraint on backlog (slack above set-point) plus rejection
+	// cost — the same Eq. 3 shape as the cluster controllers.
+	return 50*llc.Slack(next, m.setpoint) + 1*rejected
+}
+
+func (m bucketModel) Feasible(backlog float64) bool { return backlog < 10*m.setpoint }
+func (m bucketModel) Inputs(float64) []int {
+	idx := make([]int, len(m.quotas))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func main() {
+	model := bucketModel{
+		serviceRate: 100,
+		quotas:      []float64{40, 70, 100, 130, 160},
+		setpoint:    200,
+		step:        5,
+	}
+
+	// Forecast the demand with the same Kalman filter the cluster
+	// hierarchy uses.
+	kf, err := forecast.NewKalman(4, 0.5, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	backlog := 0.0
+	demand := 80.0
+	fmt.Println("  t   demand  quota admitted backlog  (set-point 200)")
+	for t := 0; t < 40; t++ {
+		// Bursty demand: a regime switch at t=15 and noise throughout.
+		base := 80.0
+		if t >= 15 && t < 28 {
+			base = 150
+		}
+		demand = base + rng.NormFloat64()*15
+		if demand < 0 {
+			demand = 0
+		}
+		kf.Observe(demand)
+
+		// Three-step lookahead against the forecast.
+		envs := make([]([]llc.Env), 3)
+		for h := range envs {
+			f := kf.Forecast(h + 1)
+			if f < 0 {
+				f = 0
+			}
+			envs[h] = []llc.Env{{f}}
+		}
+		res, err := llc.Exhaustive[float64, int](model, backlog, envs, llc.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		quota := res.Inputs[0]
+		backlog = model.Step(backlog, quota, llc.Env{demand})
+		if t%2 == 0 {
+			fmt.Printf("%3d  %6.1f  %5.0f  %7.1f  %6.1f\n",
+				t, demand, model.quotas[quota], min(demand, model.quotas[quota]), backlog)
+		}
+	}
+	fmt.Println("\nThe controller widens the quota during the burst just enough to")
+	fmt.Println("keep the backlog near its set-point, then tightens it again —")
+	fmt.Println("the same LLC machinery that runs the cluster hierarchy.")
+}

@@ -1,0 +1,424 @@
+package hierctl
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hierctl/internal/econ"
+	"hierctl/internal/metrics"
+)
+
+// ExperimentOptions tunes the preset experiment runners. The zero value is
+// not valid; start from DefaultExperimentOptions.
+type ExperimentOptions struct {
+	// Scale shrinks the trace length (0 < Scale ≤ 1) so benchmarks and
+	// smoke tests can run the full pipeline quickly; 1 reproduces the
+	// paper-size run.
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+	// Fast coarsens the offline learning grids and shortens the L0
+	// horizon to 2; use for benchmarks where learning time would
+	// dominate. The paper-fidelity setting is false.
+	Fast bool
+}
+
+// DefaultExperimentOptions runs experiments at full paper scale.
+func DefaultExperimentOptions() ExperimentOptions {
+	return ExperimentOptions{Scale: 1, Seed: 1}
+}
+
+func (o ExperimentOptions) validate() error {
+	if o.Scale <= 0 || o.Scale > 1 {
+		return fmt.Errorf("hierctl: scale %v outside (0, 1]", o.Scale)
+	}
+	return nil
+}
+
+// Config assembles the hierarchy configuration implied by the options.
+func (o ExperimentOptions) Config() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = o.Seed
+	if o.Fast {
+		cfg.L0.Horizon = 2
+		cfg.GMap.QStep = 40
+		cfg.GMap.LambdaStep = 30
+		cfg.GMap.SubSteps = 2
+		cfg.ModuleSim.QLevels = []float64{0, 40, 160}
+		cfg.ModuleSim.LambdaLevels = []float64{0, 25, 50, 100, 200, 400}
+		cfg.ModuleSim.CLevels = []float64{0.0175}
+	}
+	return cfg
+}
+
+// Fig3Table renders the per-computer operating-frequency table of Fig. 3.
+func Fig3Table() (string, error) {
+	tab := metrics.NewTable("computer", "points", "frequencies (MHz)", "speed", "base power")
+	for kind := 0; kind < 4; kind++ {
+		cs, err := StandardComputer(kind, fmt.Sprintf("C%d", kind+1))
+		if err != nil {
+			return "", err
+		}
+		freqs := make([]string, len(cs.FrequenciesHz))
+		for i, f := range cs.FrequenciesHz {
+			freqs[i] = fmt.Sprintf("%.0f", f/1e6)
+		}
+		tab.AddRow(cs.Name, len(cs.FrequenciesHz), strings.Join(freqs, " "), cs.SpeedFactor, cs.Power.Base)
+	}
+	return tab.String(), nil
+}
+
+// scaleTrace trims a trace to the leading fraction given by Scale.
+func (o ExperimentOptions) scaleTrace(tr *Series) *Series {
+	n := int(float64(tr.Len()) * o.Scale)
+	if n < 16 {
+		n = min(16, tr.Len())
+	}
+	return tr.Slice(0, n)
+}
+
+// RunFig4Fig5 reproduces the §4.3 module experiment behind Figs. 4 and 5:
+// the four-computer module under the synthetic diurnal trace, r* = 4 s.
+// The returned record carries the Fig. 4 series (workload, Kalman
+// predictions, operational computers) and the Fig. 5 series (per-computer
+// frequencies, achieved response times).
+func RunFig4Fig5(opts ExperimentOptions) (*Record, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	spec, err := StandardModuleCluster()
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := NewManager(spec, opts.Config())
+	if err != nil {
+		return nil, err
+	}
+	synth := DefaultSyntheticConfig()
+	synth.Seed = opts.Seed
+	trace, err := SyntheticTrace(synth)
+	if err != nil {
+		return nil, err
+	}
+	store, err := NewStore(opts.Seed, DefaultStoreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return mgr.Run(opts.scaleTrace(trace), store)
+}
+
+// RunFig6Fig7 reproduces the §5.2 cluster experiment behind Figs. 6 and 7:
+// sixteen heterogeneous computers in four modules under the WC'98-like day
+// trace. The record carries the Fig. 6 series (workload, operational
+// computers) and the Fig. 7 series (per-module fractions γ_i).
+func RunFig6Fig7(opts ExperimentOptions) (*Record, error) {
+	return runCluster(4, opts)
+}
+
+// runCluster runs the §5.2 experiment on a cluster of p modules.
+func runCluster(p int, opts ExperimentOptions) (*Record, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	spec, err := StandardCluster(p)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := NewManager(spec, opts.Config())
+	if err != nil {
+		return nil, err
+	}
+	wc := DefaultWC98Config()
+	wc.Seed = opts.Seed
+	// Scale the offered load with the cluster size so the p = 5 run is
+	// comparably loaded per computer.
+	wc.Peak *= float64(p) / 4
+	trace, err := WC98Trace(wc)
+	if err != nil {
+		return nil, err
+	}
+	store, err := NewStore(opts.Seed, DefaultStoreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return mgr.Run(opts.scaleTrace(trace), store)
+}
+
+// OverheadRow is one line of the §4.3/§5.2 controller-overhead tables.
+type OverheadRow struct {
+	// Label identifies the configuration (e.g. "m=4 q=0.05").
+	Label string
+	// Computers is the cluster size.
+	Computers int
+	// ExploredPerL1 is the average states examined per L1 period (the
+	// paper reports ≈858 for m = 4).
+	ExploredPerL1 float64
+	// DecisionTime is the mean online hierarchy computation per L1
+	// period (the paper's MATLAB setup measured ≈2.0 s for m = 4).
+	DecisionTime time.Duration
+	// LearnTime is the offline learning cost.
+	LearnTime time.Duration
+	// MeanResponse and Energy summarize control quality, so overhead
+	// rows double as sanity checks.
+	MeanResponse float64
+	Energy       float64
+}
+
+// RunOverheadModule reproduces the §4.3 overhead study: the module-level
+// hierarchy at size m with load-fraction quantum q, under the synthetic
+// trace scaled to the module size.
+func RunOverheadModule(m int, quantum float64, opts ExperimentOptions) (OverheadRow, error) {
+	if err := opts.validate(); err != nil {
+		return OverheadRow{}, err
+	}
+	spec, err := ScaledModuleCluster(m)
+	if err != nil {
+		return OverheadRow{}, err
+	}
+	cfg := opts.Config()
+	cfg.L1.Quantum = quantum
+	mgr, err := NewManager(spec, cfg)
+	if err != nil {
+		return OverheadRow{}, err
+	}
+	synth := DefaultSyntheticConfig()
+	synth.Seed = opts.Seed
+	// §4.3: "after appropriately scaling the original workload".
+	synth.BaseMin *= float64(m) / 4
+	synth.BaseMax *= float64(m) / 4
+	trace, err := SyntheticTrace(synth)
+	if err != nil {
+		return OverheadRow{}, err
+	}
+	store, err := NewStore(opts.Seed, DefaultStoreConfig())
+	if err != nil {
+		return OverheadRow{}, err
+	}
+	rec, err := mgr.Run(opts.scaleTrace(trace), store)
+	if err != nil {
+		return OverheadRow{}, err
+	}
+	return OverheadRow{
+		Label:         fmt.Sprintf("m=%d q=%.2f", m, quantum),
+		Computers:     m,
+		ExploredPerL1: rec.ExploredPerL1Decision(),
+		DecisionTime:  rec.DecisionTimePerPeriod(),
+		LearnTime:     rec.LearnTime,
+		MeanResponse:  rec.MeanResponse(),
+		Energy:        rec.Energy,
+	}, nil
+}
+
+// RunOverheadCluster reproduces the §5.2 overhead study: the full
+// hierarchy on p modules (16 computers at p = 4, 20 at p = 5).
+func RunOverheadCluster(p int, opts ExperimentOptions) (OverheadRow, error) {
+	rec, err := runCluster(p, opts)
+	if err != nil {
+		return OverheadRow{}, err
+	}
+	return OverheadRow{
+		Label:         fmt.Sprintf("p=%d (%d computers)", p, 4*p),
+		Computers:     4 * p,
+		ExploredPerL1: rec.ExploredPerL1Decision(),
+		DecisionTime:  rec.DecisionTimePerPeriod(),
+		LearnTime:     rec.LearnTime,
+		MeanResponse:  rec.MeanResponse(),
+		Energy:        rec.Energy,
+	}, nil
+}
+
+// EnergyRow is one line of the EXT1 policy-comparison table.
+type EnergyRow struct {
+	Policy        string
+	Energy        float64
+	MeanResponse  float64
+	ResponseP95   float64
+	ViolationFrac float64
+	Switches      int
+	Completed     int64
+	Dropped       int64
+	// ProfitUSD is the §4.3 "scalarized" cost: the run priced with the
+	// default tariff (revenue per met-target request minus SLA, energy,
+	// and switching costs).
+	ProfitUSD float64
+}
+
+// priceRow applies the default tariff to a row in place.
+func priceRow(r *EnergyRow) error {
+	s, err := econ.DefaultTariff().Price(econ.Outcome{
+		Completed:     r.Completed,
+		Dropped:       r.Dropped,
+		ViolationFrac: r.ViolationFrac,
+		Energy:        r.Energy,
+		Switches:      r.Switches,
+	})
+	if err != nil {
+		return err
+	}
+	r.ProfitUSD = s.Profit
+	return nil
+}
+
+// RunEnergyComparison runs the EXT1 experiment: the hierarchical LLC
+// controller against the threshold heuristics and the static all-on
+// configuration on the same §4.3 module and synthetic diurnal day.
+func RunEnergyComparison(opts ExperimentOptions) ([]EnergyRow, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	spec, err := StandardModuleCluster()
+	if err != nil {
+		return nil, err
+	}
+	synth := DefaultSyntheticConfig()
+	synth.Seed = opts.Seed
+	fullTrace, err := SyntheticTrace(synth)
+	if err != nil {
+		return nil, err
+	}
+	trace := opts.scaleTrace(fullTrace)
+	newStore := func() (*Store, error) { return NewStore(opts.Seed, DefaultStoreConfig()) }
+
+	var rows []EnergyRow
+
+	// Hierarchical LLC.
+	mgr, err := NewManager(spec, opts.Config())
+	if err != nil {
+		return nil, err
+	}
+	store, err := newStore()
+	if err != nil {
+		return nil, err
+	}
+	rec, err := mgr.Run(trace, store)
+	if err != nil {
+		return nil, err
+	}
+	llcRow := EnergyRow{
+		Policy:        "hierarchical-llc",
+		Energy:        rec.Energy,
+		MeanResponse:  rec.MeanResponse(),
+		ResponseP95:   rec.ResponseP95,
+		ViolationFrac: rec.ViolationFrac,
+		Switches:      rec.Switches,
+		Completed:     rec.Completed,
+		Dropped:       rec.Dropped,
+	}
+	if err := priceRow(&llcRow); err != nil {
+		return nil, err
+	}
+	rows = append(rows, llcRow)
+
+	// Baselines.
+	th, err := ThresholdPolicy(0.35, 0.8, 1)
+	if err != nil {
+		return nil, err
+	}
+	dv, err := ThresholdDVFSPolicy(0.35, 0.8, 1, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	bcfg := DefaultBaselineConfig()
+	bcfg.Seed = opts.Seed
+	for _, pol := range []BaselinePolicy{AlwaysOnPolicy(), th, dv} {
+		store, err := newStore()
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunBaseline(spec, pol, trace, store, bcfg)
+		if err != nil {
+			return nil, err
+		}
+		row := EnergyRow{
+			Policy:        res.Policy,
+			Energy:        res.Energy,
+			MeanResponse:  res.MeanResponse,
+			ResponseP95:   res.ResponseP95,
+			ViolationFrac: res.ViolationFrac,
+			Switches:      res.Switches,
+			Completed:     res.Completed,
+			Dropped:       res.Dropped,
+		}
+		if err := priceRow(&row); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationRow is one line of the EXT2 ablation table.
+type AblationRow struct {
+	Label         string
+	Energy        float64
+	MeanResponse  float64
+	ViolationFrac float64
+	Switches      int
+	ExploredPerL1 float64
+}
+
+// RunAblations runs the EXT2 design-choice ablations on the §4.3 module:
+// the L0 horizon sweep, chattering mitigation on/off, and the γ quantum
+// sweep.
+func RunAblations(opts ExperimentOptions) ([]AblationRow, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	spec, err := StandardModuleCluster()
+	if err != nil {
+		return nil, err
+	}
+	synth := DefaultSyntheticConfig()
+	synth.Seed = opts.Seed
+	fullTrace, err := SyntheticTrace(synth)
+	if err != nil {
+		return nil, err
+	}
+	trace := opts.scaleTrace(fullTrace)
+
+	type variant struct {
+		label  string
+		mutate func(*Config)
+	}
+	variants := []variant{
+		{"N_L0=1", func(c *Config) { c.L0.Horizon = 1 }},
+		{"N_L0=2", func(c *Config) { c.L0.Horizon = 2 }},
+		{"N_L0=3 (paper)", func(c *Config) { c.L0.Horizon = 3 }},
+		{"N_L0=4", func(c *Config) { c.L0.Horizon = 4 }},
+		{"no-chattering-mitigation", func(c *Config) {
+			c.L1.UncertaintySamples = false
+			c.L2.UncertaintySamples = false
+		}},
+		{"quantum=0.10", func(c *Config) { c.L1.Quantum = 0.10 }},
+		{"quantum=0.20", func(c *Config) { c.L1.Quantum = 0.20 }},
+		{"W=0 (no switch penalty)", func(c *Config) { c.L1.SwitchWeight = 0 }},
+		{"oracle-forecast (not realizable)", func(c *Config) { c.OracleForecast = true }},
+	}
+	rows := make([]AblationRow, 0, len(variants))
+	for _, v := range variants {
+		cfg := opts.Config()
+		v.mutate(&cfg)
+		mgr, err := NewManager(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		store, err := NewStore(opts.Seed, DefaultStoreConfig())
+		if err != nil {
+			return nil, err
+		}
+		rec, err := mgr.Run(trace, store)
+		if err != nil {
+			return nil, fmt.Errorf("hierctl: ablation %s: %w", v.label, err)
+		}
+		rows = append(rows, AblationRow{
+			Label:         v.label,
+			Energy:        rec.Energy,
+			MeanResponse:  rec.MeanResponse(),
+			ViolationFrac: rec.ViolationFrac,
+			Switches:      rec.Switches,
+			ExploredPerL1: rec.ExploredPerL1Decision(),
+		})
+	}
+	return rows, nil
+}

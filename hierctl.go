@@ -1,0 +1,177 @@
+// Package hierctl is a Go implementation of the hierarchical
+// limited-lookahead control (LLC) framework for autonomic performance
+// management of distributed computing systems described in:
+//
+//	N. Kandasamy, S. Abdelwahed, M. Khandekar,
+//	"A Hierarchical Optimization Framework for Autonomic Performance
+//	Management of Distributed Computing Systems", ICDCS 2006.
+//
+// The library provides:
+//
+//   - a generic LLC framework for switching hybrid systems (exhaustive
+//     and bounded lookahead search, soft constraints, uncertainty-band
+//     expected costs);
+//   - the paper's three-level controller hierarchy (L0 DVFS control, L1
+//     module control with learned abstraction maps, L2 cluster control
+//     with regression-tree cost approximations);
+//   - the estimation substrate (Kalman workload forecasting, EWMA
+//     processing-time filters);
+//   - a request-level cluster simulator (DVFS computers, boot dead
+//     times, drain semantics, failure injection) to evaluate policies
+//     against;
+//   - workload generators reproducing the paper's synthetic §4.3 trace
+//     and a World-Cup-98-like day;
+//   - threshold-based baseline policies for comparison; and
+//   - experiment presets regenerating every figure of the paper's
+//     evaluation (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	spec, _ := hierctl.StandardModuleCluster()
+//	cfg := hierctl.DefaultConfig()
+//	mgr, _ := hierctl.NewManager(spec, cfg)
+//	trace, _ := hierctl.SyntheticTrace(hierctl.DefaultSyntheticConfig())
+//	store, _ := hierctl.NewStore(1, hierctl.DefaultStoreConfig())
+//	rec, _ := mgr.Run(trace, store)
+//	fmt.Println(rec.MeanResponse(), rec.Energy)
+package hierctl
+
+import (
+	"math/rand"
+
+	"hierctl/internal/baseline"
+	"hierctl/internal/cluster"
+	"hierctl/internal/core"
+	"hierctl/internal/series"
+	"hierctl/internal/workload"
+)
+
+// Aliases re-export the library's primary types so downstream users never
+// import internal packages directly.
+type (
+	// ClusterSpec describes a whole cluster (modules of computers).
+	ClusterSpec = cluster.Spec
+	// ModuleSpec describes one module.
+	ModuleSpec = cluster.ModuleSpec
+	// ComputerSpec describes one computer's hardware.
+	ComputerSpec = cluster.ComputerSpec
+	// Config bundles the hierarchy's tunables.
+	Config = core.Config
+	// Manager owns one experiment (plant + hierarchy + learning).
+	Manager = core.Manager
+	// Record holds a run's recorded results.
+	Record = core.Record
+	// Series is a uniformly sampled time series.
+	Series = series.Series
+	// Store is the virtual object store.
+	Store = workload.Store
+	// StoreConfig parameterizes the store.
+	StoreConfig = workload.StoreConfig
+	// SyntheticConfig parameterizes the §4.3 synthetic trace.
+	SyntheticConfig = workload.SyntheticConfig
+	// WC98Config parameterizes the World-Cup-98-like trace.
+	WC98Config = workload.WC98Config
+	// BaselinePolicy decides cluster sizing for comparator runs.
+	BaselinePolicy = baseline.Policy
+	// BaselineResult summarizes a comparator run.
+	BaselineResult = baseline.Result
+	// BaselineConfig parameterizes a comparator run.
+	BaselineConfig = baseline.RunnerConfig
+)
+
+// DefaultConfig returns the paper's parameter set (§4.3/§5.2): T_L0 = 30 s,
+// N_L0 = 3, T_L1 = T_L2 = 2 min, r* = 4 s, Q = 100, R = 1, W = 8,
+// γ_ij quantized at 0.05 and γ_i at 0.1.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewManager builds the controller hierarchy for a cluster, performing the
+// offline simulation-based learning of abstraction maps and regression
+// trees (§4.2, §5.1).
+func NewManager(spec ClusterSpec, cfg Config) (*Manager, error) {
+	return core.NewManager(spec, cfg)
+}
+
+// StandardComputer returns catalogue computer kind ∈ {0..3} (C1..C4 of
+// Fig. 3) under the given unique name.
+func StandardComputer(kind int, name string) (ComputerSpec, error) {
+	return cluster.StandardComputer(kind, name)
+}
+
+// StandardModuleCluster returns the §4.3 single-module cluster: one module
+// with computers C1..C4 of Fig. 3.
+func StandardModuleCluster() (ClusterSpec, error) {
+	m, err := cluster.StandardModule("M1", "M1")
+	if err != nil {
+		return ClusterSpec{}, err
+	}
+	return ClusterSpec{Modules: []ModuleSpec{m}}, nil
+}
+
+// ScaledModuleCluster returns a single-module cluster of the given size
+// cycling through the Fig. 3 catalogue — the m = 6 and m = 10 variants of
+// §4.3.
+func ScaledModuleCluster(size int) (ClusterSpec, error) {
+	m, err := cluster.ScaledModule("M1", "M1", size)
+	if err != nil {
+		return ClusterSpec{}, err
+	}
+	return ClusterSpec{Modules: []ModuleSpec{m}}, nil
+}
+
+// StandardCluster returns the §5.2 cluster of p heterogeneous modules of
+// four computers each (16 computers at p = 4, 20 at p = 5).
+func StandardCluster(p int) (ClusterSpec, error) {
+	return cluster.StandardCluster(p)
+}
+
+// DefaultStoreConfig returns the paper's virtual-store parameters (10 000
+// objects, 1000 popular receiving 90% of requests, U(10, 25) ms demands,
+// lognormal temporal locality).
+func DefaultStoreConfig() StoreConfig { return workload.DefaultStoreConfig() }
+
+// NewStore builds a virtual object store from a seed.
+func NewStore(seed int64, cfg StoreConfig) (*Store, error) {
+	return workload.NewStore(rand.New(rand.NewSource(seed)), cfg)
+}
+
+// DefaultSyntheticConfig returns the §4.3 synthetic trace parameters.
+func DefaultSyntheticConfig() SyntheticConfig { return workload.DefaultSyntheticConfig() }
+
+// SyntheticTrace builds the §4.3 synthetic workload trace.
+func SyntheticTrace(cfg SyntheticConfig) (*Series, error) { return workload.Synthetic(cfg) }
+
+// DefaultWC98Config returns the Fig. 6 trace parameters.
+func DefaultWC98Config() WC98Config { return workload.DefaultWC98Config() }
+
+// WC98Trace builds the World-Cup-98-like day trace of §5.2.
+func WC98Trace(cfg WC98Config) (*Series, error) { return workload.WorldCup98Like(cfg) }
+
+// StepTrace builds a square-wave trace for controlled scale-up/down tests.
+func StepTrace(bins int, binSeconds, lo, hi float64, period int) (*Series, error) {
+	return workload.StepLoad(bins, binSeconds, lo, hi, period)
+}
+
+// AlwaysOnPolicy returns the static all-on/full-speed baseline.
+func AlwaysOnPolicy() BaselinePolicy { return baseline.AlwaysOn{} }
+
+// ThresholdPolicy returns the utilization-watermark on/off baseline
+// (Pinheiro et al.-style).
+func ThresholdPolicy(low, high float64, minOn int) (BaselinePolicy, error) {
+	return baseline.NewThreshold(low, high, minOn)
+}
+
+// ThresholdDVFSPolicy returns the watermark + frequency-scaling baseline
+// (Elnozahy et al.-style).
+func ThresholdDVFSPolicy(low, high float64, minOn int, utilTarget float64) (BaselinePolicy, error) {
+	return baseline.NewThresholdDVFS(low, high, minOn, utilTarget)
+}
+
+// DefaultBaselineConfig returns comparator cadences matched to the
+// hierarchy's (fair comparison under the same boot dead time).
+func DefaultBaselineConfig() BaselineConfig { return baseline.DefaultRunnerConfig() }
+
+// RunBaseline simulates a comparator policy on the same plant and
+// workload machinery the hierarchy uses.
+func RunBaseline(spec ClusterSpec, policy BaselinePolicy, trace *Series, store *Store, cfg BaselineConfig) (*BaselineResult, error) {
+	return baseline.Run(spec, policy, trace, store, cfg)
+}

@@ -1,0 +1,68 @@
+package approx
+
+import "fmt"
+
+// Grid enumerates the cartesian product of the given per-dimension levels,
+// calling visit with each point. The point slice is reused across calls;
+// visit must copy it if it retains it. This is the sweep driver of the
+// simulation-based learning step: "simulating the L0 controller using
+// various values from the input set … and a quantized approximation of the
+// domain of ω" (§4.2).
+func Grid(levels [][]float64, visit func(point []float64) error) error {
+	if len(levels) == 0 {
+		return fmt.Errorf("approx: empty grid")
+	}
+	for d, l := range levels {
+		if len(l) == 0 {
+			return fmt.Errorf("approx: grid dimension %d has no levels", d)
+		}
+	}
+	point := make([]float64, len(levels))
+	var rec func(d int) error
+	rec = func(d int) error {
+		if d == len(levels) {
+			return visit(point)
+		}
+		for _, v := range levels[d] {
+			point[d] = v
+			if err := rec(d + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// GridSize returns the number of points Grid will visit.
+func GridSize(levels [][]float64) int {
+	if len(levels) == 0 {
+		return 0
+	}
+	n := 1
+	for _, l := range levels {
+		n *= len(l)
+	}
+	return n
+}
+
+// Learn sweeps the grid, evaluates f at every point, and returns the
+// resulting samples — the "large lookup table" of §5.1 ready for FitTree.
+// f returns the target value for the point (e.g. simulated module cost).
+func Learn(levels [][]float64, f func(point []float64) (float64, error)) ([]Sample, error) {
+	samples := make([]Sample, 0, GridSize(levels))
+	err := Grid(levels, func(p []float64) error {
+		y, err := f(p)
+		if err != nil {
+			return err
+		}
+		x := make([]float64, len(p))
+		copy(x, p)
+		samples = append(samples, Sample{X: x, Y: y})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return samples, nil
+}

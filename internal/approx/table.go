@@ -1,0 +1,198 @@
+// Package approx implements the paper's function-approximation substrate
+// (§3, §4.2, §5.1): higher-level controllers cannot afford detailed models
+// of the closed-loop components below them, so they consult learned
+// abstractions instead —
+//
+//   - Table: the quantized hash-table abstraction map g used by the L1
+//     controller to predict per-computer cost and behaviour, "obtained
+//     off-line by simulating the L0 controller" (§4.2);
+//   - RegressionTree: the compact CART regression tree the L2 controller
+//     uses to approximate module cost J̃, "trained from a large lookup
+//     table" produced by simulation-based learning (§5.1);
+//   - Grid / Learn: the simulation-based learning harness that sweeps the
+//     quantized input domains and produces training samples.
+package approx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantizer maps continuous feature vectors onto a regular grid so they can
+// key a lookup table. Each dimension d is clamped to [Min[d], Max[d]] and
+// snapped to multiples of Step[d].
+type Quantizer struct {
+	Min, Max, Step []float64
+}
+
+// NewQuantizer validates and returns a quantizer. All three slices must
+// have the same length, with Min ≤ Max and Step > 0 per dimension.
+func NewQuantizer(min, max, step []float64) (*Quantizer, error) {
+	if len(min) == 0 || len(min) != len(max) || len(min) != len(step) {
+		return nil, fmt.Errorf("approx: quantizer dims %d/%d/%d mismatch or empty", len(min), len(max), len(step))
+	}
+	for d := range min {
+		if max[d] < min[d] {
+			return nil, fmt.Errorf("approx: dim %d max %v < min %v", d, max[d], min[d])
+		}
+		if step[d] <= 0 {
+			return nil, fmt.Errorf("approx: dim %d step %v <= 0", d, step[d])
+		}
+	}
+	return &Quantizer{Min: min, Max: max, Step: step}, nil
+}
+
+// Dims returns the number of feature dimensions.
+func (q *Quantizer) Dims() int { return len(q.Min) }
+
+// Cell returns the grid indices of x (clamped into range).
+func (q *Quantizer) Cell(x []float64) ([]int, error) {
+	if len(x) != q.Dims() {
+		return nil, fmt.Errorf("approx: point has %d dims, quantizer has %d", len(x), q.Dims())
+	}
+	cell := make([]int, len(x))
+	for d, v := range x {
+		if v < q.Min[d] {
+			v = q.Min[d]
+		}
+		if v > q.Max[d] {
+			v = q.Max[d]
+		}
+		cell[d] = int(math.Round((v - q.Min[d]) / q.Step[d]))
+	}
+	return cell, nil
+}
+
+// Centroid returns the representative point of the given cell.
+func (q *Quantizer) Centroid(cell []int) []float64 {
+	out := make([]float64, len(cell))
+	for d, c := range cell {
+		v := q.Min[d] + float64(c)*q.Step[d]
+		if v > q.Max[d] {
+			v = q.Max[d]
+		}
+		out[d] = v
+	}
+	return out
+}
+
+// Levels returns the grid values of dimension d from Min to Max inclusive,
+// the sweep set used by the learning harness.
+func (q *Quantizer) Levels(d int) []float64 {
+	var out []float64
+	for v := q.Min[d]; v <= q.Max[d]+1e-9; v += q.Step[d] {
+		out = append(out, math.Min(v, q.Max[d]))
+	}
+	return out
+}
+
+func cellKey(cell []int) string {
+	// Fixed-width little-endian int32 encoding: compact, collision-free.
+	buf := make([]byte, 0, len(cell)*4)
+	for _, c := range cell {
+		u := uint32(int32(c))
+		buf = append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return string(buf)
+}
+
+// Table is the quantized abstraction map g: a hash table from quantized
+// (state, environment, control) tuples to learned outputs — the paper
+// stores the approximate cost and aggregate behaviour of a computer under
+// its L0 controller. Multiple observations falling in one cell are
+// averaged. Construct with NewTable.
+type Table struct {
+	quant  *Quantizer
+	sums   map[string][]float64
+	counts map[string]int
+	width  int
+}
+
+// NewTable builds an empty table over the quantizer's grid with the given
+// output width (number of learned values per cell, ≥ 1).
+func NewTable(quant *Quantizer, outputWidth int) (*Table, error) {
+	if quant == nil {
+		return nil, fmt.Errorf("approx: nil quantizer")
+	}
+	if outputWidth < 1 {
+		return nil, fmt.Errorf("approx: output width %d < 1", outputWidth)
+	}
+	return &Table{
+		quant:  quant,
+		sums:   make(map[string][]float64),
+		counts: make(map[string]int),
+		width:  outputWidth,
+	}, nil
+}
+
+// Add folds an observation into the cell containing x.
+func (t *Table) Add(x []float64, outputs []float64) error {
+	if len(outputs) != t.width {
+		return fmt.Errorf("approx: %d outputs, table width %d", len(outputs), t.width)
+	}
+	cell, err := t.quant.Cell(x)
+	if err != nil {
+		return err
+	}
+	k := cellKey(cell)
+	sum, ok := t.sums[k]
+	if !ok {
+		sum = make([]float64, t.width)
+		t.sums[k] = sum
+	}
+	for i, v := range outputs {
+		sum[i] += v
+	}
+	t.counts[k]++
+	return nil
+}
+
+// Lookup returns the cell average for the cell containing x, and whether
+// the cell has any observations.
+func (t *Table) Lookup(x []float64) ([]float64, bool, error) {
+	cell, err := t.quant.Cell(x)
+	if err != nil {
+		return nil, false, err
+	}
+	k := cellKey(cell)
+	n := t.counts[k]
+	if n == 0 {
+		return nil, false, nil
+	}
+	out := make([]float64, t.width)
+	for i, v := range t.sums[k] {
+		out[i] = v / float64(n)
+	}
+	return out, true, nil
+}
+
+// Cells returns the number of populated cells.
+func (t *Table) Cells() int { return len(t.counts) }
+
+// Samples exports the populated cells as training samples (cell centroid →
+// first output average), the "large lookup table … then used to train a
+// regression tree" step of §5.1. Output column col selects which learned
+// value becomes the target.
+func (t *Table) Samples(col int) ([]Sample, error) {
+	if col < 0 || col >= t.width {
+		return nil, fmt.Errorf("approx: column %d outside [0, %d)", col, t.width)
+	}
+	out := make([]Sample, 0, len(t.counts))
+	for k, n := range t.counts {
+		cell := decodeKey(k)
+		out = append(out, Sample{
+			X: t.quant.Centroid(cell),
+			Y: t.sums[k][col] / float64(n),
+		})
+	}
+	return out, nil
+}
+
+func decodeKey(k string) []int {
+	cell := make([]int, len(k)/4)
+	for i := range cell {
+		u := uint32(k[4*i]) | uint32(k[4*i+1])<<8 | uint32(k[4*i+2])<<16 | uint32(k[4*i+3])<<24
+		cell[i] = int(int32(u))
+	}
+	return cell
+}

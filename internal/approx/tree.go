@@ -1,0 +1,228 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one training observation for the regression tree.
+type Sample struct {
+	// X is the feature vector.
+	X []float64
+	// Y is the regression target.
+	Y float64
+}
+
+// TreeConfig bounds regression-tree growth.
+type TreeConfig struct {
+	// MaxDepth limits tree depth (root = depth 0). Values < 1 default
+	// to 12.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf. Values < 1
+	// default to 4.
+	MinLeaf int
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth < 1 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf < 1 {
+		c.MinLeaf = 4
+	}
+	return c
+}
+
+// RegressionTree is a CART-style binary regression tree (Breiman et al.,
+// the paper's reference [11]) fitted by variance-reduction splitting. The
+// L2 controller uses one as its compact approximation J̃ of module cost.
+// Construct with FitTree.
+type RegressionTree struct {
+	nodes []treeNode
+	dims  int
+}
+
+type treeNode struct {
+	// Leaf nodes have left == -1 and carry value.
+	dim       int
+	threshold float64
+	left      int
+	right     int
+	value     float64
+	count     int
+}
+
+// FitTree grows a regression tree on the samples. All samples must share
+// the same feature dimensionality.
+func FitTree(samples []Sample, cfg TreeConfig) (*RegressionTree, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("approx: no training samples")
+	}
+	dims := len(samples[0].X)
+	if dims == 0 {
+		return nil, fmt.Errorf("approx: zero-dimensional samples")
+	}
+	for i, s := range samples {
+		if len(s.X) != dims {
+			return nil, fmt.Errorf("approx: sample %d has %d dims, want %d", i, len(s.X), dims)
+		}
+	}
+	cfg = cfg.withDefaults()
+	t := &RegressionTree{dims: dims}
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.grow(samples, idx, 0, cfg)
+	return t, nil
+}
+
+// grow builds the subtree over samples[idx] and returns its node index.
+func (t *RegressionTree) grow(samples []Sample, idx []int, depth int, cfg TreeConfig) int {
+	mean, sse := meanSSE(samples, idx)
+	node := treeNode{left: -1, right: -1, value: mean, count: len(idx)}
+	nodeIdx := len(t.nodes)
+	t.nodes = append(t.nodes, node)
+
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || sse <= 1e-12 {
+		return nodeIdx
+	}
+	bestDim, bestThr, bestGain := -1, 0.0, 0.0
+	sorted := make([]int, len(idx))
+	for d := 0; d < t.dims; d++ {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return samples[sorted[a]].X[d] < samples[sorted[b]].X[d] })
+		// Prefix sums for O(1) left/right SSE at each split position.
+		var sumL, sqL float64
+		sumT, sqT := 0.0, 0.0
+		for _, i := range sorted {
+			sumT += samples[i].Y
+			sqT += samples[i].Y * samples[i].Y
+		}
+		n := float64(len(sorted))
+		for pos := 0; pos < len(sorted)-1; pos++ {
+			y := samples[sorted[pos]].Y
+			sumL += y
+			sqL += y * y
+			nl := float64(pos + 1)
+			nr := n - nl
+			if int(nl) < cfg.MinLeaf || int(nr) < cfg.MinLeaf {
+				continue
+			}
+			// Skip ties: can't split between equal feature values.
+			if samples[sorted[pos]].X[d] == samples[sorted[pos+1]].X[d] {
+				continue
+			}
+			sseL := sqL - sumL*sumL/nl
+			sumR := sumT - sumL
+			sseR := (sqT - sqL) - sumR*sumR/nr
+			gain := sse - (sseL + sseR)
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestDim = d
+				bestThr = (samples[sorted[pos]].X[d] + samples[sorted[pos+1]].X[d]) / 2
+			}
+		}
+	}
+	if bestDim < 0 {
+		return nodeIdx
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if samples[i].X[bestDim] <= bestThr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return nodeIdx
+	}
+	left := t.grow(samples, leftIdx, depth+1, cfg)
+	right := t.grow(samples, rightIdx, depth+1, cfg)
+	t.nodes[nodeIdx].dim = bestDim
+	t.nodes[nodeIdx].threshold = bestThr
+	t.nodes[nodeIdx].left = left
+	t.nodes[nodeIdx].right = right
+	return nodeIdx
+}
+
+func meanSSE(samples []Sample, idx []int) (mean, sse float64) {
+	for _, i := range idx {
+		mean += samples[i].Y
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := samples[i].Y - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+// Predict returns the tree's estimate at x. Feature vectors of the wrong
+// dimensionality are an error.
+func (t *RegressionTree) Predict(x []float64) (float64, error) {
+	if len(x) != t.dims {
+		return 0, fmt.Errorf("approx: point has %d dims, tree has %d", len(x), t.dims)
+	}
+	i := 0
+	for {
+		n := t.nodes[i]
+		if n.left < 0 {
+			return n.value, nil
+		}
+		if x[n.dim] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Nodes returns the number of nodes — the paper's "compact" criterion.
+func (t *RegressionTree) Nodes() int { return len(t.nodes) }
+
+// Leaves returns the number of leaf nodes.
+func (t *RegressionTree) Leaves() int {
+	n := 0
+	for _, nd := range t.nodes {
+		if nd.left < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the maximum depth of the tree (root = 0).
+func (t *RegressionTree) Depth() int {
+	var walk func(i, d int) int
+	walk = func(i, d int) int {
+		n := t.nodes[i]
+		if n.left < 0 {
+			return d
+		}
+		return max(walk(n.left, d+1), walk(n.right, d+1))
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return walk(0, 0)
+}
+
+// TrainingRMSE evaluates the tree against a sample set.
+func (t *RegressionTree) TrainingRMSE(samples []Sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, nil
+	}
+	sse := 0.0
+	for _, s := range samples {
+		p, err := t.Predict(s.X)
+		if err != nil {
+			return 0, err
+		}
+		d := p - s.Y
+		sse += d * d
+	}
+	return math.Sqrt(sse / float64(len(samples))), nil
+}

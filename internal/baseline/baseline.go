@@ -1,0 +1,145 @@
+// Package baseline implements the comparator policies the paper positions
+// itself against (§1): threshold-driven heuristics in the style of
+// Pinheiro et al. [25] (power a computer on/off when utilization crosses
+// fixed watermarks) and Elnozahy et al. [14] (the same plus dynamic
+// voltage scaling), and a static all-on/full-speed configuration. All three
+// run against the same request-level plant as the hierarchical controller,
+// so energy and response comparisons are apples-to-apples.
+package baseline
+
+import (
+	"fmt"
+)
+
+// Observation is what a policy sees each control period: aggregate
+// cluster-level measurements (baselines are flat — they ignore module
+// structure).
+type Observation struct {
+	// Operational is the number of computers currently on or booting.
+	Operational int
+	// Total is the cluster size.
+	Total int
+	// Utilization is the mean busy fraction of serving computers over
+	// the last period.
+	Utilization float64
+	// ArrivalRate is the measured arrival rate (requests/second).
+	ArrivalRate float64
+	// CHat is the processing-time estimate (seconds at full speed).
+	CHat float64
+}
+
+// Action is a policy's command for the next period.
+type Action struct {
+	// Operational is the desired number of powered computers.
+	Operational int
+	// PhiTarget is the desired per-computer utilization the frequency
+	// picker should aim for; implementations select the lowest DVFS
+	// point whose utilization stays below it. ≤ 0 means "run at full
+	// speed".
+	PhiTarget float64
+}
+
+// Policy decides cluster sizing each adaptation period.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Decide maps an observation to the next action.
+	Decide(obs Observation) Action
+}
+
+// AlwaysOn keeps every computer on at full speed — the no-management
+// reference configuration.
+type AlwaysOn struct{}
+
+// Name implements Policy.
+func (AlwaysOn) Name() string { return "always-on" }
+
+// Decide implements Policy.
+func (AlwaysOn) Decide(obs Observation) Action {
+	return Action{Operational: obs.Total, PhiTarget: 0}
+}
+
+// Threshold powers computers on and off on utilization watermarks, running
+// survivors at full speed (Pinheiro et al.-style load unbalancing).
+type Threshold struct {
+	// High and Low are the utilization watermarks: above High a computer
+	// is added, below Low one is removed.
+	High, Low float64
+	// MinOn floors the number of powered computers.
+	MinOn int
+}
+
+// NewThreshold returns a Threshold policy with validated watermarks.
+func NewThreshold(low, high float64, minOn int) (*Threshold, error) {
+	if low <= 0 || high <= low || high >= 1 {
+		return nil, fmt.Errorf("baseline: watermarks (%v, %v) must satisfy 0 < low < high < 1", low, high)
+	}
+	if minOn < 1 {
+		return nil, fmt.Errorf("baseline: min-on %d < 1", minOn)
+	}
+	return &Threshold{High: high, Low: low, MinOn: minOn}, nil
+}
+
+// Name implements Policy.
+func (t *Threshold) Name() string { return "threshold" }
+
+// Decide implements Policy.
+func (t *Threshold) Decide(obs Observation) Action {
+	n := obs.Operational
+	if obs.Utilization > t.High && n < obs.Total {
+		n++
+	} else if obs.Utilization < t.Low && n > t.MinOn {
+		n--
+	}
+	if n < t.MinOn {
+		n = t.MinOn
+	}
+	return Action{Operational: n, PhiTarget: 0}
+}
+
+// ThresholdDVFS combines the watermark on/off rule with frequency scaling:
+// survivors run at the lowest DVFS point keeping estimated per-computer
+// utilization under UtilTarget (Elnozahy et al.-style).
+type ThresholdDVFS struct {
+	Threshold
+	// UtilTarget is the per-computer utilization the frequency picker
+	// aims under (e.g. 0.8).
+	UtilTarget float64
+}
+
+// NewThresholdDVFS returns a ThresholdDVFS policy.
+func NewThresholdDVFS(low, high float64, minOn int, utilTarget float64) (*ThresholdDVFS, error) {
+	base, err := NewThreshold(low, high, minOn)
+	if err != nil {
+		return nil, err
+	}
+	if utilTarget <= 0 || utilTarget >= 1 {
+		return nil, fmt.Errorf("baseline: utilization target %v outside (0, 1)", utilTarget)
+	}
+	return &ThresholdDVFS{Threshold: *base, UtilTarget: utilTarget}, nil
+}
+
+// Name implements Policy.
+func (t *ThresholdDVFS) Name() string { return "threshold+dvfs" }
+
+// Decide implements Policy.
+func (t *ThresholdDVFS) Decide(obs Observation) Action {
+	a := t.Threshold.Decide(obs)
+	a.PhiTarget = t.UtilTarget
+	return a
+}
+
+// phiFor picks the lowest scaling factor from the ladder that keeps
+// utilization lambda·c/(φ·speed) below target; it returns the top of the
+// ladder when nothing suffices.
+func phiFor(ladder []float64, lambda, c, speed, target float64) int {
+	if target <= 0 {
+		return len(ladder) - 1
+	}
+	for i, phi := range ladder {
+		if lambda*c/(phi*speed) < target {
+			return i
+		}
+	}
+	return len(ladder) - 1
+}

@@ -1,0 +1,329 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/des"
+	"hierctl/internal/series"
+	"hierctl/internal/workload"
+)
+
+// RunnerConfig parameterizes a baseline run.
+type RunnerConfig struct {
+	// PeriodSeconds is the measurement/frequency period (match T_L0).
+	PeriodSeconds float64
+	// AdaptEverySeconds is the on/off adaptation period (match T_L1 so
+	// the comparison to the hierarchy is fair under the same boot
+	// dead-time).
+	AdaptEverySeconds float64
+	// TargetResponse is r*, used only for violation accounting.
+	TargetResponse float64
+	// DefaultCHat seeds the processing-time estimate.
+	DefaultCHat float64
+	// Seed drives dispatch and workload randomness.
+	Seed int64
+	// DrainSeconds extends the run so in-flight work completes.
+	DrainSeconds float64
+}
+
+// DefaultRunnerConfig matches the hierarchy's cadences for fair
+// comparison.
+func DefaultRunnerConfig() RunnerConfig {
+	return RunnerConfig{
+		PeriodSeconds:     30,
+		AdaptEverySeconds: 120,
+		TargetResponse:    4,
+		DefaultCHat:       0.0175,
+		Seed:              1,
+		DrainSeconds:      300,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c RunnerConfig) Validate() error {
+	if c.PeriodSeconds <= 0 {
+		return fmt.Errorf("baseline: period %v <= 0", c.PeriodSeconds)
+	}
+	if c.AdaptEverySeconds < c.PeriodSeconds {
+		return fmt.Errorf("baseline: adaptation period %v below measurement period %v", c.AdaptEverySeconds, c.PeriodSeconds)
+	}
+	if c.TargetResponse <= 0 {
+		return fmt.Errorf("baseline: target response %v <= 0", c.TargetResponse)
+	}
+	if c.DefaultCHat <= 0 {
+		return fmt.Errorf("baseline: default c-hat %v <= 0", c.DefaultCHat)
+	}
+	if c.DrainSeconds < 0 {
+		return fmt.Errorf("baseline: drain %v < 0", c.DrainSeconds)
+	}
+	return nil
+}
+
+// Result summarizes a baseline run with the same quantities the
+// hierarchical Record reports, so EXT1 tables can be built side by side.
+type Result struct {
+	Policy       string
+	Energy       float64
+	Switches     int
+	Completed    int64
+	Dropped      int64
+	MeanResponse float64
+	// ResponseP95 is the per-request 95th-percentile latency.
+	ResponseP95   float64
+	ViolationFrac float64
+	Operational   *series.Series // per adaptation period
+	ResponseMean  *series.Series // per measurement period
+}
+
+// Run simulates the policy against the plant for the whole trace. The
+// trace bin width must be an integer multiple of the measurement period.
+// Computers are powered in spec order; dispatch is uniform across serving
+// computers (the flat policies have no notion of per-computer fractions).
+func Run(spec cluster.Spec, policy Policy, trace *series.Series, store *workload.Store, cfg RunnerConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("baseline: nil policy")
+	}
+	if trace == nil || trace.Len() == 0 {
+		return nil, fmt.Errorf("baseline: empty trace")
+	}
+	sub := int(trace.Step/cfg.PeriodSeconds + 0.5)
+	if sub < 1 || math.Abs(float64(sub)*cfg.PeriodSeconds-trace.Step) > 1e-6 {
+		return nil, fmt.Errorf("baseline: trace bin %vs not a multiple of period %vs", trace.Step, cfg.PeriodSeconds)
+	}
+	plant, err := cluster.NewPlant(spec, des.RNG(cfg.Seed, "baseline-dispatch"))
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(trace, store, des.RNG(cfg.Seed, "baseline-workload"))
+	if err != nil {
+		return nil, err
+	}
+
+	// Flatten the cluster: policies are module-agnostic.
+	type slot struct{ i, j int }
+	var slots []slot
+	preroll := 0.0
+	for i := range spec.Modules {
+		for j := range spec.Modules[i].Computers {
+			slots = append(slots, slot{i, j})
+			if d := spec.Modules[i].Computers[j].BootDelaySeconds; d > preroll {
+				preroll = d
+			}
+		}
+	}
+	total := len(slots)
+
+	// Start everything on at full speed (same warm start as the
+	// hierarchy).
+	for _, s := range slots {
+		if err := plant.PowerOn(s.i, s.j); err != nil {
+			return nil, err
+		}
+		comp, err := plant.Computer(s.i, s.j)
+		if err != nil {
+			return nil, err
+		}
+		if err := comp.SetFrequencyIndex(len(comp.Spec().FrequenciesHz) - 1); err != nil {
+			return nil, err
+		}
+	}
+	if preroll > 0 {
+		if err := plant.Advance(preroll); err != nil {
+			return nil, err
+		}
+		for i := range spec.Modules {
+			if _, _, err := plant.ModuleIntervalStats(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	steps := trace.Len() * sub
+	adaptEvery := int(cfg.AdaptEverySeconds/cfg.PeriodSeconds + 0.5)
+	res := &Result{
+		Policy:       policy.Name(),
+		Operational:  series.New(preroll, cfg.AdaptEverySeconds, 0),
+		ResponseMean: series.New(preroll, cfg.PeriodSeconds, 0),
+	}
+	wantOn := total
+	cHat := cfg.DefaultCHat
+	lastRate := 0.0
+	lastUtil := 0.0
+	violations, respBins := 0, 0
+
+	var pending [][]workload.Request
+	pending = make([][]workload.Request, steps)
+
+	for k := 0; k < steps; k++ {
+		t := preroll + float64(k)*cfg.PeriodSeconds
+		if k%sub == 0 {
+			bin, reqs, ok := gen.NextBin()
+			if !ok {
+				return nil, fmt.Errorf("baseline: trace exhausted at step %d", k)
+			}
+			binStart := trace.TimeAt(bin)
+			for _, req := range reqs {
+				idx := k + int((req.Arrival-binStart)/cfg.PeriodSeconds)
+				if idx >= steps {
+					idx = steps - 1
+				}
+				req.Arrival += preroll - trace.Start
+				pending[idx] = append(pending[idx], req)
+			}
+		}
+
+		// Adaptation: on/off per the policy's watermark rule.
+		if k%adaptEvery == 0 {
+			act := policy.Decide(Observation{
+				Operational: plant.OperationalComputers(),
+				Total:       total,
+				Utilization: lastUtil,
+				ArrivalRate: lastRate,
+				CHat:        cHat,
+			})
+			want := act.Operational
+			if want < 1 {
+				want = 1
+			}
+			if want > total {
+				want = total
+			}
+			wantOn = want
+			on := 0
+			for _, s := range slots {
+				comp, err := plant.Computer(s.i, s.j)
+				if err != nil {
+					return nil, err
+				}
+				operational := comp.State() == cluster.PowerOn || comp.State() == cluster.Booting
+				switch {
+				case on < wantOn && !operational && comp.State() != cluster.Failed:
+					if err := plant.PowerOn(s.i, s.j); err != nil {
+						return nil, err
+					}
+					on++
+				case on < wantOn && operational:
+					on++
+				case on >= wantOn && operational:
+					if err := plant.PowerOff(s.i, s.j); err != nil {
+						return nil, err
+					}
+				}
+			}
+			res.Operational.Values = append(res.Operational.Values, float64(plant.OperationalComputers()))
+			// Frequency targets for the coming period.
+			perComp := lastRate / math.Max(1, float64(plant.OperationalComputers()))
+			for _, s := range slots {
+				comp, err := plant.Computer(s.i, s.j)
+				if err != nil {
+					return nil, err
+				}
+				if !comp.Serving() && comp.State() != cluster.Booting {
+					continue
+				}
+				spec := comp.Spec()
+				idx := phiFor(spec.PhiLadder(), perComp, cHat, spec.SpeedFactor, act.PhiTarget)
+				if err := comp.SetFrequencyIndex(idx); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Dispatch uniformly across fully-on computers.
+		if len(pending[k]) > 0 {
+			gm := make([]float64, len(spec.Modules))
+			gc := make([][]float64, len(spec.Modules))
+			for i := range spec.Modules {
+				gc[i] = make([]float64, len(spec.Modules[i].Computers))
+			}
+			for _, s := range slots {
+				comp, err := plant.Computer(s.i, s.j)
+				if err != nil {
+					return nil, err
+				}
+				if comp.State() == cluster.PowerOn {
+					gc[s.i][s.j] = 1
+					gm[s.i]++
+				}
+			}
+			if err := plant.Dispatch(pending[k], gm, gc); err != nil {
+				return nil, err
+			}
+			pending[k] = nil
+		}
+
+		if err := plant.Advance(t + cfg.PeriodSeconds); err != nil {
+			return nil, err
+		}
+
+		// Harvest.
+		arrived, completed := 0, 0
+		respSum, busySum, demandSum := 0.0, 0.0, 0.0
+		busyN := 0
+		for i := range spec.Modules {
+			agg, _, err := plant.ModuleIntervalStats(i)
+			if err != nil {
+				return nil, err
+			}
+			arrived += agg.Arrived
+			completed += agg.Completed
+			if agg.Completed > 0 {
+				respSum += agg.MeanResponse * float64(agg.Completed)
+				demandSum += agg.MeanDemand * float64(agg.Completed)
+			}
+			busySum += agg.Busy * float64(len(spec.Modules[i].Computers))
+			busyN += len(spec.Modules[i].Computers)
+		}
+		lastRate = float64(arrived) / cfg.PeriodSeconds
+		if op := plant.OperationalComputers(); op > 0 && busyN > 0 {
+			// Utilization over operational computers only.
+			lastUtil = busySum / float64(op)
+			if lastUtil > 1 {
+				lastUtil = 1
+			}
+		}
+		mean := 0.0
+		if completed > 0 {
+			mean = respSum / float64(completed)
+			cHat = 0.9*cHat + 0.1*demandSum/float64(completed)
+			respBins++
+			if mean > cfg.TargetResponse {
+				violations++
+			}
+		}
+		res.ResponseMean.Values = append(res.ResponseMean.Values, mean)
+	}
+
+	end := preroll + float64(steps)*cfg.PeriodSeconds
+	if err := plant.Advance(end + cfg.DrainSeconds); err != nil {
+		return nil, err
+	}
+	plant.FinishAccounting()
+	res.Energy = plant.Accountant().TotalEnergy()
+	res.Switches = plant.Accountant().TotalSwitches()
+	var respAll float64
+	var respCount int64
+	for _, s := range slots {
+		comp, err := plant.Computer(s.i, s.j)
+		if err != nil {
+			return nil, err
+		}
+		res.Completed += comp.TotalCompleted()
+		res.Dropped += comp.TotalDropped()
+		respAll += comp.LifetimeResponse().Mean() * float64(comp.LifetimeResponse().Count())
+		respCount += comp.LifetimeResponse().Count()
+	}
+	if respCount > 0 {
+		res.MeanResponse = respAll / float64(respCount)
+	}
+	res.ResponseP95 = plant.Latencies().Quantile(0.95)
+	if respBins > 0 {
+		res.ViolationFrac = float64(violations) / float64(respBins)
+	}
+	return res, nil
+}

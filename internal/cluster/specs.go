@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hierctl/internal/power"
+)
+
+// The standard computer catalogue reproduces Fig. 3: four heterogeneous
+// computers with distinct discrete frequency ladders, in the spirit of the
+// mobile AMD-K6-2+ (8 operating points) and Pentium M (up to 10 points)
+// parts the paper cites. Speed factors and power bases differ per machine
+// to exercise the "different power-consumption and processing profiles" of
+// §4.1.
+
+// StandardComputerNames lists the catalogue entries C1..C4 of Fig. 3.
+var StandardComputerNames = []string{"C1", "C2", "C3", "C4"}
+
+// StandardComputer returns catalogue computer kind ∈ {0..3} (C1..C4) with
+// the given unique instance name. The boot delay is the paper's two
+// minutes for every kind.
+func StandardComputer(kind int, name string) (ComputerSpec, error) {
+	base := power.DefaultModel()
+	const boot = 120.0
+	switch kind {
+	case 0: // C1 — AMD-K6-2+-like: 8 points, 550..990 MHz, slowest machine.
+		return ComputerSpec{
+			Name:             name,
+			FrequenciesHz:    mhz(550, 605, 660, 715, 770, 825, 880, 990),
+			SpeedFactor:      0.8,
+			Power:            base,
+			BootDelaySeconds: boot,
+		}, nil
+	case 1: // C2 — Pentium-M-like: 10 points, 600..1800 MHz.
+		return ComputerSpec{
+			Name:             name,
+			FrequenciesHz:    mhz(600, 733, 866, 1000, 1133, 1266, 1400, 1533, 1667, 1800),
+			SpeedFactor:      1.0,
+			Power:            base,
+			BootDelaySeconds: boot,
+		}, nil
+	case 2: // C3 — 6 coarse points, 800..1800 MHz, cheaper base power.
+		return ComputerSpec{
+			Name:             name,
+			FrequenciesHz:    mhz(800, 1000, 1200, 1400, 1600, 1800),
+			SpeedFactor:      0.9,
+			Power:            power.Model{Base: 0.6, SwitchCost: base.SwitchCost},
+			BootDelaySeconds: boot,
+		}, nil
+	case 3: // C4 — fastest: 8 points up to 2.0 GHz (Fig. 5 plots this one).
+		return ComputerSpec{
+			Name:             name,
+			FrequenciesHz:    mhz(600, 800, 1000, 1200, 1400, 1600, 1800, 2000),
+			SpeedFactor:      1.2,
+			Power:            power.Model{Base: 0.9, SwitchCost: base.SwitchCost},
+			BootDelaySeconds: boot,
+		}, nil
+	default:
+		return ComputerSpec{}, fmt.Errorf("cluster: unknown standard computer kind %d", kind)
+	}
+}
+
+func mhz(vals ...float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v * 1e6
+	}
+	return out
+}
+
+// StandardModule returns the §4.3 module: one of each catalogue computer
+// C1..C4, named <prefix>-C1 .. <prefix>-C4.
+func StandardModule(name, prefix string) (ModuleSpec, error) {
+	m := ModuleSpec{Name: name}
+	for kind := 0; kind < 4; kind++ {
+		cs, err := StandardComputer(kind, fmt.Sprintf("%s-%s", prefix, StandardComputerNames[kind]))
+		if err != nil {
+			return ModuleSpec{}, err
+		}
+		m.Computers = append(m.Computers, cs)
+	}
+	return m, nil
+}
+
+// ScaledModule returns a module with size computers cycling through the
+// catalogue kinds — the m = 6 and m = 10 module variants of §4.3.
+func ScaledModule(name, prefix string, size int) (ModuleSpec, error) {
+	if size < 1 {
+		return ModuleSpec{}, fmt.Errorf("cluster: module size %d < 1", size)
+	}
+	m := ModuleSpec{Name: name}
+	for j := 0; j < size; j++ {
+		kind := j % 4
+		cs, err := StandardComputer(kind, fmt.Sprintf("%s-%d%s", prefix, j, StandardComputerNames[kind]))
+		if err != nil {
+			return ModuleSpec{}, err
+		}
+		m.Computers = append(m.Computers, cs)
+	}
+	return m, nil
+}
+
+// StandardCluster returns the §5.2 cluster: p heterogeneous modules of
+// four computers each (16 computers at p = 4, 20 at p = 5). Modules are
+// heterogeneous: module i rotates the catalogue so different sets of
+// computers appear in each.
+func StandardCluster(p int) (Spec, error) {
+	if p < 1 {
+		return Spec{}, fmt.Errorf("cluster: module count %d < 1", p)
+	}
+	var spec Spec
+	for i := 0; i < p; i++ {
+		m := ModuleSpec{Name: fmt.Sprintf("M%d", i+1)}
+		for j := 0; j < 4; j++ {
+			kind := (i + j) % 4 // rotate the catalogue per module
+			name := fmt.Sprintf("M%d-%s", i+1, StandardComputerNames[kind])
+			cs, err := StandardComputer(kind, name)
+			if err != nil {
+				return Spec{}, err
+			}
+			m.Computers = append(m.Computers, cs)
+		}
+		spec.Modules = append(spec.Modules, m)
+	}
+	return spec, nil
+}

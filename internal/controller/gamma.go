@@ -1,0 +1,219 @@
+// Package controller implements the three levels of the paper's control
+// hierarchy for the cluster case study (Fig. 2):
+//
+//   - L0 (§4.1): per-computer DVFS frequency selection by exhaustive
+//     lookahead over the fluid queue model;
+//   - L1 (§4.2): per-module on/off vector {α_ij} and load-fraction vector
+//     {γ_ij} by bounded neighbourhood search over an offline-learned
+//     abstraction map g, with uncertainty-band chattering mitigation;
+//   - L2 (§5.1): cluster-level module fractions {γ_i} minimizing the sum
+//     of regression-tree cost approximations J̃_i.
+//
+// This file provides the quantized-simplex machinery the L1 and L2
+// controllers share: load-fraction vectors must satisfy Σγ = 1, γ ≥ 0,
+// quantized to a fixed step (the paper quantizes γ_ij at 0.05 and γ_i at
+// 0.1).
+package controller
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SnapSimplex quantizes weights onto the simplex grid with the given
+// quantum: the result has entries that are non-negative multiples of
+// quantum summing exactly to 1 (within floating point), distributed by the
+// largest-remainder method, and zero wherever mask is false. It returns an
+// error if quantum does not divide 1 within tolerance, or the mask admits
+// no entries.
+func SnapSimplex(weights []float64, mask []bool, quantum float64) ([]float64, error) {
+	if len(weights) == 0 || len(weights) != len(mask) {
+		return nil, fmt.Errorf("controller: weights/mask lengths %d/%d", len(weights), len(mask))
+	}
+	units := int(math.Round(1 / quantum))
+	if units < 1 || math.Abs(float64(units)*quantum-1) > 1e-9 {
+		return nil, fmt.Errorf("controller: quantum %v does not divide 1", quantum)
+	}
+	active := 0
+	total := 0.0
+	for i, w := range weights {
+		if mask[i] && w > 0 {
+			total += w
+		}
+		if mask[i] {
+			active++
+		}
+	}
+	if active == 0 {
+		return nil, fmt.Errorf("controller: empty mask")
+	}
+	out := make([]float64, len(weights))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	var rems []rem
+	assigned := 0
+	for i, w := range weights {
+		if !mask[i] {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = math.Max(w, 0) / total * float64(units)
+		} else {
+			share = float64(units) / float64(active)
+		}
+		fl := math.Floor(share)
+		out[i] = fl
+		assigned += int(fl)
+		rems = append(rems, rem{idx: i, frac: share - fl})
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for k := 0; assigned < units; k++ {
+		out[rems[k%len(rems)].idx]++
+		assigned++
+	}
+	for assigned > units {
+		// Possible only under floating-point pathologies; trim from the
+		// largest entry.
+		maxI := -1
+		for i := range out {
+			if mask[i] && out[i] > 0 && (maxI < 0 || out[i] > out[maxI]) {
+				maxI = i
+			}
+		}
+		out[maxI]--
+		assigned--
+	}
+	for i := range out {
+		out[i] *= quantum
+	}
+	return out, nil
+}
+
+// SimplexNeighbours generates the quantized-simplex neighbourhood of gamma:
+// all vectors obtained by moving up to depth quanta from one masked entry
+// to another, each still summing to 1. The input vector itself is included
+// first. Entries outside the mask stay zero. Duplicate vectors are removed.
+func SimplexNeighbours(gamma []float64, mask []bool, quantum float64, depth int) [][]float64 {
+	seen := make(map[string]bool)
+	var out [][]float64
+	add := func(g []float64) {
+		k := gammaKey(g, quantum)
+		if !seen[k] {
+			seen[k] = true
+			cp := make([]float64, len(g))
+			copy(cp, g)
+			out = append(out, cp)
+		}
+	}
+	add(gamma)
+	frontier := [][]float64{gamma}
+	for d := 0; d < depth; d++ {
+		var next [][]float64
+		for _, g := range frontier {
+			for a := range g {
+				if !mask[a] || g[a] < quantum-1e-9 {
+					continue
+				}
+				for b := range g {
+					if b == a || !mask[b] {
+						continue
+					}
+					cand := make([]float64, len(g))
+					copy(cand, g)
+					cand[a] -= quantum
+					cand[b] += quantum
+					if cand[a] < -1e-9 {
+						continue
+					}
+					if cand[a] < 0 {
+						cand[a] = 0
+					}
+					k := gammaKey(cand, quantum)
+					if !seen[k] {
+						seen[k] = true
+						cp := make([]float64, len(cand))
+						copy(cp, cand)
+						out = append(out, cp)
+						next = append(next, cp)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// EnumerateSimplex lists every quantized simplex vector over the masked
+// entries (compositions of 1/quantum units). The count grows
+// combinatorially; callers should check CountSimplex first.
+func EnumerateSimplex(n int, mask []bool, quantum float64) [][]float64 {
+	units := int(math.Round(1 / quantum))
+	var active []int
+	for i := 0; i < n; i++ {
+		if mask == nil || mask[i] {
+			active = append(active, i)
+		}
+	}
+	var out [][]float64
+	if len(active) == 0 {
+		return out
+	}
+	comp := make([]int, len(active))
+	var rec func(pos, remaining int)
+	rec = func(pos, remaining int) {
+		if pos == len(active)-1 {
+			comp[pos] = remaining
+			g := make([]float64, n)
+			for k, idx := range active {
+				g[idx] = float64(comp[k]) * quantum
+			}
+			out = append(out, g)
+			return
+		}
+		for u := 0; u <= remaining; u++ {
+			comp[pos] = u
+			rec(pos+1, remaining-u)
+		}
+	}
+	rec(0, units)
+	return out
+}
+
+// CountSimplex returns the number of vectors EnumerateSimplex would
+// produce for k active entries: C(units+k-1, k-1).
+func CountSimplex(k int, quantum float64) int {
+	if k <= 0 {
+		return 0
+	}
+	units := int(math.Round(1 / quantum))
+	// Compute the binomial coefficient iteratively.
+	n := units + k - 1
+	r := k - 1
+	if r > n-r {
+		r = n - r
+	}
+	acc := 1
+	for i := 1; i <= r; i++ {
+		acc = acc * (n - r + i) / i
+	}
+	return acc
+}
+
+func gammaKey(g []float64, quantum float64) string {
+	buf := make([]byte, 0, len(g)*2)
+	for _, v := range g {
+		u := uint16(int(math.Round(v / quantum)))
+		buf = append(buf, byte(u), byte(u>>8))
+	}
+	return string(buf)
+}

@@ -1,0 +1,168 @@
+package controller
+
+import (
+	"fmt"
+
+	"hierctl/internal/approx"
+	"hierctl/internal/cluster"
+	"hierctl/internal/llc"
+	"hierctl/internal/queue"
+)
+
+// GMapConfig parameterizes the learning grid of the abstraction map g
+// (§4.2): the quantized domains of the computer state (queue length), the
+// environment inputs (arrival rate, processing time), and the number of
+// L0 periods per L1 period the closed loop is simulated for.
+type GMapConfig struct {
+	// QMax and QStep bound and quantize the queue-length dimension.
+	QMax, QStep float64
+	// LambdaMax and LambdaStep bound and quantize the per-computer
+	// arrival-rate dimension (requests/second).
+	LambdaMax, LambdaStep float64
+	// CMin, CMax and CStep bound and quantize the processing-time
+	// dimension (seconds at full speed).
+	CMin, CMax, CStep float64
+	// SubSteps is l = T_L1/T_L0, the number of L0 decisions simulated
+	// per cell (paper: 4).
+	SubSteps int
+}
+
+// DefaultGMapConfig returns a grid sized for the paper's workloads.
+func DefaultGMapConfig() GMapConfig {
+	return GMapConfig{
+		QMax: 400, QStep: 20,
+		LambdaMax: 300, LambdaStep: 15,
+		CMin: 0.010, CMax: 0.026, CStep: 0.004,
+		SubSteps: 4,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c GMapConfig) Validate() error {
+	if c.QMax <= 0 || c.QStep <= 0 {
+		return fmt.Errorf("controller: gmap queue grid (%v, %v) invalid", c.QMax, c.QStep)
+	}
+	if c.LambdaMax <= 0 || c.LambdaStep <= 0 {
+		return fmt.Errorf("controller: gmap lambda grid (%v, %v) invalid", c.LambdaMax, c.LambdaStep)
+	}
+	if c.CMin <= 0 || c.CMax < c.CMin || c.CStep <= 0 {
+		return fmt.Errorf("controller: gmap c grid (%v, %v, %v) invalid", c.CMin, c.CMax, c.CStep)
+	}
+	if c.SubSteps < 1 {
+		return fmt.Errorf("controller: gmap substeps %d < 1", c.SubSteps)
+	}
+	return nil
+}
+
+// GMap is the learned abstraction map g of one computer under its L0
+// controller (§4.2): a quantized hash table from (queue length, arrival
+// rate, processing time) to the average closed-loop cost over one L1
+// period, the end-of-period queue length, the average achieved response
+// time, and the average power draw. Construct with LearnGMap.
+type GMap struct {
+	table *approx.Table
+	cfg   GMapConfig
+	spec  cluster.ComputerSpec
+}
+
+// gMap output columns.
+const (
+	gColCost = iota
+	gColQEnd
+	gColResp
+	gColPower
+	gColWidth
+)
+
+// LearnGMap performs the offline simulation-based learning of §4.2:
+// for every grid cell it simulates the L0-controlled fluid model for
+// SubSteps periods under constant environment inputs and stores the
+// aggregate outcome.
+func LearnGMap(l0cfg L0Config, spec cluster.ComputerSpec, cfg GMapConfig) (*GMap, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l0, err := NewL0(l0cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	quant, err := approx.NewQuantizer(
+		[]float64{0, 0, cfg.CMin},
+		[]float64{cfg.QMax, cfg.LambdaMax, cfg.CMax},
+		[]float64{cfg.QStep, cfg.LambdaStep, cfg.CStep},
+	)
+	if err != nil {
+		return nil, err
+	}
+	table, err := approx.NewTable(quant, gColWidth)
+	if err != nil {
+		return nil, err
+	}
+	g := &GMap{table: table, cfg: cfg, spec: spec}
+
+	levels := [][]float64{quant.Levels(0), quant.Levels(1), quant.Levels(2)}
+	err = approx.Grid(levels, func(p []float64) error {
+		q0, lambda, c := p[0], p[1], p[2]
+		cost, qEnd, resp, pw, err := g.simulateCell(l0, l0cfg, q0, lambda, c)
+		if err != nil {
+			return err
+		}
+		return table.Add(p, []float64{cost, qEnd, resp, pw})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// simulateCell runs the closed L0 loop on the fluid model for one L1
+// period with constant environment inputs.
+func (g *GMap) simulateCell(l0 *L0, l0cfg L0Config, q0, lambda, c float64) (avgCost, qEnd, avgResp, avgPower float64, err error) {
+	state := queue.State{Q: q0}
+	var costSum, respSum, powerSum float64
+	for step := 0; step < g.cfg.SubSteps; step++ {
+		idx, err := l0.Decide(state.Q, []float64{lambda}, c)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		phi := g.spec.Phi(idx)
+		next, err := queue.Step(state, queue.Params{
+			Lambda: lambda,
+			C:      c / g.spec.SpeedFactor,
+			Phi:    phi,
+			T:      l0cfg.PeriodSeconds,
+		})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		psi := g.spec.Power.Draw(phi, true)
+		costSum += l0cfg.SlackWeight*llc.Slack(next.R, l0cfg.EffectiveTarget()) + l0cfg.PowerWeight*psi
+		respSum += next.R
+		powerSum += psi
+		state = next
+	}
+	n := float64(g.cfg.SubSteps)
+	return costSum / n, state.Q, respSum / n, powerSum / n, nil
+}
+
+// Evaluate looks up the learned outcome for the given (queue length,
+// arrival rate, processing time). Points outside the grid are clamped to
+// its boundary cells, so overload queries saturate rather than miss.
+func (g *GMap) Evaluate(q0, lambda, c float64) (cost, qEnd, resp, power float64, err error) {
+	out, ok, err := g.table.Lookup([]float64{q0, lambda, c})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if !ok {
+		// The learning sweep populates every grid cell, so a miss means
+		// the map was built with a different grid.
+		return 0, 0, 0, 0, fmt.Errorf("controller: gmap cell missing for (%v, %v, %v)", q0, lambda, c)
+	}
+	return out[gColCost], out[gColQEnd], out[gColResp], out[gColPower], nil
+}
+
+// Cells returns the number of learned cells.
+func (g *GMap) Cells() int { return g.table.Cells() }
+
+// Spec returns the computer spec the map was learned for.
+func (g *GMap) Spec() cluster.ComputerSpec { return g.spec }

@@ -1,0 +1,475 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// L1Config parameterizes a module-level L1 controller (§4.2).
+type L1Config struct {
+	// PeriodSeconds is the sampling time T_L1 (paper: 2 min, "the
+	// typical time delay incurred in switching on a computer").
+	PeriodSeconds float64
+	// Quantum quantizes the load fractions γ_ij (paper: 0.05 for m = 4,
+	// 0.1 for the m = 6 and m = 10 experiments).
+	Quantum float64
+	// SwitchWeight is W, the transient cost of powering a computer on
+	// (paper: 8, "much higher than the base operating cost of 0.75").
+	SwitchWeight float64
+	// NeighbourDepth bounds the γ neighbourhood search: how many quanta
+	// may move between computers relative to the seed allocations.
+	NeighbourDepth int
+	// Horizon selects the lookahead depth. 1 is the paper's N_L1 = 1
+	// with the optimistic convention that a freshly switched-on computer
+	// serves immediately. 2 prices the boot dead time explicitly
+	// (§1's "control actions with dead times ... requiring proactive
+	// control"): in the first period fresh computers only draw base
+	// power and their load share falls on the surviving computers; in
+	// the second they participate fully. 2 is the default because the
+	// request-level plant in this library really does impose the dead
+	// time.
+	Horizon int
+	// MinOn is the minimum number of operational computers (≥ 1 keeps
+	// the module able to serve).
+	MinOn int
+	// StabilityUtil is the §4.2 queuing-stability limit on the load
+	// fractions: a candidate that would push any computer's full-speed
+	// utilization γ_j·λ̂·ĉ/speed_j beyond this bound is heavily
+	// penalized ("we know the peak request arrival rate that can be
+	// processed by a computer without queuing instability"). Must lie
+	// in (0, 1].
+	StabilityUtil float64
+	// UncertaintySamples enables the §4.2 chattering mitigation: when
+	// true the expected cost is averaged over {λ̂−δ, λ̂, λ̂+δ}; when
+	// false only the nominal forecast is used (the EXT2 ablation).
+	UncertaintySamples bool
+}
+
+// DefaultL1Config returns the paper's §4.3 settings.
+func DefaultL1Config() L1Config {
+	return L1Config{
+		PeriodSeconds:      120,
+		Quantum:            0.05,
+		SwitchWeight:       8,
+		NeighbourDepth:     2,
+		Horizon:            2,
+		MinOn:              1,
+		StabilityUtil:      0.85,
+		UncertaintySamples: true,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c L1Config) Validate() error {
+	if c.PeriodSeconds <= 0 {
+		return fmt.Errorf("controller: L1 period %v <= 0", c.PeriodSeconds)
+	}
+	units := math.Round(1 / c.Quantum)
+	if c.Quantum <= 0 || c.Quantum > 1 || math.Abs(units*c.Quantum-1) > 1e-9 {
+		return fmt.Errorf("controller: L1 quantum %v must evenly divide 1", c.Quantum)
+	}
+	if c.SwitchWeight < 0 {
+		return fmt.Errorf("controller: L1 switch weight %v < 0", c.SwitchWeight)
+	}
+	if c.NeighbourDepth < 0 {
+		return fmt.Errorf("controller: L1 neighbour depth %d < 0", c.NeighbourDepth)
+	}
+	if c.Horizon != 1 && c.Horizon != 2 {
+		return fmt.Errorf("controller: L1 horizon %d must be 1 or 2", c.Horizon)
+	}
+	if c.MinOn < 1 {
+		return fmt.Errorf("controller: L1 min-on %d < 1", c.MinOn)
+	}
+	if c.StabilityUtil <= 0 || c.StabilityUtil > 1 {
+		return fmt.Errorf("controller: L1 stability utilization %v outside (0, 1]", c.StabilityUtil)
+	}
+	return nil
+}
+
+// L1Observation is the aggregated module state x_L1 (Eq. 9) plus the
+// environment estimates ω̂_L1 (Eq. 11–12) the L1 controller consumes.
+type L1Observation struct {
+	// QueueLens holds the observed queue length of each computer.
+	QueueLens []float64
+	// LambdaHat is the forecast module arrival rate (requests/second)
+	// over the next L1 period.
+	LambdaHat float64
+	// Delta is the forecast uncertainty band half-width δ (§4.2).
+	Delta float64
+	// CHat is the estimated mean full-speed processing time (seconds).
+	CHat float64
+	// Available marks computers that may be powered on (false = failed).
+	Available []bool
+}
+
+// L1Decision is the controller's output: the operating state vector
+// {α_ij} and the load fractions {γ_ij}.
+type L1Decision struct {
+	// Alpha[j] is true if computer j should be on.
+	Alpha []bool
+	// Gamma[j] is the fraction of module load dispatched to computer j;
+	// zero wherever Alpha[j] is false, summing to 1.
+	Gamma []float64
+	// Explored counts candidate states evaluated (overhead metric).
+	Explored int
+}
+
+// L1 is the module-level controller. Construct with NewL1.
+type L1 struct {
+	cfg   L1Config
+	gmaps []*GMap
+	caps  []float64 // relative capacity weights for seed allocations
+
+	prevAlpha []bool
+	prevGamma []float64
+
+	explored    int
+	decisions   int
+	computeTime time.Duration
+}
+
+// NewL1 builds an L1 controller over the module's learned abstraction
+// maps (one per computer, in module order). The initial assumed state is
+// all computers on with a capacity-proportional allocation.
+func NewL1(cfg L1Config, gmaps []*GMap) (*L1, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gmaps) == 0 {
+		return nil, fmt.Errorf("controller: L1 needs at least one abstraction map")
+	}
+	for j, g := range gmaps {
+		if g == nil {
+			return nil, fmt.Errorf("controller: L1 abstraction map %d is nil", j)
+		}
+	}
+	if cfg.MinOn > len(gmaps) {
+		return nil, fmt.Errorf("controller: L1 min-on %d exceeds module size %d", cfg.MinOn, len(gmaps))
+	}
+	m := len(gmaps)
+	l := &L1{cfg: cfg, gmaps: gmaps, caps: make([]float64, m)}
+	for j, g := range gmaps {
+		// Capacity proxy: service rate at full speed for a nominal
+		// demand, used only to seed allocations.
+		l.caps[j] = g.Spec().SpeedFactor
+	}
+	l.prevAlpha = make([]bool, m)
+	allOn := make([]bool, m)
+	for j := range allOn {
+		l.prevAlpha[j] = true
+		allOn[j] = true
+	}
+	var err error
+	l.prevGamma, err = SnapSimplex(l.caps, allOn, cfg.Quantum)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Size returns the number of computers the controller manages.
+func (l *L1) Size() int { return len(l.gmaps) }
+
+// SetState overrides the controller's notion of the previous decision —
+// used when the manager forces a configuration (e.g. initial state).
+func (l *L1) SetState(alpha []bool, gamma []float64) error {
+	if len(alpha) != l.Size() || len(gamma) != l.Size() {
+		return fmt.Errorf("controller: L1 state size mismatch")
+	}
+	l.prevAlpha = append([]bool(nil), alpha...)
+	l.prevGamma = append([]float64(nil), gamma...)
+	return nil
+}
+
+// Decide solves the L1 optimization (Eq. 14) by bounded search: candidate
+// on/off vectors are the previous one and its single-computer toggles;
+// candidate load fractions are the quantized neighbourhoods of
+// capacity-proportional and previous allocations; the expected cost of
+// each candidate is averaged over the forecast uncertainty band.
+func (l *L1) Decide(obs L1Observation) (L1Decision, error) {
+	m := l.Size()
+	if len(obs.QueueLens) != m {
+		return L1Decision{}, fmt.Errorf("controller: observation has %d queues, module has %d", len(obs.QueueLens), m)
+	}
+	if obs.Available == nil {
+		obs.Available = make([]bool, m)
+		for j := range obs.Available {
+			obs.Available[j] = true
+		}
+	}
+	if len(obs.Available) != m {
+		return L1Decision{}, fmt.Errorf("controller: observation has %d availability flags, module has %d", len(obs.Available), m)
+	}
+	if obs.CHat <= 0 {
+		return L1Decision{}, fmt.Errorf("controller: L1 processing-time estimate %v <= 0", obs.CHat)
+	}
+	if obs.LambdaHat < 0 {
+		obs.LambdaHat = 0
+	}
+	// A fully failed module cannot serve: degrade to the all-off
+	// decision so the hierarchy keeps running (the L2 routes around the
+	// module via its availability flag).
+	if countTrue(obs.Available) == 0 {
+		dec := L1Decision{Alpha: make([]bool, m), Gamma: make([]float64, m)}
+		l.prevAlpha = dec.Alpha
+		l.prevGamma = dec.Gamma
+		l.decisions++
+		return dec, nil
+	}
+	start := time.Now()
+
+	samples := []float64{obs.LambdaHat}
+	if l.cfg.UncertaintySamples && obs.Delta > 0 {
+		samples = []float64{
+			math.Max(0, obs.LambdaHat-obs.Delta),
+			obs.LambdaHat,
+			obs.LambdaHat + obs.Delta,
+		}
+	}
+
+	bestCost := math.Inf(1)
+	var best L1Decision
+	explored := 0
+	for _, alpha := range l.alphaCandidates(obs.Available) {
+		for _, gamma := range l.gammaCandidates(alpha) {
+			cost := 0.0
+			for _, lam := range samples {
+				c, err := l.evaluate(alpha, gamma, obs, lam)
+				if err != nil {
+					return L1Decision{}, err
+				}
+				cost += c
+				explored++
+			}
+			cost /= float64(len(samples))
+			if cost < bestCost {
+				bestCost = cost
+				best = L1Decision{Alpha: alpha, Gamma: gamma}
+			}
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return L1Decision{}, fmt.Errorf("controller: L1 found no candidate configuration")
+	}
+	best.Alpha = append([]bool(nil), best.Alpha...)
+	best.Gamma = append([]float64(nil), best.Gamma...)
+	best.Explored = explored
+	l.prevAlpha = best.Alpha
+	l.prevGamma = best.Gamma
+	l.explored += explored
+	l.decisions++
+	l.computeTime += time.Since(start)
+	return best, nil
+}
+
+// evaluate prices one (α, γ) candidate under one sampled arrival rate
+// following Eq. 14: Σ_j α_j·J̃(x, γ_j) + W·‖Δα‖, with J̃ from the
+// abstraction maps.
+//
+// With Horizon = 1 a freshly switched-on computer is assumed to serve its
+// share immediately (the paper's optimistic convention). With Horizon = 2
+// the boot dead time is priced: during the first period fresh computers
+// draw base power only and their load share is renormalized onto the
+// already-serving computers — exactly what the dispatcher does in the
+// plant — and during the second period the full configuration serves from
+// the first period's predicted end queues.
+func (l *L1) evaluate(alpha []bool, gamma []float64, obs L1Observation, lambda float64) (float64, error) {
+	switchCost := 0.0
+	for j := range alpha {
+		if alpha[j] && !l.prevAlpha[j] {
+			switchCost += l.cfg.SwitchWeight
+		}
+	}
+	// Queuing-stability soft barrier (§4.2): penalize candidates whose
+	// steady-state full-speed utilization exceeds the stability bound on
+	// any computer. The penalty dwarfs power costs so a stable candidate
+	// always wins when one exists, while overload still yields the
+	// least-bad allocation.
+	const stabilityPenalty = 1e4
+	for j := range alpha {
+		if !alpha[j] || gamma[j] == 0 {
+			continue
+		}
+		util := gamma[j] * lambda * obs.CHat / l.gmaps[j].Spec().SpeedFactor
+		if util > l.cfg.StabilityUtil {
+			switchCost += stabilityPenalty * (util - l.cfg.StabilityUtil)
+		}
+	}
+	if l.cfg.Horizon == 1 {
+		total := switchCost
+		for j := range alpha {
+			if !alpha[j] {
+				continue
+			}
+			cost, _, _, _, err := l.gmaps[j].Evaluate(obs.QueueLens[j], gamma[j]*lambda, obs.CHat)
+			if err != nil {
+				return 0, err
+			}
+			total += cost
+		}
+		return total, nil
+	}
+
+	// Horizon 2, boot-aware. Period 1: only computers already serving do
+	// work; fresh boots draw base power.
+	servingShare := 0.0
+	anyServing := false
+	for j := range alpha {
+		if alpha[j] && l.prevAlpha[j] {
+			servingShare += gamma[j]
+			anyServing = true
+		}
+	}
+	total := switchCost
+	qEnd := make([]float64, len(alpha))
+	for j := range alpha {
+		qEnd[j] = obs.QueueLens[j]
+		if !alpha[j] {
+			continue
+		}
+		if !l.prevAlpha[j] {
+			// Booting: base power for the period, no service.
+			total += l.gmaps[j].Spec().Power.Base
+			continue
+		}
+		share := gamma[j]
+		if servingShare > 0 {
+			share = gamma[j] / servingShare
+		}
+		cost, qe, _, _, err := l.gmaps[j].Evaluate(obs.QueueLens[j], share*lambda, obs.CHat)
+		if err != nil {
+			return 0, err
+		}
+		total += cost
+		qEnd[j] = qe
+	}
+	if !anyServing && lambda > 0 {
+		// Nothing serves during period 1: the whole period's demand
+		// queues unserved. Penalize proportionally to the stranded work.
+		total += lambda * l.cfg.PeriodSeconds
+	}
+
+	// Period 2: the full configuration serves from the predicted queues.
+	for j := range alpha {
+		if !alpha[j] {
+			continue
+		}
+		cost, _, _, _, err := l.gmaps[j].Evaluate(qEnd[j], gamma[j]*lambda, obs.CHat)
+		if err != nil {
+			return 0, err
+		}
+		total += cost
+	}
+	return total, nil
+}
+
+// alphaCandidates returns the bounded on/off candidate set: the previous
+// vector projected onto availability, every single-computer toggle of it,
+// and the all-available-on vector, each with at least MinOn computers on
+// (or as many as availability allows).
+func (l *L1) alphaCandidates(avail []bool) [][]bool {
+	m := l.Size()
+	minOn := l.cfg.MinOn
+	if a := countTrue(avail); a < minOn {
+		minOn = a
+	}
+	base := make([]bool, m)
+	for j := range base {
+		base[j] = l.prevAlpha[j] && avail[j]
+	}
+	ensureMinOn(base, avail, minOn)
+
+	seen := map[string]bool{}
+	var out [][]bool
+	add := func(a []bool) {
+		if countOn(a) < minOn {
+			return
+		}
+		k := alphaKey(a)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, append([]bool(nil), a...))
+		}
+	}
+	add(base)
+	for j := 0; j < m; j++ {
+		cand := append([]bool(nil), base...)
+		if cand[j] {
+			cand[j] = false
+		} else if avail[j] {
+			cand[j] = true
+		} else {
+			continue
+		}
+		add(cand)
+	}
+	allOn := make([]bool, m)
+	for j := range allOn {
+		allOn[j] = avail[j]
+	}
+	add(allOn)
+	return out
+}
+
+// gammaCandidates returns the bounded γ candidate set for a given α: the
+// quantized neighbourhoods of the capacity-proportional seed and of the
+// previous allocation projected onto α's support.
+func (l *L1) gammaCandidates(alpha []bool) [][]float64 {
+	seedCap, errCap := SnapSimplex(l.caps, alpha, l.cfg.Quantum)
+	if errCap != nil {
+		return nil
+	}
+	cands := SimplexNeighbours(seedCap, alpha, l.cfg.Quantum, l.cfg.NeighbourDepth)
+	if prev, err := SnapSimplex(l.prevGamma, alpha, l.cfg.Quantum); err == nil {
+		for _, g := range SimplexNeighbours(prev, alpha, l.cfg.Quantum, 1) {
+			cands = appendUniqueGamma(cands, g, l.cfg.Quantum)
+		}
+	}
+	return cands
+}
+
+func appendUniqueGamma(list [][]float64, g []float64, quantum float64) [][]float64 {
+	k := gammaKey(g, quantum)
+	for _, existing := range list {
+		if gammaKey(existing, quantum) == k {
+			return list
+		}
+	}
+	return append(list, g)
+}
+
+// Overhead reports accumulated overhead counters.
+func (l *L1) Overhead() (explored, decisions int, compute time.Duration) {
+	return l.explored, l.decisions, l.computeTime
+}
+
+func countOn(a []bool) int {
+	n := 0
+	for _, v := range a {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func countTrue(a []bool) int { return countOn(a) }
+
+func ensureMinOn(a, avail []bool, minOn int) {
+	for j := 0; countOn(a) < minOn && j < len(a); j++ {
+		if avail[j] && !a[j] {
+			a[j] = true
+		}
+	}
+}
+
+func alphaKey(a []bool) string {
+	buf := make([]byte, len(a))
+	for i, v := range a {
+		if v {
+			buf[i] = 1
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,259 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hierctl/internal/approx"
+)
+
+// L2Config parameterizes the cluster-level L2 controller (§5.1).
+type L2Config struct {
+	// PeriodSeconds is the sampling time T_L2 (paper: 2 min).
+	PeriodSeconds float64
+	// Quantum quantizes the module fractions γ_i (paper: 0.1).
+	Quantum float64
+	// EnumLimit bounds full enumeration of the quantized simplex; above
+	// it the controller falls back to a bounded neighbourhood of the
+	// previous decision (scalable control for many modules).
+	EnumLimit int
+	// NeighbourDepth is the bounded-search depth used past EnumLimit.
+	NeighbourDepth int
+	// UncertaintySamples averages the cost over {λ̂−δ, λ̂, λ̂+δ} when
+	// true, mirroring the L1 chattering mitigation.
+	UncertaintySamples bool
+	// DeltaWeight is the S weight of Eq. 3 applied to ‖γ − γ_prev‖₁:
+	// a small reallocation cost that stabilizes the distribution and
+	// breaks ties between equally priced allocations toward the
+	// incumbent (identical modules otherwise tie exactly and the
+	// enumeration order would starve some of them).
+	DeltaWeight float64
+}
+
+// DefaultL2Config returns the paper's §5.2 settings.
+func DefaultL2Config() L2Config {
+	return L2Config{
+		PeriodSeconds:      120,
+		Quantum:            0.1,
+		EnumLimit:          5000,
+		NeighbourDepth:     3,
+		UncertaintySamples: true,
+		DeltaWeight:        0.05,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c L2Config) Validate() error {
+	if c.PeriodSeconds <= 0 {
+		return fmt.Errorf("controller: L2 period %v <= 0", c.PeriodSeconds)
+	}
+	units := math.Round(1 / c.Quantum)
+	if c.Quantum <= 0 || c.Quantum > 1 || math.Abs(units*c.Quantum-1) > 1e-9 {
+		return fmt.Errorf("controller: L2 quantum %v must evenly divide 1", c.Quantum)
+	}
+	if c.EnumLimit < 1 {
+		return fmt.Errorf("controller: L2 enum limit %d < 1", c.EnumLimit)
+	}
+	if c.NeighbourDepth < 1 {
+		return fmt.Errorf("controller: L2 neighbour depth %d < 1", c.NeighbourDepth)
+	}
+	if c.DeltaWeight < 0 {
+		return fmt.Errorf("controller: L2 delta weight %v < 0", c.DeltaWeight)
+	}
+	return nil
+}
+
+// JTilde approximates a module's cost J̃_i(x_L2, γ_i) (Eq. 15): the
+// expected cost of module i over one L2 period given its average queue
+// length, the arrival rate it would receive, and its processing-time
+// estimate.
+type JTilde interface {
+	Predict(qAvg, lambda, c float64) (float64, error)
+}
+
+// TreeJTilde adapts a CART regression tree to the JTilde interface — the
+// paper's "compact regression tree to store J̃ values" (§5.1).
+type TreeJTilde struct {
+	tree *approx.RegressionTree
+}
+
+// NewTreeJTilde wraps a fitted tree.
+func NewTreeJTilde(tree *approx.RegressionTree) (*TreeJTilde, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("controller: nil regression tree")
+	}
+	return &TreeJTilde{tree: tree}, nil
+}
+
+// Predict evaluates the tree at (qAvg, lambda, c).
+func (t *TreeJTilde) Predict(qAvg, lambda, c float64) (float64, error) {
+	return t.tree.Predict([]float64{qAvg, lambda, c})
+}
+
+var _ JTilde = (*TreeJTilde)(nil)
+
+// L2Observation is the aggregated cluster state x_L2 and environment
+// estimate ω̂_L2 = (λ̂_g, ĉ_L2).
+type L2Observation struct {
+	// QAvg[i] is the average queue length of module i.
+	QAvg []float64
+	// LambdaHat is the forecast cluster arrival rate (requests/second).
+	LambdaHat float64
+	// Delta is the forecast uncertainty band half-width.
+	Delta float64
+	// CHat[i] is module i's processing-time estimate (seconds).
+	CHat []float64
+	// Available marks modules that can currently serve (≥ 1 healthy
+	// computer). Unavailable modules are forced to γ_i = 0.
+	Available []bool
+}
+
+// L2Decision is the cluster controller's output.
+type L2Decision struct {
+	// Gamma[i] is the fraction of the global arrivals dispatched to
+	// module i (Σ = 1, quantized).
+	Gamma []float64
+	// Explored counts candidate states evaluated.
+	Explored int
+}
+
+// L2 is the cluster-level controller. Construct with NewL2.
+type L2 struct {
+	cfg     L2Config
+	jtildes []JTilde
+
+	prevGamma []float64
+
+	explored    int
+	decisions   int
+	computeTime time.Duration
+}
+
+// NewL2 builds an L2 controller over per-module cost approximations.
+func NewL2(cfg L2Config, jtildes []JTilde) (*L2, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(jtildes) == 0 {
+		return nil, fmt.Errorf("controller: L2 needs at least one module model")
+	}
+	for i, j := range jtildes {
+		if j == nil {
+			return nil, fmt.Errorf("controller: L2 module model %d is nil", i)
+		}
+	}
+	p := len(jtildes)
+	mask := make([]bool, p)
+	weights := make([]float64, p)
+	for i := range mask {
+		mask[i] = true
+		weights[i] = 1
+	}
+	prev, err := SnapSimplex(weights, mask, cfg.Quantum)
+	if err != nil {
+		return nil, err
+	}
+	return &L2{cfg: cfg, jtildes: jtildes, prevGamma: prev}, nil
+}
+
+// Modules returns the number of modules the controller manages.
+func (l *L2) Modules() int { return len(l.jtildes) }
+
+// Decide solves the L2 optimization (Eq. 15): choose {γ_i} minimizing
+// Σ_i J̃_i. The quantized simplex is enumerated exhaustively while small
+// enough, otherwise a bounded neighbourhood of the previous decision is
+// searched.
+func (l *L2) Decide(obs L2Observation) (L2Decision, error) {
+	p := l.Modules()
+	if len(obs.QAvg) != p || len(obs.CHat) != p {
+		return L2Decision{}, fmt.Errorf("controller: observation sizes %d/%d, modules %d", len(obs.QAvg), len(obs.CHat), p)
+	}
+	if obs.Available == nil {
+		obs.Available = make([]bool, p)
+		for i := range obs.Available {
+			obs.Available[i] = true
+		}
+	}
+	if len(obs.Available) != p {
+		return L2Decision{}, fmt.Errorf("controller: observation has %d availability flags, modules %d", len(obs.Available), p)
+	}
+	avail := 0
+	for _, a := range obs.Available {
+		if a {
+			avail++
+		}
+	}
+	if avail == 0 {
+		return L2Decision{}, fmt.Errorf("controller: no available modules")
+	}
+	if obs.LambdaHat < 0 {
+		obs.LambdaHat = 0
+	}
+	start := time.Now()
+
+	var candidates [][]float64
+	if CountSimplex(avail, l.cfg.Quantum) <= l.cfg.EnumLimit {
+		candidates = EnumerateSimplex(p, obs.Available, l.cfg.Quantum)
+	} else {
+		seed, err := SnapSimplex(l.prevGamma, obs.Available, l.cfg.Quantum)
+		if err != nil {
+			return L2Decision{}, err
+		}
+		candidates = SimplexNeighbours(seed, obs.Available, l.cfg.Quantum, l.cfg.NeighbourDepth)
+	}
+
+	samples := []float64{obs.LambdaHat}
+	if l.cfg.UncertaintySamples && obs.Delta > 0 {
+		samples = []float64{
+			math.Max(0, obs.LambdaHat-obs.Delta),
+			obs.LambdaHat,
+			obs.LambdaHat + obs.Delta,
+		}
+	}
+
+	bestCost := math.Inf(1)
+	var best []float64
+	explored := 0
+	for _, gamma := range candidates {
+		cost := 0.0
+		for _, lam := range samples {
+			for i := range gamma {
+				if !obs.Available[i] {
+					continue
+				}
+				// Zero-share modules still cost their learned idle
+				// floor (the L1 keeps MinOn computers powered), so
+				// concentration is not falsely free.
+				c, err := l.jtildes[i].Predict(obs.QAvg[i], gamma[i]*lam, obs.CHat[i])
+				if err != nil {
+					return L2Decision{}, err
+				}
+				cost += c
+			}
+			explored++
+		}
+		cost /= float64(len(samples))
+		// ‖Δu‖_S reallocation cost (Eq. 3).
+		for i := range gamma {
+			cost += l.cfg.DeltaWeight * math.Abs(gamma[i]-l.prevGamma[i])
+		}
+		if cost < bestCost {
+			bestCost = cost
+			best = gamma
+		}
+	}
+	if best == nil {
+		return L2Decision{}, fmt.Errorf("controller: L2 found no candidate allocation")
+	}
+	l.prevGamma = append([]float64(nil), best...)
+	l.explored += explored
+	l.decisions++
+	l.computeTime += time.Since(start)
+	return L2Decision{Gamma: append([]float64(nil), best...), Explored: explored}, nil
+}
+
+// Overhead reports accumulated overhead counters.
+func (l *L2) Overhead() (explored, decisions int, compute time.Duration) {
+	return l.explored, l.decisions, l.computeTime
+}

@@ -1,0 +1,87 @@
+package controller
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hierctl/internal/approx"
+)
+
+func TestGMapRoundTrip(t *testing.T) {
+	g := testGMap(t, ctrlSpec("persist"))
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadGMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cells() != g.Cells() {
+		t.Fatalf("cells = %d, want %d", loaded.Cells(), g.Cells())
+	}
+	if loaded.Spec().Name != g.Spec().Name {
+		t.Errorf("spec name = %s, want %s", loaded.Spec().Name, g.Spec().Name)
+	}
+	for _, probe := range [][3]float64{{0, 10, 0.018}, {100, 60, 0.018}, {200, 120, 0.022}} {
+		c1, q1, r1, p1, err := g.Evaluate(probe[0], probe[1], probe[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, q2, r2, p2, err := loaded.Evaluate(probe[0], probe[1], probe[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1 != c2 || q1 != q2 || r1 != r2 || p1 != p2 {
+			t.Errorf("probe %v diverged after round trip", probe)
+		}
+	}
+}
+
+func TestTreeJTildeRoundTrip(t *testing.T) {
+	samples := []approx.Sample{
+		{X: []float64{0, 0, 0.018}, Y: 1},
+		{X: []float64{0, 100, 0.018}, Y: 50},
+		{X: []float64{50, 0, 0.018}, Y: 5},
+		{X: []float64{50, 100, 0.018}, Y: 70},
+	}
+	tree, err := approx.FitTree(samples, approx.TreeConfig{MaxDepth: 4, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt, err := NewTreeJTilde(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := jt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTreeJTilde(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range [][3]float64{{0, 0, 0.018}, {50, 100, 0.018}, {25, 50, 0.018}} {
+		a, err := jt.Predict(probe[0], probe[1], probe[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Predict(probe[0], probe[1], probe[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("probe %v diverged: %v vs %v", probe, a, b)
+		}
+	}
+}
+
+func TestReadGMapGarbage(t *testing.T) {
+	if _, err := ReadGMap(strings.NewReader("junk")); err == nil {
+		t.Error("garbage gmap: want error")
+	}
+	if _, err := ReadTreeJTilde(strings.NewReader("junk")); err == nil {
+		t.Error("garbage tree: want error")
+	}
+}

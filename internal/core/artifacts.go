@@ -1,0 +1,93 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hierctl/internal/controller"
+)
+
+// Artifact cache: offline learning results are keyed by a fingerprint of
+// everything that shaped them (hardware + learning configuration), so a
+// stale or foreign artifact can never be loaded for the wrong setup —
+// a changed configuration simply hashes to a different file name.
+
+func artifactName(kind, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return kind + "-" + hex.EncodeToString(sum[:8]) + ".gob"
+}
+
+// loadOrLearnGMap returns a cached abstraction map when ArtifactDir holds
+// one for this configuration, otherwise learns and caches it.
+func loadOrLearnGMap(cfg Config, hardware string, learn func() (*controller.GMap, error)) (*controller.GMap, error) {
+	if cfg.ArtifactDir == "" {
+		return learn()
+	}
+	key := fmt.Sprintf("%+v|%+v|%s", cfg.L0, cfg.GMap, hardware)
+	path := filepath.Join(cfg.ArtifactDir, artifactName("gmap", key))
+	if f, err := os.Open(path); err == nil {
+		g, err := controller.ReadGMap(f)
+		closeErr := f.Close()
+		if err == nil && closeErr == nil {
+			return g, nil
+		}
+		// Unreadable artifact: fall through to relearn and overwrite.
+	}
+	g, err := learn()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeArtifact(path, g.Save); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// loadOrLearnTree is loadOrLearnGMap for module cost trees.
+func loadOrLearnTree(cfg Config, module string, learn func() (*controller.TreeJTilde, error)) (*controller.TreeJTilde, error) {
+	if cfg.ArtifactDir == "" {
+		return learn()
+	}
+	key := fmt.Sprintf("%+v|%+v|%+v|%+v|%s", cfg.L0, cfg.L1, cfg.GMap, cfg.ModuleSim, module)
+	path := filepath.Join(cfg.ArtifactDir, artifactName("jtree", key))
+	if f, err := os.Open(path); err == nil {
+		jt, err := controller.ReadTreeJTilde(f)
+		closeErr := f.Close()
+		if err == nil && closeErr == nil {
+			return jt, nil
+		}
+	}
+	jt, err := learn()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeArtifact(path, jt.Save); err != nil {
+		return nil, err
+	}
+	return jt, nil
+}
+
+// writeArtifact writes via a temp file and rename so a crashed run never
+// leaves a truncated artifact behind.
+func writeArtifact(path string, write func(w io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: create artifact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: write artifact %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: close artifact %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: commit artifact %s: %w", path, err)
+	}
+	return nil
+}

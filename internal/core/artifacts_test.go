@@ -1,0 +1,127 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hierctl/internal/cluster"
+)
+
+func TestArtifactCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastConfig()
+	cfg.ArtifactDir = dir
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{
+		moduleOf("M1", 2), moduleOf("M2", 2),
+	}}
+
+	// First manager learns and saves.
+	m1, err := NewManager(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One distinct hardware (all testComputers identical) + one module
+	// composition.
+	var gmaps, trees int
+	for _, e := range entries {
+		switch {
+		case filepath.Ext(e.Name()) != ".gob":
+			t.Errorf("unexpected file %s", e.Name())
+		case e.Name()[:4] == "gmap":
+			gmaps++
+		case e.Name()[:5] == "jtree":
+			trees++
+		}
+	}
+	if gmaps != 1 || trees != 1 {
+		t.Fatalf("artifacts = %d gmaps, %d trees; want 1 and 1", gmaps, trees)
+	}
+
+	// Second manager loads; behaviour must be identical.
+	m2, err := NewManager(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := steadyTrace(16, 600)
+	r1, err := m1.Run(trace, testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m2.Run(trace, testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Completed != r2.Completed || r1.Energy != r2.Energy || r1.Switches != r2.Switches {
+		t.Errorf("loaded artifacts changed behaviour: (%d, %v, %d) vs (%d, %v, %d)",
+			r1.Completed, r1.Energy, r1.Switches, r2.Completed, r2.Energy, r2.Switches)
+	}
+}
+
+func TestArtifactCacheKeyedByConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastConfig()
+	cfg.ArtifactDir = dir
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 2)}}
+	if _, err := NewManager(spec, cfg); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different learning grid must produce a different artifact, not
+	// reuse the old one.
+	cfg2 := cfg
+	cfg2.GMap.QStep = 50
+	if _, err := NewManager(spec, cfg2); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) <= len(before) {
+		t.Errorf("changed config reused artifacts: %d files before, %d after", len(before), len(after))
+	}
+}
+
+func TestArtifactCorruptFallsBackToLearning(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastConfig()
+	cfg.ArtifactDir = dir
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 2)}}
+	if _, err := NewManager(spec, cfg); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupted artifacts are relearned, not fatal.
+	mgr, err := NewManager(spec, cfg)
+	if err != nil {
+		t.Fatalf("corrupt artifacts should be relearned: %v", err)
+	}
+	if mgr == nil {
+		t.Fatal("nil manager")
+	}
+}
+
+func TestArtifactDirMissingErrors(t *testing.T) {
+	cfg := fastConfig()
+	cfg.ArtifactDir = filepath.Join(t.TempDir(), "does-not-exist")
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 2)}}
+	if _, err := NewManager(spec, cfg); err == nil {
+		t.Error("missing artifact dir: want error")
+	}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/controller"
+	"hierctl/internal/forecast"
+)
+
+// Config bundles the hierarchy's tunables. Use DefaultConfig for the
+// paper's settings.
+type Config struct {
+	// L0, L1 and L2 configure the three controller levels.
+	L0 controller.L0Config
+	L1 controller.L1Config
+	L2 controller.L2Config
+	// GMap configures the offline learning grid for the abstraction
+	// maps g, and ModuleSim the grid for the L2 regression trees.
+	GMap      controller.GMapConfig
+	ModuleSim controller.ModuleSimConfig
+	// Seed drives every random stream of the run (dispatching, request
+	// generation noise); runs are reproducible per seed.
+	Seed int64
+	// DefaultCHat is the processing-time prior used until the EWMA
+	// filter has observations (seconds).
+	DefaultCHat float64
+	// CHatSmoothing is the EWMA constant π (paper: 0.1).
+	CHatSmoothing float64
+	// BandSmoothing is the uncertainty-band EWMA constant.
+	BandSmoothing float64
+	// TunePrefixFrac is the fraction of the trace used to tune the
+	// Kalman filters before the run (§4.3).
+	TunePrefixFrac float64
+	// DrainSeconds extends the simulation past the trace end so
+	// in-flight requests complete into the aggregate statistics.
+	DrainSeconds float64
+	// RecordFrequencies enables the per-computer frequency series
+	// (Fig. 5); large clusters may disable it to save memory.
+	RecordFrequencies bool
+	// ArtifactDir, when non-empty, caches the offline learning results
+	// (abstraction maps g, module trees J̃) as files keyed by
+	// configuration fingerprint: a second manager with the same
+	// hardware and learning configuration loads them instead of
+	// relearning. The directory must exist and be writable; artifacts
+	// that fail to load are relearned and overwritten.
+	ArtifactDir string
+	// OracleForecast replaces the Kalman arrival forecasts with the
+	// true future trace counts (scaled by each module's current share).
+	// This is not a realizable controller — it measures the value of
+	// perfect information, bounding how much of the remaining QoS gap
+	// is attributable to forecast error (EXT2 ablation).
+	OracleForecast bool
+}
+
+// DefaultConfig returns the paper's parameter set (§4.3, §5.2).
+func DefaultConfig() Config {
+	return Config{
+		L0:                controller.DefaultL0Config(),
+		L1:                controller.DefaultL1Config(),
+		L2:                controller.DefaultL2Config(),
+		GMap:              controller.DefaultGMapConfig(),
+		ModuleSim:         controller.DefaultModuleSimConfig(),
+		Seed:              1,
+		DefaultCHat:       0.0175,
+		CHatSmoothing:     0.1,
+		BandSmoothing:     0.25,
+		TunePrefixFrac:    0.15,
+		DrainSeconds:      300,
+		RecordFrequencies: true,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.L0.Validate(); err != nil {
+		return err
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if err := c.GMap.Validate(); err != nil {
+		return err
+	}
+	if err := c.ModuleSim.Validate(); err != nil {
+		return err
+	}
+	if c.DefaultCHat <= 0 {
+		return fmt.Errorf("core: default c-hat %v <= 0", c.DefaultCHat)
+	}
+	if c.CHatSmoothing <= 0 || c.CHatSmoothing > 1 {
+		return fmt.Errorf("core: c-hat smoothing %v outside (0, 1]", c.CHatSmoothing)
+	}
+	if c.BandSmoothing <= 0 || c.BandSmoothing > 1 {
+		return fmt.Errorf("core: band smoothing %v outside (0, 1]", c.BandSmoothing)
+	}
+	if c.TunePrefixFrac < 0 || c.TunePrefixFrac > 0.9 {
+		return fmt.Errorf("core: tune prefix fraction %v outside [0, 0.9]", c.TunePrefixFrac)
+	}
+	if c.DrainSeconds < 0 {
+		return fmt.Errorf("core: drain seconds %v < 0", c.DrainSeconds)
+	}
+	if c.L1.PeriodSeconds < c.L0.PeriodSeconds ||
+		modRem(c.L1.PeriodSeconds, c.L0.PeriodSeconds) != 0 {
+		return fmt.Errorf("core: T_L1 %v must be a multiple of T_L0 %v", c.L1.PeriodSeconds, c.L0.PeriodSeconds)
+	}
+	if c.L2.PeriodSeconds < c.L1.PeriodSeconds ||
+		modRem(c.L2.PeriodSeconds, c.L1.PeriodSeconds) != 0 {
+		return fmt.Errorf("core: T_L2 %v must be a multiple of T_L1 %v", c.L2.PeriodSeconds, c.L1.PeriodSeconds)
+	}
+	return nil
+}
+
+func modRem(a, b float64) float64 {
+	n := int(a/b + 0.5)
+	r := a - float64(n)*b
+	if r < 1e-9 && r > -1e-9 {
+		return 0
+	}
+	return r
+}
+
+// moduleAsm bundles one module's controllers and estimators.
+type moduleAsm struct {
+	specs []cluster.ComputerSpec
+	gmaps []*controller.GMap
+	l1    *controller.L1
+	l0s   []*controller.L0
+
+	kalman0 *forecast.Kalman // module arrivals per T_L0 bin
+	kalman1 *forecast.Kalman // module arrivals per T_L1 bin
+	band    *forecast.Band   // δ at T_L1 granularity
+	band0   *forecast.Band   // δ at T_L0 granularity (L0 burst hedging)
+	cEst    *forecast.EWMA
+
+	alpha []bool
+	gamma []float64
+
+	lastPer []cluster.IntervalStats
+	lastAgg cluster.IntervalStats
+
+	arrivedTL1   int
+	predictedTL1 float64
+	hasPredicted bool
+
+	// pendingRatio rescales the module's own arrival forecast right
+	// after the L2 reallocates fractions: the module filter has only
+	// seen arrivals under the old γ_i, but λ_i = γ_i·λ_g (Fig. 2b), so
+	// the known new share adjusts the forecast until the filter catches
+	// up. 1 means no pending reallocation.
+	pendingRatio float64
+	// l0Ratio carries the same correction down to the L0 frequency
+	// controllers for the remainder of the L1 period, since their
+	// per-T_L0 filter lags reallocations just the same.
+	l0Ratio float64
+}
+
+// Manager owns one experiment: the plant, the controller hierarchy, the
+// estimators, and the learned approximations. Construct with NewManager,
+// then call Run.
+type Manager struct {
+	cfg     Config
+	spec    cluster.Spec
+	modules []*moduleAsm
+	l2      *controller.L2
+	kalmanG *forecast.Kalman // cluster arrivals per T_L2 bin
+	bandG   *forecast.Band   // δ at T_L2 granularity
+
+	learnTime time.Duration
+
+	failures []failureEvent
+}
+
+type failureEvent struct {
+	at       float64
+	module   int
+	comp     int
+	isRepair bool
+}
+
+// NewManager builds the hierarchy for the given cluster: it learns the
+// abstraction map g for every distinct computer hardware (§4.2) and, when
+// the cluster has more than one module, the regression-tree J̃ for every
+// distinct module composition (§5.1). Learning results are shared across
+// identical hardware, which is what keeps the approach scalable.
+func NewManager(spec cluster.Spec, cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Manager{cfg: cfg, spec: spec}
+	learnStart := time.Now()
+
+	gmapCache := map[string]*controller.GMap{}
+	for _, ms := range spec.Modules {
+		asm := &moduleAsm{}
+		for _, cs := range ms.Computers {
+			key := hardwareKey(cs)
+			g, ok := gmapCache[key]
+			if !ok {
+				cs := cs
+				var err error
+				g, err = loadOrLearnGMap(cfg, key, func() (*controller.GMap, error) {
+					return controller.LearnGMap(cfg.L0, cs, cfg.GMap)
+				})
+				if err != nil {
+					return nil, fmt.Errorf("core: learning g for %s: %w", cs.Name, err)
+				}
+				gmapCache[key] = g
+			}
+			asm.specs = append(asm.specs, cs)
+			asm.gmaps = append(asm.gmaps, g)
+		}
+		l1, err := controller.NewL1(cfg.L1, asm.gmaps)
+		if err != nil {
+			return nil, err
+		}
+		asm.l1 = l1
+		for _, cs := range ms.Computers {
+			l0, err := controller.NewL0(cfg.L0, cs)
+			if err != nil {
+				return nil, err
+			}
+			asm.l0s = append(asm.l0s, l0)
+		}
+		asm.cEst, err = forecast.NewEWMA(cfg.CHatSmoothing)
+		if err != nil {
+			return nil, err
+		}
+		asm.band, err = forecast.NewBand(cfg.BandSmoothing)
+		if err != nil {
+			return nil, err
+		}
+		asm.band0, err = forecast.NewBand(cfg.BandSmoothing)
+		if err != nil {
+			return nil, err
+		}
+		asm.alpha = make([]bool, len(ms.Computers))
+		asm.gamma = make([]float64, len(ms.Computers))
+		m.modules = append(m.modules, asm)
+	}
+
+	if len(spec.Modules) > 1 {
+		treeCache := map[string]controller.JTilde{}
+		jtildes := make([]controller.JTilde, len(spec.Modules))
+		for i, asm := range m.modules {
+			key := moduleKey(spec.Modules[i])
+			jt, ok := treeCache[key]
+			if !ok {
+				asm := asm
+				var err error
+				jt, err = loadOrLearnTree(cfg, key, func() (*controller.TreeJTilde, error) {
+					return controller.LearnModuleTree(cfg.L0, cfg.L1, asm.gmaps, cfg.ModuleSim)
+				})
+				if err != nil {
+					return nil, fmt.Errorf("core: learning J̃ for module %s: %w", spec.Modules[i].Name, err)
+				}
+				treeCache[key] = jt
+			}
+			jtildes[i] = jt
+		}
+		l2, err := controller.NewL2(cfg.L2, jtildes)
+		if err != nil {
+			return nil, err
+		}
+		m.l2 = l2
+	}
+	m.learnTime = time.Since(learnStart)
+	return m, nil
+}
+
+// hardwareKey fingerprints the control-relevant hardware of a computer
+// (everything except its name).
+func hardwareKey(cs cluster.ComputerSpec) string {
+	return fmt.Sprintf("%v|%v|%v|%v", cs.FrequenciesHz, cs.SpeedFactor, cs.Power, cs.BootDelaySeconds)
+}
+
+// moduleKey fingerprints a module's composition.
+func moduleKey(ms cluster.ModuleSpec) string {
+	key := ""
+	for _, cs := range ms.Computers {
+		key += hardwareKey(cs) + ";"
+	}
+	return key
+}
+
+// Spec returns the cluster specification.
+func (m *Manager) Spec() cluster.Spec { return m.spec }
+
+// LearnTime returns the offline learning duration.
+func (m *Manager) LearnTime() time.Duration { return m.learnTime }
+
+// InjectFailure schedules computer comp of module mod to fail at the given
+// simulation time (quantized to the next T_L0 boundary). Call before Run.
+func (m *Manager) InjectFailure(at float64, mod, comp int) {
+	m.failures = append(m.failures, failureEvent{at: at, module: mod, comp: comp})
+}
+
+// InjectRepair schedules a repair (the computer returns to the Off state
+// and may be powered on again by the hierarchy).
+func (m *Manager) InjectRepair(at float64, mod, comp int) {
+	m.failures = append(m.failures, failureEvent{at: at, module: mod, comp: comp, isRepair: true})
+}
+
+// maxBootDelay returns the longest boot delay in the cluster — the
+// pre-roll the run uses to start from a warm, all-on configuration.
+func (m *Manager) maxBootDelay() float64 {
+	max := 0.0
+	for _, ms := range m.spec.Modules {
+		for _, cs := range ms.Computers {
+			if cs.BootDelaySeconds > max {
+				max = cs.BootDelaySeconds
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"hierctl/internal/cluster"
+)
+
+// TestMultiRateCadences exercises §3's "controllers at various levels of
+// the hierarchy can operate at different time scales": T_L2 = 2·T_L1.
+func TestMultiRateCadences(t *testing.T) {
+	cfg := fastConfig()
+	cfg.L2.PeriodSeconds = 240 // T_L1 = 120, T_L2 = 240
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{
+		moduleOf("M1", 2), moduleOf("M2", 2),
+	}}
+	mgr, err := NewManager(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := steadyTrace(32, 900) // 32 T_L0 steps = 8 T_L1 = 4 T_L2
+	rec, err := mgr.Run(trace, testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.L1Decisions != 8*2 { // per module
+		t.Errorf("L1 decisions = %d, want 16", rec.L1Decisions)
+	}
+	if rec.L2Decisions != 4 {
+		t.Errorf("L2 decisions = %d, want 4", rec.L2Decisions)
+	}
+	if got := rec.GammaModules[0].Len(); got != 4 {
+		t.Errorf("γ samples = %d, want 4", got)
+	}
+	if rec.GammaModules[0].Step != 240 {
+		t.Errorf("γ series step = %v, want 240", rec.GammaModules[0].Step)
+	}
+}
+
+// TestMisalignedL2Rejected verifies T_L2 must be a multiple of T_L1.
+func TestMisalignedL2Rejected(t *testing.T) {
+	cfg := fastConfig()
+	cfg.L2.PeriodSeconds = 180 // not a multiple of 120
+	if err := cfg.Validate(); err == nil {
+		t.Error("T_L2 = 1.5 T_L1: want error")
+	}
+}
+
+// TestRecordFrequenciesDisabled covers the memory-saving path for large
+// clusters.
+func TestRecordFrequenciesDisabled(t *testing.T) {
+	cfg := fastConfig()
+	cfg.RecordFrequencies = false
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 2)}}
+	mgr, err := NewManager(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := mgr.Run(steadyTrace(16, 300), testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.FreqByComputer) != 0 {
+		t.Errorf("frequency series recorded despite being disabled: %d", len(rec.FreqByComputer))
+	}
+	if rec.Completed == 0 {
+		t.Error("run did not complete requests")
+	}
+}
+
+// TestAllComputersFailedModule drives one module to total failure and
+// verifies the hierarchy routes around it.
+func TestAllComputersFailedModule(t *testing.T) {
+	cfg := fastConfig()
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{
+		moduleOf("M1", 2), moduleOf("M2", 2),
+	}}
+	mgr, err := NewManager(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.InjectFailure(300, 0, 0)
+	mgr.InjectFailure(300, 0, 1) // module 0 fully dead
+	trace := steadyTrace(40, 900)
+	rec, err := mgr.Run(trace, testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(trace.Sum())
+	if rec.Completed+rec.Dropped < total*95/100 {
+		t.Errorf("completed+dropped %d of %d", rec.Completed+rec.Dropped, total)
+	}
+	// Module 2 must have carried the load after the failure: its share
+	// of completions dominates.
+	if rec.Completed < total/2 {
+		t.Errorf("completed %d of %d — surviving module did not absorb load", rec.Completed, total)
+	}
+}
+
+// TestOracleForecastImprovesOrMatchesQoS checks the value-of-perfect-
+// information ablation: with the true future arrivals instead of Kalman
+// forecasts, the controller's violation fraction must not get worse on a
+// volatile load.
+func TestOracleForecastImprovesOrMatchesQoS(t *testing.T) {
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 4)}}
+	// A volatile step load where forecasting genuinely matters.
+	trace := steadyTrace(60, 300)
+	for i := range trace.Values {
+		if (i/5)%2 == 1 {
+			trace.Values[i] = 2400
+		}
+	}
+	runWith := func(oracle bool) *Record {
+		cfg := fastConfig()
+		cfg.OracleForecast = oracle
+		mgr, err := NewManager(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := mgr.Run(trace, testStore(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	kalman := runWith(false)
+	oracle := runWith(true)
+	if oracle.ViolationFrac > kalman.ViolationFrac+0.02 {
+		t.Errorf("oracle violations %v worse than kalman %v", oracle.ViolationFrac, kalman.ViolationFrac)
+	}
+	if oracle.Completed != kalman.Completed {
+		t.Errorf("completed differ: %d vs %d", oracle.Completed, kalman.Completed)
+	}
+}
+
+// TestMidDayTraceSlice guards the arrival-rebasing fix: a trace sliced
+// from the middle of a day (non-zero Start) must still be served — the
+// request arrival times are rebased onto the simulation clock.
+func TestMidDayTraceSlice(t *testing.T) {
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 2)}}
+	mgr, err := NewManager(spec, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := steadyTrace(100, 600)
+	slice := full.Slice(50, 80) // Start = 1500 s
+	if slice.Start == 0 {
+		t.Fatal("test premise broken: slice should not start at 0")
+	}
+	rec, err := mgr.Run(slice, testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(slice.Sum())
+	if rec.Completed != total {
+		t.Errorf("completed %d of %d from mid-day slice", rec.Completed, total)
+	}
+	if rec.MeanResponse() <= 0 {
+		t.Error("no responses recorded from mid-day slice")
+	}
+}
+
+// TestLongDrainCompletesBacklog checks the drain tail finishes in-flight
+// work after the trace ends.
+func TestLongDrainCompletesBacklog(t *testing.T) {
+	cfg := fastConfig()
+	cfg.DrainSeconds = 600
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 2)}}
+	mgr, err := NewManager(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy final bins leave a backlog at trace end.
+	trace := steadyTrace(16, 600)
+	for i := 12; i < 16; i++ {
+		trace.Values[i] = 3000
+	}
+	rec, err := mgr.Run(trace, testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(trace.Sum())
+	if rec.Completed != total {
+		t.Errorf("completed %d of %d after drain", rec.Completed, total)
+	}
+}

@@ -1,0 +1,83 @@
+// Package core composes the paper's full system (Fig. 2): the plant from
+// internal/cluster, the L0/L1/L2 controllers from internal/controller, the
+// Kalman/EWMA estimators from internal/forecast, and the offline learning
+// of abstraction maps and regression trees from internal/approx — all
+// driven by the discrete-event kernel in internal/des on the multi-rate
+// schedule T_L0 ≤ T_L1 ≤ T_L2.
+package core
+
+import (
+	"time"
+
+	"hierctl/internal/metrics"
+	"hierctl/internal/series"
+)
+
+// Record holds everything a run captures for the paper's figures and
+// tables. Series are sampled at the cadence noted on each field.
+type Record struct {
+	// Trace is the offered load in requests per trace bin.
+	Trace *series.Series
+	// PredictedL1 is the sum over modules of the L1-level Kalman
+	// one-step forecasts, per T_L1 bin (Fig. 4 top), aligned with
+	// ActualL1, the realized arrivals.
+	PredictedL1 *series.Series
+	ActualL1    *series.Series
+	// Operational is the number of operational computers per T_L1 bin
+	// (Figs. 4 and 6 bottom).
+	Operational *series.Series
+	// ResponseMean is the cluster mean response time of requests
+	// completed in each T_L0 bin (Fig. 5 bottom), 0 for empty bins.
+	ResponseMean *series.Series
+	// FreqByComputer maps computer name to its operating frequency in
+	// Hz per T_L0 bin (Fig. 5 top).
+	FreqByComputer map[string]*series.Series
+	// GammaModules[i] is module i's load fraction per T_L2 bin (Fig. 7).
+	GammaModules []*series.Series
+
+	// Aggregates.
+	Energy        float64 // total energy, abstract units
+	Switches      int     // power-on count
+	Completed     int64   // requests completed
+	Dropped       int64   // requests lost to failures
+	Misroutes     int64   // dispatcher fallbacks
+	ResponseStats metrics.Welford
+	// ResponseP50/P95/P99 are per-request latency percentiles over the
+	// whole run (log-bucketed histogram, ≤ 15% relative error);
+	// ResponseMax is exact.
+	ResponseP50, ResponseP95, ResponseP99, ResponseMax float64
+	ViolationFrac                                      float64 // fraction of T_L0 bins violating r*
+	TargetResponse                                     float64
+
+	// Overhead (per level, summed over the run).
+	L0Explored, L1Explored, L2Explored    int
+	L0Decisions, L1Decisions, L2Decisions int
+	L0Time, L1Time, L2Time                time.Duration
+	// LearnTime is the offline phase (maps g + trees J̃).
+	LearnTime time.Duration
+}
+
+// MeanResponse returns the run's mean response time over completed
+// requests.
+func (r *Record) MeanResponse() float64 { return r.ResponseStats.Mean() }
+
+// ExploredPerL1Decision returns the paper's §4.3 overhead metric: average
+// states examined per L1 sampling period (including the L0 searches that
+// ran within that module in the same period).
+func (r *Record) ExploredPerL1Decision() float64 {
+	if r.L1Decisions == 0 {
+		return 0
+	}
+	return float64(r.L1Explored) / float64(r.L1Decisions)
+}
+
+// DecisionTimePerPeriod returns the mean online computation time spent per
+// L1 period across the whole hierarchy (the §4.3/§5.2 execution-time
+// metric).
+func (r *Record) DecisionTimePerPeriod() time.Duration {
+	if r.L1Decisions == 0 {
+		return 0
+	}
+	total := r.L0Time + r.L1Time + r.L2Time
+	return total / time.Duration(r.L1Decisions)
+}

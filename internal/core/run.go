@@ -1,0 +1,708 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/controller"
+	"hierctl/internal/des"
+	"hierctl/internal/forecast"
+	"hierctl/internal/series"
+	"hierctl/internal/workload"
+)
+
+// Run simulates the hierarchy against the plant for the whole trace and
+// returns the recorded results. The trace's bin width must be an integer
+// multiple of T_L0. The run is deterministic for a given (spec, config,
+// trace, store) tuple.
+func (m *Manager) Run(trace *series.Series, store *workload.Store) (*Record, error) {
+	if trace == nil || trace.Len() == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	if store == nil {
+		return nil, fmt.Errorf("core: nil store")
+	}
+	tl0 := m.cfg.L0.PeriodSeconds
+	sub := int(trace.Step/tl0 + 0.5)
+	if sub < 1 || math.Abs(float64(sub)*tl0-trace.Step) > 1e-6 {
+		return nil, fmt.Errorf("core: trace bin %vs is not a multiple of T_L0 %vs", trace.Step, tl0)
+	}
+	r := &run{
+		m:       m,
+		trace:   trace,
+		sub:     sub,
+		tl0:     tl0,
+		l1Every: int(m.cfg.L1.PeriodSeconds/tl0 + 0.5),
+		l2Every: int(m.cfg.L2.PeriodSeconds/tl0 + 0.5),
+	}
+	if err := r.prepare(store); err != nil {
+		return nil, err
+	}
+	if err := r.execute(); err != nil {
+		return nil, err
+	}
+	return r.finish()
+}
+
+// run carries the state of one simulation.
+type run struct {
+	m                *Manager
+	trace            *series.Series
+	sub              int // T_L0 bins per trace bin
+	tl0              float64
+	l1Every, l2Every int
+
+	plant   *cluster.Plant
+	gen     *workload.Generator
+	preroll float64
+	steps   int
+
+	rec *Record
+
+	// pending holds request batches awaiting dispatch, one per T_L0 step.
+	pending [][]workload.Request
+
+	gammaModules []float64
+	// lambdaGRate is the cluster arrival-rate forecast at the last L2
+	// boundary (requests/second), used as a floor for module forecasts
+	// right after reallocations.
+	lambdaGRate float64
+	// predActual collects (predicted, actual) L1-level arrival pairs,
+	// one per module per T_L1 boundary, for the Fig. 4 series.
+	predActual [][2]float64
+
+	arrivedTL2   int
+	violations   int
+	responseBins int
+}
+
+// prepare builds the plant, tunes the Kalman filters on the trace prefix,
+// and pre-rolls the boot so the trace starts against a warm cluster.
+func (r *run) prepare(store *workload.Store) error {
+	m := r.m
+	plant, err := cluster.NewPlant(m.spec, des.RNG(m.cfg.Seed, "dispatch"))
+	if err != nil {
+		return err
+	}
+	r.plant = plant
+	r.gen, err = workload.NewGenerator(r.trace, store, des.RNG(m.cfg.Seed, "workload"))
+	if err != nil {
+		return err
+	}
+
+	// Tune Kalman noise parameters on the trace prefix (§4.3). The same
+	// tuned parameters serve all levels: the filter gain depends on the
+	// Q/R ratios, which are scale-invariant across aggregation levels.
+	prefixBins := int(float64(r.trace.Len()) * m.cfg.TunePrefixFrac)
+	ql, qt, ro := 1.0, 0.1, 10.0 // fallback prior
+	if prefixBins >= 8 {
+		tuned, _, err := forecast.TuneKalman(r.trace.Values[:prefixBins])
+		if err != nil {
+			return err
+		}
+		ql, qt, ro = tuned.Params()
+	}
+	newKalman := func() (*forecast.Kalman, error) { return forecast.NewKalman(ql, qt, ro) }
+	for _, asm := range m.modules {
+		if asm.kalman0, err = newKalman(); err != nil {
+			return err
+		}
+		if asm.kalman1, err = newKalman(); err != nil {
+			return err
+		}
+		asm.lastPer = make([]cluster.IntervalStats, len(asm.specs))
+		asm.lastAgg = cluster.IntervalStats{}
+		asm.arrivedTL1 = 0
+		asm.hasPredicted = false
+		asm.pendingRatio = 1
+		asm.l0Ratio = 1
+	}
+	if m.kalmanG, err = newKalman(); err != nil {
+		return err
+	}
+	if m.bandG, err = forecast.NewBand(m.cfg.BandSmoothing); err != nil {
+		return err
+	}
+
+	// Pre-roll: boot every computer at t = 0 at full frequency; the
+	// controllers scale down immediately if the load does not justify it.
+	r.preroll = m.maxBootDelay()
+	for i, asm := range m.modules {
+		allOn := make([]bool, len(asm.specs))
+		for j := range asm.specs {
+			if err := plant.PowerOn(i, j); err != nil {
+				return err
+			}
+			if err := plant.SetFrequency(i, j, len(asm.specs[j].FrequenciesHz)-1); err != nil {
+				return err
+			}
+			allOn[j] = true
+		}
+		gamma, err := controller.SnapSimplex(capacities(asm.specs), allOn, m.cfg.L1.Quantum)
+		if err != nil {
+			return err
+		}
+		asm.alpha = allOn
+		asm.gamma = gamma
+		if err := asm.l1.SetState(allOn, gamma); err != nil {
+			return err
+		}
+	}
+	if r.preroll > 0 {
+		if err := plant.Advance(r.preroll); err != nil {
+			return err
+		}
+		for i := range m.modules {
+			// Discard boot-interval stats.
+			if _, _, err := plant.ModuleIntervalStats(i); err != nil {
+				return err
+			}
+		}
+	}
+
+	r.steps = r.trace.Len() * r.sub
+	r.rec = &Record{
+		Trace:          r.trace,
+		PredictedL1:    series.New(r.preroll+m.cfg.L1.PeriodSeconds, m.cfg.L1.PeriodSeconds, 0),
+		ActualL1:       series.New(r.preroll+m.cfg.L1.PeriodSeconds, m.cfg.L1.PeriodSeconds, 0),
+		Operational:    series.New(r.preroll, m.cfg.L1.PeriodSeconds, 0),
+		ResponseMean:   series.New(r.preroll, r.tl0, 0),
+		FreqByComputer: map[string]*series.Series{},
+		TargetResponse: m.cfg.L0.TargetResponse,
+		LearnTime:      m.learnTime,
+	}
+	if m.l2 != nil {
+		r.rec.GammaModules = make([]*series.Series, len(m.modules))
+		for i := range r.rec.GammaModules {
+			r.rec.GammaModules[i] = series.New(r.preroll, m.cfg.L2.PeriodSeconds, 0)
+		}
+	}
+	if m.cfg.RecordFrequencies {
+		for _, ms := range m.spec.Modules {
+			for _, cs := range ms.Computers {
+				r.rec.FreqByComputer[cs.Name] = series.New(r.preroll, r.tl0, 0)
+			}
+		}
+	}
+	r.pending = make([][]workload.Request, r.steps)
+	return nil
+}
+
+// capacities returns relative capacity weights used for seed allocations.
+func capacities(specs []cluster.ComputerSpec) []float64 {
+	out := make([]float64, len(specs))
+	for j, s := range specs {
+		out[j] = s.SpeedFactor
+	}
+	return out
+}
+
+// execute schedules the per-step control events and failure injections on
+// the DES kernel and runs it to the end of the trace plus the drain tail.
+func (r *run) execute() error {
+	sim := des.New()
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		sim.Stop()
+	}
+
+	// Failure injections are quantized to T_L0 boundaries and scheduled
+	// ahead of the step handler at the same instant (insertion order
+	// breaks the tie).
+	for _, f := range r.m.failures {
+		f := f
+		stepIdx := int(math.Ceil(f.at / r.tl0))
+		at := r.preroll + float64(stepIdx)*r.tl0
+		if _, err := sim.Schedule(at, func(*des.Simulator) {
+			var err error
+			if f.isRepair {
+				err = r.plant.Repair(f.module, f.comp)
+			} else {
+				err = r.plant.Fail(f.module, f.comp)
+			}
+			if err != nil {
+				fail(err)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+
+	for k := 0; k < r.steps; k++ {
+		k := k
+		at := r.preroll + float64(k)*r.tl0
+		if _, err := sim.Schedule(at, func(*des.Simulator) {
+			if err := r.step(k); err != nil {
+				fail(err)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	end := r.preroll + float64(r.steps)*r.tl0
+	sim.Run(end + 1)
+	if firstErr != nil {
+		return firstErr
+	}
+	// Drain tail: let in-flight work complete into the aggregates.
+	return r.plant.Advance(end + r.m.cfg.DrainSeconds)
+}
+
+// step runs one T_L0 control period starting at step index k.
+func (r *run) step(k int) error {
+	m := r.m
+	t := r.preroll + float64(k)*r.tl0
+
+	// (1) Pull the next trace bin into per-step batches when due.
+	if k%r.sub == 0 {
+		if err := r.pullBin(k); err != nil {
+			return err
+		}
+	}
+
+	// (2) L2: redistribute load across modules.
+	if m.l2 != nil && k%r.l2Every == 0 {
+		if err := r.decideL2(k); err != nil {
+			return err
+		}
+	}
+
+	// (3) L1 per module: operating states and within-module fractions.
+	if k%r.l1Every == 0 {
+		for i := range m.modules {
+			if err := r.decideL1(i, k); err != nil {
+				return err
+			}
+		}
+		r.rec.Operational.Values = append(r.rec.Operational.Values, float64(r.plant.OperationalComputers()))
+	}
+
+	// (4) L0 per computer: frequency for the next period.
+	for i, asm := range m.modules {
+		if err := r.decideL0(i, asm, k); err != nil {
+			return err
+		}
+	}
+
+	// (5) Dispatch this step's arrivals under the current fractions.
+	if err := r.dispatch(k); err != nil {
+		return err
+	}
+
+	// (6) Advance the plant through the period and harvest observations.
+	if err := r.plant.Advance(t + r.tl0); err != nil {
+		return err
+	}
+	return r.observe()
+}
+
+// pullBin generates the requests of the current trace bin and splits them
+// into per-T_L0-step batches (arrival times are shifted by the pre-roll).
+func (r *run) pullBin(k int) error {
+	bin, reqs, ok := r.gen.NextBin()
+	if !ok {
+		return fmt.Errorf("core: trace exhausted at step %d", k)
+	}
+	binStart := r.trace.TimeAt(bin)
+	for _, req := range reqs {
+		offset := req.Arrival - binStart
+		idx := k + int(offset/r.tl0)
+		if idx >= r.steps {
+			idx = r.steps - 1
+		}
+		// Rebase onto the simulation clock: trace time zero is the end
+		// of the pre-roll (traces sliced mid-day have non-zero Start).
+		req.Arrival += r.preroll - r.trace.Start
+		r.pending[idx] = append(r.pending[idx], req)
+	}
+	return nil
+}
+
+// decideL2 runs the cluster-level controller and stores its fractions.
+func (r *run) decideL2(k int) error {
+	m := r.m
+	// Fold the completed T_L2 interval into the cluster filter and band.
+	if k > 0 {
+		prior := m.kalmanG.Observe(float64(r.arrivedTL2))
+		if m.kalmanG.Steps() > 1 {
+			m.bandG.Observe(prior, float64(r.arrivedTL2))
+		}
+		r.arrivedTL2 = 0
+	}
+	lambdaG := math.Max(0, m.kalmanG.Forecast(1))
+	deltaG := m.bandG.Delta()
+	if m.cfg.OracleForecast {
+		mean, peak := r.futureProfile(k, r.l2Every)
+		lambdaG = mean * float64(r.l2Every)
+		deltaG = (peak - mean) * float64(r.l2Every)
+	}
+	obs := controller.L2Observation{
+		QAvg:      make([]float64, len(m.modules)),
+		LambdaHat: lambdaG / m.cfg.L2.PeriodSeconds,
+		Delta:     deltaG / m.cfg.L2.PeriodSeconds,
+		CHat:      make([]float64, len(m.modules)),
+		Available: make([]bool, len(m.modules)),
+	}
+	for i, asm := range m.modules {
+		obs.QAvg[i] = float64(asm.lastAgg.QueueLen) / float64(len(asm.specs))
+		obs.CHat[i] = r.cHat(asm)
+		obs.Available[i] = moduleAvailable(r.plant, i)
+	}
+	dec, err := m.l2.Decide(obs)
+	if err != nil {
+		return err
+	}
+	// Propagate the reallocation to the module forecasts: λ_i = γ_i·λ_g,
+	// so a module whose share changed expects arrivals scaled by the
+	// share ratio until its own filter has seen the new regime.
+	for i, asm := range m.modules {
+		ratio := 1.0
+		switch {
+		case r.gammaModules != nil && r.gammaModules[i] > 0.01:
+			ratio = dec.Gamma[i] / r.gammaModules[i]
+		case dec.Gamma[i] > 0:
+			ratio = 5 // from (near) zero share: trust the γ_i·λ_g floor
+		}
+		asm.pendingRatio = math.Min(5, math.Max(0.2, ratio))
+	}
+	r.lambdaGRate = obs.LambdaHat
+	for i := range m.modules {
+		r.rec.GammaModules[i].Values = append(r.rec.GammaModules[i].Values, dec.Gamma[i])
+	}
+	r.gammaModules = dec.Gamma
+	return nil
+}
+
+// decideL1 runs one module's L1 controller and applies the on/off vector
+// to the plant.
+func (r *run) decideL1(i int, k int) error {
+	m := r.m
+	asm := m.modules[i]
+
+	// Fold the completed T_L1 interval into the module filter and band;
+	// asm.predictedTL1 still holds the forecast made at the previous
+	// boundary at this point.
+	if k > 0 {
+		asm.kalman1.Observe(float64(asm.arrivedTL1))
+		if asm.hasPredicted {
+			asm.band.Observe(asm.predictedTL1, float64(asm.arrivedTL1))
+			r.predActual = append(r.predActual, [2]float64{asm.predictedTL1, float64(asm.arrivedTL1)})
+		}
+		asm.arrivedTL1 = 0
+	}
+	asm.predictedTL1 = math.Max(0, asm.kalman1.Forecast(1))
+	var oracleDelta float64
+	if m.cfg.OracleForecast {
+		mean, peak := r.futureProfile(k, r.l1Every)
+		asm.predictedTL1 = r.moduleShare(i) * mean * float64(r.l1Every)
+		// Perfect information includes the within-period profile: hedge
+		// the decision against the true peak sub-period, not a guess.
+		oracleDelta = r.moduleShare(i) * (peak - mean) / r.tl0
+	}
+	asm.hasPredicted = true
+
+	queues := make([]float64, len(asm.specs))
+	avail := make([]bool, len(asm.specs))
+	for j := range asm.specs {
+		queues[j] = float64(asm.lastPer[j].QueueLen)
+		comp, err := r.plant.Computer(i, j)
+		if err != nil {
+			return err
+		}
+		avail[j] = comp.State() != cluster.Failed
+	}
+	own := asm.predictedTL1 / m.cfg.L1.PeriodSeconds
+	lambdaHat := asm.pendingRatio * own
+	if m.l2 != nil && r.gammaModules != nil && !m.cfg.OracleForecast {
+		// λ_i = γ_i·λ_g floor right after a reallocation (Fig. 2b).
+		if floor := r.gammaModules[i] * r.lambdaGRate; floor > lambdaHat {
+			lambdaHat = floor
+		}
+	}
+	if m.cfg.OracleForecast {
+		lambdaHat = own
+	}
+	asm.pendingRatio = 1
+	// Carry the correction down to the L0 filters for this L1 period.
+	asm.l0Ratio = 1
+	if own > 1e-9 {
+		asm.l0Ratio = math.Min(5, math.Max(0.2, lambdaHat/own))
+	}
+	delta := asm.band.Delta() / m.cfg.L1.PeriodSeconds
+	if m.cfg.OracleForecast {
+		delta = oracleDelta
+	}
+	obs := controller.L1Observation{
+		QueueLens: queues,
+		LambdaHat: lambdaHat,
+		Delta:     delta,
+		CHat:      r.cHat(asm),
+		Available: avail,
+	}
+	dec, err := asm.l1.Decide(obs)
+	if err != nil {
+		return err
+	}
+	for j := range asm.specs {
+		if dec.Alpha[j] && !r.isOperational(i, j) {
+			if err := r.plant.PowerOn(i, j); err != nil {
+				return err
+			}
+		}
+		if !dec.Alpha[j] && r.isOperational(i, j) {
+			if err := r.plant.PowerOff(i, j); err != nil {
+				return err
+			}
+		}
+	}
+	asm.alpha = dec.Alpha
+	asm.gamma = dec.Gamma
+	return nil
+}
+
+// isOperational reports whether computer (i, j) is on or booting.
+func (r *run) isOperational(i, j int) bool {
+	c, err := r.plant.Computer(i, j)
+	if err != nil {
+		return false
+	}
+	return c.State() == cluster.PowerOn || c.State() == cluster.Booting
+}
+
+// decideL0 runs the frequency controllers of module i at step k.
+func (r *run) decideL0(i int, asm *moduleAsm, k int) error {
+	m := r.m
+	cHat := r.cHat(asm)
+	for j := range asm.specs {
+		comp, err := r.plant.Computer(i, j)
+		if err != nil {
+			return err
+		}
+		if comp.State() == cluster.Failed || comp.State() == cluster.PowerOff {
+			r.recordFreq(asm.specs[j].Name, 0)
+			continue
+		}
+		lambda := make([]float64, m.cfg.L0.Horizon)
+		for h := range lambda {
+			var forecastCount float64
+			if m.cfg.OracleForecast {
+				forecastCount = r.moduleShare(i) * r.futureCount(k+h, 1)
+			} else {
+				forecastCount = asm.l0Ratio * math.Max(0, asm.kalman0.Forecast(h+1))
+			}
+			lambda[h] = asm.gamma[j] * forecastCount / r.tl0
+		}
+		delta := asm.gamma[j] * asm.band0.Delta() / r.tl0
+		if m.cfg.OracleForecast {
+			delta = 0
+		}
+		idx, err := asm.l0s[j].DecideBanded(float64(asm.lastPer[j].QueueLen), lambda, delta, cHat)
+		if err != nil {
+			return err
+		}
+		if err := r.plant.SetFrequency(i, j, idx); err != nil {
+			return err
+		}
+		r.recordFreq(asm.specs[j].Name, asm.specs[j].FrequenciesHz[idx])
+	}
+	return nil
+}
+
+func (r *run) recordFreq(name string, hz float64) {
+	if s, ok := r.rec.FreqByComputer[name]; ok {
+		s.Values = append(s.Values, hz)
+	}
+}
+
+// dispatch routes this step's arrivals. Only computers that are fully on
+// receive weight — booting machines would sit on requests for up to the
+// boot delay; the plant renormalizes the remaining fractions.
+func (r *run) dispatch(k int) error {
+	reqs := r.pending[k]
+	r.pending[k] = nil
+	if len(reqs) == 0 {
+		return nil
+	}
+	gm := r.gammaModules
+	if gm == nil {
+		gm = make([]float64, len(r.m.modules))
+		for i := range gm {
+			gm[i] = 1 / float64(len(gm))
+		}
+	}
+	gc := make([][]float64, len(r.m.modules))
+	for i, asm := range r.m.modules {
+		weights := make([]float64, len(asm.specs))
+		for j := range asm.specs {
+			comp, err := r.plant.Computer(i, j)
+			if err != nil {
+				return err
+			}
+			if comp.State() == cluster.PowerOn {
+				weights[j] = asm.gamma[j]
+			}
+		}
+		gc[i] = weights
+	}
+	return r.plant.Dispatch(reqs, gm, gc)
+}
+
+// observe harvests the plant interval that just completed and updates the
+// estimators and records.
+func (r *run) observe() error {
+	m := r.m
+	var respSum float64
+	var respN int
+	for i, asm := range m.modules {
+		agg, per, err := r.plant.ModuleIntervalStats(i)
+		if err != nil {
+			return err
+		}
+		asm.lastAgg = agg
+		asm.lastPer = per
+		prior := asm.kalman0.Observe(float64(agg.Arrived))
+		if asm.kalman0.Steps() > 1 {
+			asm.band0.Observe(prior, float64(agg.Arrived))
+		}
+		asm.arrivedTL1 += agg.Arrived
+		r.arrivedTL2 += agg.Arrived
+		if agg.Completed > 0 {
+			asm.cEst.Observe(agg.MeanDemand)
+			respSum += agg.MeanResponse * float64(agg.Completed)
+			respN += agg.Completed
+		}
+	}
+	mean := 0.0
+	if respN > 0 {
+		mean = respSum / float64(respN)
+		r.responseBins++
+		if mean > m.cfg.L0.TargetResponse {
+			r.violations++
+		}
+	}
+	r.rec.ResponseMean.Values = append(r.rec.ResponseMean.Values, mean)
+	return nil
+}
+
+// futureCount returns the true request count arriving in steps [k, k+n),
+// read straight from the trace — the oracle forecast.
+func (r *run) futureCount(k, n int) float64 {
+	total := 0.0
+	for s := k; s < k+n && s < r.steps; s++ {
+		total += r.trace.Values[s/r.sub] / float64(r.sub)
+	}
+	return total
+}
+
+// futureProfile returns the mean and peak per-step request counts over
+// steps [k, k+n) — the oracle's within-period profile.
+func (r *run) futureProfile(k, n int) (mean, peak float64) {
+	count := 0
+	for s := k; s < k+n && s < r.steps; s++ {
+		v := r.trace.Values[s/r.sub] / float64(r.sub)
+		mean += v
+		if v > peak {
+			peak = v
+		}
+		count++
+	}
+	if count > 0 {
+		mean /= float64(count)
+	}
+	return mean, peak
+}
+
+// moduleShare returns module i's current fraction of the global arrivals.
+func (r *run) moduleShare(i int) float64 {
+	if r.gammaModules != nil {
+		return r.gammaModules[i]
+	}
+	return 1 / float64(len(r.m.modules))
+}
+
+// cHat returns the module's processing-time estimate.
+func (r *run) cHat(asm *moduleAsm) float64 {
+	if asm.cEst.Started() {
+		return asm.cEst.Value()
+	}
+	return r.m.cfg.DefaultCHat
+}
+
+func moduleAvailable(p *cluster.Plant, i int) bool {
+	for j := 0; j < p.ModuleSize(i); j++ {
+		c, err := p.Computer(i, j)
+		if err != nil {
+			return false
+		}
+		if c.State() != cluster.Failed {
+			return true
+		}
+	}
+	return false
+}
+
+// finish assembles the Record.
+func (r *run) finish() (*Record, error) {
+	m := r.m
+	r.plant.FinishAccounting()
+	rec := r.rec
+
+	// Assemble the Fig. 4 prediction series: per T_L1 boundary, sum the
+	// per-module predictions and actuals.
+	per := len(m.modules)
+	for i := 0; i+per <= len(r.predActual); i += per {
+		var p, a float64
+		for j := 0; j < per; j++ {
+			p += r.predActual[i+j][0]
+			a += r.predActual[i+j][1]
+		}
+		rec.PredictedL1.Values = append(rec.PredictedL1.Values, p)
+		rec.ActualL1.Values = append(rec.ActualL1.Values, a)
+	}
+
+	rec.Energy = r.plant.Accountant().TotalEnergy()
+	rec.Switches = r.plant.Accountant().TotalSwitches()
+	rec.Misroutes = r.plant.Misroutes()
+	lat := r.plant.Latencies()
+	rec.ResponseP50 = lat.Quantile(0.50)
+	rec.ResponseP95 = lat.Quantile(0.95)
+	rec.ResponseP99 = lat.Quantile(0.99)
+	rec.ResponseMax = lat.Max()
+	for i := range m.modules {
+		for j := 0; j < r.plant.ModuleSize(i); j++ {
+			c, err := r.plant.Computer(i, j)
+			if err != nil {
+				return nil, err
+			}
+			rec.Completed += c.TotalCompleted()
+			rec.Dropped += c.TotalDropped()
+			rec.ResponseStats.Merge(c.LifetimeResponse())
+		}
+	}
+	if r.responseBins > 0 {
+		rec.ViolationFrac = float64(r.violations) / float64(r.responseBins)
+	}
+	for _, asm := range m.modules {
+		for _, l0 := range asm.l0s {
+			e, d, ct := l0.Overhead()
+			rec.L0Explored += e
+			rec.L0Decisions += d
+			rec.L0Time += ct
+		}
+		e, d, ct := asm.l1.Overhead()
+		rec.L1Explored += e
+		rec.L1Decisions += d
+		rec.L1Time += ct
+	}
+	if m.l2 != nil {
+		e, d, ct := m.l2.Overhead()
+		rec.L2Explored = e
+		rec.L2Decisions = d
+		rec.L2Time = ct
+	}
+	return rec, nil
+}

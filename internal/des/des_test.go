@@ -1,0 +1,210 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		tm := tm
+		if _, err := s.Schedule(tm, func(sim *Simulator) {
+			got = append(got, sim.Now())
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(10)
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Errorf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestTieBreakByInsertionOrder(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.Schedule(1, func(*Simulator) { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(2)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order = %v, want insertion order", got)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	s := New()
+	if _, err := s.Schedule(5, func(*Simulator) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	if _, err := s.Schedule(3, func(*Simulator) {}); err == nil {
+		t.Error("scheduling in the past: want error")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	ev, err := s.Schedule(1, func(*Simulator) { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel()
+	s.Run(5)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if s.Fired() != 0 {
+		t.Errorf("Fired = %d, want 0", s.Fired())
+	}
+}
+
+func TestHorizonStopsAndAdvancesClock(t *testing.T) {
+	s := New()
+	ran := false
+	if _, err := s.Schedule(100, func(*Simulator) { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(50)
+	if ran {
+		t.Error("event past horizon ran")
+	}
+	if s.Now() != 50 {
+		t.Errorf("Now = %v, want horizon 50", s.Now())
+	}
+	s.Run(150)
+	if !ran {
+		t.Error("event within second horizon did not run")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestEventAtExactHorizonRuns(t *testing.T) {
+	s := New()
+	ran := false
+	if _, err := s.Schedule(10, func(*Simulator) { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	if !ran {
+		t.Error("event at exact horizon did not run")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		i := i
+		if _, err := s.Schedule(float64(i), func(sim *Simulator) {
+			count++
+			if i == 2 {
+				sim.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(100)
+	if count != 2 {
+		t.Errorf("ran %d events, want 2 (stopped after second)", count)
+	}
+	if s.Pending() != 3 {
+		t.Errorf("Pending = %d, want 3", s.Pending())
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	s := New()
+	var got []float64
+	if _, err := s.Schedule(1, func(sim *Simulator) {
+		got = append(got, sim.Now())
+		if _, err := sim.ScheduleAfter(2, func(sim2 *Simulator) {
+			got = append(got, sim2.Now())
+		}); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("times = %v, want [1 3]", got)
+	}
+}
+
+func TestRNGDeterministicAndDistinct(t *testing.T) {
+	a1 := RNG(42, "computer-0")
+	a2 := RNG(42, "computer-0")
+	b := RNG(42, "computer-1")
+	c := RNG(43, "computer-0")
+	sameAsA1 := true
+	diffB, diffC := false, false
+	for i := 0; i < 32; i++ {
+		v1, v2 := a1.Int63(), a2.Int63()
+		if v1 != v2 {
+			sameAsA1 = false
+		}
+		if v1 != b.Int63() {
+			diffB = true
+		}
+		if v1 != c.Int63() {
+			diffC = true
+		}
+	}
+	if !sameAsA1 {
+		t.Error("same (seed,name) produced different streams")
+	}
+	if !diffB {
+		t.Error("different names produced identical streams")
+	}
+	if !diffC {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// Property: whatever the schedule, execution order is non-decreasing in time
+// and every non-cancelled event within the horizon fires exactly once.
+func TestRunOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(n uint8) bool {
+		s := New()
+		count := int(n%50) + 1
+		fired := 0
+		last := -1.0
+		ok := true
+		for i := 0; i < count; i++ {
+			tm := rng.Float64() * 100
+			if _, err := s.Schedule(tm, func(sim *Simulator) {
+				fired++
+				if sim.Now() < last {
+					ok = false
+				}
+				last = sim.Now()
+			}); err != nil {
+				return false
+			}
+		}
+		s.Run(100)
+		return ok && fired == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package econ implements the cost "scalarization" sketched at the end of
+// §4.3: "these cost functions can be 'scalarized' by assigning an actual
+// dollar amount to each term; for example, dollars earned by achieving the
+// desired response time and the cost of operating the cluster (dollars per
+// Watts consumed)". It turns a run's QoS and energy aggregates into a
+// single profit-and-loss figure so operators can compare policies in money
+// rather than abstract weights.
+package econ
+
+import "fmt"
+
+// Tariff prices the terms of the cost function.
+type Tariff struct {
+	// RevenuePerRequest is earned for every completed request whose
+	// interval met the response-time target.
+	RevenuePerRequest float64
+	// PenaltyPerViolatedRequest is paid for requests completed in
+	// intervals that violated the target (SLA penalty).
+	PenaltyPerViolatedRequest float64
+	// PenaltyPerDroppedRequest is paid for every lost request.
+	PenaltyPerDroppedRequest float64
+	// PricePerEnergyUnit converts the simulator's abstract energy units
+	// into money (the "dollars per Watts consumed").
+	PricePerEnergyUnit float64
+	// PricePerSwitch prices the reliability wear of power cycling.
+	PricePerSwitch float64
+}
+
+// DefaultTariff returns an illustrative e-commerce tariff: requests are
+// worth a tenth of a cent and violations cost double that. Energy is
+// priced so that running the §4.3 module always-on for the synthetic day
+// costs roughly 40% of its peak revenue — the regime the paper's premise
+// assumes (energy as a first-order operating expense, consistent with
+// datacenter TCO breakdowns). Under a tariff where energy is negligible,
+// no power management can pay for any QoS risk, so comparisons would be
+// vacuous.
+func DefaultTariff() Tariff {
+	return Tariff{
+		RevenuePerRequest:         0.001,
+		PenaltyPerViolatedRequest: 0.002,
+		PenaltyPerDroppedRequest:  0.01,
+		PricePerEnergyUnit:        0.005,
+		PricePerSwitch:            0.01,
+	}
+}
+
+// Validate reports whether the tariff is usable.
+func (t Tariff) Validate() error {
+	if t.RevenuePerRequest < 0 || t.PenaltyPerViolatedRequest < 0 ||
+		t.PenaltyPerDroppedRequest < 0 || t.PricePerEnergyUnit < 0 || t.PricePerSwitch < 0 {
+		return fmt.Errorf("econ: negative tariff terms")
+	}
+	return nil
+}
+
+// Outcome is the policy-independent summary of a run the tariff prices.
+type Outcome struct {
+	// Completed counts finished requests.
+	Completed int64
+	// Dropped counts lost requests.
+	Dropped int64
+	// ViolationFrac is the fraction of intervals (≈ requests) violating
+	// the response-time target.
+	ViolationFrac float64
+	// Energy is the total energy in the simulator's units.
+	Energy float64
+	// Switches counts power-on transitions.
+	Switches int
+}
+
+// Statement is the priced result.
+type Statement struct {
+	Revenue     float64
+	SLAPenalty  float64
+	DropPenalty float64
+	EnergyCost  float64
+	SwitchCost  float64
+	Profit      float64
+	ProfitPerK  float64 // profit per thousand completed requests
+}
+
+// Price applies the tariff to an outcome.
+func (t Tariff) Price(o Outcome) (Statement, error) {
+	if err := t.Validate(); err != nil {
+		return Statement{}, err
+	}
+	if o.Completed < 0 || o.Dropped < 0 || o.ViolationFrac < 0 || o.ViolationFrac > 1 {
+		return Statement{}, fmt.Errorf("econ: invalid outcome %+v", o)
+	}
+	good := float64(o.Completed) * (1 - o.ViolationFrac)
+	bad := float64(o.Completed) * o.ViolationFrac
+	s := Statement{
+		Revenue:     good * t.RevenuePerRequest,
+		SLAPenalty:  bad * t.PenaltyPerViolatedRequest,
+		DropPenalty: float64(o.Dropped) * t.PenaltyPerDroppedRequest,
+		EnergyCost:  o.Energy * t.PricePerEnergyUnit,
+		SwitchCost:  float64(o.Switches) * t.PricePerSwitch,
+	}
+	s.Profit = s.Revenue - s.SLAPenalty - s.DropPenalty - s.EnergyCost - s.SwitchCost
+	if o.Completed > 0 {
+		s.ProfitPerK = s.Profit / float64(o.Completed) * 1000
+	}
+	return s, nil
+}

@@ -1,0 +1,112 @@
+package econ
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTariffValid(t *testing.T) {
+	if err := DefaultTariff().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsNegative(t *testing.T) {
+	bad := DefaultTariff()
+	bad.RevenuePerRequest = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative revenue: want error")
+	}
+	if _, err := bad.Price(Outcome{}); err == nil {
+		t.Error("Price with bad tariff: want error")
+	}
+}
+
+func TestPriceArithmetic(t *testing.T) {
+	tariff := Tariff{
+		RevenuePerRequest:         0.01,
+		PenaltyPerViolatedRequest: 0.02,
+		PenaltyPerDroppedRequest:  0.1,
+		PricePerEnergyUnit:        0.001,
+		PricePerSwitch:            0.5,
+	}
+	o := Outcome{
+		Completed:     1000,
+		Dropped:       10,
+		ViolationFrac: 0.1,
+		Energy:        500,
+		Switches:      4,
+	}
+	s, err := tariff.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 900 * 0.01; math.Abs(s.Revenue-want) > 1e-9 {
+		t.Errorf("Revenue = %v, want %v", s.Revenue, want)
+	}
+	if want := 100 * 0.02; math.Abs(s.SLAPenalty-want) > 1e-9 {
+		t.Errorf("SLAPenalty = %v, want %v", s.SLAPenalty, want)
+	}
+	if want := 10 * 0.1; math.Abs(s.DropPenalty-want) > 1e-9 {
+		t.Errorf("DropPenalty = %v, want %v", s.DropPenalty, want)
+	}
+	if want := 500 * 0.001; math.Abs(s.EnergyCost-want) > 1e-9 {
+		t.Errorf("EnergyCost = %v, want %v", s.EnergyCost, want)
+	}
+	if want := 4 * 0.5; math.Abs(s.SwitchCost-want) > 1e-9 {
+		t.Errorf("SwitchCost = %v, want %v", s.SwitchCost, want)
+	}
+	wantProfit := s.Revenue - s.SLAPenalty - s.DropPenalty - s.EnergyCost - s.SwitchCost
+	if math.Abs(s.Profit-wantProfit) > 1e-9 {
+		t.Errorf("Profit = %v, want %v", s.Profit, wantProfit)
+	}
+	if want := s.Profit / 1000 * 1000; math.Abs(s.ProfitPerK-want) > 1e-9 {
+		t.Errorf("ProfitPerK = %v, want %v", s.ProfitPerK, want)
+	}
+}
+
+func TestPriceRejectsInvalidOutcome(t *testing.T) {
+	tariff := DefaultTariff()
+	for _, o := range []Outcome{
+		{Completed: -1},
+		{Dropped: -1},
+		{ViolationFrac: -0.1},
+		{ViolationFrac: 1.1},
+	} {
+		if _, err := tariff.Price(o); err == nil {
+			t.Errorf("outcome %+v: want error", o)
+		}
+	}
+}
+
+func TestMoreViolationsNeverRaiseProfit(t *testing.T) {
+	tariff := DefaultTariff()
+	f := func(completedSeed uint16, vA, vB uint8) bool {
+		completed := int64(completedSeed) + 1
+		fa := float64(vA%101) / 100
+		fb := float64(vB%101) / 100
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		sa, errA := tariff.Price(Outcome{Completed: completed, ViolationFrac: fa, Energy: 100})
+		sb, errB := tariff.Price(Outcome{Completed: completed, ViolationFrac: fb, Energy: 100})
+		if errA != nil || errB != nil {
+			return false
+		}
+		return sa.Profit >= sb.Profit-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroOutcome(t *testing.T) {
+	s, err := DefaultTariff().Price(Outcome{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Profit != 0 || s.ProfitPerK != 0 {
+		t.Errorf("zero outcome priced as %+v", s)
+	}
+}

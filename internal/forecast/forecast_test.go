@@ -1,0 +1,245 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewKalmanValidation(t *testing.T) {
+	cases := []struct {
+		ql, qt, r float64
+		ok        bool
+	}{
+		{1, 1, 1, true},
+		{1, 0, 1, true}, // local level model
+		{0, 1, 1, false},
+		{1, -1, 1, false},
+		{1, 1, 0, false},
+		{-1, 1, 1, false},
+	}
+	for _, c := range cases {
+		_, err := NewKalman(c.ql, c.qt, c.r)
+		if (err == nil) != c.ok {
+			t.Errorf("NewKalman(%v,%v,%v) err = %v, want ok=%v", c.ql, c.qt, c.r, err, c.ok)
+		}
+	}
+}
+
+func TestKalmanConvergesToConstant(t *testing.T) {
+	kf, err := NewKalman(0.01, 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		kf.Observe(50)
+	}
+	if got := kf.Forecast(1); math.Abs(got-50) > 0.5 {
+		t.Errorf("Forecast after constant stream = %v, want ≈50", got)
+	}
+	if math.Abs(kf.Trend()) > 0.1 {
+		t.Errorf("Trend = %v, want ≈0", kf.Trend())
+	}
+}
+
+func TestKalmanTracksLinearTrend(t *testing.T) {
+	kf, err := NewKalman(0.1, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		kf.Observe(10 + 2*float64(i))
+	}
+	// Next value should be ≈ 10 + 2*300.
+	if got, want := kf.Forecast(1), 610.0; math.Abs(got-want) > 5 {
+		t.Errorf("Forecast = %v, want ≈%v", got, want)
+	}
+	if got := kf.Trend(); math.Abs(got-2) > 0.2 {
+		t.Errorf("Trend = %v, want ≈2", got)
+	}
+	// Multi-step forecast extrapolates the trend.
+	if got, want := kf.Forecast(5), kf.Level()+5*kf.Trend(); got != want {
+		t.Errorf("Forecast(5) = %v, want %v", got, want)
+	}
+}
+
+func TestKalmanForecastBeforeData(t *testing.T) {
+	kf, err := NewKalman(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kf.Forecast(1) != 0 {
+		t.Error("Forecast before data should be 0")
+	}
+	if kf.Steps() != 0 {
+		t.Error("Steps before data should be 0")
+	}
+}
+
+func TestKalmanFirstObservationAnchors(t *testing.T) {
+	kf, err := NewKalman(1, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kf.Observe(1000)
+	if got := kf.Level(); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("Level after first obs = %v, want 1000", got)
+	}
+}
+
+func TestKalmanForecastClampsHorizon(t *testing.T) {
+	kf, _ := NewKalman(1, 0.1, 1)
+	kf.Observe(5)
+	kf.Observe(6)
+	if kf.Forecast(0) != kf.Forecast(1) {
+		t.Error("Forecast(0) should behave as Forecast(1)")
+	}
+}
+
+func TestKalmanReset(t *testing.T) {
+	kf, _ := NewKalman(1, 0.1, 1)
+	kf.Observe(5)
+	kf.Reset()
+	if kf.Steps() != 0 || kf.Level() != 0 || kf.Forecast(1) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestKalmanBeatsNaiveOnNoisyTrend(t *testing.T) {
+	// One-step RMSE of the tuned filter should beat the naive
+	// "tomorrow = today" predictor on a noisy trending signal.
+	rng := rand.New(rand.NewSource(4))
+	n := 400
+	signal := make([]float64, n)
+	for i := range signal {
+		signal[i] = 100 + 3*float64(i) + rng.NormFloat64()*5
+	}
+	kf, _, err := TuneKalman(signal[:120])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sseK, sseN float64
+	prev := signal[119]
+	for _, y := range signal[120:] {
+		pk := kf.Forecast(1)
+		kf.Observe(y)
+		dk, dn := pk-y, prev-y
+		sseK += dk * dk
+		sseN += dn * dn
+		prev = y
+	}
+	if sseK >= sseN {
+		t.Errorf("Kalman SSE %v not better than naive %v on trending signal", sseK, sseN)
+	}
+}
+
+func TestTuneKalmanValidation(t *testing.T) {
+	if _, _, err := TuneKalman([]float64{1, 2, 3}); err == nil {
+		t.Error("short training set: want error")
+	}
+	// Constant series must not error out (variance guard).
+	kf, rmse, err := TuneKalman(make([]float64, 50))
+	if err != nil {
+		t.Fatalf("constant series: %v", err)
+	}
+	if kf == nil || rmse < 0 {
+		t.Error("constant series: want valid filter and rmse >= 0")
+	}
+}
+
+func TestObserveReturnsPriorForecast(t *testing.T) {
+	kf, _ := NewKalman(0.1, 0.01, 1)
+	kf.Observe(10)
+	kf.Observe(12)
+	before := kf.Forecast(1)
+	prior := kf.Observe(14)
+	if prior != before {
+		t.Errorf("Observe returned %v, want prior forecast %v", prior, before)
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	for _, pi := range []float64{-0.1, 0, 1.01} {
+		if _, err := NewEWMA(pi); err == nil {
+			t.Errorf("NewEWMA(%v): want error", pi)
+		}
+	}
+	if _, err := NewEWMA(1); err != nil {
+		t.Errorf("NewEWMA(1): %v", err)
+	}
+}
+
+func TestEWMARecurrence(t *testing.T) {
+	e, err := NewEWMA(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Started() {
+		t.Error("Started before observation")
+	}
+	e.Observe(10) // initializes
+	if got := e.Value(); got != 10 {
+		t.Errorf("initial Value = %v, want 10", got)
+	}
+	got := e.Observe(20) // 0.1*20 + 0.9*10 = 11
+	if math.Abs(got-11) > 1e-12 {
+		t.Errorf("Value = %v, want 11", got)
+	}
+}
+
+func TestEWMABoundedByInputRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(n uint8) bool {
+		e, err := NewEWMA(0.3)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < int(n%100)+1; i++ {
+			x := rng.Float64()*200 - 100
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			e.Observe(x)
+		}
+		return e.Value() >= lo-1e-9 && e.Value() <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandTracksAbsoluteError(t *testing.T) {
+	b, err := NewBand(1) // pi=1: band equals last |error|
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Observe(10, 13)
+	if got := b.Delta(); got != 3 {
+		t.Errorf("Delta = %v, want 3", got)
+	}
+	b.Observe(10, 6)
+	if got := b.Delta(); got != 4 {
+		t.Errorf("Delta = %v, want 4", got)
+	}
+}
+
+func TestBandNonNegative(t *testing.T) {
+	b, err := NewBand(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		b.Observe(rng.NormFloat64()*10, rng.NormFloat64()*10)
+		if b.Delta() < 0 {
+			t.Fatalf("Delta went negative: %v", b.Delta())
+		}
+	}
+}
+
+func TestBandValidation(t *testing.T) {
+	if _, err := NewBand(0); err == nil {
+		t.Error("NewBand(0): want error")
+	}
+}

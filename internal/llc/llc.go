@@ -1,0 +1,229 @@
+// Package llc implements the paper's primary contribution as a reusable
+// framework: limited-lookahead control (LLC) of switching hybrid systems —
+// systems with finite input sets and hybrid discrete/continuous dynamics
+// for which classical feedback maps cannot be derived (§2.3).
+//
+// At every control step the framework constructs the tree of future states
+// reachable from the current state over a prediction horizon N, evaluates
+// the cumulative cost of each trajectory against forecast environment
+// inputs, and returns the first input of the best trajectory (Eq. 4). Two
+// search strategies are provided, matching the paper's §3:
+//
+//   - Exhaustive: explore every admissible input sequence (used by the L0
+//     controller, whose input set — processor frequencies — is small).
+//   - Bounded: explore only a caller-defined neighbourhood of the previous
+//     input at each tree level (used by the L1/L2 controllers, whose input
+//     spaces are combinatorial).
+//
+// Uncertainty in environment forecasts is handled as in §4.2: each horizon
+// step may carry several sampled environment vectors (e.g. λ̂−δ, λ̂, λ̂+δ)
+// and the stage cost is the average over the samples, which damps
+// controller chattering. The nominal (middle) sample drives the state
+// recursion.
+package llc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Env is one sampled environment vector ω̂(q) — e.g. {arrival rate,
+// processing time} for the cluster case study. The framework treats it as
+// opaque and passes it to the model.
+type Env []float64
+
+// Model describes a switching hybrid system to the controller: the state
+// recursion x(k+1) = f(x(k), u(k), ω(k)) (Eq. 1), the admissible input set
+// U(x), the stage cost J(x, u), and the hard operating constraints
+// H(x) ≤ 0.
+//
+// S is the state type and U the input type; both are opaque to the
+// framework.
+type Model[S, U any] interface {
+	// Step predicts the successor state from s under input u and
+	// environment sample env.
+	Step(s S, u U, env Env) S
+	// Cost returns the stage cost of the transition into next (from
+	// applying u in the predecessor), including any soft-constraint
+	// slack penalties (§4.1).
+	Cost(next S, u U, env Env) float64
+	// Feasible reports whether s satisfies the hard constraints
+	// H(s) ≤ 0. Infeasible states are heavily penalized, which keeps
+	// trajectories inside the admissible region whenever one exists.
+	Feasible(s S) bool
+	// Inputs returns the admissible control set U(s) in state s. It must
+	// be non-empty for every state the search can reach.
+	Inputs(s S) []U
+}
+
+// Options tunes a search. The zero value selects sensible defaults.
+type Options struct {
+	// InfeasiblePenalty is added to the stage cost of states failing
+	// Model.Feasible. Default 1e12; it must dwarf any legitimate cost so
+	// feasible trajectories always win when they exist, while the search
+	// still returns a least-bad action under unavoidable infeasibility.
+	InfeasiblePenalty float64
+}
+
+func (o Options) penalty() float64 {
+	if o.InfeasiblePenalty <= 0 {
+		return 1e12
+	}
+	return o.InfeasiblePenalty
+}
+
+// Result is the outcome of a lookahead search.
+type Result[S, U any] struct {
+	// Inputs is the best input sequence found, one entry per horizon
+	// step; Inputs[0] is the action to apply now.
+	Inputs []U
+	// States is the nominal predicted state trajectory, aligned with
+	// Inputs (States[q] results from applying Inputs[q]).
+	States []S
+	// Cost is the expected cumulative cost of the best trajectory.
+	Cost float64
+	// Explored counts state evaluations performed during the search —
+	// the paper's controller-overhead metric (§4.3).
+	Explored int
+	// Feasible reports whether the entire nominal trajectory satisfies
+	// the hard constraints.
+	Feasible bool
+}
+
+// ErrNoInputs is returned when the model offers no admissible inputs at
+// some state the search must expand.
+var ErrNoInputs = errors.New("llc: model returned no admissible inputs")
+
+// Exhaustive runs the full tree search of §4.1: every admissible input
+// sequence over the horizon is evaluated. envs[q] holds the environment
+// samples for horizon step q; the horizon is len(envs) and must be ≥ 1.
+// With |U| inputs the search evaluates Σ_{q=1..N} |U|^q states, so keep
+// horizons short — the paper uses N ≤ 3 with ≤ 10 inputs.
+func Exhaustive[S, U any](m Model[S, U], x0 S, envs []([]Env), opt Options) (Result[S, U], error) {
+	if err := checkEnvs(envs); err != nil {
+		return Result[S, U]{}, err
+	}
+	s := &search[S, U]{m: m, envs: envs, penalty: opt.penalty(), inputsAt: func(st S, _ int, _ U) []U {
+		return m.Inputs(st)
+	}}
+	return s.run(x0)
+}
+
+// Bounded runs the bounded neighbourhood search of §4.2: at each tree
+// level the candidate inputs are neighbours(prev, state, level) — typically
+// a small perturbation set around the previous decision, since environment
+// parameters rarely change drastically within one sampling period. prev
+// seeds the neighbourhood at level 0.
+func Bounded[S, U any](m Model[S, U], x0 S, prev U, neighbours func(prev U, s S, level int) []U, envs []([]Env), opt Options) (Result[S, U], error) {
+	if err := checkEnvs(envs); err != nil {
+		return Result[S, U]{}, err
+	}
+	if neighbours == nil {
+		return Result[S, U]{}, errors.New("llc: nil neighbourhood function")
+	}
+	s := &search[S, U]{m: m, envs: envs, penalty: opt.penalty(), inputsAt: func(st S, level int, prevU U) []U {
+		return neighbours(prevU, st, level)
+	}, seeded: true, seed: prev}
+	return s.run(x0)
+}
+
+func checkEnvs(envs []([]Env)) error {
+	if len(envs) == 0 {
+		return errors.New("llc: empty horizon")
+	}
+	for q, samples := range envs {
+		if len(samples) == 0 {
+			return fmt.Errorf("llc: horizon step %d has no environment samples", q)
+		}
+	}
+	return nil
+}
+
+// search carries the shared recursion for both strategies.
+type search[S, U any] struct {
+	m        Model[S, U]
+	envs     []([]Env)
+	penalty  float64
+	inputsAt func(s S, level int, prev U) []U
+	seeded   bool
+	seed     U
+	explored int
+}
+
+func (s *search[S, U]) run(x0 S) (Result[S, U], error) {
+	prev := s.seed
+	best, err := s.expand(x0, prev, 0)
+	if err != nil {
+		return Result[S, U]{}, err
+	}
+	best.Explored = s.explored
+	// Reverse the sequences accumulated leaf-to-root.
+	reverse(best.Inputs)
+	reverse(best.States)
+	best.Feasible = true
+	for _, st := range best.States {
+		if !s.m.Feasible(st) {
+			best.Feasible = false
+			break
+		}
+	}
+	return best, nil
+}
+
+// expand returns the best suffix trajectory from state x at the given
+// tree level. Inputs/States in the result are ordered leaf-to-root; run
+// reverses them once at the end.
+func (s *search[S, U]) expand(x S, prev U, level int) (Result[S, U], error) {
+	samples := s.envs[level]
+	nominal := samples[len(samples)/2]
+	candidates := s.inputsAt(x, level, prev)
+	if len(candidates) == 0 {
+		return Result[S, U]{}, fmt.Errorf("%w (level %d)", ErrNoInputs, level)
+	}
+	best := Result[S, U]{Cost: math.Inf(1)}
+	found := false
+	for _, u := range candidates {
+		// Expected stage cost over the uncertainty samples (§4.2): each
+		// sample yields its own successor; the cost is their average.
+		stage := 0.0
+		for _, env := range samples {
+			next := s.m.Step(x, u, env)
+			s.explored++
+			c := s.m.Cost(next, u, env)
+			if !s.m.Feasible(next) {
+				c += s.penalty
+			}
+			stage += c
+		}
+		stage /= float64(len(samples))
+
+		nominalNext := s.m.Step(x, u, nominal)
+		total := stage
+		var suffix Result[S, U]
+		if level+1 < len(s.envs) {
+			var err error
+			suffix, err = s.expand(nominalNext, u, level+1)
+			if err != nil {
+				return Result[S, U]{}, err
+			}
+			total += suffix.Cost
+		}
+		if total < best.Cost {
+			best.Cost = total
+			best.Inputs = append(suffix.Inputs, u)
+			best.States = append(suffix.States, nominalNext)
+			found = true
+		}
+	}
+	if !found {
+		return Result[S, U]{}, fmt.Errorf("llc: no finite-cost trajectory at level %d", level)
+	}
+	return best, nil
+}
+
+func reverse[T any](xs []T) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

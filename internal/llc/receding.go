@@ -1,0 +1,78 @@
+package llc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Controller packages a model, a search strategy, and the receding-horizon
+// protocol of §2.3 into a reusable object: at every step it runs the
+// lookahead from the current state against the supplied environment
+// forecasts, applies the first input of the best trajectory, and remembers
+// it so bounded searches can seed their neighbourhoods. Construct with
+// NewController.
+type Controller[S, U any] struct {
+	model Model[S, U]
+	opts  Options
+
+	// neighbours enables bounded search when non-nil.
+	neighbours func(prev U, s S, level int) []U
+	prev       U
+	hasPrev    bool
+
+	steps    int
+	explored int
+}
+
+// NewController returns a receding-horizon controller using exhaustive
+// search over Model.Inputs.
+func NewController[S, U any](m Model[S, U], opts Options) (*Controller[S, U], error) {
+	if m == nil {
+		return nil, errors.New("llc: nil model")
+	}
+	return &Controller[S, U]{model: m, opts: opts}, nil
+}
+
+// NewBoundedController returns a receding-horizon controller using bounded
+// neighbourhood search seeded from the previous applied input (seed for
+// the very first step).
+func NewBoundedController[S, U any](m Model[S, U], seed U, neighbours func(prev U, s S, level int) []U, opts Options) (*Controller[S, U], error) {
+	if m == nil {
+		return nil, errors.New("llc: nil model")
+	}
+	if neighbours == nil {
+		return nil, errors.New("llc: nil neighbourhood function")
+	}
+	return &Controller[S, U]{model: m, opts: opts, neighbours: neighbours, prev: seed, hasPrev: true}, nil
+}
+
+// Step runs one receding-horizon iteration from state x against the
+// environment forecasts (one sample set per horizon level) and returns the
+// input to apply now along with the full search result.
+func (c *Controller[S, U]) Step(x S, envs []([]Env)) (U, Result[S, U], error) {
+	var res Result[S, U]
+	var err error
+	if c.neighbours != nil {
+		res, err = Bounded(c.model, x, c.prev, c.neighbours, envs, c.opts)
+	} else {
+		res, err = Exhaustive(c.model, x, envs, c.opts)
+	}
+	if err != nil {
+		var zero U
+		return zero, Result[S, U]{}, fmt.Errorf("llc: step %d: %w", c.steps, err)
+	}
+	c.prev = res.Inputs[0]
+	c.hasPrev = true
+	c.steps++
+	c.explored += res.Explored
+	return res.Inputs[0], res, nil
+}
+
+// Last returns the most recently applied input and whether one exists.
+func (c *Controller[S, U]) Last() (U, bool) { return c.prev, c.hasPrev }
+
+// Steps returns the number of receding-horizon iterations performed.
+func (c *Controller[S, U]) Steps() int { return c.steps }
+
+// Explored returns the cumulative states examined across all steps.
+func (c *Controller[S, U]) Explored() int { return c.explored }

@@ -1,0 +1,119 @@
+package llc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestControllerRecedingHorizonConverges(t *testing.T) {
+	m := scalarModel{target: 10, inputs: []int{-2, -1, 0, 1, 2}, inputWeight: 0.01}
+	ctl, err := NewController[float64, int](m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := 0.0
+	for i := 0; i < 20; i++ {
+		u, res, err := ctl.Step(x, nominalEnvs(3, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Inputs) != 3 {
+			t.Fatalf("horizon result has %d inputs", len(res.Inputs))
+		}
+		x = m.Step(x, u, Env{0})
+	}
+	if math.Abs(x-10) > 0.5 {
+		t.Errorf("state after 20 receding steps = %v, want ≈10", x)
+	}
+	if ctl.Steps() != 20 {
+		t.Errorf("Steps = %d, want 20", ctl.Steps())
+	}
+	if ctl.Explored() == 0 {
+		t.Error("no exploration recorded")
+	}
+	if u, ok := ctl.Last(); !ok || u < -2 || u > 2 {
+		t.Errorf("Last = %v, %v", u, ok)
+	}
+}
+
+func TestControllerHoldsSetpointUnderDisturbance(t *testing.T) {
+	m := scalarModel{target: 5, inputs: []int{0, 1, 2, 3}, inputWeight: 0.001}
+	ctl, err := NewController[float64, int](m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := 5.0
+	// Constant disturbance −2 per step, forecast correctly.
+	for i := 0; i < 15; i++ {
+		u, _, err := ctl.Step(x, nominalEnvs(2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x = m.Step(x, u, Env{2})
+	}
+	if math.Abs(x-5) > 1.1 {
+		t.Errorf("state under disturbance = %v, want ≈5", x)
+	}
+}
+
+func TestBoundedControllerSeedsFromPrevious(t *testing.T) {
+	m := scalarModel{target: 100, inputs: nil, inputWeight: 0}
+	neighbours := func(prev int, _ float64, _ int) []int {
+		return []int{prev - 1, prev, prev + 1}
+	}
+	ctl, err := NewBoundedController[float64, int](m, 0, neighbours, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := 0.0
+	var lastU int
+	for i := 0; i < 5; i++ {
+		u, _, err := ctl.Step(x, nominalEnvs(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ratcheting: each step can move at most one from the previous.
+		if i > 0 && abs(u-lastU) > 1 {
+			t.Fatalf("step %d jumped from %d to %d", i, lastU, u)
+		}
+		lastU = u
+		x = m.Step(x, u, Env{0})
+	}
+	if lastU != 5 {
+		t.Errorf("after 5 ratcheting steps input = %d, want 5", lastU)
+	}
+}
+
+func TestControllerConstructorValidation(t *testing.T) {
+	if _, err := NewController[float64, int](nil, Options{}); err == nil {
+		t.Error("nil model: want error")
+	}
+	if _, err := NewBoundedController[float64, int](nil, 0, nil, Options{}); err == nil {
+		t.Error("nil model: want error")
+	}
+	m := scalarModel{inputs: []int{0}}
+	if _, err := NewBoundedController[float64, int](m, 0, nil, Options{}); err == nil {
+		t.Error("nil neighbours: want error")
+	}
+}
+
+func TestControllerStepErrorPropagates(t *testing.T) {
+	m := scalarModel{inputs: nil} // no admissible inputs
+	ctl, err := NewController[float64, int](m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ctl.Step(0, nominalEnvs(1, 0)); err == nil {
+		t.Error("no inputs: want error")
+	}
+	if _, ok := ctl.Last(); ok {
+		t.Error("failed step must not record an input")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	cases := []struct {
+		base, growth float64
+		buckets      int
+	}{
+		{0, 1.5, 10}, {1, 1, 10}, {1, 0.5, 10}, {1, 1.5, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewHistogram(c.base, c.growth, c.buckets); err == nil {
+			t.Errorf("NewHistogram(%v, %v, %d): want error", c.base, c.growth, c.buckets)
+		}
+	}
+	if _, err := NewHistogram(0.001, 1.2, 64); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := DefaultLatencyHistogram()
+	rng := rand.New(rand.NewSource(3))
+	var xs []float64
+	for i := 0; i < 100000; i++ {
+		// Lognormal-ish latencies between ~1 ms and ~20 s.
+		x := math.Exp(rng.NormFloat64()*1.2 - 2)
+		xs = append(xs, x)
+		h.Observe(x)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := xs[int(q*float64(len(xs)))-1]
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.16 {
+			t.Errorf("q=%v: got %v, exact %v (rel err %.2f, want <= growth-1)", q, got, exact, rel)
+		}
+	}
+	if h.Count() != 100000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	// Exact mean and max.
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	if math.Abs(h.Mean()-sum/100000) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", h.Mean(), sum/100000)
+	}
+	if h.Max() != xs[len(xs)-1] {
+		t.Errorf("Max = %v, want %v", h.Max(), xs[len(xs)-1])
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h, err := NewHistogram(1, 2, 4) // buckets [1,2) [2,4) [4,8) [8,16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Observe(0.1)  // under base
+	h.Observe(-5)   // clamped
+	h.Observe(3)    // bucket 1
+	h.Observe(1000) // clamps to last bucket
+	if h.Count() != 4 {
+		t.Errorf("Count = %d, want 4", h.Count())
+	}
+	// Quantile below the base maps to base/2.
+	if got := h.Quantile(0.25); got != 0.5 {
+		t.Errorf("under-base quantile = %v, want 0.5", got)
+	}
+	// Max is exact even when bucketed at the top.
+	if h.Max() != 1000 {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if got := h.Quantile(1); got < 8 {
+		t.Errorf("top quantile = %v, want within last bucket", got)
+	}
+	// Quantile args clamped.
+	if h.Quantile(-1) != h.Quantile(0.0000001) {
+		t.Error("negative q not clamped")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := DefaultLatencyHistogram()
+	b := DefaultLatencyHistogram()
+	for i := 0; i < 1000; i++ {
+		a.Observe(0.01)
+		b.Observe(1.0)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 2000 {
+		t.Errorf("merged Count = %d", a.Count())
+	}
+	med := a.Quantile(0.5)
+	if med < 0.005 || med > 0.02 {
+		t.Errorf("median = %v, want ≈0.01", med)
+	}
+	p99 := a.Quantile(0.99)
+	if p99 < 0.8 || p99 > 1.3 {
+		t.Errorf("p99 = %v, want ≈1.0", p99)
+	}
+	// Incompatible histograms refuse to merge.
+	c, err := NewHistogram(1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); err == nil {
+		t.Error("incompatible merge: want error")
+	}
+}

@@ -1,0 +1,179 @@
+// Package metrics provides the statistics and reporting substrate used by
+// the simulator and the experiment harness: streaming moments (Welford),
+// percentiles, error measures for forecast evaluation, time-weighted
+// averages for power accounting, and plain-text table rendering.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates count, mean, and variance of a stream in a single
+// pass using Welford's algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of samples added.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance, or 0 with < 2 samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge folds another accumulator into w (parallel Welford combination).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+// The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// RMSE returns the root-mean-square error between two equal-length slices.
+func RMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: RMSE length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(a))), nil
+}
+
+// MAE returns the mean absolute error between two equal-length slices.
+func MAE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: MAE length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a)), nil
+}
+
+// TimeWeighted accumulates the time integral of a piecewise-constant signal,
+// e.g. instantaneous power into energy. The zero value is ready to use;
+// the first Observe call only records the starting point.
+type TimeWeighted struct {
+	lastT   float64
+	lastV   float64
+	total   float64
+	started bool
+}
+
+// Observe records that the signal took value v from the previous
+// observation time up to time t. Calls must have non-decreasing t.
+func (tw *TimeWeighted) Observe(t, v float64) {
+	if tw.started && t > tw.lastT {
+		tw.total += tw.lastV * (t - tw.lastT)
+	}
+	tw.lastT, tw.lastV, tw.started = t, v, true
+}
+
+// FinishAt closes the integral at time t using the last observed value and
+// returns the total. Further Observe calls continue from t.
+func (tw *TimeWeighted) FinishAt(t float64) float64 {
+	tw.Observe(t, tw.lastV)
+	return tw.total
+}
+
+// Total returns the integral accumulated so far.
+func (tw *TimeWeighted) Total() float64 { return tw.total }
+
+// Mean returns the time-weighted mean over [first observation, last], or 0
+// if less than two observations were made.
+func (tw *TimeWeighted) Mean(start float64) float64 {
+	if !tw.started || tw.lastT <= start {
+		return 0
+	}
+	return tw.total / (tw.lastT - start)
+}

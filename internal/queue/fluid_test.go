@@ -1,0 +1,164 @@
+package queue
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	valid := Params{Lambda: 10, C: 0.02, Phi: 0.5, T: 30}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid params: %v", err)
+	}
+	cases := []Params{
+		{Lambda: -1, C: 0.02, Phi: 0.5, T: 30},
+		{Lambda: 10, C: 0, Phi: 0.5, T: 30},
+		{Lambda: 10, C: 0.02, Phi: 0, T: 30},
+		{Lambda: 10, C: 0.02, Phi: 1.1, T: 30},
+		{Lambda: 10, C: 0.02, Phi: 0.5, T: 0},
+		{Lambda: math.NaN(), C: 0.02, Phi: 0.5, T: 30},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%+v): want error", i, p)
+		}
+	}
+}
+
+func TestStepGrowsWhenOverloaded(t *testing.T) {
+	// λ = 100 req/s, capacity = φ/c = 0.5/0.02 = 25 req/s → +75 req/s.
+	s, err := Step(State{Q: 10}, Params{Lambda: 100, C: 0.02, Phi: 0.5, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10 + 75.0; math.Abs(s.Q-want) > 1e-9 {
+		t.Errorf("Q = %v, want %v", s.Q, want)
+	}
+	if want := (1 + 85.0) * 0.02 / 0.5; math.Abs(s.R-want) > 1e-9 {
+		t.Errorf("R = %v, want %v", s.R, want)
+	}
+}
+
+func TestStepDrainsWhenUnderloaded(t *testing.T) {
+	// capacity 50 req/s vs λ = 10 → queue drains 40/s, clamped at 0.
+	s, err := Step(State{Q: 20}, Params{Lambda: 10, C: 0.02, Phi: 1, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Q != 0 {
+		t.Errorf("Q = %v, want clamp to 0", s.Q)
+	}
+	if want := 0.02; math.Abs(s.R-want) > 1e-9 {
+		t.Errorf("R = %v, want bare processing time %v", s.R, want)
+	}
+}
+
+func TestStepEquilibrium(t *testing.T) {
+	// λ exactly equal to capacity: queue unchanged.
+	s, err := Step(State{Q: 5}, Params{Lambda: 25, C: 0.04, Phi: 1, T: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Q-5) > 1e-9 {
+		t.Errorf("Q = %v, want 5", s.Q)
+	}
+}
+
+func TestStepRejectsBadParams(t *testing.T) {
+	if _, err := Step(State{}, Params{Lambda: 1, C: 0.02, Phi: 2, T: 1}); err == nil {
+		t.Error("phi > 1: want error")
+	}
+}
+
+func TestQueueNeverNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(steps uint8) bool {
+		s := State{}
+		for i := 0; i < int(steps%50)+1; i++ {
+			p := Params{
+				Lambda: rng.Float64() * 100,
+				C:      0.01 + rng.Float64()*0.05,
+				Phi:    0.1 + rng.Float64()*0.9,
+				T:      30,
+			}
+			next, err := Step(s, p)
+			if err != nil || next.Q < 0 || next.R < 0 {
+				return false
+			}
+			s = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResponseTimeMonotonicInQueue(t *testing.T) {
+	if ResponseTime(10, 0.02, 1) <= ResponseTime(5, 0.02, 1) {
+		t.Error("response time should grow with queue length")
+	}
+	if got := ResponseTime(0, 0.02, 0); !math.IsInf(got, 1) {
+		t.Errorf("phi=0: got %v, want +Inf", got)
+	}
+	if got := ResponseTime(0, 0, 1); !math.IsInf(got, 1) {
+		t.Errorf("c=0: got %v, want +Inf", got)
+	}
+}
+
+func TestHigherFrequencyNeverHurts(t *testing.T) {
+	// For the same state/inputs, a higher φ yields shorter or equal
+	// response time and lower or equal queue.
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		q0 := rng.Float64() * 50
+		lambda := rng.Float64() * 80
+		c := 0.01 + rng.Float64()*0.04
+		pa := 0.1 + rng.Float64()*0.8
+		pb := pa + rng.Float64()*(1-pa)
+		sa, errA := Step(State{Q: q0}, Params{Lambda: lambda, C: c, Phi: pa, T: 30})
+		sb, errB := Step(State{Q: q0}, Params{Lambda: lambda, C: c, Phi: pb, T: 30})
+		if errA != nil || errB != nil {
+			return false
+		}
+		return sb.Q <= sa.Q+1e-9 && sb.R <= sa.R+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationAndServiceRate(t *testing.T) {
+	if got := ServiceRate(0.02, 1); math.Abs(got-50) > 1e-9 {
+		t.Errorf("ServiceRate = %v, want 50", got)
+	}
+	if got := ServiceRate(0, 1); got != 0 {
+		t.Errorf("ServiceRate(c=0) = %v, want 0", got)
+	}
+	if got := Utilization(25, 0.02, 1); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+	if got := Utilization(25, 0, 1); !math.IsInf(got, 1) {
+		t.Errorf("Utilization(c=0) = %v, want +Inf", got)
+	}
+}
+
+func TestStablePhi(t *testing.T) {
+	candidates := []float64{0.25, 0.5, 0.75, 1.0}
+	// λ=20, c=0.02 → utilization at φ: 0.4/φ. Need util < 0.9 → φ > 0.444.
+	phi, ok := StablePhi(20, 0.02, 0.9, candidates)
+	if !ok || phi != 0.5 {
+		t.Errorf("StablePhi = %v,%v, want 0.5,true", phi, ok)
+	}
+	// Impossible load.
+	if _, ok := StablePhi(1000, 0.02, 0.9, candidates); ok {
+		t.Error("overload: want ok=false")
+	}
+	// Bad candidates are skipped.
+	phi, ok = StablePhi(20, 0.02, 0.9, []float64{-1, 0, 2, 1})
+	if !ok || phi != 1 {
+		t.Errorf("StablePhi with junk candidates = %v,%v, want 1,true", phi, ok)
+	}
+}

@@ -1,0 +1,86 @@
+package series
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCIIPlot renders the series as a compact ASCII chart with the given
+// width (columns of samples, series is downsampled by mean) and height
+// (rows). It is used by the figure-regeneration tool to show the shape of a
+// reproduced figure in a terminal. An empty series renders as a note line.
+func (s *Series) ASCIIPlot(title string, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 2 {
+		height = 2
+	}
+	if len(s.Values) == 0 {
+		return fmt.Sprintf("%s\n(empty series)\n", title)
+	}
+	// Downsample to width columns by averaging.
+	cols := make([]float64, width)
+	per := float64(len(s.Values)) / float64(width)
+	if per < 1 {
+		per = 1
+		width = len(s.Values)
+		cols = cols[:width]
+	}
+	for i := 0; i < width; i++ {
+		lo := int(float64(i) * per)
+		hi := int(float64(i+1) * per)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(s.Values) {
+			hi = len(s.Values)
+		}
+		sum := 0.0
+		for j := lo; j < hi; j++ {
+			sum += s.Values[j]
+		}
+		cols[i] = sum / float64(hi-lo)
+	}
+	lo, hi := cols[0], cols[0]
+	for _, v := range cols {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c, v := range cols {
+		level := int((v - lo) / (hi - lo) * float64(height-1))
+		row := height - 1 - level
+		for r := height - 1; r >= row; r-- {
+			ch := byte('.')
+			if r == row {
+				ch = '*'
+			}
+			grid[r][c] = ch
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [min=%.4g max=%.4g]\n", title, lo, hi)
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.3g ", hi)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%7.3g ", lo)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(line)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "         t=%.4gs ... t=%.4gs (step %.4gs)\n", s.Start, s.End(), s.Step)
+	return b.String()
+}

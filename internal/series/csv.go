@@ -1,0 +1,68 @@
+package series
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the series as rows of "time,value" with a header line.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "value"}); err != nil {
+		return fmt.Errorf("series: write header: %w", err)
+	}
+	for i, v := range s.Values {
+		rec := []string{
+			strconv.FormatFloat(s.TimeAt(i), 'g', -1, 64),
+			strconv.FormatFloat(v, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("series: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("series: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a series written by WriteCSV. The step is inferred from the
+// first two rows; a single-row file gets step 1.
+func ReadCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("series: read csv: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("series: empty csv")
+	}
+	rows := recs[1:] // skip header
+	s := &Series{Step: 1}
+	times := make([]float64, 0, len(rows))
+	for i, rec := range rows {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("series: row %d has %d fields, want 2", i, len(rec))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("series: row %d time: %w", i, err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("series: row %d value: %w", i, err)
+		}
+		times = append(times, t)
+		s.Values = append(s.Values, v)
+	}
+	if len(times) > 0 {
+		s.Start = times[0]
+	}
+	if len(times) > 1 {
+		s.Step = times[1] - times[0]
+	}
+	return s, nil
+}

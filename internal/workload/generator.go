@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hierctl/internal/series"
+)
+
+// Request is one generated service request.
+type Request struct {
+	// Arrival is the absolute arrival time in simulation seconds.
+	Arrival float64
+	// Object is the requested object's id in the store.
+	Object int
+	// Demand is the full-speed processing time in seconds.
+	Demand float64
+}
+
+// Generator turns a binned arrival trace and a store into per-bin batches
+// of individual requests. Batches are generated lazily so multi-million
+// request traces never exist in memory at once. Construct with NewGenerator.
+type Generator struct {
+	trace *series.Series
+	store *Store
+	rng   *rand.Rand
+	next  int
+	buf   []Request
+}
+
+// NewGenerator returns a generator over the trace using the store for
+// object sampling and rng for arrival-offset and routing randomness.
+func NewGenerator(trace *series.Series, store *Store, rng *rand.Rand) (*Generator, error) {
+	if trace == nil || trace.Len() == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if store == nil {
+		return nil, fmt.Errorf("workload: nil store")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	return &Generator{trace: trace, store: store, rng: rng}, nil
+}
+
+// Bins returns the number of bins in the underlying trace.
+func (g *Generator) Bins() int { return g.trace.Len() }
+
+// BinSeconds returns the trace bin width in seconds.
+func (g *Generator) BinSeconds() float64 { return g.trace.Step }
+
+// Trace returns the underlying arrival-count series.
+func (g *Generator) Trace() *series.Series { return g.trace }
+
+// NextBin generates the requests of the next bin, sorted by arrival time,
+// and reports the bin index. It returns ok=false once the trace is
+// exhausted. The returned slice is reused by subsequent calls; callers that
+// retain requests must copy them.
+func (g *Generator) NextBin() (bin int, reqs []Request, ok bool) {
+	if g.next >= g.trace.Len() {
+		return 0, nil, false
+	}
+	bin = g.next
+	g.next++
+	n := int(g.trace.Values[bin] + 0.5)
+	if cap(g.buf) < n {
+		g.buf = make([]Request, 0, n)
+	}
+	g.buf = g.buf[:0]
+	start := g.trace.TimeAt(bin)
+	for i := 0; i < n; i++ {
+		obj := g.store.Sample(g.rng)
+		g.buf = append(g.buf, Request{
+			Arrival: start + g.rng.Float64()*g.trace.Step,
+			Object:  obj,
+			Demand:  g.store.Demand(obj),
+		})
+	}
+	sort.Slice(g.buf, func(i, j int) bool { return g.buf[i].Arrival < g.buf[j].Arrival })
+	return bin, g.buf, true
+}
+
+// Reset rewinds the generator to the first bin. The RNG stream is not
+// rewound; use a fresh generator for bit-identical replay.
+func (g *Generator) Reset() { g.next = 0 }

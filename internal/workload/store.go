@@ -1,0 +1,186 @@
+// Package workload implements the paper's workload substrate: binned
+// arrival traces (the §4.3 synthetic trace and a World-Cup-98-like diurnal
+// day), a virtual object store with Zipf popularity and lognormal temporal
+// locality, and a per-bin request generator that turns trace counts into
+// individual requests with arrival offsets and service demands.
+//
+// Substitution note (see DESIGN.md §3): the real WC'98 and ISP traces are
+// not redistributable; the profiles here reproduce the published shapes
+// (time-of-day nonstationarity, noise bands, peak/trough ratios), which is
+// what the controllers respond to.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Store is the virtual object store of §4.3: Objects objects whose
+// individual processing times are drawn uniformly from [MinDemand,
+// MaxDemand]; a "popular" prefix of PopularCount objects receives
+// PopularShare of all requests (popularity follows Zipf's law within each
+// partition); and temporal locality re-requests recently seen objects with
+// lognormally distributed stack distances.
+//
+// Construct with NewStore.
+type Store struct {
+	demands []float64
+
+	popularCount int
+	popularShare float64
+
+	popZipf  *rand.Zipf
+	rareZipf *rand.Zipf
+
+	// Temporal locality parameters.
+	localProb  float64
+	logMu      float64
+	logSigma   float64
+	history    []int
+	historyCap int
+}
+
+// StoreConfig parameterizes NewStore. The zero value is not valid; use
+// DefaultStoreConfig for the paper's settings.
+type StoreConfig struct {
+	// Objects is the total number of objects (paper: 10 000).
+	Objects int
+	// PopularCount is the size of the popular partition (paper: 1000).
+	PopularCount int
+	// PopularShare is the fraction of requests served by the popular
+	// partition (paper: 0.9).
+	PopularShare float64
+	// MinDemand and MaxDemand bound per-object full-speed processing
+	// times in seconds (paper: 10–25 ms).
+	MinDemand, MaxDemand float64
+	// ZipfS is the Zipf exponent used within each partition (> 1 as
+	// required by math/rand; web workloads are near 1).
+	ZipfS float64
+	// LocalityProb is the probability a request re-references a recently
+	// requested object instead of sampling by popularity.
+	LocalityProb float64
+	// LogMu and LogSigma parameterize the lognormal stack distance of
+	// temporal locality (§4.3 cites Barford & Crovella).
+	LogMu, LogSigma float64
+	// HistoryCap bounds the locality history length.
+	HistoryCap int
+}
+
+// DefaultStoreConfig returns the paper's virtual-store parameters.
+func DefaultStoreConfig() StoreConfig {
+	return StoreConfig{
+		Objects:      10000,
+		PopularCount: 1000,
+		PopularShare: 0.9,
+		MinDemand:    0.010,
+		MaxDemand:    0.025,
+		ZipfS:        1.1,
+		LocalityProb: 0.3,
+		LogMu:        math.Log(50),
+		LogSigma:     1.5,
+		HistoryCap:   4096,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c StoreConfig) Validate() error {
+	if c.Objects <= 0 {
+		return fmt.Errorf("workload: objects %d <= 0", c.Objects)
+	}
+	if c.PopularCount <= 0 || c.PopularCount > c.Objects {
+		return fmt.Errorf("workload: popular count %d outside (0, %d]", c.PopularCount, c.Objects)
+	}
+	if c.PopularShare < 0 || c.PopularShare > 1 {
+		return fmt.Errorf("workload: popular share %v outside [0, 1]", c.PopularShare)
+	}
+	if c.MinDemand <= 0 || c.MaxDemand < c.MinDemand {
+		return fmt.Errorf("workload: demand range [%v, %v] invalid", c.MinDemand, c.MaxDemand)
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("workload: zipf exponent %v must be > 1", c.ZipfS)
+	}
+	if c.LocalityProb < 0 || c.LocalityProb >= 1 {
+		return fmt.Errorf("workload: locality probability %v outside [0, 1)", c.LocalityProb)
+	}
+	if c.LogSigma < 0 {
+		return fmt.Errorf("workload: lognormal sigma %v < 0", c.LogSigma)
+	}
+	if c.HistoryCap < 1 {
+		return fmt.Errorf("workload: history cap %d < 1", c.HistoryCap)
+	}
+	return nil
+}
+
+// NewStore builds a store using rng for the per-object demand draws and the
+// popularity samplers.
+func NewStore(rng *rand.Rand, cfg StoreConfig) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		demands:      make([]float64, cfg.Objects),
+		popularCount: cfg.PopularCount,
+		popularShare: cfg.PopularShare,
+		localProb:    cfg.LocalityProb,
+		logMu:        cfg.LogMu,
+		logSigma:     cfg.LogSigma,
+		historyCap:   cfg.HistoryCap,
+	}
+	for i := range s.demands {
+		s.demands[i] = cfg.MinDemand + rng.Float64()*(cfg.MaxDemand-cfg.MinDemand)
+	}
+	s.popZipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.PopularCount-1))
+	rare := cfg.Objects - cfg.PopularCount
+	if rare > 0 {
+		s.rareZipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(rare-1))
+	}
+	return s, nil
+}
+
+// Objects returns the number of objects in the store.
+func (s *Store) Objects() int { return len(s.demands) }
+
+// Demand returns the full-speed processing time of object id in seconds.
+func (s *Store) Demand(id int) float64 { return s.demands[id] }
+
+// MeanDemand returns the average full-speed processing time across objects.
+func (s *Store) MeanDemand() float64 {
+	sum := 0.0
+	for _, d := range s.demands {
+		sum += d
+	}
+	return sum / float64(len(s.demands))
+}
+
+// Sample draws the next requested object id, honouring temporal locality
+// and the popular/rare partition split.
+func (s *Store) Sample(rng *rand.Rand) int {
+	if len(s.history) > 0 && rng.Float64() < s.localProb {
+		// Lognormal stack distance into the recent-history buffer.
+		d := int(math.Exp(s.logMu + s.logSigma*rng.NormFloat64()))
+		if d < len(s.history) {
+			id := s.history[len(s.history)-1-d]
+			s.remember(id)
+			return id
+		}
+	}
+	var id int
+	if s.rareZipf == nil || rng.Float64() < s.popularShare {
+		id = int(s.popZipf.Uint64())
+	} else {
+		id = s.popularCount + int(s.rareZipf.Uint64())
+	}
+	s.remember(id)
+	return id
+}
+
+func (s *Store) remember(id int) {
+	s.history = append(s.history, id)
+	if len(s.history) > s.historyCap {
+		// Drop the oldest half to amortize the copy.
+		keep := s.historyCap / 2
+		copy(s.history, s.history[len(s.history)-keep:])
+		s.history = s.history[:keep]
+	}
+}

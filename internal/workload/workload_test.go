@@ -1,0 +1,380 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func newTestStore(t *testing.T, cfg StoreConfig) *Store {
+	t.Helper()
+	s, err := NewStore(rand.New(rand.NewSource(1)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreConfigValidation(t *testing.T) {
+	base := DefaultStoreConfig()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*StoreConfig){
+		func(c *StoreConfig) { c.Objects = 0 },
+		func(c *StoreConfig) { c.PopularCount = 0 },
+		func(c *StoreConfig) { c.PopularCount = c.Objects + 1 },
+		func(c *StoreConfig) { c.PopularShare = 1.5 },
+		func(c *StoreConfig) { c.MinDemand = 0 },
+		func(c *StoreConfig) { c.MaxDemand = c.MinDemand / 2 },
+		func(c *StoreConfig) { c.ZipfS = 1.0 },
+		func(c *StoreConfig) { c.LocalityProb = 1.0 },
+		func(c *StoreConfig) { c.LogSigma = -1 },
+		func(c *StoreConfig) { c.HistoryCap = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: want validation error", i)
+		}
+	}
+}
+
+func TestStoreDemandsInRange(t *testing.T) {
+	cfg := DefaultStoreConfig()
+	s := newTestStore(t, cfg)
+	if s.Objects() != cfg.Objects {
+		t.Fatalf("Objects = %d, want %d", s.Objects(), cfg.Objects)
+	}
+	for id := 0; id < s.Objects(); id++ {
+		d := s.Demand(id)
+		if d < cfg.MinDemand || d > cfg.MaxDemand {
+			t.Fatalf("Demand(%d) = %v outside [%v, %v]", id, d, cfg.MinDemand, cfg.MaxDemand)
+		}
+	}
+	mean := s.MeanDemand()
+	want := (cfg.MinDemand + cfg.MaxDemand) / 2
+	if math.Abs(mean-want) > 0.002 {
+		t.Errorf("MeanDemand = %v, want ≈%v", mean, want)
+	}
+}
+
+func TestStorePopularPartitionDominates(t *testing.T) {
+	cfg := DefaultStoreConfig()
+	cfg.LocalityProb = 0 // isolate the partition split
+	s := newTestStore(t, cfg)
+	rng := rand.New(rand.NewSource(2))
+	const n = 200000
+	popular := 0
+	for i := 0; i < n; i++ {
+		if s.Sample(rng) < cfg.PopularCount {
+			popular++
+		}
+	}
+	frac := float64(popular) / n
+	if math.Abs(frac-cfg.PopularShare) > 0.02 {
+		t.Errorf("popular fraction = %v, want ≈%v", frac, cfg.PopularShare)
+	}
+}
+
+func TestStoreZipfSkewWithinPopular(t *testing.T) {
+	cfg := DefaultStoreConfig()
+	cfg.LocalityProb = 0
+	s := newTestStore(t, cfg)
+	rng := rand.New(rand.NewSource(3))
+	counts := make(map[int]int)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		id := s.Sample(rng)
+		if id < cfg.PopularCount {
+			counts[id]++
+		}
+	}
+	// Rank 0 should dominate: far more requests than the median popular
+	// object — the Zipf skew the paper relies on.
+	var freqs []int
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	if len(freqs) < 10 {
+		t.Fatalf("too few distinct popular objects sampled: %d", len(freqs))
+	}
+	if freqs[0] < 10*freqs[len(freqs)/2] {
+		t.Errorf("top object %d not ≫ median %d: popularity not Zipf-skewed", freqs[0], freqs[len(freqs)/2])
+	}
+}
+
+func TestStoreTemporalLocalityIncreasesRepeats(t *testing.T) {
+	repeatRate := func(localityProb float64, seed int64) float64 {
+		cfg := DefaultStoreConfig()
+		cfg.LocalityProb = localityProb
+		s := newTestStore(t, cfg)
+		rng := rand.New(rand.NewSource(seed))
+		recent := make(map[int]bool)
+		var window []int
+		repeats, total := 0, 0
+		for i := 0; i < 50000; i++ {
+			id := s.Sample(rng)
+			if recent[id] {
+				repeats++
+			}
+			total++
+			window = append(window, id)
+			recent[id] = true
+			if len(window) > 100 {
+				old := window[0]
+				window = window[1:]
+				stillThere := false
+				for _, w := range window {
+					if w == old {
+						stillThere = true
+						break
+					}
+				}
+				if !stillThere {
+					delete(recent, old)
+				}
+			}
+		}
+		return float64(repeats) / float64(total)
+	}
+	withLocality := repeatRate(0.5, 4)
+	withoutLocality := repeatRate(0, 4)
+	if withLocality <= withoutLocality {
+		t.Errorf("locality did not increase repeat rate: %v <= %v", withLocality, withoutLocality)
+	}
+}
+
+func TestSyntheticTraceShape(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	tr, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != cfg.Bins {
+		t.Fatalf("Len = %d, want %d", tr.Len(), cfg.Bins)
+	}
+	if tr.Min() < 0 {
+		t.Errorf("negative arrivals: %v", tr.Min())
+	}
+	// Scaled peak should approach BaseMax*ScaleFactor (Fig. 4: ≈5000/bin).
+	if max := tr.Max(); max < 3000 || max > 8000 {
+		t.Errorf("peak = %v, want within [3000, 8000] (Fig. 4 shape)", max)
+	}
+	// Diurnal variation: max/min of the smoothed structure is large.
+	smooth := tr.Smooth(101)
+	if ratio := smooth.Max() / math.Max(smooth.Min(), 1); ratio < 3 {
+		t.Errorf("peak/trough ratio = %v, want >= 3 (time-of-day variation)", ratio)
+	}
+}
+
+func TestSyntheticNoiseSegmentsEscalate(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	tr, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noiseStd := func(from, to int) float64 {
+		seg := tr.Slice(from, to)
+		smooth := seg.Smooth(21)
+		var sum float64
+		for i := range seg.Values {
+			d := seg.Values[i] - smooth.Values[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum / float64(seg.Len()))
+	}
+	s1 := noiseStd(100, 1100)
+	s3 := noiseStd(4200, 6300)
+	if s3 <= s1 {
+		t.Errorf("noise did not escalate across segments: seg1 %v, seg3 %v", s1, s3)
+	}
+}
+
+func TestSyntheticDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	a, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("same seed diverged at bin %d", i)
+		}
+	}
+	cfg.Seed = 99
+	c, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != c.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestSyntheticConfigValidation(t *testing.T) {
+	base := DefaultSyntheticConfig()
+	mutations := []func(*SyntheticConfig){
+		func(c *SyntheticConfig) { c.Bins = 0 },
+		func(c *SyntheticConfig) { c.BinSeconds = 0 },
+		func(c *SyntheticConfig) { c.BaseMax = c.BaseMin - 1 },
+		func(c *SyntheticConfig) { c.ScaleFactor = 0 },
+		func(c *SyntheticConfig) { c.NoiseSigma = []float64{1} },
+		func(c *SyntheticConfig) { c.NoiseBounds = []int{500, 400, 6400} },
+	}
+	for i, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("mutation %d: want error", i)
+		}
+	}
+}
+
+func TestWC98Shape(t *testing.T) {
+	cfg := DefaultWC98Config()
+	tr, err := WorldCup98Like(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != cfg.Bins {
+		t.Fatalf("Len = %d, want %d", tr.Len(), cfg.Bins)
+	}
+	if tr.Min() < 0 {
+		t.Error("negative arrivals")
+	}
+	// Peak near configured peak, in the later middle of the day (Fig. 6).
+	maxIdx, maxVal := 0, 0.0
+	for i, v := range tr.Values {
+		if v > maxVal {
+			maxIdx, maxVal = i, v
+		}
+	}
+	if maxVal < 0.85*cfg.Peak {
+		t.Errorf("peak %v too low, want ≈%v", maxVal, cfg.Peak)
+	}
+	if frac := float64(maxIdx) / float64(cfg.Bins); frac < 0.5 || frac > 0.85 {
+		t.Errorf("peak at fraction %v, want within [0.5, 0.85]", frac)
+	}
+	// Early trough well below the peak.
+	early := tr.Slice(0, cfg.Bins/5)
+	if early.Min() > 0.35*maxVal {
+		t.Errorf("early trough %v not ≪ peak %v", early.Min(), maxVal)
+	}
+}
+
+func TestWC98Validation(t *testing.T) {
+	cfg := DefaultWC98Config()
+	cfg.Peak = 0
+	if _, err := WorldCup98Like(cfg); err == nil {
+		t.Error("zero peak: want error")
+	}
+	cfg = DefaultWC98Config()
+	cfg.NoiseSigma = -1
+	if _, err := WorldCup98Like(cfg); err == nil {
+		t.Error("negative noise: want error")
+	}
+}
+
+func TestStepLoad(t *testing.T) {
+	tr, err := StepLoad(10, 30, 5, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 5, 5, 50, 50, 50, 5, 5, 5, 50}
+	for i, w := range want {
+		if tr.Values[i] != w {
+			t.Errorf("bin %d = %v, want %v", i, tr.Values[i], w)
+		}
+	}
+	if _, err := StepLoad(0, 30, 5, 50, 3); err == nil {
+		t.Error("zero bins: want error")
+	}
+	if _, err := StepLoad(10, 30, 50, 5, 3); err == nil {
+		t.Error("hi < lo: want error")
+	}
+}
+
+func TestGeneratorProducesTraceCounts(t *testing.T) {
+	tr, err := StepLoad(5, 30, 10, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newTestStore(t, DefaultStoreConfig())
+	gen, err := NewGenerator(tr, store, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Bins() != 5 || gen.BinSeconds() != 30 {
+		t.Fatalf("Bins/BinSeconds = %d/%v", gen.Bins(), gen.BinSeconds())
+	}
+	total := 0
+	for {
+		bin, reqs, ok := gen.NextBin()
+		if !ok {
+			break
+		}
+		want := int(tr.Values[bin])
+		if len(reqs) != want {
+			t.Errorf("bin %d: %d requests, want %d", bin, len(reqs), want)
+		}
+		total += len(reqs)
+		lo, hi := tr.TimeAt(bin), tr.TimeAt(bin)+tr.Step
+		prev := lo
+		for _, r := range reqs {
+			if r.Arrival < lo || r.Arrival >= hi {
+				t.Fatalf("bin %d: arrival %v outside [%v, %v)", bin, r.Arrival, lo, hi)
+			}
+			if r.Arrival < prev {
+				t.Fatal("arrivals not sorted")
+			}
+			prev = r.Arrival
+			if r.Demand <= 0 {
+				t.Fatal("non-positive demand")
+			}
+			if r.Object < 0 || r.Object >= store.Objects() {
+				t.Fatalf("object id %d out of range", r.Object)
+			}
+		}
+	}
+	if total != int(tr.Sum()) {
+		t.Errorf("total requests %d, want %v", total, tr.Sum())
+	}
+	// Exhausted generator keeps returning ok=false.
+	if _, _, ok := gen.NextBin(); ok {
+		t.Error("exhausted generator returned ok=true")
+	}
+	gen.Reset()
+	if _, reqs, ok := gen.NextBin(); !ok || len(reqs) != 10 {
+		t.Error("Reset did not rewind generator")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	store := newTestStore(t, DefaultStoreConfig())
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewGenerator(nil, store, rng); err == nil {
+		t.Error("nil trace: want error")
+	}
+	tr, _ := StepLoad(3, 30, 1, 2, 1)
+	if _, err := NewGenerator(tr, nil, rng); err == nil {
+		t.Error("nil store: want error")
+	}
+	if _, err := NewGenerator(tr, store, nil); err == nil {
+		t.Error("nil rng: want error")
+	}
+}

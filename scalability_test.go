@@ -1,0 +1,95 @@
+package hierctl
+
+import (
+	"testing"
+	"time"
+
+	"hierctl/internal/econ"
+)
+
+func TestRunScalabilitySmall(t *testing.T) {
+	opts := fastOpts()
+	opts.Scale = 0.03
+	rows, err := RunScalability([]int{4, 8}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 controllers × 2 sizes)", len(rows))
+	}
+	byKey := map[string]ScalabilityRow{}
+	for _, r := range rows {
+		byKey[r.Controller+string(rune('0'+r.Computers))] = r
+		if r.ExploredPerPeriod <= 0 {
+			t.Errorf("%s n=%d: no states explored", r.Controller, r.Computers)
+		}
+		if r.DecideTimePerPeriod <= 0 {
+			t.Errorf("%s n=%d: no decide time", r.Controller, r.Computers)
+		}
+	}
+	// §3's claim: the flat controller's search grows super-linearly with
+	// cluster size; the hierarchy's per-module work stays near flat.
+	c4 := byKey["centralized"+string(rune('0'+4))]
+	c8 := byKey["centralized"+string(rune('0'+8))]
+	if c8.ExploredPerPeriod <= 1.5*c4.ExploredPerPeriod {
+		t.Errorf("centralized search did not grow: n=4 → %v, n=8 → %v",
+			c4.ExploredPerPeriod, c8.ExploredPerPeriod)
+	}
+	h4 := byKey["hierarchical"+string(rune('0'+4))]
+	h8 := byKey["hierarchical"+string(rune('0'+8))]
+	growthH := h8.ExploredPerPeriod / h4.ExploredPerPeriod
+	growthC := c8.ExploredPerPeriod / c4.ExploredPerPeriod
+	if growthC <= growthH {
+		t.Errorf("centralized growth %vx not above hierarchical %vx", growthC, growthH)
+	}
+}
+
+func TestRunScalabilityValidation(t *testing.T) {
+	if _, err := RunScalability([]int{5}, fastOpts()); err == nil {
+		t.Error("non-multiple-of-4 size: want error")
+	}
+	bad := fastOpts()
+	bad.Scale = 0
+	if _, err := RunScalability([]int{4}, bad); err == nil {
+		t.Error("bad scale: want error")
+	}
+}
+
+func TestEnergyRowsArePriced(t *testing.T) {
+	opts := fastOpts()
+	rows, err := RunEnergyComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profit must be consistent with the default tariff applied to the
+	// row's own fields.
+	for _, r := range rows {
+		s, err := econ.DefaultTariff().Price(econ.Outcome{
+			Completed:     r.Completed,
+			Dropped:       r.Dropped,
+			ViolationFrac: r.ViolationFrac,
+			Energy:        r.Energy,
+			Switches:      r.Switches,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Profit != r.ProfitUSD {
+			t.Errorf("%s: ProfitUSD %v != repriced %v", r.Policy, r.ProfitUSD, s.Profit)
+		}
+	}
+}
+
+func TestScalabilityRowDurationsSane(t *testing.T) {
+	opts := fastOpts()
+	opts.Scale = 0.03
+	rows, err := RunScalability([]int{4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.DecideTimePerPeriod > time.Minute {
+			t.Errorf("%s: implausible decide time %v", r.Controller, r.DecideTimePerPeriod)
+		}
+	}
+}
