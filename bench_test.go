@@ -4,6 +4,10 @@
 // reduced trace scale with coarse learning grids so one iteration stays in
 // the hundreds of milliseconds; run cmd/hpmbench for paper-scale numbers.
 //
+// The decision engine's worker pools follow GOMAXPROCS when Parallelism
+// is 0, so `go test -bench Sweep -cpu 1,4,8` measures the concurrent
+// engine's speedup over the sequential one on the same workloads.
+//
 // Custom metrics reported per benchmark:
 //
 //	energy        total energy consumed (abstract units)
@@ -274,6 +278,61 @@ func BenchmarkScalabilityHierVsCentral(b *testing.B) {
 	}
 	if h8 > 0 {
 		b.ReportMetric(c8/h8, "central_vs_hier_states_x")
+	}
+}
+
+// Parallel sweep benches: every level of the concurrent decision engine at
+// once. Run with -cpu 1,4,8 — the worker pools inherit GOMAXPROCS, so the
+// -cpu 1 column is the sequential engine and the others the speedup.
+
+// BenchmarkScalabilitySweep is the Fig. 6/EXT3 sweep end-to-end: cluster
+// sizes fan out, each hierarchy fans out its per-module L1 decisions and
+// learning, and the centralized baseline shards its candidate search.
+func BenchmarkScalabilitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts(int64(i + 1))
+		opts.Scale = 0.03
+		if _, err := RunScalability([]int{4, 8}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadModuleSweep runs the three OVH1 module configurations
+// as one fanned-out batch (vs the sequential per-size benches above).
+func BenchmarkOverheadModuleSweep(b *testing.B) {
+	var rows []OverheadRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunOverheadModules(DefaultOverheadCases(), benchOpts(int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].ExploredPerL1, "states_per_L1")
+}
+
+// BenchmarkOverheadClusterSweep runs both OVH2 cluster sizes as one batch.
+func BenchmarkOverheadClusterSweep(b *testing.B) {
+	var rows []OverheadRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunOverheadClusters([]int{4, 5}, benchOpts(int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].ExploredPerL1, "states_per_L1")
+}
+
+// BenchmarkAblationSweep fans the nine EXT2 variants across the pool.
+func BenchmarkAblationSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts(int64(i + 1))
+		opts.Scale = 0.03
+		if _, err := RunAblations(opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

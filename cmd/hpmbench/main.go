@@ -41,10 +41,11 @@ func run(args []string, w io.Writer) error {
 	scale := fs.Float64("scale", 1, "fraction of each trace to simulate (0, 1]")
 	seed := fs.Int64("seed", 1, "random seed")
 	fast := fs.Bool("fast", false, "coarse learning grids (quick runs)")
+	parallelism := fs.Int("parallelism", 0, "per-pool worker width; pools nest (sweep × module × search) (0 = one per CPU, 1 = fully sequential; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := hierctl.ExperimentOptions{Scale: *scale, Seed: *seed, Fast: *fast}
+	opts := hierctl.ExperimentOptions{Scale: *scale, Seed: *seed, Fast: *fast, Parallelism: *parallelism}
 
 	if *all {
 		for _, f := range []int{3, 4, 5, 6, 7} {
@@ -133,14 +134,11 @@ func runTable(w io.Writer, name string, opts hierctl.ExperimentOptions) error {
 	case "overhead-module":
 		fmt.Fprintln(w, "== §4.3 controller overhead: module sizes (paper: ≈858 states, 2.0 s / 1.1 s / 2.0 s on MATLAB) ==")
 		tab := metrics.NewTable("config", "computers", "states/L1 period", "decide/period", "offline learn", "mean resp (s)", "energy")
-		for _, c := range []struct {
-			m int
-			q float64
-		}{{4, 0.05}, {6, 0.1}, {10, 0.1}} {
-			row, err := hierctl.RunOverheadModule(c.m, c.q, opts)
-			if err != nil {
-				return err
-			}
+		rows, err := hierctl.RunOverheadModules(hierctl.DefaultOverheadCases(), opts)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
 			tab.AddRow(row.Label, row.Computers, row.ExploredPerL1, row.DecisionTime.String(), row.LearnTime.String(), row.MeanResponse, row.Energy)
 		}
 		fmt.Fprintln(w, tab)
@@ -148,11 +146,11 @@ func runTable(w io.Writer, name string, opts hierctl.ExperimentOptions) error {
 	case "overhead-cluster":
 		fmt.Fprintln(w, "== §5.2 controller overhead: cluster sizes (paper: ≈2.5 s at 16, ≈3.4 s at 20 on MATLAB) ==")
 		tab := metrics.NewTable("config", "computers", "states/L1 period", "decide/period", "offline learn", "mean resp (s)", "energy")
-		for _, p := range []int{4, 5} {
-			row, err := hierctl.RunOverheadCluster(p, opts)
-			if err != nil {
-				return err
-			}
+		rows, err := hierctl.RunOverheadClusters([]int{4, 5}, opts)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
 			tab.AddRow(row.Label, row.Computers, row.ExploredPerL1, row.DecisionTime.String(), row.LearnTime.String(), row.MeanResponse, row.Energy)
 		}
 		fmt.Fprintln(w, tab)

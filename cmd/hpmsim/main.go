@@ -35,6 +35,7 @@ func run(args []string, stdout io.Writer) error {
 	scale := fs.Float64("scale", 1, "fraction of the trace to simulate (0, 1]")
 	seed := fs.Int64("seed", 1, "random seed")
 	fast := fs.Bool("fast", false, "coarse learning grids (quick runs)")
+	parallelism := fs.Int("parallelism", 0, "per-pool worker width; pools nest (sweep × module × search) (0 = one per CPU, 1 = fully sequential; results identical)")
 	artifacts := fs.String("artifacts", "", "directory caching offline learning results (must exist)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +70,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := hierctl.ExperimentOptions{Scale: *scale, Seed: *seed, Fast: *fast}
+	opts := hierctl.ExperimentOptions{Scale: *scale, Seed: *seed, Fast: *fast, Parallelism: *parallelism}
 	trace = trimTrace(trace, *scale)
 
 	store, err := hierctl.NewStore(*seed, hierctl.DefaultStoreConfig())

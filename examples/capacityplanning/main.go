@@ -7,47 +7,59 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"hierctl"
 )
 
 func main() {
+	// An eighth of the day (75 two-minute bins around the morning rise)
+	// keeps the sweep fast while covering low and high load.
+	if err := run(os.Stdout, hierctl.ExperimentOptions{Scale: 1, Seed: 1, Fast: true}, 75, 4); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, opts hierctl.ExperimentOptions, bins, maxModules int) error {
 	wcCfg := hierctl.DefaultWC98Config()
 	trace, err := hierctl.WC98Trace(wcCfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	// An eighth of the day (75 two-minute bins around the morning rise)
-	// keeps the sweep fast while covering low and high load.
-	trace = trace.Slice(trace.Len()/4, trace.Len()/4+75)
+	start := trace.Len() / 4
+	if start+bins > trace.Len() {
+		bins = trace.Len() - start
+	}
+	trace = trace.Slice(start, start+bins)
 
-	opts := hierctl.ExperimentOptions{Scale: 1, Seed: 1, Fast: true}
-	fmt.Println("modules computers   energy  mean resp  violations  verdict")
-	for p := 1; p <= 4; p++ {
+	fmt.Fprintln(w, "modules computers   energy  mean resp  violations  verdict")
+	for p := 1; p <= maxModules; p++ {
 		spec, err := hierctl.StandardCluster(p)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		mgr, err := hierctl.NewManager(spec, opts.Config())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		store, err := hierctl.NewStore(1, hierctl.DefaultStoreConfig())
+		store, err := hierctl.NewStore(opts.Seed, hierctl.DefaultStoreConfig())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		rec, err := mgr.Run(trace, store)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		verdict := "meets r*"
 		if rec.ViolationFrac > 0.10 {
 			verdict = "UNDER-PROVISIONED"
 		}
-		fmt.Printf("%7d %9d %8.0f %9.3fs %10.1f%%  %s\n",
+		fmt.Fprintf(w, "%7d %9d %8.0f %9.3fs %10.1f%%  %s\n",
 			p, spec.Computers(), rec.Energy, rec.MeanResponse(), 100*rec.ViolationFrac, verdict)
 	}
-	fmt.Println("\nPick the smallest cluster whose violation fraction stays low —")
-	fmt.Println("the hierarchy then earns the energy savings at run time.")
+	fmt.Fprintln(w, "\nPick the smallest cluster whose violation fraction stays low —")
+	fmt.Fprintln(w, "the hierarchy then earns the energy savings at run time.")
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hierctl"
+)
+
+// TestCapacityPlanningSmoke sweeps two tiny cluster sizes over a short
+// slice of the day.
+func TestCapacityPlanningSmoke(t *testing.T) {
+	var out bytes.Buffer
+	opts := hierctl.ExperimentOptions{Scale: 1, Seed: 1, Fast: true}
+	if err := run(&out, opts, 16, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "modules computers") {
+		t.Errorf("missing table header:\n%s", out.String())
+	}
+	if got := strings.Count(out.String(), "\n"); got < 4 {
+		t.Errorf("expected at least a header and two sweep rows:\n%s", out.String())
+	}
+}

@@ -11,8 +11,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"hierctl/internal/forecast"
 	"hierctl/internal/llc"
@@ -65,6 +67,12 @@ func (m bucketModel) Inputs(float64) []int {
 }
 
 func main() {
+	if err := run(os.Stdout, 40); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, steps int) error {
 	model := bucketModel{
 		serviceRate: 100,
 		quotas:      []float64{40, 70, 100, 130, 160},
@@ -76,14 +84,14 @@ func main() {
 	// hierarchy uses.
 	kf, err := forecast.NewKalman(4, 0.5, 64)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	rng := rand.New(rand.NewSource(7))
 	backlog := 0.0
 	demand := 80.0
-	fmt.Println("  t   demand  quota admitted backlog  (set-point 200)")
-	for t := 0; t < 40; t++ {
+	fmt.Fprintln(w, "  t   demand  quota admitted backlog  (set-point 200)")
+	for t := 0; t < steps; t++ {
 		// Bursty demand: a regime switch at t=15 and noise throughout.
 		base := 80.0
 		if t >= 15 && t < 28 {
@@ -106,16 +114,17 @@ func main() {
 		}
 		res, err := llc.Exhaustive[float64, int](model, backlog, envs, llc.Options{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		quota := res.Inputs[0]
 		backlog = model.Step(backlog, quota, llc.Env{demand})
 		if t%2 == 0 {
-			fmt.Printf("%3d  %6.1f  %5.0f  %7.1f  %6.1f\n",
+			fmt.Fprintf(w, "%3d  %6.1f  %5.0f  %7.1f  %6.1f\n",
 				t, demand, model.quotas[quota], min(demand, model.quotas[quota]), backlog)
 		}
 	}
-	fmt.Println("\nThe controller widens the quota during the burst just enough to")
-	fmt.Println("keep the backlog near its set-point, then tightens it again —")
-	fmt.Println("the same LLC machinery that runs the cluster hierarchy.")
+	fmt.Fprintln(w, "\nThe controller widens the quota during the burst just enough to")
+	fmt.Fprintln(w, "keep the backlog near its set-point, then tightens it again —")
+	fmt.Fprintln(w, "the same LLC machinery that runs the cluster hierarchy.")
+	return nil
 }

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCustomControllerSmoke runs the admission-control loop for a few
+// periods.
+func TestCustomControllerSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "set-point 200") {
+		t.Errorf("missing table header:\n%s", out.String())
+	}
+}

@@ -7,28 +7,35 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"hierctl"
 )
 
 func main() {
+	// 80 minutes of steady load (160 bins of 30 s) so the failure bites.
+	if err := run(os.Stdout, hierctl.ExperimentOptions{Scale: 1, Seed: 1, Fast: true}, 160); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, opts hierctl.ExperimentOptions, bins int) error {
 	spec, err := hierctl.StandardCluster(2) // 2 modules × 4 computers
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	// A steady, moderately heavy load so the failure bites: ~150 req/s
-	// across 8 computers for 80 minutes.
-	trace, err := hierctl.StepTrace(160, 30, 4500, 4500, 160)
+	// A steady, moderately heavy load: ~150 req/s across 8 computers.
+	trace, err := hierctl.StepTrace(bins, 30, 4500, 4500, bins)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	opts := hierctl.ExperimentOptions{Scale: 1, Seed: 1, Fast: true}
 	mgr, err := hierctl.NewManager(spec, opts.Config())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Fail two computers of module 1 a third into the run; repair one
@@ -38,22 +45,23 @@ func main() {
 	mgr.InjectFailure(third, 0, 1)
 	mgr.InjectRepair(2*third, 0, 0)
 
-	store, err := hierctl.NewStore(1, hierctl.DefaultStoreConfig())
+	store, err := hierctl.NewStore(opts.Seed, hierctl.DefaultStoreConfig())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rec, err := mgr.Run(trace, store)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	total := int64(trace.Sum())
-	fmt.Printf("offered requests   : %d\n", total)
-	fmt.Printf("completed          : %d (%.2f%%)\n", rec.Completed, 100*float64(rec.Completed)/float64(total))
-	fmt.Printf("dropped by failures: %d\n", rec.Dropped)
-	fmt.Printf("mean response      : %.3f s (target %.1f s)\n", rec.MeanResponse(), rec.TargetResponse)
-	fmt.Printf("violations         : %.1f%% of intervals\n", 100*rec.ViolationFrac)
-	fmt.Println()
-	fmt.Print(rec.Operational.ASCIIPlot("operational computers (failures at 1/3, repair at 2/3)", 80, 6))
-	fmt.Print(rec.ResponseMean.ASCIIPlot("mean response per 30 s (s)", 80, 6))
+	fmt.Fprintf(w, "offered requests   : %d\n", total)
+	fmt.Fprintf(w, "completed          : %d (%.2f%%)\n", rec.Completed, 100*float64(rec.Completed)/float64(total))
+	fmt.Fprintf(w, "dropped by failures: %d\n", rec.Dropped)
+	fmt.Fprintf(w, "mean response      : %.3f s (target %.1f s)\n", rec.MeanResponse(), rec.TargetResponse)
+	fmt.Fprintf(w, "violations         : %.1f%% of intervals\n", 100*rec.ViolationFrac)
+	fmt.Fprintln(w)
+	fmt.Fprint(w, rec.Operational.ASCIIPlot("operational computers (failures at 1/3, repair at 2/3)", 80, 6))
+	fmt.Fprint(w, rec.ResponseMean.ASCIIPlot("mean response per 30 s (s)", 80, 6))
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hierctl"
+)
+
+// TestFailoverSmoke runs the failure-injection example on a short trace.
+func TestFailoverSmoke(t *testing.T) {
+	var out bytes.Buffer
+	opts := hierctl.ExperimentOptions{Scale: 1, Seed: 1, Fast: true}
+	if err := run(&out, opts, 48); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"offered requests", "completed", "operational computers"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -5,52 +5,65 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"hierctl"
 )
 
 func main() {
+	// Two hours of the trace (240 bins of 30 s) at the paper's full
+	// learning grids.
+	if err := run(os.Stdout, hierctl.ExperimentOptions{Scale: 1, Seed: 1}, 240); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, opts hierctl.ExperimentOptions, bins int) error {
 	// The §4.3 cluster: one module with the four Fig. 3 computers.
 	spec, err := hierctl.StandardModuleCluster()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The paper's controller settings: T_L0 = 30 s, N_L0 = 3, T_L1 = 2 min,
 	// r* = 4 s, Q = 100, R = 1, W = 8. NewManager performs the offline
 	// simulation-based learning of the abstraction maps (§4.2).
-	cfg := hierctl.DefaultConfig()
-	mgr, err := hierctl.NewManager(spec, cfg)
+	mgr, err := hierctl.NewManager(spec, opts.Config())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	// Two hours of the §4.3 synthetic trace (240 bins of 30 s) and the
-	// 10 000-object virtual store with Zipf popularity.
+	// A slice of the §4.3 synthetic trace and the 10 000-object virtual
+	// store with Zipf popularity.
 	traceCfg := hierctl.DefaultSyntheticConfig()
 	trace, err := hierctl.SyntheticTrace(traceCfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	trace = trace.Slice(0, 240)
-	store, err := hierctl.NewStore(1, hierctl.DefaultStoreConfig())
+	if bins > trace.Len() {
+		bins = trace.Len()
+	}
+	trace = trace.Slice(0, bins)
+	store, err := hierctl.NewStore(opts.Seed, hierctl.DefaultStoreConfig())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	rec, err := mgr.Run(trace, store)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("requests completed : %d\n", rec.Completed)
-	fmt.Printf("mean response      : %.3f s (target %.1f s)\n", rec.MeanResponse(), rec.TargetResponse)
-	fmt.Printf("target met in      : %.1f%% of intervals\n", 100*(1-rec.ViolationFrac))
-	fmt.Printf("energy consumed    : %.1f units\n", rec.Energy)
-	fmt.Printf("computers on (avg) : %.2f of %d\n", rec.Operational.Mean(), spec.Computers())
-	fmt.Printf("states per L1 step : %.0f (paper reports ≈858 for m=4)\n", rec.ExploredPerL1Decision())
-	fmt.Printf("control time/period: %v (paper: ≈2 s in MATLAB)\n", rec.DecisionTimePerPeriod())
-	fmt.Println()
-	fmt.Print(rec.Operational.ASCIIPlot("operational computers over time", 80, 5))
+	fmt.Fprintf(w, "requests completed : %d\n", rec.Completed)
+	fmt.Fprintf(w, "mean response      : %.3f s (target %.1f s)\n", rec.MeanResponse(), rec.TargetResponse)
+	fmt.Fprintf(w, "target met in      : %.1f%% of intervals\n", 100*(1-rec.ViolationFrac))
+	fmt.Fprintf(w, "energy consumed    : %.1f units\n", rec.Energy)
+	fmt.Fprintf(w, "computers on (avg) : %.2f of %d\n", rec.Operational.Mean(), spec.Computers())
+	fmt.Fprintf(w, "states per L1 step : %.0f (paper reports ≈858 for m=4)\n", rec.ExploredPerL1Decision())
+	fmt.Fprintf(w, "control time/period: %v (paper: ≈2 s in MATLAB)\n", rec.DecisionTimePerPeriod())
+	fmt.Fprintln(w)
+	fmt.Fprint(w, rec.Operational.ASCIIPlot("operational computers over time", 80, 5))
+	return nil
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hierctl"
+)
+
+// TestQuickstartSmoke runs the example end-to-end at a tiny scale so the
+// example main cannot silently rot.
+func TestQuickstartSmoke(t *testing.T) {
+	var out bytes.Buffer
+	opts := hierctl.ExperimentOptions{Scale: 1, Seed: 1, Fast: true}
+	if err := run(&out, opts, 32); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"requests completed", "mean response", "operational computers"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -6,73 +6,88 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"hierctl"
 )
 
 func main() {
+	// A quarter of the WC'98-like day keeps this example snappy; raise
+	// bins (or pass 0 for the quarter-day default) for longer runs.
+	if err := run(os.Stdout, hierctl.ExperimentOptions{Scale: 1, Seed: 1, Fast: true}, 0); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, opts hierctl.ExperimentOptions, bins int) error {
 	spec, err := hierctl.StandardCluster(4) // 4 modules × 4 computers
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	// A quarter of the WC'98-like day keeps this example snappy; pass
-	// the full trace for the paper-scale run.
 	wcCfg := hierctl.DefaultWC98Config()
+	wcCfg.Seed = opts.Seed
 	trace, err := hierctl.WC98Trace(wcCfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	trace = trace.Slice(0, trace.Len()/4)
+	if bins <= 0 {
+		bins = trace.Len() / 4
+	} else if bins > trace.Len() {
+		bins = trace.Len()
+	}
+	trace = trace.Slice(0, bins)
 
-	fmt.Printf("cluster: %d computers in %d modules, %d 2-minute intervals\n\n",
+	fmt.Fprintf(w, "cluster: %d computers in %d modules, %d 2-minute intervals\n\n",
 		spec.Computers(), len(spec.Modules), trace.Len())
 
 	// Hierarchical LLC.
-	opts := hierctl.ExperimentOptions{Scale: 1, Seed: 1, Fast: true}
 	mgr, err := hierctl.NewManager(spec, opts.Config())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	store, err := hierctl.NewStore(1, hierctl.DefaultStoreConfig())
+	store, err := hierctl.NewStore(opts.Seed, hierctl.DefaultStoreConfig())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rec, err := mgr.Run(trace, store)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%-18s energy %9.0f   mean resp %6.3fs   violations %5.1f%%\n",
+	fmt.Fprintf(w, "%-18s energy %9.0f   mean resp %6.3fs   violations %5.1f%%\n",
 		"hierarchical-llc", rec.Energy, rec.MeanResponse(), 100*rec.ViolationFrac)
 	llcEnergy := rec.Energy
 
 	// Baselines on the identical workload.
 	threshold, err := hierctl.ThresholdPolicy(0.35, 0.8, 1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, pol := range []hierctl.BaselinePolicy{hierctl.AlwaysOnPolicy(), threshold} {
-		store, err := hierctl.NewStore(1, hierctl.DefaultStoreConfig())
+		store, err := hierctl.NewStore(opts.Seed, hierctl.DefaultStoreConfig())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		bcfg := hierctl.DefaultBaselineConfig()
+		bcfg.Seed = opts.Seed
 		res, err := hierctl.RunBaseline(spec, pol, trace, store, bcfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-18s energy %9.0f   mean resp %6.3fs   violations %5.1f%%\n",
+		fmt.Fprintf(w, "%-18s energy %9.0f   mean resp %6.3fs   violations %5.1f%%\n",
 			res.Policy, res.Energy, res.MeanResponse, 100*res.ViolationFrac)
 		if res.Policy == "always-on" && res.Energy > 0 {
-			fmt.Printf("%-18s (LLC saves %.1f%% vs always-on)\n", "",
+			fmt.Fprintf(w, "%-18s (LLC saves %.1f%% vs always-on)\n", "",
 				100*(1-llcEnergy/res.Energy))
 		}
 	}
 
-	fmt.Println()
-	fmt.Print(rec.Operational.ASCIIPlot("LLC: operational computers (of 16)", 80, 6))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, rec.Operational.ASCIIPlot("LLC: operational computers (of 16)", 80, 6))
 	for i, g := range rec.GammaModules {
-		fmt.Print(g.ASCIIPlot(fmt.Sprintf("LLC: module %d load fraction", i+1), 80, 4))
+		fmt.Fprint(w, g.ASCIIPlot(fmt.Sprintf("LLC: module %d load fraction", i+1), 80, 4))
 	}
+	return nil
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hierctl"
+)
+
+// TestWebfarmSmoke runs the example's LLC-vs-baselines comparison on a
+// tiny slice of the WC'98-like day.
+func TestWebfarmSmoke(t *testing.T) {
+	var out bytes.Buffer
+	opts := hierctl.ExperimentOptions{Scale: 1, Seed: 1, Fast: true}
+	if err := run(&out, opts, 16); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hierarchical-llc", "always-on", "threshold"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"hierctl/internal/econ"
 	"hierctl/internal/metrics"
+	"hierctl/internal/par"
 )
 
 // ExperimentOptions tunes the preset experiment runners. The zero value is
@@ -22,6 +23,16 @@ type ExperimentOptions struct {
 	// horizon to 2; use for benchmarks where learning time would
 	// dominate. The paper-fidelity setting is false.
 	Fast bool
+	// Parallelism bounds the worker pools used throughout the stack: the
+	// per-module L1 fan-out and offline learning inside each Manager,
+	// the centralized baseline's sharded candidate search, and the
+	// embarrassingly independent experiment sweeps (scalability sizes,
+	// ablation variants, policy comparisons, overhead cases). The bound
+	// is per pool, and pools nest (a sweep worker's Manager runs its own
+	// L1 fan-out), so total concurrency can exceed this value. 0 (the
+	// default) uses one worker per available CPU; 1 reproduces the
+	// sequential runners exactly. Results are identical at any setting.
+	Parallelism int
 }
 
 // DefaultExperimentOptions runs experiments at full paper scale.
@@ -33,6 +44,9 @@ func (o ExperimentOptions) validate() error {
 	if o.Scale <= 0 || o.Scale > 1 {
 		return fmt.Errorf("hierctl: scale %v outside (0, 1]", o.Scale)
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("hierctl: parallelism %d < 0", o.Parallelism)
+	}
 	return nil
 }
 
@@ -40,6 +54,7 @@ func (o ExperimentOptions) validate() error {
 func (o ExperimentOptions) Config() Config {
 	cfg := DefaultConfig()
 	cfg.Seed = o.Seed
+	cfg.Parallelism = o.Parallelism
 	if o.Fast {
 		cfg.L0.Horizon = 2
 		cfg.GMap.QStep = 40
@@ -210,6 +225,31 @@ func RunOverheadModule(m int, quantum float64, opts ExperimentOptions) (Overhead
 	}, nil
 }
 
+// OverheadCase names one configuration of the §4.3 overhead sweep.
+type OverheadCase struct {
+	// M is the module size, Quantum the load-fraction quantum q.
+	M       int
+	Quantum float64
+}
+
+// DefaultOverheadCases returns the paper's §4.3 sweep: m = 4 at q = 0.05,
+// m = 6 and m = 10 at q = 0.1.
+func DefaultOverheadCases() []OverheadCase {
+	return []OverheadCase{{4, 0.05}, {6, 0.1}, {10, 0.1}}
+}
+
+// RunOverheadModules runs the §4.3 overhead sweep (OVH1): each case is an
+// independent closed-loop run, fanned across opts.Parallelism workers.
+// Row order and contents match running RunOverheadModule case by case.
+func RunOverheadModules(cases []OverheadCase, opts ExperimentOptions) ([]OverheadRow, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return par.Map(par.Workers(opts.Parallelism), len(cases), func(i int) (OverheadRow, error) {
+		return RunOverheadModule(cases[i].M, cases[i].Quantum, opts)
+	})
+}
+
 // RunOverheadCluster reproduces the §5.2 overhead study: the full
 // hierarchy on p modules (16 computers at p = 4, 20 at p = 5).
 func RunOverheadCluster(p int, opts ExperimentOptions) (OverheadRow, error) {
@@ -226,6 +266,18 @@ func RunOverheadCluster(p int, opts ExperimentOptions) (OverheadRow, error) {
 		MeanResponse:  rec.MeanResponse(),
 		Energy:        rec.Energy,
 	}, nil
+}
+
+// RunOverheadClusters runs the §5.2 overhead sweep (OVH2) over the given
+// module counts, fanning the independent runs across opts.Parallelism
+// workers.
+func RunOverheadClusters(ps []int, opts ExperimentOptions) ([]OverheadRow, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return par.Map(par.Workers(opts.Parallelism), len(ps), func(i int) (OverheadRow, error) {
+		return RunOverheadCluster(ps[i], opts)
+	})
 }
 
 // EnergyRow is one line of the EXT1 policy-comparison table.
@@ -280,37 +332,9 @@ func RunEnergyComparison(opts ExperimentOptions) ([]EnergyRow, error) {
 	trace := opts.scaleTrace(fullTrace)
 	newStore := func() (*Store, error) { return NewStore(opts.Seed, DefaultStoreConfig()) }
 
-	var rows []EnergyRow
-
-	// Hierarchical LLC.
-	mgr, err := NewManager(spec, opts.Config())
-	if err != nil {
-		return nil, err
-	}
-	store, err := newStore()
-	if err != nil {
-		return nil, err
-	}
-	rec, err := mgr.Run(trace, store)
-	if err != nil {
-		return nil, err
-	}
-	llcRow := EnergyRow{
-		Policy:        "hierarchical-llc",
-		Energy:        rec.Energy,
-		MeanResponse:  rec.MeanResponse(),
-		ResponseP95:   rec.ResponseP95,
-		ViolationFrac: rec.ViolationFrac,
-		Switches:      rec.Switches,
-		Completed:     rec.Completed,
-		Dropped:       rec.Dropped,
-	}
-	if err := priceRow(&llcRow); err != nil {
-		return nil, err
-	}
-	rows = append(rows, llcRow)
-
-	// Baselines.
+	// The four policies run against private plants and stores, so the
+	// comparison fans out across the worker pool; row order is fixed by
+	// index (LLC first, then the baselines).
 	th, err := ThresholdPolicy(0.35, 0.8, 1)
 	if err != nil {
 		return nil, err
@@ -319,18 +343,42 @@ func RunEnergyComparison(opts ExperimentOptions) ([]EnergyRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	bcfg := DefaultBaselineConfig()
-	bcfg.Seed = opts.Seed
-	for _, pol := range []BaselinePolicy{AlwaysOnPolicy(), th, dv} {
+	baselines := []BaselinePolicy{AlwaysOnPolicy(), th, dv}
+	rows := make([]EnergyRow, 1+len(baselines))
+	err = par.For(par.Workers(opts.Parallelism), len(rows), func(i int) error {
 		store, err := newStore()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := RunBaseline(spec, pol, trace, store, bcfg)
+		if i == 0 {
+			// Hierarchical LLC.
+			mgr, err := NewManager(spec, opts.Config())
+			if err != nil {
+				return err
+			}
+			rec, err := mgr.Run(trace, store)
+			if err != nil {
+				return err
+			}
+			rows[i] = EnergyRow{
+				Policy:        "hierarchical-llc",
+				Energy:        rec.Energy,
+				MeanResponse:  rec.MeanResponse(),
+				ResponseP95:   rec.ResponseP95,
+				ViolationFrac: rec.ViolationFrac,
+				Switches:      rec.Switches,
+				Completed:     rec.Completed,
+				Dropped:       rec.Dropped,
+			}
+			return priceRow(&rows[i])
+		}
+		bcfg := DefaultBaselineConfig()
+		bcfg.Seed = opts.Seed
+		res, err := RunBaseline(spec, baselines[i-1], trace, store, bcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := EnergyRow{
+		rows[i] = EnergyRow{
 			Policy:        res.Policy,
 			Energy:        res.Energy,
 			MeanResponse:  res.MeanResponse,
@@ -340,10 +388,10 @@ func RunEnergyComparison(opts ExperimentOptions) ([]EnergyRow, error) {
 			Completed:     res.Completed,
 			Dropped:       res.Dropped,
 		}
-		if err := priceRow(&row); err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		return priceRow(&rows[i])
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -395,30 +443,30 @@ func RunAblations(opts ExperimentOptions) ([]AblationRow, error) {
 		{"W=0 (no switch penalty)", func(c *Config) { c.L1.SwitchWeight = 0 }},
 		{"oracle-forecast (not realizable)", func(c *Config) { c.OracleForecast = true }},
 	}
-	rows := make([]AblationRow, 0, len(variants))
-	for _, v := range variants {
+	// Each variant is an independent closed-loop run; fan them out.
+	return par.Map(par.Workers(opts.Parallelism), len(variants), func(i int) (AblationRow, error) {
+		v := variants[i]
 		cfg := opts.Config()
 		v.mutate(&cfg)
 		mgr, err := NewManager(spec, cfg)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		store, err := NewStore(opts.Seed, DefaultStoreConfig())
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		rec, err := mgr.Run(trace, store)
 		if err != nil {
-			return nil, fmt.Errorf("hierctl: ablation %s: %w", v.label, err)
+			return AblationRow{}, fmt.Errorf("hierctl: ablation %s: %w", v.label, err)
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Label:         v.label,
 			Energy:        rec.Energy,
 			MeanResponse:  rec.MeanResponse(),
 			ViolationFrac: rec.ViolationFrac,
 			Switches:      rec.Switches,
 			ExploredPerL1: rec.ExploredPerL1Decision(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

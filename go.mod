@@ -1,0 +1,3 @@
+module hierctl
+
+go 1.21

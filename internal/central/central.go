@@ -22,6 +22,7 @@ import (
 	"hierctl/internal/cluster"
 	"hierctl/internal/controller"
 	"hierctl/internal/llc"
+	"hierctl/internal/par"
 	"hierctl/internal/queue"
 )
 
@@ -46,6 +47,13 @@ type Config struct {
 	FreqSteps int
 	// MinOn keeps at least this many computers operational.
 	MinOn int
+	// Parallelism bounds the workers that shard the candidate search
+	// (one α candidate with its γ and u passes per task). 0 uses one
+	// worker per CPU; 1 reproduces the sequential search. The selected
+	// decision and the explored-state count are identical at any
+	// setting, so the EXT3 comparison keeps measuring control
+	// decomposition, not thread count.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the hierarchy's settings.
@@ -88,6 +96,9 @@ func (c Config) Validate() error {
 	}
 	if c.MinOn < 1 {
 		return fmt.Errorf("central: min-on %d < 1", c.MinOn)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("central: parallelism %d < 0", c.Parallelism)
 	}
 	return nil
 }
@@ -214,25 +225,37 @@ func (c *Controller) Decide(obs Observation) (Decision, error) {
 	if obs.LambdaHat < 0 {
 		obs.LambdaHat = 0
 	}
-	start := time.Now()
-
 	samples := []float64{obs.LambdaHat}
 	if obs.Delta > 0 {
 		samples = []float64{math.Max(0, obs.LambdaHat-obs.Delta), obs.LambdaHat, obs.LambdaHat + obs.Delta}
 	}
 
-	best := Decision{}
-	bestCost := math.Inf(1)
-	explored := 0
-	price := func(alpha []bool, gamma []float64, freq []int) float64 {
-		cost := 0.0
-		for _, lam := range samples {
-			cost += c.evaluate(alpha, gamma, freq, obs, lam)
-			explored++
-		}
-		return cost / float64(len(samples))
+	// The search is sharded by α candidate: each task runs that
+	// candidate's γ and u passes against the previous (read-only) state
+	// and records its local optimum in an indexed slot. The sequential
+	// reduction below then applies the same first-strict-improvement rule
+	// the single-threaded loop used, so the winning configuration and the
+	// explored-state count are identical at any worker count.
+	cands := c.alphaCandidates(obs.Available)
+	type shard struct {
+		cost     float64
+		dec      Decision
+		explored int
+		elapsed  time.Duration
 	}
-	for _, alpha := range c.alphaCandidates(obs.Available) {
+	shards := make([]shard, len(cands))
+	_ = par.For(par.Workers(c.cfg.Parallelism), len(cands), func(ci int) error {
+		shardStart := time.Now()
+		alpha := cands[ci]
+		local := shard{cost: math.Inf(1)}
+		price := func(gamma []float64, freq []int) float64 {
+			cost := 0.0
+			for _, lam := range samples {
+				cost += c.evaluate(alpha, gamma, freq, obs, lam)
+				local.explored++
+			}
+			return cost / float64(len(samples))
+		}
 		stay := make([]int, n)
 		for j := range c.specs {
 			stay[j] = clampIdx(c.prevFreq[j], len(c.specs[j].FrequenciesHz))
@@ -241,20 +264,41 @@ func (c *Controller) Decide(obs Observation) (Decision, error) {
 		gammaCost := math.Inf(1)
 		var bestGamma []float64
 		for _, gamma := range c.gammaCandidates(alpha) {
-			if cost := price(alpha, gamma, stay); cost < gammaCost {
+			if cost := price(gamma, stay); cost < gammaCost {
 				gammaCost = cost
 				bestGamma = gamma
 			}
 		}
 		if bestGamma == nil {
-			continue
+			local.elapsed = time.Since(shardStart)
+			shards[ci] = local
+			return nil
 		}
 		// Pass 2: best frequency vector at the chosen γ.
 		for _, freq := range c.freqCandidates(alpha) {
-			if cost := price(alpha, bestGamma, freq); cost < bestCost {
-				bestCost = cost
-				best = Decision{Alpha: alpha, Gamma: bestGamma, FreqIdx: freq}
+			if cost := price(bestGamma, freq); cost < local.cost {
+				local.cost = cost
+				local.dec = Decision{Alpha: alpha, Gamma: bestGamma, FreqIdx: freq}
 			}
+		}
+		local.elapsed = time.Since(shardStart)
+		shards[ci] = local
+		return nil
+	})
+	best := Decision{}
+	bestCost := math.Inf(1)
+	explored := 0
+	// Overhead is the summed per-shard compute, not the fan-out's
+	// wall-clock span — the same accounting the hierarchy uses (its
+	// L1Time sums each module's own Decide duration), so the EXT3
+	// comparison stays about control decomposition at any Parallelism.
+	var elapsed time.Duration
+	for _, s := range shards {
+		explored += s.explored
+		elapsed += s.elapsed
+		if s.cost < bestCost {
+			bestCost = s.cost
+			best = s.dec
 		}
 	}
 	if math.IsInf(bestCost, 1) {
@@ -269,7 +313,7 @@ func (c *Controller) Decide(obs Observation) (Decision, error) {
 	c.prevFreq = best.FreqIdx
 	c.explored += explored
 	c.decisions++
-	c.computeTime += time.Since(start)
+	c.computeTime += elapsed
 	return best, nil
 }
 

@@ -3,6 +3,7 @@ package central
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"hierctl/internal/cluster"
 	"hierctl/internal/des"
@@ -49,7 +50,7 @@ type Result struct {
 	MeanResponse      float64
 	ViolationFrac     float64
 	ExploredPerStep   float64
-	DecideTimePerStep float64 // seconds of wall-clock per decision
+	DecideTimePerStep time.Duration // wall-clock per decision
 	Operational       *series.Series
 }
 
@@ -298,7 +299,7 @@ func Run(spec cluster.Spec, trace *series.Series, store *workload.Store, cfg Run
 	explored, decisions, compute := ctl.Overhead()
 	if decisions > 0 {
 		res.ExploredPerStep = float64(explored) / float64(decisions)
-		res.DecideTimePerStep = compute.Seconds() / float64(decisions)
+		res.DecideTimePerStep = compute / time.Duration(decisions)
 	}
 	return res, nil
 }

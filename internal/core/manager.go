@@ -7,6 +7,7 @@ import (
 	"hierctl/internal/cluster"
 	"hierctl/internal/controller"
 	"hierctl/internal/forecast"
+	"hierctl/internal/par"
 )
 
 // Config bundles the hierarchy's tunables. Use DefaultConfig for the
@@ -52,6 +53,14 @@ type Config struct {
 	// perfect information, bounding how much of the remaining QoS gap
 	// is attributable to forecast error (EXT2 ablation).
 	OracleForecast bool
+	// Parallelism bounds the worker pool that fans out the per-module L1
+	// decisions and the offline learning of abstraction maps and module
+	// trees. 0 (the default) uses one worker per available CPU; 1
+	// reproduces the sequential engine exactly. Decisions are
+	// deterministic given observations, so any value produces
+	// bit-identical run records — Parallelism only changes wall-clock
+	// time.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's parameter set (§4.3, §5.2).
@@ -103,6 +112,9 @@ func (c Config) Validate() error {
 	}
 	if c.DrainSeconds < 0 {
 		return fmt.Errorf("core: drain seconds %v < 0", c.DrainSeconds)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: parallelism %d < 0", c.Parallelism)
 	}
 	if c.L1.PeriodSeconds < c.L0.PeriodSeconds ||
 		modRem(c.L1.PeriodSeconds, c.L0.PeriodSeconds) != 0 {
@@ -196,26 +208,48 @@ func NewManager(spec cluster.Spec, cfg Config) (*Manager, error) {
 	}
 	m := &Manager{cfg: cfg, spec: spec}
 	learnStart := time.Now()
+	workers := par.Workers(cfg.Parallelism)
 
-	gmapCache := map[string]*controller.GMap{}
+	// Learn the abstraction map g once per distinct hardware, fanning the
+	// distinct kinds across the worker pool. Keys are collected in
+	// first-seen order and results land in indexed slots, so the cache
+	// contents are identical to the sequential walk's.
+	var gmapKeys []string
+	gmapSpec := map[string]cluster.ComputerSpec{}
+	for _, ms := range spec.Modules {
+		for _, cs := range ms.Computers {
+			key := hardwareKey(cs)
+			if _, ok := gmapSpec[key]; !ok {
+				gmapSpec[key] = cs
+				gmapKeys = append(gmapKeys, key)
+			}
+		}
+	}
+	gmapSlots := make([]*controller.GMap, len(gmapKeys))
+	if err := par.For(workers, len(gmapKeys), func(i int) error {
+		key := gmapKeys[i]
+		cs := gmapSpec[key]
+		g, err := loadOrLearnGMap(cfg, key, func() (*controller.GMap, error) {
+			return controller.LearnGMap(cfg.L0, cs, cfg.GMap)
+		})
+		if err != nil {
+			return fmt.Errorf("core: learning g for %s: %w", cs.Name, err)
+		}
+		gmapSlots[i] = g
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	gmapCache := make(map[string]*controller.GMap, len(gmapKeys))
+	for i, key := range gmapKeys {
+		gmapCache[key] = gmapSlots[i]
+	}
+
 	for _, ms := range spec.Modules {
 		asm := &moduleAsm{}
 		for _, cs := range ms.Computers {
-			key := hardwareKey(cs)
-			g, ok := gmapCache[key]
-			if !ok {
-				cs := cs
-				var err error
-				g, err = loadOrLearnGMap(cfg, key, func() (*controller.GMap, error) {
-					return controller.LearnGMap(cfg.L0, cs, cfg.GMap)
-				})
-				if err != nil {
-					return nil, fmt.Errorf("core: learning g for %s: %w", cs.Name, err)
-				}
-				gmapCache[key] = g
-			}
 			asm.specs = append(asm.specs, cs)
-			asm.gmaps = append(asm.gmaps, g)
+			asm.gmaps = append(asm.gmaps, gmapCache[hardwareKey(cs)])
 		}
 		l1, err := controller.NewL1(cfg.L1, asm.gmaps)
 		if err != nil {
@@ -247,23 +281,40 @@ func NewManager(spec cluster.Spec, cfg Config) (*Manager, error) {
 	}
 
 	if len(spec.Modules) > 1 {
-		treeCache := map[string]controller.JTilde{}
-		jtildes := make([]controller.JTilde, len(spec.Modules))
-		for i, asm := range m.modules {
+		// Same scheme for the per-composition J̃ trees: one learning task
+		// per distinct module composition, fanned across the pool.
+		var treeKeys []string
+		treeModule := map[string]int{}
+		for i := range m.modules {
 			key := moduleKey(spec.Modules[i])
-			jt, ok := treeCache[key]
-			if !ok {
-				asm := asm
-				var err error
-				jt, err = loadOrLearnTree(cfg, key, func() (*controller.TreeJTilde, error) {
-					return controller.LearnModuleTree(cfg.L0, cfg.L1, asm.gmaps, cfg.ModuleSim)
-				})
-				if err != nil {
-					return nil, fmt.Errorf("core: learning J̃ for module %s: %w", spec.Modules[i].Name, err)
-				}
-				treeCache[key] = jt
+			if _, ok := treeModule[key]; !ok {
+				treeModule[key] = i
+				treeKeys = append(treeKeys, key)
 			}
-			jtildes[i] = jt
+		}
+		treeSlots := make([]controller.JTilde, len(treeKeys))
+		if err := par.For(workers, len(treeKeys), func(ti int) error {
+			key := treeKeys[ti]
+			i := treeModule[key]
+			asm := m.modules[i]
+			jt, err := loadOrLearnTree(cfg, key, func() (*controller.TreeJTilde, error) {
+				return controller.LearnModuleTree(cfg.L0, cfg.L1, asm.gmaps, cfg.ModuleSim)
+			})
+			if err != nil {
+				return fmt.Errorf("core: learning J̃ for module %s: %w", spec.Modules[i].Name, err)
+			}
+			treeSlots[ti] = jt
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		treeCache := make(map[string]controller.JTilde, len(treeKeys))
+		for ti, key := range treeKeys {
+			treeCache[key] = treeSlots[ti]
+		}
+		jtildes := make([]controller.JTilde, len(spec.Modules))
+		for i := range m.modules {
+			jtildes[i] = treeCache[moduleKey(spec.Modules[i])]
 		}
 		l2, err := controller.NewL2(cfg.L2, jtildes)
 		if err != nil {

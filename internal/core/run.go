@@ -8,6 +8,7 @@ import (
 	"hierctl/internal/controller"
 	"hierctl/internal/des"
 	"hierctl/internal/forecast"
+	"hierctl/internal/par"
 	"hierctl/internal/series"
 	"hierctl/internal/workload"
 )
@@ -35,6 +36,7 @@ func (m *Manager) Run(trace *series.Series, store *workload.Store) (*Record, err
 		tl0:     tl0,
 		l1Every: int(m.cfg.L1.PeriodSeconds/tl0 + 0.5),
 		l2Every: int(m.cfg.L2.PeriodSeconds/tl0 + 0.5),
+		workers: par.Workers(m.cfg.Parallelism),
 	}
 	if err := r.prepare(store); err != nil {
 		return nil, err
@@ -52,6 +54,7 @@ type run struct {
 	sub              int // T_L0 bins per trace bin
 	tl0              float64
 	l1Every, l2Every int
+	workers          int // L1 fan-out width
 
 	plant   *cluster.Plant
 	gen     *workload.Generator
@@ -272,9 +275,21 @@ func (r *run) step(k int) error {
 	}
 
 	// (3) L1 per module: operating states and within-module fractions.
+	// The modules' searches are independent (§3's decomposition), so the
+	// planning fans out across the worker pool; plant mutations and
+	// record appends are applied sequentially in module order afterwards,
+	// keeping the run bit-identical to the sequential engine.
 	if k%r.l1Every == 0 {
+		plans := make([]l1Plan, len(m.modules))
+		if err := par.For(r.workers, len(m.modules), func(i int) error {
+			var err error
+			plans[i], err = r.planL1(i, k)
+			return err
+		}); err != nil {
+			return err
+		}
 		for i := range m.modules {
-			if err := r.decideL1(i, k); err != nil {
+			if err := r.applyL1(i, plans[i]); err != nil {
 				return err
 			}
 		}
@@ -377,11 +392,23 @@ func (r *run) decideL2(k int) error {
 	return nil
 }
 
-// decideL1 runs one module's L1 controller and applies the on/off vector
-// to the plant.
-func (r *run) decideL1(i int, k int) error {
+// l1Plan is one module's L1 outcome, computed in parallel and applied to
+// the shared plant and record sequentially in module order.
+type l1Plan struct {
+	dec controller.L1Decision
+	// predActual is the (predicted, actual) pair for the Fig. 4 series;
+	// hasPredActual marks boundaries where the module had a forecast.
+	predActual    [2]float64
+	hasPredActual bool
+}
+
+// planL1 runs one module's L1 controller. It touches only module i's own
+// estimators and reads (never mutates) the shared plant, so plans for
+// different modules may run concurrently.
+func (r *run) planL1(i int, k int) (l1Plan, error) {
 	m := r.m
 	asm := m.modules[i]
+	var plan l1Plan
 
 	// Fold the completed T_L1 interval into the module filter and band;
 	// asm.predictedTL1 still holds the forecast made at the previous
@@ -390,7 +417,8 @@ func (r *run) decideL1(i int, k int) error {
 		asm.kalman1.Observe(float64(asm.arrivedTL1))
 		if asm.hasPredicted {
 			asm.band.Observe(asm.predictedTL1, float64(asm.arrivedTL1))
-			r.predActual = append(r.predActual, [2]float64{asm.predictedTL1, float64(asm.arrivedTL1)})
+			plan.predActual = [2]float64{asm.predictedTL1, float64(asm.arrivedTL1)}
+			plan.hasPredActual = true
 		}
 		asm.arrivedTL1 = 0
 	}
@@ -411,7 +439,7 @@ func (r *run) decideL1(i int, k int) error {
 		queues[j] = float64(asm.lastPer[j].QueueLen)
 		comp, err := r.plant.Computer(i, j)
 		if err != nil {
-			return err
+			return plan, err
 		}
 		avail[j] = comp.State() != cluster.Failed
 	}
@@ -445,8 +473,21 @@ func (r *run) decideL1(i int, k int) error {
 	}
 	dec, err := asm.l1.Decide(obs)
 	if err != nil {
-		return err
+		return plan, err
 	}
+	plan.dec = dec
+	return plan, nil
+}
+
+// applyL1 commits one module's planned decision: the Fig. 4 sample, the
+// plant's on/off switches, and the module's dispatch fractions. Called
+// sequentially in module order.
+func (r *run) applyL1(i int, plan l1Plan) error {
+	asm := r.m.modules[i]
+	if plan.hasPredActual {
+		r.predActual = append(r.predActual, plan.predActual)
+	}
+	dec := plan.dec
 	for j := range asm.specs {
 		if dec.Alpha[j] && !r.isOperational(i, j) {
 			if err := r.plant.PowerOn(i, j); err != nil {

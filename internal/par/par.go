@@ -1,0 +1,96 @@
+// Package par provides the bounded fan-out primitive the concurrent
+// decision engine is built on. The hierarchy's structural parallelism
+// (§3's dimensionality argument: module-level controllers decide
+// independently) maps onto indexed task slots: workers pull task indices
+// from a shared counter, write results into per-index slots, and the
+// caller reduces the slots in index order — so a parallel run produces
+// bit-identical output to the sequential loop it replaces, regardless of
+// scheduling order. Workers == 1 degenerates to the plain inline loop.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism setting to an effective worker count:
+// values <= 0 mean "one worker per available CPU" (runtime.GOMAXPROCS).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) across at most workers goroutines.
+// Task side effects must be confined to the task's own index (write into
+// slot i of a pre-sized slice); under that contract the outcome is
+// identical to the sequential loop. Once any task fails, workers stop
+// pulling new indices (in-flight tasks finish) and the lowest-index error
+// among the tasks that ran is returned — the error a sequential loop
+// would have hit first among those. With workers <= 1 the tasks run
+// inline in index order, stopping at the first error exactly like the
+// pre-parallel code did.
+func For(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) across at most workers goroutines
+// and collects the results in index order — the indexed-slot fan-out
+// pattern the experiment sweeps share. On error the partial results are
+// dropped and the lowest-index error is returned, per For's contract.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := For(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

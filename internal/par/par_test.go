@@ -1,0 +1,121 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 37
+		hits := make([]int32, n)
+		err := For(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForIndexedSlotsMatchSequential(t *testing.T) {
+	n := 64
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	got := make([]int, n)
+	if err := For(8, n, func(i int) error {
+		got[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("slot %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForReturnsLowestIndexError(t *testing.T) {
+	// Sequential mode hits task 3 first, full stop.
+	err := For(1, 10, func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 3 failed" {
+		t.Errorf("workers=1: got %v, want task 3's error", err)
+	}
+	// Parallel mode stops dispatching once a task fails; the error is the
+	// lowest-index failure among the tasks that ran.
+	err = For(4, 10, func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || !strings.HasSuffix(err.Error(), "failed") {
+		t.Errorf("workers=4: got %v, want a task error", err)
+	}
+}
+
+func TestForStopsDispatchingAfterFailure(t *testing.T) {
+	// All tasks fail; with early exit far fewer than n should run. The
+	// bound is loose (workers may each pull one more index before seeing
+	// the flag) but distinguishes early exit from run-everything.
+	var ran atomic.Int32
+	err := For(2, 1000, func(i int) error {
+		ran.Add(1)
+		return fmt.Errorf("task %d failed", i)
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := ran.Load(); n > 10 {
+		t.Errorf("%d tasks ran after first failure, want early exit", n)
+	}
+}
+
+func TestForZeroTasks(t *testing.T) {
+	if err := For(4, 0, func(int) error { return fmt.Errorf("must not run") }); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForSequentialStopsAtFirstError(t *testing.T) {
+	ran := 0
+	err := For(1, 10, func(i int) error {
+		ran++
+		if i == 2 {
+			return fmt.Errorf("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 3 {
+		t.Errorf("sequential mode ran %d tasks (err %v), want stop after 3", ran, err)
+	}
+}

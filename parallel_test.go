@@ -1,0 +1,231 @@
+package hierctl
+
+import (
+	"math"
+	"testing"
+
+	"hierctl/internal/central"
+	"hierctl/internal/cluster"
+	"hierctl/internal/series"
+)
+
+// The concurrent decision engine's contract: decisions are deterministic
+// given observations, so fan-out/fan-in by index must preserve exact
+// outputs. These tests pin a Parallelism: 8 run against the sequential
+// Parallelism: 1 engine, comparing everything a run records except
+// wall-clock durations (which legitimately vary).
+
+func parOpts(p int) ExperimentOptions {
+	o := fastOpts()
+	o.Parallelism = p
+	return o
+}
+
+func seriesEqual(t *testing.T, name string, a, b *series.Series) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: nil mismatch", name)
+	}
+	if a == nil {
+		return
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: length %d vs %d", name, a.Len(), b.Len())
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("%s: value %d diverged: %v vs %v", name, i, a.Values[i], b.Values[i])
+		}
+	}
+}
+
+func assertRecordsIdentical(t *testing.T, seq, par *Record) {
+	t.Helper()
+	if seq.Completed != par.Completed || seq.Dropped != par.Dropped {
+		t.Errorf("requests diverged: (%d, %d) vs (%d, %d)", seq.Completed, seq.Dropped, par.Completed, par.Dropped)
+	}
+	if seq.Energy != par.Energy {
+		t.Errorf("energy diverged: %v vs %v", seq.Energy, par.Energy)
+	}
+	if seq.Switches != par.Switches || seq.Misroutes != par.Misroutes {
+		t.Errorf("switches/misroutes diverged: (%d, %d) vs (%d, %d)", seq.Switches, seq.Misroutes, par.Switches, par.Misroutes)
+	}
+	if seq.ViolationFrac != par.ViolationFrac {
+		t.Errorf("violation fraction diverged: %v vs %v", seq.ViolationFrac, par.ViolationFrac)
+	}
+	if seq.ResponseP50 != par.ResponseP50 || seq.ResponseP95 != par.ResponseP95 ||
+		seq.ResponseP99 != par.ResponseP99 || seq.ResponseMax != par.ResponseMax {
+		t.Error("latency percentiles diverged")
+	}
+	if seq.MeanResponse() != par.MeanResponse() {
+		t.Errorf("mean response diverged: %v vs %v", seq.MeanResponse(), par.MeanResponse())
+	}
+	if seq.L0Explored != par.L0Explored || seq.L1Explored != par.L1Explored || seq.L2Explored != par.L2Explored {
+		t.Errorf("explored counts diverged: (%d, %d, %d) vs (%d, %d, %d)",
+			seq.L0Explored, seq.L1Explored, seq.L2Explored, par.L0Explored, par.L1Explored, par.L2Explored)
+	}
+	if seq.L0Decisions != par.L0Decisions || seq.L1Decisions != par.L1Decisions || seq.L2Decisions != par.L2Decisions {
+		t.Error("decision counts diverged")
+	}
+	seriesEqual(t, "PredictedL1", seq.PredictedL1, par.PredictedL1)
+	seriesEqual(t, "ActualL1", seq.ActualL1, par.ActualL1)
+	seriesEqual(t, "Operational", seq.Operational, par.Operational)
+	seriesEqual(t, "ResponseMean", seq.ResponseMean, par.ResponseMean)
+	if len(seq.GammaModules) != len(par.GammaModules) {
+		t.Fatalf("gamma series count %d vs %d", len(seq.GammaModules), len(par.GammaModules))
+	}
+	for i := range seq.GammaModules {
+		seriesEqual(t, "GammaModules", seq.GammaModules[i], par.GammaModules[i])
+	}
+	if len(seq.FreqByComputer) != len(par.FreqByComputer) {
+		t.Fatalf("frequency series count %d vs %d", len(seq.FreqByComputer), len(par.FreqByComputer))
+	}
+	for name, s := range seq.FreqByComputer {
+		seriesEqual(t, "FreqByComputer["+name+"]", s, par.FreqByComputer[name])
+	}
+}
+
+// TestParallelClusterRunMatchesSequential pins the multi-module §5.2 run —
+// parallel learning, the L1 fan-out, and the L2 loop all engaged — to the
+// sequential engine, record field by record field.
+func TestParallelClusterRunMatchesSequential(t *testing.T) {
+	seq, err := RunFig6Fig7(parOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8, err := RunFig6Fig7(parOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRecordsIdentical(t, seq, par8)
+}
+
+// TestParallelScalabilityMatchesSequential pins the fanned-out EXT3 sweep
+// (parallel sizes, sharded centralized search) to the sequential sweep.
+func TestParallelScalabilityMatchesSequential(t *testing.T) {
+	seqOpts, parOpts8 := parOpts(1), parOpts(8)
+	seqOpts.Scale, parOpts8.Scale = 0.03, 0.03
+	seq, err := RunScalability([]int{4, 8}, seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8, err := RunScalability([]int{4, 8}, parOpts8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par8) {
+		t.Fatalf("row count %d vs %d", len(seq), len(par8))
+	}
+	for i := range seq {
+		s, p := seq[i], par8[i]
+		if s.Controller != p.Controller || s.Computers != p.Computers {
+			t.Fatalf("row %d: ordering diverged: %+v vs %+v", i, s, p)
+		}
+		if s.ExploredPerPeriod != p.ExploredPerPeriod {
+			t.Errorf("row %d (%s n=%d): explored %v vs %v", i, s.Controller, s.Computers, s.ExploredPerPeriod, p.ExploredPerPeriod)
+		}
+		if s.MeanResponse != p.MeanResponse || s.Energy != p.Energy {
+			t.Errorf("row %d (%s n=%d): quality diverged: (%v, %v) vs (%v, %v)",
+				i, s.Controller, s.Computers, s.MeanResponse, s.Energy, p.MeanResponse, p.Energy)
+		}
+	}
+}
+
+// TestParallelEnergyComparisonMatchesSequential pins the fanned-out EXT1
+// policy comparison to the sequential one (no time fields, so rows must be
+// exactly equal).
+func TestParallelEnergyComparisonMatchesSequential(t *testing.T) {
+	seqOpts, parOpts8 := parOpts(1), parOpts(8)
+	seqOpts.Scale, parOpts8.Scale = 0.03, 0.03
+	seq, err := RunEnergyComparison(seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8, err := RunEnergyComparison(parOpts8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par8) {
+		t.Fatalf("row count %d vs %d", len(seq), len(par8))
+	}
+	for i := range seq {
+		if seq[i] != par8[i] {
+			t.Errorf("row %d diverged:\nseq %+v\npar %+v", i, seq[i], par8[i])
+		}
+	}
+}
+
+// TestCentralShardedDecideMatchesSequential drives the flat controller's
+// Decide directly: the sharded candidate search must pick the same joint
+// configuration and count the same explored states as the sequential
+// search.
+func TestCentralShardedDecideMatchesSequential(t *testing.T) {
+	newCtl := func(parallelism int) (*central.Controller, error) {
+		var specs []cluster.ComputerSpec
+		for j := 0; j < 8; j++ {
+			cs, err := cluster.StandardComputer(j%4, string(rune('A'+j)))
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, cs)
+		}
+		cfg := central.DefaultConfig()
+		cfg.Parallelism = parallelism
+		return central.New(cfg, specs)
+	}
+	seqCtl, err := newCtl(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCtl, err := newCtl(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few periods with varying load so the search moves through on/off
+	// and frequency changes, not just the initial configuration.
+	for step, lambda := range []float64{20, 180, 300, 40, 5} {
+		obs := central.Observation{
+			QueueLens: make([]float64, 8),
+			LambdaHat: lambda,
+			Delta:     0.1 * lambda,
+			CHat:      0.0175,
+		}
+		for j := range obs.QueueLens {
+			obs.QueueLens[j] = math.Mod(lambda*float64(j+1), 17)
+		}
+		seqDec, err := seqCtl.Decide(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parDec, err := parCtl.Decide(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqDec.Explored != parDec.Explored {
+			t.Errorf("step %d: explored %d vs %d", step, seqDec.Explored, parDec.Explored)
+		}
+		for j := 0; j < 8; j++ {
+			if seqDec.Alpha[j] != parDec.Alpha[j] || seqDec.Gamma[j] != parDec.Gamma[j] || seqDec.FreqIdx[j] != parDec.FreqIdx[j] {
+				t.Fatalf("step %d computer %d: (%v, %v, %d) vs (%v, %v, %d)", step, j,
+					seqDec.Alpha[j], seqDec.Gamma[j], seqDec.FreqIdx[j],
+					parDec.Alpha[j], parDec.Gamma[j], parDec.FreqIdx[j])
+			}
+		}
+	}
+}
+
+func TestParallelismValidation(t *testing.T) {
+	bad := fastOpts()
+	bad.Parallelism = -1
+	if _, err := RunFig4Fig5(bad); err == nil {
+		t.Error("negative parallelism: want error")
+	}
+	if _, err := RunScalability([]int{4}, bad); err == nil {
+		t.Error("negative parallelism in scalability: want error")
+	}
+	cfg := DefaultConfig()
+	cfg.Parallelism = -2
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative config parallelism: want error")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hierctl/internal/central"
+	"hierctl/internal/par"
 )
 
 // ScalabilityRow is one line of the EXT3 hierarchical-vs-centralized
@@ -30,7 +31,9 @@ type ScalabilityRow struct {
 // computers) under the synthetic workload scaled to the cluster. Both
 // controllers share cadences, weights, the fluid prediction model, and
 // the forecasting substrate, so the comparison isolates control
-// decomposition.
+// decomposition. The sizes are independent runs, so the sweep fans out
+// across opts.Parallelism workers; row order and contents match the
+// sequential sweep exactly.
 func RunScalability(sizes []int, opts ExperimentOptions) ([]ScalabilityRow, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -38,14 +41,17 @@ func RunScalability(sizes []int, opts ExperimentOptions) ([]ScalabilityRow, erro
 	if len(sizes) == 0 {
 		sizes = []int{4, 8, 12, 16}
 	}
-	var rows []ScalabilityRow
 	for _, n := range sizes {
 		if n < 4 || n%4 != 0 {
 			return nil, fmt.Errorf("hierctl: scalability sizes must be multiples of 4, got %d", n)
 		}
+	}
+	rows := make([]ScalabilityRow, 2*len(sizes))
+	err := par.For(par.Workers(opts.Parallelism), len(sizes), func(si int) error {
+		n := sizes[si]
 		spec, err := StandardCluster(n / 4)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		synth := DefaultSyntheticConfig()
 		synth.Seed = opts.Seed
@@ -53,22 +59,22 @@ func RunScalability(sizes []int, opts ExperimentOptions) ([]ScalabilityRow, erro
 		synth.BaseMax *= float64(n) / 4
 		fullTrace, err := SyntheticTrace(synth)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		trace := opts.scaleTrace(fullTrace)
 
 		// Hierarchical.
 		mgr, err := NewManager(spec, opts.Config())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		store, err := NewStore(opts.Seed, DefaultStoreConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rec, err := mgr.Run(trace, store)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// The hierarchy's per-period work: all L0 searches in a T_L1
 		// period plus the L1 searches plus the amortized L2 share.
@@ -78,37 +84,42 @@ func RunScalability(sizes []int, opts ExperimentOptions) ([]ScalabilityRow, erro
 		if periods > 0 {
 			decide = (rec.L0Time + rec.L1Time + rec.L2Time) / time.Duration(periods)
 		}
-		rows = append(rows, ScalabilityRow{
+		rows[2*si] = ScalabilityRow{
 			Controller:          "hierarchical",
 			Computers:           n,
 			ExploredPerPeriod:   explored,
 			DecideTimePerPeriod: decide,
 			MeanResponse:        rec.MeanResponse(),
 			Energy:              rec.Energy,
-		})
+		}
 
 		// Centralized.
 		ccfg := central.DefaultRunnerConfig()
 		ccfg.Seed = opts.Seed
+		ccfg.Controller.Parallelism = opts.Parallelism
 		if opts.Fast {
 			ccfg.Controller.NeighbourDepth = 1
 		}
 		store, err = NewStore(opts.Seed, DefaultStoreConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cres, err := central.Run(spec, trace, store, ccfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, ScalabilityRow{
+		rows[2*si+1] = ScalabilityRow{
 			Controller:          "centralized",
 			Computers:           n,
 			ExploredPerPeriod:   cres.ExploredPerStep,
-			DecideTimePerPeriod: time.Duration(cres.DecideTimePerStep * float64(time.Second)),
+			DecideTimePerPeriod: cres.DecideTimePerStep,
 			MeanResponse:        cres.MeanResponse,
 			Energy:              cres.Energy,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
