@@ -78,3 +78,11 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunRejectsNegativeParallelism(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "3", "-parallelism", "-1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "parallelism") {
+		t.Errorf("negative -parallelism: got %v, want a clear error", err)
+	}
+}

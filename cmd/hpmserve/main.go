@@ -1,0 +1,163 @@
+// Command hpmserve is the online control plane daemon: it hosts many
+// tenant clusters — each a full hierarchical-LLC controller with its own
+// plant, forecasters, and learned state — sharded across worker
+// goroutines, and drives them from live observations over an HTTP/JSON
+// API instead of batch trace replays.
+//
+// Usage:
+//
+//	hpmserve -addr :8700
+//	hpmserve -addr :8700 -snapshot fleet.snap -snapshot-interval 5m
+//
+// Then:
+//
+//	curl -X POST localhost:8700/v1/tenants \
+//	     -d '{"id":"web","moduleSize":4,"fast":true,"binSeconds":30}'
+//	curl -X POST localhost:8700/v1/tenants/web/observe -d '{"count":900}'
+//	curl localhost:8700/v1/tenants/web/state
+//	curl localhost:8700/metrics
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// finish, a final snapshot is written (when -snapshot is set), and the
+// fleet's shard workers stop.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"hierctl"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hpmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hpmserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8700", "HTTP listen address")
+	shards := fs.Int("shards", 0, "worker shards hosting tenants (0 = one per CPU)")
+	snapshot := fs.String("snapshot", "", "snapshot file: restored on start when present, written on shutdown and every -snapshot-interval")
+	interval := fs.Duration("snapshot-interval", 0, "periodic snapshot cadence (0 = only on shutdown; needs -snapshot)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interval < 0 {
+		return fmt.Errorf("negative snapshot interval %v", *interval)
+	}
+	if *interval > 0 && *snapshot == "" {
+		return fmt.Errorf("-snapshot-interval needs -snapshot")
+	}
+
+	f := hierctl.NewFleet(hierctl.FleetConfig{Shards: *shards})
+	defer f.Close()
+	if *snapshot != "" {
+		if err := restoreSnapshot(f, *snapshot, stdout); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: newServer(f).routes()}
+	fmt.Fprintf(stdout, "hpmserve listening on %s (%d shards, %d tenants)\n",
+		ln.Addr(), f.Stats().Shards, f.Stats().Tenants)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	snapDone := make(chan struct{})
+	close(snapDone)
+	if *interval > 0 {
+		snapDone = make(chan struct{})
+		go func() {
+			defer close(snapDone)
+			ticker := time.NewTicker(*interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := writeSnapshot(f, *snapshot); err != nil {
+						fmt.Fprintf(stdout, "hpmserve: periodic snapshot: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "hpmserve shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	// Join the periodic snapshotter before the final write so a stale
+	// in-flight snapshot can never overwrite the shutdown state.
+	<-snapDone
+	if *snapshot != "" {
+		if err := writeSnapshot(f, *snapshot); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "hpmserve snapshot written to %s\n", *snapshot)
+	}
+	return nil
+}
+
+// restoreSnapshot loads a prior snapshot when the file exists; a missing
+// file is a clean first start.
+func restoreSnapshot(f *hierctl.Fleet, path string, stdout io.Writer) error {
+	file, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if err := f.Restore(file); err != nil {
+		return fmt.Errorf("restore %s: %w", path, err)
+	}
+	fmt.Fprintf(stdout, "hpmserve restored %d tenants from %s\n", f.Stats().Tenants, path)
+	return nil
+}
+
+// writeSnapshot writes via a temp file and rename so a crash never leaves
+// a truncated snapshot behind.
+func writeSnapshot(f *hierctl.Fleet, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := f.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hierctl"
+)
+
+func testHandler(t *testing.T) (http.Handler, *hierctl.Fleet) {
+	t.Helper()
+	f := hierctl.NewFleet(hierctl.FleetConfig{Shards: 2})
+	t.Cleanup(f.Close)
+	return newServer(f).routes(), f
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path, body string, wantStatus int) map[string]any {
+	t.Helper()
+	var r io.Reader
+	if body != "" {
+		r = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, r)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != wantStatus {
+		t.Fatalf("%s %s = %d, want %d (body %s)", method, path, w.Code, wantStatus, w.Body.String())
+	}
+	out := map[string]any{}
+	if len(w.Body.Bytes()) > 0 && strings.Contains(w.Header().Get("Content-Type"), "json") {
+		if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, path, w.Body.String(), err)
+		}
+	}
+	return out
+}
+
+func TestServerTenantLifecycle(t *testing.T) {
+	h, _ := testHandler(t)
+	created := doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"web","moduleSize":2,"fast":true,"binSeconds":30,"seed":7}`, http.StatusCreated)
+	if created["computers"].(float64) != 2 {
+		t.Errorf("computers = %v, want 2", created["computers"])
+	}
+
+	// Feed a few observation bins; each response is a full decision.
+	var dec map[string]any
+	for i := 0; i < 4; i++ {
+		dec = doJSON(t, h, http.MethodPost, "/v1/tenants/web/observe", `{"count":600}`, http.StatusOK)
+	}
+	if dec["bin"].(float64) != 3 {
+		t.Errorf("bin = %v, want 3", dec["bin"])
+	}
+	mods, ok := dec["modules"].([]any)
+	if !ok || len(mods) != 1 {
+		t.Fatalf("modules = %v, want 1 module decision", dec["modules"])
+	}
+	m := mods[0].(map[string]any)
+	for _, key := range []string{"alpha", "gamma", "freqIdx", "freqHz"} {
+		if arr, ok := m[key].([]any); !ok || len(arr) != 2 {
+			t.Errorf("module decision %s = %v, want 2 entries", key, m[key])
+		}
+	}
+	if dec["operational"].(float64) < 1 {
+		t.Error("no operational computers under load")
+	}
+
+	st := doJSON(t, h, http.MethodGet, "/v1/tenants/web/state", "", http.StatusOK)
+	if st["bins"].(float64) != 4 {
+		t.Errorf("state bins = %v, want 4", st["bins"])
+	}
+	if st["lastDecision"] == nil {
+		t.Error("state missing last decision")
+	}
+
+	list := doJSON(t, h, http.MethodGet, "/v1/tenants", "", http.StatusOK)
+	if tenants := list["tenants"].([]any); len(tenants) != 1 {
+		t.Errorf("tenant list = %v, want 1 entry", tenants)
+	}
+
+	final := doJSON(t, h, http.MethodDelete, "/v1/tenants/web", "", http.StatusOK)
+	if final["completed"].(float64) <= 0 {
+		t.Errorf("final record completed = %v, want > 0", final["completed"])
+	}
+	doJSON(t, h, http.MethodGet, "/v1/tenants/web/state", "", http.StatusNotFound)
+}
+
+func TestServerErrors(t *testing.T) {
+	h, _ := testHandler(t)
+	doJSON(t, h, http.MethodPost, "/v1/tenants", `{"moduleSize":2}`, http.StatusBadRequest) // no id
+	doJSON(t, h, http.MethodPost, "/v1/tenants", `{broken`, http.StatusBadRequest)
+	doJSON(t, h, http.MethodPost, "/v1/tenants/nope/observe", `{"count":1}`, http.StatusNotFound)
+	doJSON(t, h, http.MethodDelete, "/v1/tenants/nope", "", http.StatusNotFound)
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"a","moduleSize":2,"fast":true}`, http.StatusCreated)
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"a","moduleSize":2,"fast":true}`, http.StatusConflict)
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"b","moduleSize":2,"fast":true,"binSeconds":45}`, http.StatusBadRequest)
+	req := httptest.NewRequest(http.MethodPut, "/v1/tenants", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /v1/tenants = %d, want 405", w.Code)
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	h, _ := testHandler(t)
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"m1","moduleSize":2,"fast":true}`, http.StatusCreated)
+	doJSON(t, h, http.MethodPost, "/v1/tenants/m1/observe", `{"count":300}`, http.StatusOK)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"# TYPE hpmserve_tenants gauge",
+		"hpmserve_tenants 1",
+		"# TYPE hpmserve_observations_total counter",
+		"hpmserve_observations_total 1",
+		"hpmserve_ticks_total 1",
+		`hpmserve_tenant_bins{tenant="m1"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// syncBuffer lets the daemon goroutine write stdout while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunServesAndSnapshotsOnShutdown drives the real daemon loop: boot
+// on an ephemeral port, create a tenant over HTTP, shut down via context
+// cancellation, and verify the snapshot landed and restores on reboot.
+func TestRunServesAndSnapshotsOnShutdown(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "fleet.snap")
+	start := func(ctx context.Context, out *syncBuffer) chan error {
+		errc := make(chan error, 1)
+		go func() {
+			errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-shards", "2", "-snapshot", snap}, out)
+		}()
+		return errc
+	}
+	waitAddr := func(out *syncBuffer) string {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if s := out.String(); strings.Contains(s, "listening on ") {
+				line := s[strings.Index(s, "listening on ")+len("listening on "):]
+				return strings.Fields(line)[0]
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("daemon never reported its address; output: %q", out.String())
+		return ""
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	errc := start(ctx, out)
+	addr := waitAddr(out)
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/tenants", "application/json",
+		strings.NewReader(`{"id":"web","moduleSize":2,"fast":true,"binSeconds":30}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create tenant = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/tenants/web/observe", "application/json",
+		strings.NewReader(`{"count":500}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"freqHz"`) {
+		t.Fatalf("observe = %d %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "snapshot written") {
+		t.Fatalf("no shutdown snapshot; output: %q", out.String())
+	}
+
+	// Reboot: the daemon restores the tenant from the snapshot.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	out2 := &syncBuffer{}
+	errc2 := start(ctx2, out2)
+	addr2 := waitAddr(out2)
+	resp, err = http.Get("http://" + addr2 + "/v1/tenants/web/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"bins":1`) {
+		t.Fatalf("restored state = %d %s", resp.StatusCode, body)
+	}
+	cancel2()
+	if err := <-errc2; err != nil {
+		t.Fatalf("run (second boot): %v", err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-snapshot-interval", "5s"}, io.Discard); err == nil {
+		t.Error("interval without snapshot path: want error")
+	}
+	if err := run(ctx, []string{"-snapshot-interval", "-5s", "-snapshot", "x"}, io.Discard); err == nil {
+		t.Error("negative interval: want error")
+	}
+}
+
+func TestServerRejectsOversizedRequests(t *testing.T) {
+	h, _ := testHandler(t)
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"big","modules":100000}`, http.StatusBadRequest)
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"big","moduleSize":100000}`, http.StatusBadRequest)
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"ok","moduleSize":2,"fast":true}`, http.StatusCreated)
+	doJSON(t, h, http.MethodPost, "/v1/tenants/ok/observe", `{"count":1e15}`, http.StatusBadRequest)
+	doJSON(t, h, http.MethodPost, "/v1/tenants/ok/observe", `{"count":-5}`, http.StatusBadRequest)
+	doJSON(t, h, http.MethodPost, "/v1/tenants/ok/observe", `{"count":100}`, http.StatusOK)
+}
+
+func TestServerRejectsBadTenantIDs(t *testing.T) {
+	h, _ := testHandler(t)
+	for _, id := range []string{"a/b", "a b", "a\tb"} {
+		body, _ := json.Marshal(map[string]any{"id": id, "moduleSize": 2, "fast": true})
+		doJSON(t, h, http.MethodPost, "/v1/tenants", string(body), http.StatusBadRequest)
+	}
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"`+strings.Repeat("x", 200)+`","moduleSize":2,"fast":true}`, http.StatusBadRequest)
+}
+
+func TestServerRejectsBadBinSeconds(t *testing.T) {
+	h, _ := testHandler(t)
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"c","moduleSize":2,"fast":true,"binSeconds":3e9}`, http.StatusBadRequest)
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"c","moduleSize":2,"fast":true,"binSeconds":-30}`, http.StatusBadRequest)
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"c","moduleSize":2,"fast":true,"binSeconds":0}`, http.StatusBadRequest)
+}

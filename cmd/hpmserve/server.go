@@ -1,0 +1,346 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"hierctl"
+)
+
+// server wires the fleet to the HTTP/JSON API:
+//
+//	POST   /v1/tenants              create a tenant hierarchy
+//	GET    /v1/tenants              list tenant states
+//	POST   /v1/tenants/{id}/observe feed one arrival bin, get decisions
+//	GET    /v1/tenants/{id}/state   progress and last decision
+//	DELETE /v1/tenants/{id}         finish the tenant, return its record
+//	GET    /metrics                 Prometheus text format
+//	GET    /healthz                 liveness probe
+type server struct {
+	fleet *hierctl.Fleet
+	start time.Time
+}
+
+func newServer(f *hierctl.Fleet) *server {
+	return &server{fleet: f, start: time.Now()}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/tenants", s.handleTenants)
+	mux.HandleFunc("/v1/tenants/", s.handleTenant)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// createReq is the tenant-creation payload. Cluster shapes mirror the
+// paper's presets: modules > 1 builds the §5.2 heterogeneous cluster of
+// that many 4-computer modules; otherwise a single §4.3-style module of
+// moduleSize computers.
+type createReq struct {
+	ID         string  `json:"id"`
+	Modules    int     `json:"modules"`
+	ModuleSize int     `json:"moduleSize"`
+	Seed       int64   `json:"seed"`
+	BinSeconds float64 `json:"binSeconds"`
+	// Fast coarsens the offline learning grids — the same knob the CLIs
+	// expose — so tenants come up in well under a second.
+	Fast        bool      `json:"fast"`
+	Calibration []float64 `json:"calibration"`
+}
+
+type observeReq struct {
+	Count float64 `json:"count"`
+}
+
+// Request-size guards: tenant creation runs the offline learning and an
+// observation synthesizes count individual requests, so both must be
+// bounded at the API edge or one call could pin or OOM the daemon.
+const (
+	maxModules     = 64
+	maxModuleSize  = 64
+	maxBinCount    = 1e6
+	maxBinSeconds  = 3600 // one bin = at most 120 T_L0 control periods
+	maxCalibration = 1 << 16
+	maxBodyBytes   = 1 << 20
+	maxIDLen       = 128
+)
+
+// validTenantID rejects ids that would be unroutable in the path-based
+// API or awkward as metric labels.
+func validTenantID(id string) error {
+	if id == "" {
+		return fmt.Errorf("missing tenant id")
+	}
+	if len(id) > maxIDLen {
+		return fmt.Errorf("tenant id longer than %d bytes", maxIDLen)
+	}
+	for _, r := range id {
+		if r == '/' || r <= ' ' || r == 0x7f {
+			return fmt.Errorf("tenant id must not contain %q", r)
+		}
+	}
+	return nil
+}
+
+type moduleDTO struct {
+	Alpha   []bool    `json:"alpha"`
+	Gamma   []float64 `json:"gamma"`
+	FreqIdx []int     `json:"freqIdx"`
+	FreqHz  []float64 `json:"freqHz"`
+}
+
+type decisionDTO struct {
+	Bin          int         `json:"bin"`
+	Time         float64     `json:"time"`
+	GammaModules []float64   `json:"gammaModules,omitempty"`
+	Modules      []moduleDTO `json:"modules"`
+	MeanResponse float64     `json:"meanResponse"`
+	Operational  int         `json:"operational"`
+}
+
+type stateDTO struct {
+	ID           string       `json:"id"`
+	Computers    int          `json:"computers"`
+	Bins         int          `json:"bins"`
+	Steps        int          `json:"steps"`
+	SimTime      float64      `json:"simTime"`
+	LastDecision *decisionDTO `json:"lastDecision,omitempty"`
+}
+
+type recordDTO struct {
+	Completed     int64   `json:"completed"`
+	Dropped       int64   `json:"dropped"`
+	Energy        float64 `json:"energy"`
+	Switches      int     `json:"switches"`
+	MeanResponse  float64 `json:"meanResponse"`
+	ResponseP95   float64 `json:"responseP95"`
+	ViolationFrac float64 `json:"violationFrac"`
+}
+
+func toDecisionDTO(d hierctl.BinDecision) *decisionDTO {
+	out := &decisionDTO{
+		Bin:          d.Bin,
+		Time:         d.Time,
+		GammaModules: d.GammaModules,
+		Modules:      make([]moduleDTO, len(d.Modules)),
+		MeanResponse: d.MeanResponse,
+		Operational:  d.Operational,
+	}
+	for i, m := range d.Modules {
+		out.Modules[i] = moduleDTO{Alpha: m.Alpha, Gamma: m.Gamma, FreqIdx: m.FreqIdx, FreqHz: m.FreqHz}
+	}
+	return out
+}
+
+func toStateDTO(st hierctl.TenantState) stateDTO {
+	out := stateDTO{
+		ID:        st.ID,
+		Computers: st.Computers,
+		Bins:      st.Bins,
+		Steps:     st.Steps,
+		SimTime:   st.SimTime,
+	}
+	if st.LastDecision != nil {
+		out.LastDecision = toDecisionDTO(*st.LastDecision)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, hierctl.ErrTenantNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, hierctl.ErrTenantExists):
+		status = http.StatusConflict
+	case errors.Is(err, hierctl.ErrFleetClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleTenants serves the collection: POST create, GET list.
+func (s *server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.createTenant(w, r)
+	case http.MethodGet:
+		states := make([]stateDTO, 0)
+		for _, st := range s.fleet.States() {
+			states = append(states, toStateDTO(st))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"tenants": states})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
+	req := createReq{ModuleSize: 4, Seed: 1, BinSeconds: 30}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if err := validTenantID(req.ID); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Modules > maxModules || req.ModuleSize > maxModuleSize {
+		writeError(w, fmt.Errorf("cluster too large: at most %d modules / %d computers per module", maxModules, maxModuleSize))
+		return
+	}
+	if len(req.Calibration) > maxCalibration {
+		writeError(w, fmt.Errorf("calibration longer than %d bins", maxCalibration))
+		return
+	}
+	if !(req.BinSeconds > 0) || req.BinSeconds > maxBinSeconds { // also rejects NaN
+		writeError(w, fmt.Errorf("binSeconds %v outside (0, %d]", req.BinSeconds, maxBinSeconds))
+		return
+	}
+	var spec hierctl.ClusterSpec
+	var err error
+	switch {
+	case req.Modules > 1:
+		spec, err = hierctl.StandardCluster(req.Modules)
+	case req.ModuleSize == 4:
+		spec, err = hierctl.StandardModuleCluster()
+	default:
+		spec, err = hierctl.ScaledModuleCluster(req.ModuleSize)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	cfg := hierctl.ExperimentOptions{Seed: req.Seed, Fast: req.Fast}.Config()
+	// A long-running daemon should not accumulate per-T_L0 frequency
+	// series per computer; the decision payloads carry the frequencies.
+	cfg.RecordFrequencies = false
+	// The fleet's shards provide the cross-tenant parallelism; per-tenant
+	// fan-out on top would oversubscribe the scheduler.
+	cfg.Parallelism = 1
+	learnStart := time.Now()
+	if err := s.fleet.CreateTenant(req.ID, hierctl.TenantConfig{
+		Spec:        spec,
+		Core:        cfg,
+		Store:       hierctl.DefaultStoreConfig(),
+		StoreSeed:   req.Seed,
+		BinSeconds:  req.BinSeconds,
+		Calibration: req.Calibration,
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":           req.ID,
+		"computers":    spec.Computers(),
+		"modules":      len(spec.Modules),
+		"binSeconds":   req.BinSeconds,
+		"learnSeconds": time.Since(learnStart).Seconds(),
+	})
+}
+
+// handleTenant serves one tenant: {id}/observe, {id}/state, DELETE {id}.
+func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/v1/tenants/"), "/")
+	id := parts[0]
+	if id == "" {
+		http.NotFound(w, r)
+		return
+	}
+	switch {
+	case len(parts) == 2 && parts[1] == "observe" && r.Method == http.MethodPost:
+		var req observeReq
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		if !(req.Count >= 0) || req.Count > maxBinCount { // also rejects NaN
+			writeError(w, fmt.Errorf("count %v outside [0, %g]", req.Count, float64(maxBinCount)))
+			return
+		}
+		dec, err := s.fleet.Observe(id, req.Count)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toDecisionDTO(dec))
+	case len(parts) == 2 && parts[1] == "state" && r.Method == http.MethodGet,
+		len(parts) == 1 && r.Method == http.MethodGet:
+		st, err := s.fleet.State(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toStateDTO(st))
+	case len(parts) == 1 && r.Method == http.MethodDelete:
+		rec, err := s.fleet.CloseTenant(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, recordDTO{
+			Completed:     rec.Completed,
+			Dropped:       rec.Dropped,
+			Energy:        rec.Energy,
+			Switches:      rec.Switches,
+			MeanResponse:  rec.MeanResponse(),
+			ResponseP95:   rec.ResponseP95,
+			ViolationFrac: rec.ViolationFrac,
+		})
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// handleMetrics renders the fleet counters in the Prometheus text
+// exposition format (no client library needed).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	stats := s.fleet.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("hpmserve_tenants", "Active tenant hierarchies.", float64(stats.Tenants))
+	gauge("hpmserve_shards", "Worker shards hosting tenants.", float64(stats.Shards))
+	gauge("hpmserve_uptime_seconds", "Seconds since the daemon started.", time.Since(s.start).Seconds())
+	counter("hpmserve_observations_total", "Observation bins ingested across tenants.", float64(stats.Observations))
+	counter("hpmserve_ticks_total", "T_L0 control periods stepped across tenants.", float64(stats.Ticks))
+	counter("hpmserve_decide_seconds_total", "Wall-clock seconds spent stepping tenants.", stats.DecideSeconds)
+	counter("hpmserve_snapshots_total", "Fleet snapshots written.", float64(stats.Snapshots))
+	counter("hpmserve_restores_total", "Fleet snapshots restored.", float64(stats.Restores))
+
+	// Per-tenant progress, labelled; States() preserves the sorted id
+	// order so scrapes are stable.
+	var binRows, opRows strings.Builder
+	for _, st := range s.fleet.States() {
+		fmt.Fprintf(&binRows, "hpmserve_tenant_bins{tenant=%q} %d\n", st.ID, st.Bins)
+		if st.LastDecision != nil {
+			fmt.Fprintf(&opRows, "hpmserve_tenant_operational{tenant=%q} %d\n", st.ID, st.LastDecision.Operational)
+		}
+	}
+	if binRows.Len() > 0 {
+		fmt.Fprintf(&b, "# HELP hpmserve_tenant_bins Observation bins ingested per tenant.\n# TYPE hpmserve_tenant_bins counter\n%s", binRows.String())
+	}
+	if opRows.Len() > 0 {
+		fmt.Fprintf(&b, "# HELP hpmserve_tenant_operational Operational computers per tenant.\n# TYPE hpmserve_tenant_operational gauge\n%s", opRows.String())
+	}
+	_, _ = w.Write([]byte(b.String()))
+}

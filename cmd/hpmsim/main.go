@@ -40,6 +40,9 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *parallelism < 0 {
+		return fmt.Errorf("-parallelism %d is negative; use 0 for one worker per CPU or a positive width", *parallelism)
+	}
 
 	var spec hierctl.ClusterSpec
 	var err error

@@ -67,3 +67,11 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunRejectsNegativeParallelism(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-parallelism", "-2", "-fast", "-scale", "0.02"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "parallelism") {
+		t.Errorf("negative -parallelism: got %v, want a clear error", err)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"hierctl/internal/baseline"
 	"hierctl/internal/cluster"
 	"hierctl/internal/core"
+	"hierctl/internal/fleet"
 	"hierctl/internal/series"
 	"hierctl/internal/workload"
 )
@@ -77,7 +78,37 @@ type (
 	BaselineResult = baseline.Result
 	// BaselineConfig parameterizes a comparator run.
 	BaselineConfig = baseline.RunnerConfig
+	// Session steps one hierarchy incrementally over streamed arrivals.
+	Session = core.Session
+	// SessionConfig parameterizes an incremental run.
+	SessionConfig = core.SessionConfig
+	// BinDecision is the controller output for one observation bin.
+	BinDecision = core.BinDecision
+	// ModuleDecision is one module's operating state within a BinDecision.
+	ModuleDecision = core.ModuleDecision
+	// Fleet hosts many tenant hierarchies in one process (online control
+	// plane); construct with NewFleet.
+	Fleet = fleet.Fleet
+	// FleetConfig parameterizes a fleet.
+	FleetConfig = fleet.Config
+	// TenantConfig describes one fleet tenant.
+	TenantConfig = fleet.TenantConfig
+	// TenantState is a tenant's progress report.
+	TenantState = fleet.TenantState
+	// FleetStats summarizes fleet-level counters.
+	FleetStats = fleet.Stats
 )
+
+// Fleet sentinel errors, re-exported for errors.Is checks.
+var (
+	ErrFleetClosed    = fleet.ErrClosed
+	ErrTenantNotFound = fleet.ErrNotFound
+	ErrTenantExists   = fleet.ErrExists
+)
+
+// NewFleet starts an online control plane hosting tenant hierarchies
+// sharded across worker goroutines.
+func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
 
 // DefaultConfig returns the paper's parameter set (§4.3/§5.2): T_L0 = 30 s,
 // N_L0 = 3, T_L1 = T_L2 = 2 min, r* = 4 s, Q = 100, R = 1, W = 8,

@@ -173,7 +173,7 @@ type moduleAsm struct {
 
 // Manager owns one experiment: the plant, the controller hierarchy, the
 // estimators, and the learned approximations. Construct with NewManager,
-// then call Run.
+// then call Run (batch replay) or NewSession (incremental stepping).
 type Manager struct {
 	cfg     Config
 	spec    cluster.Spec
@@ -182,9 +182,38 @@ type Manager struct {
 	kalmanG *forecast.Kalman // cluster arrivals per T_L2 bin
 	bandG   *forecast.Band   // δ at T_L2 granularity
 
+	artifacts ArtifactSet
+
 	learnTime time.Duration
 
 	failures []failureEvent
+}
+
+// ArtifactSet holds the offline learning results — the abstraction maps g
+// per distinct hardware and the regression trees J̃ per distinct module
+// composition — keyed by the manager's configuration fingerprints. A set
+// is only valid for the exact Config and cluster hardware it was learned
+// under; snapshot formats pair it with that configuration.
+type ArtifactSet struct {
+	GMaps map[string]*controller.GMap
+	Trees map[string]*controller.TreeJTilde
+}
+
+// Artifacts returns the manager's learned approximations. The maps are
+// copied but the artifacts themselves are shared; they are read-only
+// during decision making.
+func (m *Manager) Artifacts() ArtifactSet {
+	out := ArtifactSet{
+		GMaps: make(map[string]*controller.GMap, len(m.artifacts.GMaps)),
+		Trees: make(map[string]*controller.TreeJTilde, len(m.artifacts.Trees)),
+	}
+	for k, v := range m.artifacts.GMaps {
+		out.GMaps[k] = v
+	}
+	for k, v := range m.artifacts.Trees {
+		out.Trees[k] = v
+	}
+	return out
 }
 
 type failureEvent struct {
@@ -200,6 +229,17 @@ type failureEvent struct {
 // distinct module composition (§5.1). Learning results are shared across
 // identical hardware, which is what keeps the approach scalable.
 func NewManager(spec cluster.Spec, cfg Config) (*Manager, error) {
+	return NewManagerWithArtifacts(spec, cfg, nil)
+}
+
+// NewManagerWithArtifacts is NewManager with pre-learned approximations: a
+// hardware or module composition found in art skips the offline learning
+// entirely and uses the supplied artifact, which is what makes restoring a
+// snapshotted controller cheap and exact. Entries are matched by the same
+// fingerprints NewManager shares learning under; missing entries are
+// learned as usual. The artifacts must have been learned under an
+// identical Config — the set carries no provenance of its own.
+func NewManagerWithArtifacts(spec cluster.Spec, cfg Config, art *ArtifactSet) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -229,6 +269,10 @@ func NewManager(spec cluster.Spec, cfg Config) (*Manager, error) {
 	if err := par.For(workers, len(gmapKeys), func(i int) error {
 		key := gmapKeys[i]
 		cs := gmapSpec[key]
+		if art != nil && art.GMaps[key] != nil {
+			gmapSlots[i] = art.GMaps[key]
+			return nil
+		}
 		g, err := loadOrLearnGMap(cfg, key, func() (*controller.GMap, error) {
 			return controller.LearnGMap(cfg.L0, cs, cfg.GMap)
 		})
@@ -244,6 +288,7 @@ func NewManager(spec cluster.Spec, cfg Config) (*Manager, error) {
 	for i, key := range gmapKeys {
 		gmapCache[key] = gmapSlots[i]
 	}
+	m.artifacts = ArtifactSet{GMaps: gmapCache, Trees: map[string]*controller.TreeJTilde{}}
 
 	for _, ms := range spec.Modules {
 		asm := &moduleAsm{}
@@ -292,11 +337,15 @@ func NewManager(spec cluster.Spec, cfg Config) (*Manager, error) {
 				treeKeys = append(treeKeys, key)
 			}
 		}
-		treeSlots := make([]controller.JTilde, len(treeKeys))
+		treeSlots := make([]*controller.TreeJTilde, len(treeKeys))
 		if err := par.For(workers, len(treeKeys), func(ti int) error {
 			key := treeKeys[ti]
 			i := treeModule[key]
 			asm := m.modules[i]
+			if art != nil && art.Trees[key] != nil {
+				treeSlots[ti] = art.Trees[key]
+				return nil
+			}
 			jt, err := loadOrLearnTree(cfg, key, func() (*controller.TreeJTilde, error) {
 				return controller.LearnModuleTree(cfg.L0, cfg.L1, asm.gmaps, cfg.ModuleSim)
 			})
@@ -308,10 +357,11 @@ func NewManager(spec cluster.Spec, cfg Config) (*Manager, error) {
 		}); err != nil {
 			return nil, err
 		}
-		treeCache := make(map[string]controller.JTilde, len(treeKeys))
+		treeCache := make(map[string]*controller.TreeJTilde, len(treeKeys))
 		for ti, key := range treeKeys {
 			treeCache[key] = treeSlots[ti]
 		}
+		m.artifacts.Trees = treeCache
 		jtildes := make([]controller.JTilde, len(spec.Modules))
 		for i := range m.modules {
 			jtildes[i] = treeCache[moduleKey(spec.Modules[i])]

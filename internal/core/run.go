@@ -6,8 +6,6 @@ import (
 
 	"hierctl/internal/cluster"
 	"hierctl/internal/controller"
-	"hierctl/internal/des"
-	"hierctl/internal/forecast"
 	"hierctl/internal/par"
 	"hierctl/internal/series"
 	"hierctl/internal/workload"
@@ -17,54 +15,61 @@ import (
 // returns the recorded results. The trace's bin width must be an integer
 // multiple of T_L0. The run is deterministic for a given (spec, config,
 // trace, store) tuple.
+//
+// Run is the batch replay built on the incremental session engine: it
+// opens a session primed with the full trace and streams the trace's bins
+// through it, so batch replays and online operation share one code path.
 func (m *Manager) Run(trace *series.Series, store *workload.Store) (*Record, error) {
 	if trace == nil || trace.Len() == 0 {
 		return nil, fmt.Errorf("core: empty trace")
 	}
-	if store == nil {
-		return nil, fmt.Errorf("core: nil store")
-	}
-	tl0 := m.cfg.L0.PeriodSeconds
-	sub := int(trace.Step/tl0 + 0.5)
-	if sub < 1 || math.Abs(float64(sub)*tl0-trace.Step) > 1e-6 {
-		return nil, fmt.Errorf("core: trace bin %vs is not a multiple of T_L0 %vs", trace.Step, tl0)
-	}
-	r := &run{
-		m:       m,
-		trace:   trace,
-		sub:     sub,
-		tl0:     tl0,
-		l1Every: int(m.cfg.L1.PeriodSeconds/tl0 + 0.5),
-		l2Every: int(m.cfg.L2.PeriodSeconds/tl0 + 0.5),
-		workers: par.Workers(m.cfg.Parallelism),
-	}
-	if err := r.prepare(store); err != nil {
+	s, err := m.NewSession(store, SessionConfig{Trace: trace})
+	if err != nil {
 		return nil, err
 	}
-	if err := r.execute(); err != nil {
-		return nil, err
+	for _, count := range trace.Values {
+		if _, err := s.ObserveBin(count); err != nil {
+			return nil, err
+		}
 	}
-	return r.finish()
+	return s.Finish()
 }
 
-// run carries the state of one simulation.
+// run carries the state of one simulation, advanced one T_L0 step at a
+// time by the owning Session.
 type run struct {
-	m                *Manager
-	trace            *series.Series
-	sub              int // T_L0 bins per trace bin
-	tl0              float64
-	l1Every, l2Every int
-	workers          int // L1 fan-out width
+	m       *Manager
+	trace   *series.Series // full trace when known up front; nil when streaming
+	sub     int            // T_L0 bins per observation bin
+	tl0     float64
+	binStep float64 // observation bin width in seconds
+	start0  float64 // workload-clock time of the first bin
+	l1Every int
+	l2Every int
+	workers int // L1 fan-out width
+
+	// totalSteps is trace.Len()*sub when the trace is known (bounds the
+	// oracle lookups); 0 when streaming.
+	totalSteps int
 
 	plant   *cluster.Plant
-	gen     *workload.Generator
+	feed    *workload.Feed
 	preroll float64
-	steps   int
+	stepIdx int   // next T_L0 step index
+	failAt  []int // failure step indices aligned with m.failures
 
 	rec *Record
+	// observed collects the ingested arrival counts when no trace was
+	// given up front; it then serves as Record.Trace.
+	observed *series.Series
 
-	// pending holds request batches awaiting dispatch, one per T_L0 step.
+	// pending holds request batches awaiting dispatch: a ring with one
+	// slot per T_L0 step of the current bin, indexed by step mod sub.
 	pending [][]workload.Request
+
+	// freqIdx is the last L0 frequency decision per computer (-1 while
+	// off or failed), captured for the per-bin decision payload.
+	freqIdx [][]int
 
 	gammaModules []float64
 	// lambdaGRate is the cluster arrival-rate forecast at the last L2
@@ -80,118 +85,6 @@ type run struct {
 	responseBins int
 }
 
-// prepare builds the plant, tunes the Kalman filters on the trace prefix,
-// and pre-rolls the boot so the trace starts against a warm cluster.
-func (r *run) prepare(store *workload.Store) error {
-	m := r.m
-	plant, err := cluster.NewPlant(m.spec, des.RNG(m.cfg.Seed, "dispatch"))
-	if err != nil {
-		return err
-	}
-	r.plant = plant
-	r.gen, err = workload.NewGenerator(r.trace, store, des.RNG(m.cfg.Seed, "workload"))
-	if err != nil {
-		return err
-	}
-
-	// Tune Kalman noise parameters on the trace prefix (§4.3). The same
-	// tuned parameters serve all levels: the filter gain depends on the
-	// Q/R ratios, which are scale-invariant across aggregation levels.
-	prefixBins := int(float64(r.trace.Len()) * m.cfg.TunePrefixFrac)
-	ql, qt, ro := 1.0, 0.1, 10.0 // fallback prior
-	if prefixBins >= 8 {
-		tuned, _, err := forecast.TuneKalman(r.trace.Values[:prefixBins])
-		if err != nil {
-			return err
-		}
-		ql, qt, ro = tuned.Params()
-	}
-	newKalman := func() (*forecast.Kalman, error) { return forecast.NewKalman(ql, qt, ro) }
-	for _, asm := range m.modules {
-		if asm.kalman0, err = newKalman(); err != nil {
-			return err
-		}
-		if asm.kalman1, err = newKalman(); err != nil {
-			return err
-		}
-		asm.lastPer = make([]cluster.IntervalStats, len(asm.specs))
-		asm.lastAgg = cluster.IntervalStats{}
-		asm.arrivedTL1 = 0
-		asm.hasPredicted = false
-		asm.pendingRatio = 1
-		asm.l0Ratio = 1
-	}
-	if m.kalmanG, err = newKalman(); err != nil {
-		return err
-	}
-	if m.bandG, err = forecast.NewBand(m.cfg.BandSmoothing); err != nil {
-		return err
-	}
-
-	// Pre-roll: boot every computer at t = 0 at full frequency; the
-	// controllers scale down immediately if the load does not justify it.
-	r.preroll = m.maxBootDelay()
-	for i, asm := range m.modules {
-		allOn := make([]bool, len(asm.specs))
-		for j := range asm.specs {
-			if err := plant.PowerOn(i, j); err != nil {
-				return err
-			}
-			if err := plant.SetFrequency(i, j, len(asm.specs[j].FrequenciesHz)-1); err != nil {
-				return err
-			}
-			allOn[j] = true
-		}
-		gamma, err := controller.SnapSimplex(capacities(asm.specs), allOn, m.cfg.L1.Quantum)
-		if err != nil {
-			return err
-		}
-		asm.alpha = allOn
-		asm.gamma = gamma
-		if err := asm.l1.SetState(allOn, gamma); err != nil {
-			return err
-		}
-	}
-	if r.preroll > 0 {
-		if err := plant.Advance(r.preroll); err != nil {
-			return err
-		}
-		for i := range m.modules {
-			// Discard boot-interval stats.
-			if _, _, err := plant.ModuleIntervalStats(i); err != nil {
-				return err
-			}
-		}
-	}
-
-	r.steps = r.trace.Len() * r.sub
-	r.rec = &Record{
-		Trace:          r.trace,
-		PredictedL1:    series.New(r.preroll+m.cfg.L1.PeriodSeconds, m.cfg.L1.PeriodSeconds, 0),
-		ActualL1:       series.New(r.preroll+m.cfg.L1.PeriodSeconds, m.cfg.L1.PeriodSeconds, 0),
-		Operational:    series.New(r.preroll, m.cfg.L1.PeriodSeconds, 0),
-		ResponseMean:   series.New(r.preroll, r.tl0, 0),
-		FreqByComputer: map[string]*series.Series{},
-		TargetResponse: m.cfg.L0.TargetResponse,
-		LearnTime:      m.learnTime,
-	}
-	if m.l2 != nil {
-		r.rec.GammaModules = make([]*series.Series, len(m.modules))
-		for i := range r.rec.GammaModules {
-			r.rec.GammaModules[i] = series.New(r.preroll, m.cfg.L2.PeriodSeconds, 0)
-		}
-	}
-	if m.cfg.RecordFrequencies {
-		for _, ms := range m.spec.Modules {
-			for _, cs := range ms.Computers {
-				r.rec.FreqByComputer[cs.Name] = series.New(r.preroll, r.tl0, 0)
-			}
-		}
-	}
-	r.pending = make([][]workload.Request, r.steps)
-	return nil
-}
-
 // capacities returns relative capacity weights used for seed allocations.
 func capacities(specs []cluster.ComputerSpec) []float64 {
 	out := make([]float64, len(specs))
@@ -201,58 +94,25 @@ func capacities(specs []cluster.ComputerSpec) []float64 {
 	return out
 }
 
-// execute schedules the per-step control events and failure injections on
-// the DES kernel and runs it to the end of the trace plus the drain tail.
-func (r *run) execute() error {
-	sim := des.New()
-	var firstErr error
-	fail := func(err error) {
-		if firstErr == nil {
-			firstErr = err
+// applyFailures fires the failure and repair injections quantized to step
+// boundary k, in injection order — the order the batch engine's event
+// calendar replayed them in.
+func (r *run) applyFailures(k int) error {
+	for idx, f := range r.m.failures {
+		if r.failAt[idx] != k {
+			continue
 		}
-		sim.Stop()
-	}
-
-	// Failure injections are quantized to T_L0 boundaries and scheduled
-	// ahead of the step handler at the same instant (insertion order
-	// breaks the tie).
-	for _, f := range r.m.failures {
-		f := f
-		stepIdx := int(math.Ceil(f.at / r.tl0))
-		at := r.preroll + float64(stepIdx)*r.tl0
-		if _, err := sim.Schedule(at, func(*des.Simulator) {
-			var err error
-			if f.isRepair {
-				err = r.plant.Repair(f.module, f.comp)
-			} else {
-				err = r.plant.Fail(f.module, f.comp)
-			}
-			if err != nil {
-				fail(err)
-			}
-		}); err != nil {
+		var err error
+		if f.isRepair {
+			err = r.plant.Repair(f.module, f.comp)
+		} else {
+			err = r.plant.Fail(f.module, f.comp)
+		}
+		if err != nil {
 			return err
 		}
 	}
-
-	for k := 0; k < r.steps; k++ {
-		k := k
-		at := r.preroll + float64(k)*r.tl0
-		if _, err := sim.Schedule(at, func(*des.Simulator) {
-			if err := r.step(k); err != nil {
-				fail(err)
-			}
-		}); err != nil {
-			return err
-		}
-	}
-	end := r.preroll + float64(r.steps)*r.tl0
-	sim.Run(end + 1)
-	if firstErr != nil {
-		return firstErr
-	}
-	// Drain tail: let in-flight work complete into the aggregates.
-	return r.plant.Advance(end + r.m.cfg.DrainSeconds)
+	return nil
 }
 
 // step runs one T_L0 control period starting at step index k.
@@ -260,11 +120,10 @@ func (r *run) step(k int) error {
 	m := r.m
 	t := r.preroll + float64(k)*r.tl0
 
-	// (1) Pull the next trace bin into per-step batches when due.
-	if k%r.sub == 0 {
-		if err := r.pullBin(k); err != nil {
-			return err
-		}
+	// (1) Failure injections land ahead of the controllers at the same
+	// boundary.
+	if err := r.applyFailures(k); err != nil {
+		return err
 	}
 
 	// (2) L2: redistribute load across modules.
@@ -315,26 +174,24 @@ func (r *run) step(k int) error {
 	return r.observe()
 }
 
-// pullBin generates the requests of the current trace bin and splits them
-// into per-T_L0-step batches (arrival times are shifted by the pre-roll).
-func (r *run) pullBin(k int) error {
-	bin, reqs, ok := r.gen.NextBin()
-	if !ok {
-		return fmt.Errorf("core: trace exhausted at step %d", k)
-	}
-	binStart := r.trace.TimeAt(bin)
+// spreadBin splits one observation bin's requests into the per-T_L0-step
+// pending ring (arrival times are shifted by the pre-roll).
+func (r *run) spreadBin(bin int, reqs []workload.Request) {
+	binStart := r.start0 + float64(bin)*r.binStep
 	for _, req := range reqs {
-		offset := req.Arrival - binStart
-		idx := k + int(offset/r.tl0)
-		if idx >= r.steps {
-			idx = r.steps - 1
+		d := int((req.Arrival - binStart) / r.tl0)
+		if d < 0 {
+			d = 0
 		}
-		// Rebase onto the simulation clock: trace time zero is the end
+		if d >= r.sub {
+			d = r.sub - 1
+		}
+		// Rebase onto the simulation clock: workload time zero is the end
 		// of the pre-roll (traces sliced mid-day have non-zero Start).
-		req.Arrival += r.preroll - r.trace.Start
-		r.pending[idx] = append(r.pending[idx], req)
+		req.Arrival += r.preroll - r.start0
+		slot := (r.stepIdx + d) % r.sub
+		r.pending[slot] = append(r.pending[slot], req)
 	}
-	return nil
 }
 
 // decideL2 runs the cluster-level controller and stores its fractions.
@@ -524,6 +381,7 @@ func (r *run) decideL0(i int, asm *moduleAsm, k int) error {
 			return err
 		}
 		if comp.State() == cluster.Failed || comp.State() == cluster.PowerOff {
+			r.freqIdx[i][j] = -1
 			r.recordFreq(asm.specs[j].Name, 0)
 			continue
 		}
@@ -548,6 +406,7 @@ func (r *run) decideL0(i int, asm *moduleAsm, k int) error {
 		if err := r.plant.SetFrequency(i, j, idx); err != nil {
 			return err
 		}
+		r.freqIdx[i][j] = idx
 		r.recordFreq(asm.specs[j].Name, asm.specs[j].FrequenciesHz[idx])
 	}
 	return nil
@@ -563,8 +422,9 @@ func (r *run) recordFreq(name string, hz float64) {
 // receive weight — booting machines would sit on requests for up to the
 // boot delay; the plant renormalizes the remaining fractions.
 func (r *run) dispatch(k int) error {
-	reqs := r.pending[k]
-	r.pending[k] = nil
+	slot := k % r.sub
+	reqs := r.pending[slot]
+	r.pending[slot] = nil
 	if len(reqs) == 0 {
 		return nil
 	}
@@ -633,7 +493,7 @@ func (r *run) observe() error {
 // read straight from the trace — the oracle forecast.
 func (r *run) futureCount(k, n int) float64 {
 	total := 0.0
-	for s := k; s < k+n && s < r.steps; s++ {
+	for s := k; s < k+n && s < r.totalSteps; s++ {
 		total += r.trace.Values[s/r.sub] / float64(r.sub)
 	}
 	return total
@@ -643,7 +503,7 @@ func (r *run) futureCount(k, n int) float64 {
 // steps [k, k+n) — the oracle's within-period profile.
 func (r *run) futureProfile(k, n int) (mean, peak float64) {
 	count := 0
-	for s := k; s < k+n && s < r.steps; s++ {
+	for s := k; s < k+n && s < r.totalSteps; s++ {
 		v := r.trace.Values[s/r.sub] / float64(r.sub)
 		mean += v
 		if v > peak {

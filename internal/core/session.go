@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/controller"
+	"hierctl/internal/des"
+	"hierctl/internal/forecast"
+	"hierctl/internal/par"
+	"hierctl/internal/series"
+	"hierctl/internal/workload"
+)
+
+// SessionConfig parameterizes an incremental run of the hierarchy.
+//
+// Online operation supplies BinSeconds (the cadence observations will
+// arrive at) and, optionally, a Calibration prefix of arrival counts used
+// to tune the Kalman filters before the first observation. Batch replays
+// supply Trace instead: the bin width and calibration prefix then come
+// from the trace, and oracle forecasts (Config.OracleForecast) become
+// possible because the future is known.
+type SessionConfig struct {
+	// BinSeconds is the observation bin width in seconds; it must be an
+	// integer multiple of T_L0. Ignored when Trace is set.
+	BinSeconds float64
+	// Start is the workload-clock time of the first bin (0 for online
+	// sessions). Ignored when Trace is set.
+	Start float64
+	// Calibration is an optional arrival-count history used to tune the
+	// Kalman filters (§4.3); fewer than 8 bins falls back to the prior.
+	// When nil and Trace is set, the trace's TunePrefixFrac prefix is
+	// used, matching the batch engine.
+	Calibration []float64
+	// Trace, when set, fixes the whole workload plan up front: ObserveBin
+	// must then be fed the trace's values in order. Required for
+	// Config.OracleForecast.
+	Trace *series.Series
+}
+
+// Session advances one hierarchy incrementally: each ObserveBin ingests
+// the next arrival-count bin, steps the plant and the L0/L1/L2 controllers
+// through the bin's T_L0 periods, and reports the decisions taken. Finish
+// drains in-flight work and assembles the same Record a batch Run
+// produces. A session fed a trace's bins in order is bit-identical to
+// Manager.Run over that trace.
+//
+// A Manager supports one live session at a time — NewSession resets the
+// hierarchy's estimator state. Sessions are not safe for concurrent use.
+type Session struct {
+	r        *run
+	finished bool
+}
+
+// BinDecision is the controller output for one observation bin: the
+// provisioning (on/off), load-sharing, and frequency settings in force
+// after the bin's control periods ran.
+type BinDecision struct {
+	// Bin is the observation bin index this decision closes.
+	Bin int
+	// Time is the workload-clock time at the end of the bin.
+	Time float64
+	// GammaModules is the cluster-level load split γ_i (nil for
+	// single-module hierarchies, which have no L2).
+	GammaModules []float64
+	// Modules holds the per-module operating decisions.
+	Modules []ModuleDecision
+	// MeanResponse is the mean response time over the bin's completed
+	// T_L0 intervals (0 when nothing completed).
+	MeanResponse float64
+	// Operational is the number of operational computers at bin end.
+	Operational int
+}
+
+// ModuleDecision is one module's operating state after a control period.
+type ModuleDecision struct {
+	// Alpha marks which computers the L1 controller keeps powered.
+	Alpha []bool
+	// Gamma is the within-module dispatch split γ_ij.
+	Gamma []float64
+	// FreqIdx is each computer's operating-frequency index (-1 while the
+	// computer is off or failed); FreqHz is the same in Hz (0 when off).
+	FreqIdx []int
+	FreqHz  []float64
+}
+
+// NewSession builds the runtime state for an incremental run: the plant is
+// booted and pre-rolled, the Kalman filters are tuned on the calibration
+// prefix, and the request feed is seeded. See SessionConfig for the online
+// vs batch modes.
+func (m *Manager) NewSession(store *workload.Store, sc SessionConfig) (*Session, error) {
+	if store == nil {
+		return nil, fmt.Errorf("core: nil store")
+	}
+	binStep, start0 := sc.BinSeconds, sc.Start
+	if sc.Trace != nil {
+		if sc.Trace.Len() == 0 {
+			return nil, fmt.Errorf("core: empty trace")
+		}
+		binStep, start0 = sc.Trace.Step, sc.Trace.Start
+	}
+	tl0 := m.cfg.L0.PeriodSeconds
+	sub := int(binStep/tl0 + 0.5)
+	if sub < 1 || math.Abs(float64(sub)*tl0-binStep) > 1e-6 {
+		return nil, fmt.Errorf("core: trace bin %vs is not a multiple of T_L0 %vs", binStep, tl0)
+	}
+	if m.cfg.OracleForecast && sc.Trace == nil {
+		return nil, fmt.Errorf("core: oracle forecasts need the full trace up front")
+	}
+	r := &run{
+		m:       m,
+		trace:   sc.Trace,
+		sub:     sub,
+		tl0:     tl0,
+		binStep: binStep,
+		start0:  start0,
+		l1Every: int(m.cfg.L1.PeriodSeconds/tl0 + 0.5),
+		l2Every: int(m.cfg.L2.PeriodSeconds/tl0 + 0.5),
+		workers: par.Workers(m.cfg.Parallelism),
+	}
+	if sc.Trace != nil {
+		r.totalSteps = sc.Trace.Len() * sub
+	}
+
+	plant, err := cluster.NewPlant(m.spec, des.RNG(m.cfg.Seed, "dispatch"))
+	if err != nil {
+		return nil, err
+	}
+	r.plant = plant
+	r.feed, err = workload.NewFeed(start0, binStep, store, des.RNG(m.cfg.Seed, "workload"))
+	if err != nil {
+		return nil, err
+	}
+
+	// Tune Kalman noise parameters on the calibration prefix (§4.3). The
+	// same tuned parameters serve all levels: the filter gain depends on
+	// the Q/R ratios, which are scale-invariant across aggregation levels.
+	cal := sc.Calibration
+	if cal == nil && sc.Trace != nil {
+		prefixBins := int(float64(sc.Trace.Len()) * m.cfg.TunePrefixFrac)
+		cal = sc.Trace.Values[:prefixBins]
+	}
+	ql, qt, ro := 1.0, 0.1, 10.0 // fallback prior
+	if len(cal) >= 8 {
+		tuned, _, err := forecast.TuneKalman(cal)
+		if err != nil {
+			return nil, err
+		}
+		ql, qt, ro = tuned.Params()
+	}
+	newKalman := func() (*forecast.Kalman, error) { return forecast.NewKalman(ql, qt, ro) }
+	for _, asm := range m.modules {
+		if asm.kalman0, err = newKalman(); err != nil {
+			return nil, err
+		}
+		if asm.kalman1, err = newKalman(); err != nil {
+			return nil, err
+		}
+		asm.lastPer = make([]cluster.IntervalStats, len(asm.specs))
+		asm.lastAgg = cluster.IntervalStats{}
+		asm.arrivedTL1 = 0
+		asm.hasPredicted = false
+		asm.pendingRatio = 1
+		asm.l0Ratio = 1
+	}
+	if m.kalmanG, err = newKalman(); err != nil {
+		return nil, err
+	}
+	if m.bandG, err = forecast.NewBand(m.cfg.BandSmoothing); err != nil {
+		return nil, err
+	}
+
+	// Pre-roll: boot every computer at t = 0 at full frequency; the
+	// controllers scale down immediately if the load does not justify it.
+	r.preroll = m.maxBootDelay()
+	for i, asm := range m.modules {
+		allOn := make([]bool, len(asm.specs))
+		for j := range asm.specs {
+			if err := plant.PowerOn(i, j); err != nil {
+				return nil, err
+			}
+			if err := plant.SetFrequency(i, j, len(asm.specs[j].FrequenciesHz)-1); err != nil {
+				return nil, err
+			}
+			allOn[j] = true
+		}
+		gamma, err := controller.SnapSimplex(capacities(asm.specs), allOn, m.cfg.L1.Quantum)
+		if err != nil {
+			return nil, err
+		}
+		asm.alpha = allOn
+		asm.gamma = gamma
+		if err := asm.l1.SetState(allOn, gamma); err != nil {
+			return nil, err
+		}
+	}
+	if r.preroll > 0 {
+		if err := plant.Advance(r.preroll); err != nil {
+			return nil, err
+		}
+		for i := range m.modules {
+			// Discard boot-interval stats.
+			if _, _, err := plant.ModuleIntervalStats(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	r.rec = &Record{
+		Trace:          sc.Trace,
+		PredictedL1:    series.New(r.preroll+m.cfg.L1.PeriodSeconds, m.cfg.L1.PeriodSeconds, 0),
+		ActualL1:       series.New(r.preroll+m.cfg.L1.PeriodSeconds, m.cfg.L1.PeriodSeconds, 0),
+		Operational:    series.New(r.preroll, m.cfg.L1.PeriodSeconds, 0),
+		ResponseMean:   series.New(r.preroll, r.tl0, 0),
+		FreqByComputer: map[string]*series.Series{},
+		TargetResponse: m.cfg.L0.TargetResponse,
+		LearnTime:      m.learnTime,
+	}
+	if sc.Trace == nil {
+		// Streaming: collect the ingested counts so the record still
+		// carries the workload it ran against.
+		r.observed = series.New(start0, binStep, 0)
+		r.rec.Trace = r.observed
+	}
+	if m.l2 != nil {
+		r.rec.GammaModules = make([]*series.Series, len(m.modules))
+		for i := range r.rec.GammaModules {
+			r.rec.GammaModules[i] = series.New(r.preroll, m.cfg.L2.PeriodSeconds, 0)
+		}
+	}
+	if m.cfg.RecordFrequencies {
+		for _, ms := range m.spec.Modules {
+			for _, cs := range ms.Computers {
+				r.rec.FreqByComputer[cs.Name] = series.New(r.preroll, r.tl0, 0)
+			}
+		}
+	}
+	r.pending = make([][]workload.Request, r.sub)
+	r.freqIdx = make([][]int, len(m.modules))
+	for i, asm := range m.modules {
+		r.freqIdx[i] = make([]int, len(asm.specs))
+		for j := range r.freqIdx[i] {
+			r.freqIdx[i][j] = -1
+		}
+	}
+	r.failAt = make([]int, len(m.failures))
+	for idx, f := range m.failures {
+		r.failAt[idx] = int(math.Ceil(f.at / tl0))
+	}
+	return &Session{r: r}, nil
+}
+
+// ObserveBin ingests the next observation bin's arrival count, advances
+// the hierarchy through the bin's T_L0 control periods against the
+// synthesized requests, and returns the decisions now in force.
+func (s *Session) ObserveBin(count float64) (BinDecision, error) {
+	if s.finished {
+		return BinDecision{}, fmt.Errorf("core: session already finished")
+	}
+	r := s.r
+	if r.trace != nil && r.feed.Bins() >= r.trace.Len() {
+		return BinDecision{}, fmt.Errorf("core: trace exhausted at bin %d", r.feed.Bins())
+	}
+	bin, reqs := r.feed.Push(count)
+	if r.observed != nil {
+		r.observed.Values = append(r.observed.Values, count)
+	}
+	r.spreadBin(bin, reqs)
+	for d := 0; d < r.sub; d++ {
+		if err := r.step(r.stepIdx); err != nil {
+			return BinDecision{}, err
+		}
+		r.stepIdx++
+	}
+	return r.binDecision(bin), nil
+}
+
+// Progress reports how far the session has advanced: observation bins
+// ingested, T_L0 steps run, and the simulation clock (which includes the
+// boot pre-roll).
+func (s *Session) Progress() (bins, steps int, simTime float64) {
+	r := s.r
+	return r.feed.Bins(), r.stepIdx, r.preroll + float64(r.stepIdx)*r.tl0
+}
+
+// Finish drains in-flight work past the last observed bin and assembles
+// the run's Record. The session cannot be used afterwards.
+func (s *Session) Finish() (*Record, error) {
+	if s.finished {
+		return nil, fmt.Errorf("core: session already finished")
+	}
+	s.finished = true
+	r := s.r
+	// Failures quantized exactly to the final boundary still fire before
+	// the drain, matching the batch engine's event calendar.
+	if err := r.applyFailures(r.stepIdx); err != nil {
+		return nil, err
+	}
+	end := r.preroll + float64(r.stepIdx)*r.tl0
+	if err := r.plant.Advance(end + r.m.cfg.DrainSeconds); err != nil {
+		return nil, err
+	}
+	return r.finish()
+}
+
+// binDecision assembles the decision payload after a bin's steps ran.
+func (r *run) binDecision(bin int) BinDecision {
+	m := r.m
+	d := BinDecision{
+		Bin:         bin,
+		Time:        r.start0 + float64(bin+1)*r.binStep,
+		Operational: r.plant.OperationalComputers(),
+		Modules:     make([]ModuleDecision, len(m.modules)),
+	}
+	if r.gammaModules != nil {
+		d.GammaModules = append([]float64(nil), r.gammaModules...)
+	}
+	for i, asm := range m.modules {
+		md := ModuleDecision{
+			Alpha:   append([]bool(nil), asm.alpha...),
+			Gamma:   append([]float64(nil), asm.gamma...),
+			FreqIdx: append([]int(nil), r.freqIdx[i]...),
+			FreqHz:  make([]float64, len(asm.specs)),
+		}
+		for j, idx := range md.FreqIdx {
+			if idx >= 0 {
+				md.FreqHz[j] = asm.specs[j].FrequenciesHz[idx]
+			}
+		}
+		d.Modules[i] = md
+	}
+	// Mean response over the bin's completed T_L0 intervals.
+	vals := r.rec.ResponseMean.Values
+	n := r.sub
+	if len(vals) < n {
+		n = len(vals)
+	}
+	sum, cnt := 0.0, 0
+	for _, v := range vals[len(vals)-n:] {
+		if v > 0 {
+			sum += v
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		d.MeanResponse = sum / float64(cnt)
+	}
+	return d
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/series"
+)
+
+func seriesIdentical(t *testing.T, name string, a, b *series.Series) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: nil mismatch", name)
+	}
+	if a == nil {
+		return
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: length %d vs %d", name, a.Len(), b.Len())
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("%s: value %d diverged: %v vs %v", name, i, a.Values[i], b.Values[i])
+		}
+	}
+}
+
+func recordsIdentical(t *testing.T, batch, online *Record) {
+	t.Helper()
+	if batch.Completed != online.Completed || batch.Dropped != online.Dropped {
+		t.Errorf("requests diverged: (%d, %d) vs (%d, %d)", batch.Completed, batch.Dropped, online.Completed, online.Dropped)
+	}
+	if batch.Energy != online.Energy {
+		t.Errorf("energy diverged: %v vs %v", batch.Energy, online.Energy)
+	}
+	if batch.Switches != online.Switches || batch.Misroutes != online.Misroutes {
+		t.Errorf("switches/misroutes diverged: (%d, %d) vs (%d, %d)", batch.Switches, batch.Misroutes, online.Switches, online.Misroutes)
+	}
+	if batch.ViolationFrac != online.ViolationFrac {
+		t.Errorf("violation fraction diverged: %v vs %v", batch.ViolationFrac, online.ViolationFrac)
+	}
+	if batch.MeanResponse() != online.MeanResponse() {
+		t.Errorf("mean response diverged: %v vs %v", batch.MeanResponse(), online.MeanResponse())
+	}
+	if batch.ResponseP50 != online.ResponseP50 || batch.ResponseP95 != online.ResponseP95 ||
+		batch.ResponseP99 != online.ResponseP99 || batch.ResponseMax != online.ResponseMax {
+		t.Error("latency percentiles diverged")
+	}
+	if batch.L0Explored != online.L0Explored || batch.L1Explored != online.L1Explored || batch.L2Explored != online.L2Explored {
+		t.Error("explored counts diverged")
+	}
+	if batch.L0Decisions != online.L0Decisions || batch.L1Decisions != online.L1Decisions || batch.L2Decisions != online.L2Decisions {
+		t.Error("decision counts diverged")
+	}
+	seriesIdentical(t, "Trace", batch.Trace, online.Trace)
+	seriesIdentical(t, "PredictedL1", batch.PredictedL1, online.PredictedL1)
+	seriesIdentical(t, "ActualL1", batch.ActualL1, online.ActualL1)
+	seriesIdentical(t, "Operational", batch.Operational, online.Operational)
+	seriesIdentical(t, "ResponseMean", batch.ResponseMean, online.ResponseMean)
+	if len(batch.GammaModules) != len(online.GammaModules) {
+		t.Fatalf("gamma series count %d vs %d", len(batch.GammaModules), len(online.GammaModules))
+	}
+	for i := range batch.GammaModules {
+		seriesIdentical(t, "GammaModules", batch.GammaModules[i], online.GammaModules[i])
+	}
+	if len(batch.FreqByComputer) != len(online.FreqByComputer) {
+		t.Fatalf("frequency series count %d vs %d", len(batch.FreqByComputer), len(online.FreqByComputer))
+	}
+	for name, s := range batch.FreqByComputer {
+		seriesIdentical(t, "FreqByComputer["+name+"]", s, online.FreqByComputer[name])
+	}
+}
+
+// TestStreamingSessionMatchesBatchRun pins the online engine to the batch
+// one: a session that never sees the trace — only the streamed counts plus
+// the same calibration prefix the batch run tunes on — must reproduce the
+// batch record bit for bit. Failure injections ride along to cover the
+// event-calendar ordering.
+func TestStreamingSessionMatchesBatchRun(t *testing.T) {
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{
+		moduleOf("M1", 2), moduleOf("M2", 2),
+	}}
+	cfg := fastConfig()
+	trace := series.New(0, 30, 60)
+	for i := range trace.Values {
+		trace.Values[i] = 900 + 600*math.Sin(float64(i)/5)
+	}
+
+	batchMgr, err := NewManager(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchMgr.InjectFailure(600, 0, 0)
+	batchMgr.InjectRepair(1200, 0, 0)
+	batch, err := batchMgr.Run(trace, testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	onlineMgr, err := NewManager(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlineMgr.InjectFailure(600, 0, 0)
+	onlineMgr.InjectRepair(1200, 0, 0)
+	prefix := int(float64(trace.Len()) * cfg.TunePrefixFrac)
+	sess, err := onlineMgr.NewSession(testStore(t), SessionConfig{
+		BinSeconds:  trace.Step,
+		Start:       trace.Start,
+		Calibration: trace.Values[:prefix],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, count := range trace.Values {
+		if _, err := sess.ObserveBin(count); err != nil {
+			t.Fatal(err)
+		}
+	}
+	online, err := sess.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsIdentical(t, batch, online)
+}
+
+func TestSessionBinDecisionShape(t *testing.T) {
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{
+		moduleOf("M1", 2), moduleOf("M2", 2),
+	}}
+	mgr, err := NewManager(spec, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := mgr.NewSession(testStore(t), SessionConfig{BinSeconds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec BinDecision
+	for bin := 0; bin < 8; bin++ {
+		dec, err = sess.ObserveBin(1200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Bin != bin {
+			t.Fatalf("bin index %d, want %d", dec.Bin, bin)
+		}
+	}
+	if dec.Time != 8*30 {
+		t.Errorf("decision time %v, want 240", dec.Time)
+	}
+	if len(dec.Modules) != 2 {
+		t.Fatalf("module decisions %d, want 2", len(dec.Modules))
+	}
+	if len(dec.GammaModules) != 2 {
+		t.Fatalf("cluster shares %d, want 2 (L2 active)", len(dec.GammaModules))
+	}
+	if sum := dec.GammaModules[0] + dec.GammaModules[1]; math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Σγ_i = %v, want 1", sum)
+	}
+	for i, md := range dec.Modules {
+		if len(md.Alpha) != 2 || len(md.Gamma) != 2 || len(md.FreqIdx) != 2 || len(md.FreqHz) != 2 {
+			t.Fatalf("module %d decision lengths: %+v", i, md)
+		}
+		for j := range md.FreqIdx {
+			on := md.FreqIdx[j] >= 0
+			if on != (md.FreqHz[j] > 0) {
+				t.Errorf("module %d computer %d: idx %d vs hz %v", i, j, md.FreqIdx[j], md.FreqHz[j])
+			}
+		}
+	}
+	if dec.Operational < 1 {
+		t.Error("no operational computers under load")
+	}
+	bins, steps, simTime := sess.Progress()
+	if bins != 8 || steps != 8 {
+		t.Errorf("progress (%d, %d), want (8, 8)", bins, steps)
+	}
+	if simTime <= 0 {
+		t.Error("sim time not advancing")
+	}
+	if _, err := sess.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ObserveBin(100); err == nil {
+		t.Error("observe after finish: want error")
+	}
+	if _, err := sess.Finish(); err == nil {
+		t.Error("double finish: want error")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 2)}}
+	mgr, err := NewManager(spec, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t)
+	if _, err := mgr.NewSession(nil, SessionConfig{BinSeconds: 30}); err == nil {
+		t.Error("nil store: want error")
+	}
+	if _, err := mgr.NewSession(store, SessionConfig{BinSeconds: 45}); err == nil {
+		t.Error("misaligned bin width: want error")
+	}
+	if _, err := mgr.NewSession(store, SessionConfig{}); err == nil {
+		t.Error("zero bin width and no trace: want error")
+	}
+
+	oracleCfg := fastConfig()
+	oracleCfg.OracleForecast = true
+	oracleMgr, err := NewManager(spec, oracleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracleMgr.NewSession(store, SessionConfig{BinSeconds: 30}); err == nil {
+		t.Error("oracle without trace: want error")
+	}
+
+	// A session primed with a trace refuses to run past it.
+	sess, err := mgr.NewSession(store, SessionConfig{Trace: steadyTrace(2, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sess.ObserveBin(100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sess.ObserveBin(100); err == nil {
+		t.Error("observe past the trace: want error")
+	}
+}
+
+// TestManagerWithArtifactsSkipsLearning verifies a manager rebuilt from
+// another's artifacts shares the learned objects and decides identically.
+func TestManagerWithArtifactsSkipsLearning(t *testing.T) {
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{
+		moduleOf("M1", 2), moduleOf("M2", 2),
+	}}
+	cfg := fastConfig()
+	first, err := NewManager(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := first.Artifacts()
+	if len(art.GMaps) == 0 {
+		t.Fatal("no gmaps retained")
+	}
+	if len(art.Trees) == 0 {
+		t.Fatal("no module trees retained (multi-module cluster)")
+	}
+	second, err := NewManagerWithArtifacts(spec, cfg, &art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, g := range art.GMaps {
+		if second.artifacts.GMaps[key] != g {
+			t.Error("gmap relearned despite supplied artifact")
+		}
+	}
+	for key, jt := range art.Trees {
+		if second.artifacts.Trees[key] != jt {
+			t.Error("module tree relearned despite supplied artifact")
+		}
+	}
+	trace := steadyTrace(20, 900)
+	a, err := first.Run(trace, testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := second.Run(trace, testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsIdentical(t, a, b)
+}

@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/controller"
+	"hierctl/internal/core"
+	"hierctl/internal/par"
+)
+
+// benchCore is an even coarser configuration than fastCore: the benchmark
+// measures the fleet's stepping throughput, not learning quality.
+func benchCore(dir string, seed int64) core.Config {
+	cfg := fastCore()
+	cfg.Seed = seed
+	cfg.Parallelism = 1 // shards provide the parallelism, not the tenants
+	cfg.RecordFrequencies = false
+	cfg.GMap = controller.GMapConfig{
+		QMax: 100, QStep: 50,
+		LambdaMax: 100, LambdaStep: 50,
+		CMin: 0.016, CMax: 0.02, CStep: 0.004,
+		SubSteps: 2,
+	}
+	cfg.ArtifactDir = dir // identical hardware: learn once, load 63 times
+	return cfg
+}
+
+// BenchmarkFleet64Tenants steps 64 concurrent tenant hierarchies in one
+// process and reports tenant-ticks/sec (one tick = one T_L0 control
+// period of one tenant). Run with -cpu 1,4,8 for the scaling curve:
+//
+//	go test ./internal/fleet/ -run xx -bench Fleet64 -cpu 1,4,8
+func BenchmarkFleet64Tenants(b *testing.B) {
+	const tenants = 64
+	dir := b.TempDir()
+	f := New(Config{})
+	defer f.Close()
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 2)}}
+	ids := make([]string, tenants)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("t%02d", i)
+		if err := f.CreateTenant(ids[i], TenantConfig{
+			Spec:       spec,
+			Core:       benchCore(dir, int64(i+1)),
+			Store:      testStoreConfig(),
+			StoreSeed:  int64(i + 1),
+			BinSeconds: 30,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := par.For(runtime.GOMAXPROCS(0), tenants, func(i int) error {
+		for n := 0; n < b.N; n++ {
+			if _, err := f.Observe(ids[i], 400); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(tenants*b.N)/b.Elapsed().Seconds(), "tenant-ticks/sec")
+}

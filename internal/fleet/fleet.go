@@ -1,0 +1,308 @@
+// Package fleet is the online control plane: it hosts many independent
+// tenant clusters — each a full core.Manager hierarchy with its own
+// plant, forecasters, and learned GMap/J̃ state — inside one process,
+// sharded across worker goroutines. Tenants are advanced by streamed
+// arrival observations (core.Session.ObserveBin) instead of batch trace
+// replays, which is what a long-running controller daemon needs.
+//
+// Concurrency model: every tenant has a home shard, and all operations on
+// a tenant execute serially on that shard's goroutine — per-tenant
+// ordering is total, distinct tenants step concurrently, and the tenant
+// state needs no locks. The shard loops run under the context-aware
+// fan-out in internal/par, so closing the fleet stops them promptly.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hierctl/internal/core"
+	"hierctl/internal/par"
+)
+
+// Config parameterizes a fleet.
+type Config struct {
+	// Shards is the number of worker goroutines tenants are distributed
+	// over (round-robin at creation). 0 = one shard per available CPU.
+	Shards int
+}
+
+var (
+	// ErrClosed is returned by every operation after Close.
+	ErrClosed = errors.New("fleet: closed")
+	// ErrNotFound is returned for operations on unknown tenant ids.
+	ErrNotFound = errors.New("fleet: tenant not found")
+	// ErrExists is returned when creating a tenant under a taken id.
+	ErrExists = errors.New("fleet: tenant already exists")
+)
+
+// Fleet is a sharded multi-tenant controller host. Construct with New;
+// all methods are safe for concurrent use.
+type Fleet struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	shards []*shard
+
+	mu        sync.RWMutex
+	tenants   map[string]*tenant
+	nextShard int
+
+	observations atomic.Int64
+	ticks        atomic.Int64
+	decideNanos  atomic.Int64
+	snapshots    atomic.Int64
+	restores     atomic.Int64
+}
+
+// shard executes the jobs of its assigned tenants serially.
+type shard struct {
+	jobs chan func()
+}
+
+func (s *shard) run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job := <-s.jobs:
+			job()
+		}
+	}
+}
+
+// New starts a fleet with the configured number of shards.
+func New(cfg Config) *Fleet {
+	n := par.Workers(cfg.Shards)
+	f := &Fleet{
+		tenants: map[string]*tenant{},
+		shards:  make([]*shard, n),
+		done:    make(chan struct{}),
+	}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	for i := range f.shards {
+		f.shards[i] = &shard{jobs: make(chan func(), 64)}
+	}
+	go func() {
+		defer close(f.done)
+		// One long-running task per shard; the context-aware fan-out
+		// stops scheduling (and the loops return) on cancellation.
+		_ = par.ForCtx(f.ctx, n, n, func(i int) error {
+			f.shards[i].run(f.ctx)
+			return nil
+		})
+	}()
+	return f
+}
+
+// Close shuts the fleet down: shard loops stop promptly and every
+// subsequent operation returns ErrClosed. Tenants are not finished —
+// snapshot first if their state should survive.
+func (f *Fleet) Close() {
+	f.cancel()
+	<-f.done
+}
+
+// exec runs fn on t's home shard and waits for it, bailing out with
+// ErrClosed if the fleet shuts down first.
+func (f *Fleet) exec(t *tenant, fn func()) error {
+	done := make(chan struct{})
+	job := func() { defer close(done); fn() }
+	select {
+	case t.home.jobs <- job:
+	case <-f.ctx.Done():
+		return ErrClosed
+	}
+	select {
+	case <-done:
+		return nil
+	case <-f.ctx.Done():
+		// Both channels may be ready at once; prefer done so a job that
+		// did run (and mutated tenant state) is never reported as closed.
+		select {
+		case <-done:
+			return nil
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+func (f *Fleet) tenant(id string) (*tenant, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	t, ok := f.tenants[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return t, nil
+}
+
+// register adds a built tenant to the map and assigns its home shard.
+func (f *Fleet) register(t *tenant) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.tenants[t.id]; ok {
+		return ErrExists
+	}
+	t.home = f.shards[f.nextShard%len(f.shards)]
+	f.nextShard++
+	f.tenants[t.id] = t
+	return nil
+}
+
+// CreateTenant builds a tenant's hierarchy (including the offline
+// learning, unless Core.ArtifactDir caches it) and registers it. The id
+// must be unique and non-empty.
+func (f *Fleet) CreateTenant(id string, tc TenantConfig) error {
+	if err := f.ctx.Err(); err != nil {
+		return ErrClosed
+	}
+	if id == "" {
+		return fmt.Errorf("fleet: empty tenant id")
+	}
+	f.mu.RLock()
+	_, taken := f.tenants[id]
+	f.mu.RUnlock()
+	if taken {
+		return ErrExists
+	}
+	t, err := newTenant(id, tc, nil)
+	if err != nil {
+		return err
+	}
+	return f.register(t)
+}
+
+// Observe feeds one arrival-count bin to the tenant and returns the
+// frequency/provisioning decisions now in force. Calls for the same
+// tenant serialize on its home shard; calls for different tenants run
+// concurrently.
+func (f *Fleet) Observe(id string, count float64) (core.BinDecision, error) {
+	t, err := f.tenant(id)
+	if err != nil {
+		return core.BinDecision{}, err
+	}
+	var dec core.BinDecision
+	var oerr error
+	var decided time.Duration
+	if err := f.exec(t, func() {
+		// Time inside the shard job so the counter measures stepping,
+		// not shard-queue wait.
+		start := time.Now()
+		dec, oerr = t.observe(count)
+		decided = time.Since(start)
+	}); err != nil {
+		return core.BinDecision{}, err
+	}
+	if oerr != nil {
+		return core.BinDecision{}, oerr
+	}
+	f.observations.Add(1)
+	f.ticks.Add(int64(t.sub))
+	f.decideNanos.Add(decided.Nanoseconds())
+	return dec, nil
+}
+
+// State reports a tenant's progress and last decision.
+func (f *Fleet) State(id string) (TenantState, error) {
+	t, err := f.tenant(id)
+	if err != nil {
+		return TenantState{}, err
+	}
+	var st TenantState
+	if err := f.exec(t, func() { st = t.state() }); err != nil {
+		return TenantState{}, err
+	}
+	return st, nil
+}
+
+// CloseTenant finishes the tenant's session (draining in-flight work),
+// removes it from the fleet, and returns its full run record.
+func (f *Fleet) CloseTenant(id string) (*core.Record, error) {
+	t, err := f.tenant(id)
+	if err != nil {
+		return nil, err
+	}
+	var rec *core.Record
+	var ferr error
+	if err := f.exec(t, func() { rec, ferr = t.sess.Finish() }); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	delete(f.tenants, id)
+	f.mu.Unlock()
+	if ferr != nil {
+		return nil, ferr
+	}
+	return rec, nil
+}
+
+// States reports every tenant's state. Per-tenant reads fan out across
+// the shards, so a caller (e.g. a metrics scrape) waits for at most the
+// busiest shard's queue rather than the sum of every tenant's; tenants
+// removed mid-listing are skipped.
+func (f *Fleet) States() []TenantState {
+	ids := f.Tenants()
+	states, err := par.MapCtx(f.ctx, len(f.shards), len(ids), func(i int) (TenantState, error) {
+		st, err := f.State(ids[i])
+		if err != nil {
+			return TenantState{}, nil // removed or closing: skip
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil
+	}
+	kept := states[:0]
+	for _, st := range states {
+		if st.ID != "" {
+			kept = append(kept, st)
+		}
+	}
+	return kept
+}
+
+// Tenants returns the registered tenant ids in sorted order.
+func (f *Fleet) Tenants() []string {
+	f.mu.RLock()
+	ids := make([]string, 0, len(f.tenants))
+	for id := range f.tenants {
+		ids = append(ids, id)
+	}
+	f.mu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// Stats summarizes fleet-level counters for the metrics endpoint.
+type Stats struct {
+	Tenants       int
+	Shards        int
+	Observations  int64   // bins ingested across all tenants
+	Ticks         int64   // T_L0 control periods stepped
+	DecideSeconds float64 // wall-clock spent inside tenant stepping
+	Snapshots     int64
+	Restores      int64
+}
+
+// Stats returns a snapshot of the fleet counters.
+func (f *Fleet) Stats() Stats {
+	f.mu.RLock()
+	n := len(f.tenants)
+	f.mu.RUnlock()
+	return Stats{
+		Tenants:       n,
+		Shards:        len(f.shards),
+		Observations:  f.observations.Load(),
+		Ticks:         f.ticks.Load(),
+		DecideSeconds: float64(f.decideNanos.Load()) / 1e9,
+		Snapshots:     f.snapshots.Load(),
+		Restores:      f.restores.Load(),
+	}
+}

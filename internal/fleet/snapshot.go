@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"hierctl/internal/controller"
+	"hierctl/internal/core"
+	"hierctl/internal/par"
+)
+
+// Snapshot format: event-sourced controller state. Mid-run plant state
+// (queues, in-flight requests, RNG positions) is never serialized —
+// instead a snapshot captures, per tenant, (a) the configuration, (b) the
+// learned artifacts via the controller/approx persistence layers (the
+// expensive offline phase), and (c) the observation log. Because runs are
+// deterministic per seed, restoring = rebuild from artifacts + replay the
+// log, which reconstructs bit-identical controller state: the next K
+// decisions after a restore equal the original's.
+
+const snapshotVersion = 1
+
+type tenantSnap struct {
+	ID           string
+	Config       TenantConfig
+	Observations []float64
+	// GMaps and Trees hold the serialized learning artifacts keyed by the
+	// manager's configuration fingerprints (controller.GMap.Save /
+	// TreeJTilde.Save framing).
+	GMaps map[string][]byte
+	Trees map[string][]byte
+}
+
+type fleetSnap struct {
+	Version int
+	Tenants []tenantSnap
+}
+
+// Snapshot serializes every tenant's controller state to w. Per-tenant
+// captures run on the tenants' home shards (so they serialize against
+// in-flight observations) and fan out across shards concurrently.
+func (f *Fleet) Snapshot(w io.Writer) error {
+	ids := f.Tenants()
+	snaps, err := par.MapCtx(f.ctx, len(f.shards), len(ids), func(i int) (tenantSnap, error) {
+		t, err := f.tenant(ids[i])
+		if err != nil {
+			// Removed since the listing: skip (marked by the empty id).
+			return tenantSnap{}, nil
+		}
+		var snap tenantSnap
+		var serr error
+		if err := f.exec(t, func() { snap, serr = t.snapshot() }); err != nil {
+			return tenantSnap{}, err
+		}
+		return snap, serr
+	})
+	if err != nil {
+		return err
+	}
+	kept := snaps[:0]
+	for _, s := range snaps {
+		if s.ID != "" {
+			kept = append(kept, s)
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(fleetSnap{Version: snapshotVersion, Tenants: kept}); err != nil {
+		return fmt.Errorf("fleet: encode snapshot: %w", err)
+	}
+	f.snapshots.Add(1)
+	return nil
+}
+
+// Restore rebuilds the tenants of a snapshot written by Snapshot and
+// registers them. Restores fan out across tenants; each rebuild loads the
+// learned artifacts (skipping the offline learning) and replays the
+// observation log to reconstruct the exact controller state.
+func (f *Fleet) Restore(r io.Reader) error {
+	if err := f.ctx.Err(); err != nil {
+		return ErrClosed
+	}
+	var snap fleetSnap
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("fleet: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("fleet: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	tenants, err := par.MapCtx(f.ctx, par.Workers(0), len(snap.Tenants), func(i int) (*tenant, error) {
+		return restoreTenant(snap.Tenants[i])
+	})
+	if err != nil {
+		return err
+	}
+	if err := f.registerAll(tenants); err != nil {
+		return err
+	}
+	f.restores.Add(1)
+	return nil
+}
+
+// registerAll registers the restored tenants all-or-nothing: an id clash
+// (with a live tenant or within the snapshot) registers none of them.
+func (f *Fleet) registerAll(tenants []*tenant) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	seen := map[string]bool{}
+	for _, t := range tenants {
+		if _, ok := f.tenants[t.id]; ok || seen[t.id] {
+			return fmt.Errorf("fleet: restore tenant %s: %w", t.id, ErrExists)
+		}
+		seen[t.id] = true
+	}
+	for _, t := range tenants {
+		t.home = f.shards[f.nextShard%len(f.shards)]
+		f.nextShard++
+		f.tenants[t.id] = t
+	}
+	return nil
+}
+
+// snapshot captures one tenant. Runs on the tenant's home shard.
+func (t *tenant) snapshot() (tenantSnap, error) {
+	snap := tenantSnap{
+		ID:           t.id,
+		Config:       t.cfg,
+		Observations: append([]float64(nil), t.observations...),
+		GMaps:        map[string][]byte{},
+		Trees:        map[string][]byte{},
+	}
+	art := t.mgr.Artifacts()
+	for key, g := range art.GMaps {
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			return snap, fmt.Errorf("fleet: tenant %s gmap: %w", t.id, err)
+		}
+		snap.GMaps[key] = buf.Bytes()
+	}
+	for key, jt := range art.Trees {
+		var buf bytes.Buffer
+		if err := jt.Save(&buf); err != nil {
+			return snap, fmt.Errorf("fleet: tenant %s tree: %w", t.id, err)
+		}
+		snap.Trees[key] = buf.Bytes()
+	}
+	return snap, nil
+}
+
+// restoreTenant rebuilds one tenant from its snapshot.
+func restoreTenant(s tenantSnap) (*tenant, error) {
+	art := &core.ArtifactSet{
+		GMaps: make(map[string]*controller.GMap, len(s.GMaps)),
+		Trees: make(map[string]*controller.TreeJTilde, len(s.Trees)),
+	}
+	for key, b := range s.GMaps {
+		g, err := controller.ReadGMap(bytes.NewReader(b))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: tenant %s gmap: %w", s.ID, err)
+		}
+		art.GMaps[key] = g
+	}
+	for key, b := range s.Trees {
+		jt, err := controller.ReadTreeJTilde(bytes.NewReader(b))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: tenant %s tree: %w", s.ID, err)
+		}
+		art.Trees[key] = jt
+	}
+	t, err := newTenant(s.ID, s.Config, art)
+	if err != nil {
+		return nil, err
+	}
+	for _, count := range s.Observations {
+		if _, err := t.observe(count); err != nil {
+			return nil, fmt.Errorf("fleet: tenant %s replay: %w", s.ID, err)
+		}
+	}
+	return t, nil
+}

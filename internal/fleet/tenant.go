@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/core"
+	"hierctl/internal/workload"
+)
+
+// TenantConfig describes one tenant cluster and its observation cadence.
+type TenantConfig struct {
+	// Spec is the tenant's cluster hardware.
+	Spec cluster.Spec
+	// Core configures the tenant's controller hierarchy. Seed drives all
+	// of the tenant's random streams; ArtifactDir (optional) shares the
+	// offline learning across tenants with identical hardware.
+	Core core.Config
+	// Store parameterizes the tenant's virtual object store, built from
+	// StoreSeed. Every tenant owns a private store: its temporal-locality
+	// state mutates as requests are sampled.
+	Store     workload.StoreConfig
+	StoreSeed int64
+	// BinSeconds is the observation bin width (an integer multiple of
+	// T_L0); Start is the workload-clock time of the first bin.
+	BinSeconds float64
+	Start      float64
+	// Calibration is an optional arrival-count history used to tune the
+	// Kalman filters before the first observation (≥ 8 bins to engage).
+	Calibration []float64
+}
+
+// TenantState is the progress report served by Fleet.State.
+type TenantState struct {
+	ID        string
+	Computers int
+	Bins      int
+	Steps     int
+	SimTime   float64
+	// LastDecision is the most recent observation's decision (nil before
+	// the first observation).
+	LastDecision *core.BinDecision
+}
+
+// tenant pairs one manager hierarchy with its live session. All fields
+// are owned by the tenant's home shard after registration; the fleet
+// only reads the immutable id and home pointers.
+type tenant struct {
+	id   string
+	cfg  TenantConfig
+	mgr  *core.Manager
+	sess *core.Session
+	home *shard
+	sub  int // T_L0 steps per observation bin
+
+	// observations is the event-sourcing log: the exact count stream fed
+	// so far. Snapshots persist it; restores replay it (runs are
+	// deterministic per seed, so replay reconstructs the exact state).
+	// Known limitation: the log grows one float per bin for the tenant's
+	// lifetime, so snapshot size and restore replay time grow with
+	// uptime; very long-lived tenants will want periodic compaction
+	// (close + recreate, or a future checkpoint format).
+	observations []float64
+	lastDecision *core.BinDecision
+}
+
+// newTenant builds a tenant's manager and session. A non-nil artifact set
+// (from a snapshot) skips the offline learning.
+func newTenant(id string, tc TenantConfig, art *core.ArtifactSet) (*tenant, error) {
+	mgr, err := core.NewManagerWithArtifacts(tc.Spec, tc.Core, art)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %s: %w", id, err)
+	}
+	store, err := workload.NewStore(rand.New(rand.NewSource(tc.StoreSeed)), tc.Store)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %s: %w", id, err)
+	}
+	sess, err := mgr.NewSession(store, core.SessionConfig{
+		BinSeconds:  tc.BinSeconds,
+		Start:       tc.Start,
+		Calibration: tc.Calibration,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %s: %w", id, err)
+	}
+	return &tenant{
+		id:   id,
+		cfg:  tc,
+		mgr:  mgr,
+		sess: sess,
+		sub:  int(tc.BinSeconds/tc.Core.L0.PeriodSeconds + 0.5),
+	}, nil
+}
+
+func (t *tenant) observe(count float64) (core.BinDecision, error) {
+	dec, err := t.sess.ObserveBin(count)
+	if err != nil {
+		return core.BinDecision{}, err
+	}
+	t.observations = append(t.observations, count)
+	held := dec
+	t.lastDecision = &held
+	return dec, nil
+}
+
+func (t *tenant) state() TenantState {
+	bins, steps, simTime := t.sess.Progress()
+	st := TenantState{
+		ID:        t.id,
+		Computers: t.cfg.Spec.Computers(),
+		Bins:      bins,
+		Steps:     steps,
+		SimTime:   simTime,
+	}
+	if t.lastDecision != nil {
+		held := *t.lastDecision
+		st.LastDecision = &held
+	}
+	return st
+}

@@ -9,6 +9,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -82,6 +83,81 @@ func For(workers, n int, fn func(i int) error) error {
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	err := For(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is cancelled,
+// workers stop pulling new indices (tasks already in flight finish).
+// Errors keep For's contract — the lowest-index task error wins; when no
+// task failed but cancellation kept some indices from ever running, the
+// context's error is returned. A nil error therefore still means every
+// task ran and succeeded. Long-running tasks that should stop mid-flight
+// must watch ctx themselves.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next, completed atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() && ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if int(completed.Load()) < n {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// MapCtx is Map with ForCtx's cancellation semantics: results are only
+// returned when every task ran and succeeded.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -117,5 +119,116 @@ func TestForSequentialStopsAtFirstError(t *testing.T) {
 	})
 	if err == nil || ran != 3 {
 		t.Errorf("sequential mode ran %d tasks (err %v), want stop after 3", ran, err)
+	}
+}
+
+func TestForCtxCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		n := 37
+		hits := make([]int32, n)
+		err := ForCtx(context.Background(), workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForCtxStopsSchedulingOnCancel(t *testing.T) {
+	// The first tasks cancel the context; far fewer than n tasks may run
+	// afterwards (workers may each pull one more index before noticing).
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForCtx(ctx, workers, 1000, func(i int) error {
+			ran.Add(1)
+			cancel()
+			return nil
+		})
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n > 20 {
+			t.Errorf("workers=%d: %d tasks ran after cancellation, want early exit", workers, n)
+		}
+		cancel()
+	}
+}
+
+func TestForCtxTaskErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForCtx(ctx, 4, 100, func(i int) error {
+		if i == 0 {
+			cancel()
+			return fmt.Errorf("task 0 failed")
+		}
+		return nil
+	})
+	cancel()
+	if err == nil || err.Error() != "task 0 failed" {
+		t.Errorf("got %v, want task 0's error", err)
+	}
+}
+
+func TestForCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForCtx(ctx, workers, 8, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		// Parallel workers may each run at most one task before observing
+		// the cancelled context; sequential mode must run none.
+		if n := ran.Load(); workers == 1 && n != 0 {
+			t.Errorf("workers=1: %d tasks ran under a cancelled context", n)
+		}
+	}
+}
+
+func TestForCtxCompletedRunReturnsNil(t *testing.T) {
+	// Cancellation after every index completed is not an error: the work
+	// is all done.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := ForCtx(ctx, 4, 64, func(int) error { return nil }); err != nil {
+		t.Errorf("completed run: %v", err)
+	}
+}
+
+func TestMapCtxCollectsInIndexOrder(t *testing.T) {
+	out, err := MapCtx(context.Background(), 8, 32, func(i int) (int, error) {
+		return i * 3, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*3 {
+			t.Errorf("slot %d = %d, want %d", i, v, i*3)
+		}
+	}
+}
+
+func TestMapCtxDropsResultsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 4, 16, func(i int) (int, error) { return i, nil })
+	if err == nil {
+		t.Fatal("want error from cancelled context")
+	}
+	if out != nil {
+		t.Errorf("partial results returned: %v", out)
 	}
 }

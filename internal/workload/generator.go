@@ -64,23 +64,83 @@ func (g *Generator) NextBin() (bin int, reqs []Request, ok bool) {
 	bin = g.next
 	g.next++
 	n := int(g.trace.Values[bin] + 0.5)
-	if cap(g.buf) < n {
-		g.buf = make([]Request, 0, n)
-	}
-	g.buf = g.buf[:0]
-	start := g.trace.TimeAt(bin)
-	for i := 0; i < n; i++ {
-		obj := g.store.Sample(g.rng)
-		g.buf = append(g.buf, Request{
-			Arrival: start + g.rng.Float64()*g.trace.Step,
-			Object:  obj,
-			Demand:  g.store.Demand(obj),
-		})
-	}
-	sort.Slice(g.buf, func(i, j int) bool { return g.buf[i].Arrival < g.buf[j].Arrival })
+	g.buf = synthBin(g.buf, n, g.trace.TimeAt(bin), g.trace.Step, g.store, g.rng)
 	return bin, g.buf, true
 }
 
 // Reset rewinds the generator to the first bin. The RNG stream is not
 // rewound; use a fresh generator for bit-identical replay.
 func (g *Generator) Reset() { g.next = 0 }
+
+// synthBin fills buf with n requests for the bin starting at start: object
+// draws honour the store's popularity and locality state, arrival offsets
+// are uniform over the bin, and the batch is sorted by arrival. Generator
+// and Feed share this one code path — including the exact RNG call
+// sequence — which is what makes a pushed count stream reproduce a
+// pre-materialized trace bit-for-bit.
+func synthBin(buf []Request, n int, start, step float64, store *Store, rng *rand.Rand) []Request {
+	if cap(buf) < n {
+		buf = make([]Request, 0, n)
+	}
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		obj := store.Sample(rng)
+		buf = append(buf, Request{
+			Arrival: start + rng.Float64()*step,
+			Object:  obj,
+			Demand:  store.Demand(obj),
+		})
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].Arrival < buf[j].Arrival })
+	return buf
+}
+
+// Feed is the push-driven counterpart of Generator for online operation:
+// instead of walking a pre-materialized trace, callers stream arrival
+// counts one bin at a time (e.g. from live observations) and the feed
+// synthesizes that bin's requests on the spot. A Feed pushed the values of
+// a trace produces the same request stream as a Generator over that trace
+// under the same store and RNG. Construct with NewFeed.
+type Feed struct {
+	store *Store
+	rng   *rand.Rand
+	start float64
+	step  float64
+	next  int
+	buf   []Request
+}
+
+// NewFeed returns a feed whose bin i covers [start+i*binSeconds,
+// start+(i+1)*binSeconds).
+func NewFeed(start, binSeconds float64, store *Store, rng *rand.Rand) (*Feed, error) {
+	if binSeconds <= 0 {
+		return nil, fmt.Errorf("workload: bin width %v <= 0", binSeconds)
+	}
+	if store == nil {
+		return nil, fmt.Errorf("workload: nil store")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	return &Feed{store: store, rng: rng, start: start, step: binSeconds}, nil
+}
+
+// Bins returns the number of bins pushed so far.
+func (f *Feed) Bins() int { return f.next }
+
+// BinSeconds returns the bin width in seconds.
+func (f *Feed) BinSeconds() float64 { return f.step }
+
+// Push ingests the next bin's arrival count and returns the bin index and
+// its synthesized requests, sorted by arrival time. The returned slice is
+// reused by subsequent calls; callers that retain requests must copy them.
+func (f *Feed) Push(count float64) (bin int, reqs []Request) {
+	bin = f.next
+	f.next++
+	n := int(count + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	f.buf = synthBin(f.buf, n, f.start+float64(bin)*f.step, f.step, f.store, f.rng)
+	return bin, f.buf
+}

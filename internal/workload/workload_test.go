@@ -378,3 +378,72 @@ func TestGeneratorValidation(t *testing.T) {
 		t.Error("nil rng: want error")
 	}
 }
+
+func TestFeedMatchesGeneratorBitForBit(t *testing.T) {
+	// The online feed pushed a trace's counts must reproduce the batch
+	// generator's request stream exactly: same objects, demands, and
+	// arrival times, bin by bin.
+	cfg := DefaultStoreConfig()
+	cfg.Objects = 400
+	cfg.PopularCount = 40
+	trace, err := StepLoad(12, 30, 50, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.Start = 90 // non-zero start must not break the alignment
+	genStore := newTestStore(t, cfg)
+	feedStore := newTestStore(t, cfg)
+	gen, err := NewGenerator(trace, genStore, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed, err := NewFeed(trace.Start, trace.Step, feedStore, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		wantBin, want, ok := gen.NextBin()
+		if !ok {
+			break
+		}
+		gotBin, got := feed.Push(trace.Values[wantBin])
+		if gotBin != wantBin {
+			t.Fatalf("bin index %d, want %d", gotBin, wantBin)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("bin %d: %d requests, want %d", wantBin, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("bin %d request %d: %+v, want %+v", wantBin, i, got[i], want[i])
+			}
+		}
+	}
+	if feed.Bins() != trace.Len() {
+		t.Errorf("feed ingested %d bins, want %d", feed.Bins(), trace.Len())
+	}
+}
+
+func TestFeedValidation(t *testing.T) {
+	store := newTestStore(t, DefaultStoreConfig())
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewFeed(0, 0, store, rng); err == nil {
+		t.Error("zero bin width: want error")
+	}
+	if _, err := NewFeed(0, 30, nil, rng); err == nil {
+		t.Error("nil store: want error")
+	}
+	if _, err := NewFeed(0, 30, store, nil); err == nil {
+		t.Error("nil rng: want error")
+	}
+	feed, err := NewFeed(0, 30, store, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, reqs := feed.Push(-5); len(reqs) != 0 {
+		t.Errorf("negative count produced %d requests", len(reqs))
+	}
+	if feed.BinSeconds() != 30 {
+		t.Errorf("bin seconds = %v, want 30", feed.BinSeconds())
+	}
+}
