@@ -14,13 +14,16 @@
 //	hpmbench -table energy          # EXT1: LLC vs baselines
 //	hpmbench -table ablations       # EXT2: design-choice ablations
 //	hpmbench -all                   # everything at the given scale
+//	hpmbench -llc-json BENCH_llc.json  # branch-and-bound engine snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"hierctl"
 	"hierctl/internal/metrics"
@@ -42,13 +45,21 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	fast := fs.Bool("fast", false, "coarse learning grids (quick runs)")
 	parallelism := fs.Int("parallelism", 0, "per-pool worker width; pools nest (sweep × module × search) (0 = one per CPU, 1 = fully sequential; results identical)")
+	searchParallelism := fs.Int("search-parallelism", 0, "workers fanning each L0 lookahead search's level-0 candidates (0/1 = sequential; decisions identical, explored counters may vary when > 1)")
+	llcJSON := fs.String("llc-json", "", "write the branch-and-bound LLC engine benchmark (pruned vs naive on the §4.3 configuration) to this JSON file; honours -parallelism for the pruned-parallel row (the workload is fixed — -seed/-scale/-fast do not apply)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallelism < 0 {
 		return fmt.Errorf("-parallelism %d is negative; use 0 for one worker per CPU or a positive width", *parallelism)
 	}
-	opts := hierctl.ExperimentOptions{Scale: *scale, Seed: *seed, Fast: *fast, Parallelism: *parallelism}
+	if *searchParallelism < 0 {
+		return fmt.Errorf("-search-parallelism %d is negative; use 0 or 1 for a sequential search or a positive worker width", *searchParallelism)
+	}
+	opts := hierctl.ExperimentOptions{Scale: *scale, Seed: *seed, Fast: *fast, Parallelism: *parallelism, SearchParallelism: *searchParallelism}
+	if *llcJSON != "" {
+		return writeLLCBench(w, *llcJSON, *parallelism)
+	}
 
 	if *all {
 		for _, f := range []int{3, 4, 5, 6, 7} {
@@ -197,4 +208,34 @@ func runTable(w io.Writer, name string, opts hierctl.ExperimentOptions) error {
 	default:
 		return fmt.Errorf("unknown table %q", name)
 	}
+}
+
+// writeLLCBench measures the branch-and-bound LLC engine against the
+// naive search on the §4.3 configuration, prints the comparison, and
+// writes the BENCH_llc.json snapshot (the generation doubles as a
+// decision-equivalence check across engines). parallelism sets the
+// pruned-parallel row's worker count, following the -parallelism
+// convention (0 = one per CPU).
+func writeLLCBench(w io.Writer, path string, parallelism int) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	snap, err := hierctl.RunLLCBench(400, parallelism)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== LLC engine: branch-and-bound vs naive search (§4.3 configuration) ==")
+	for _, r := range snap.Rows {
+		fmt.Fprintf(w, "%-16s explored %8d (%.2fx naive)  %9.0f ns/decision (%.2fx speedup)\n",
+			r.Engine, r.Explored, r.ExploredVsNaive, r.NsPerDecision, r.SpeedupVsNaive)
+	}
+	fmt.Fprintf(w, "snapshot written to %s\n", path)
+	return nil
 }

@@ -280,3 +280,33 @@ func TestServerRejectsBadBinSeconds(t *testing.T) {
 	doJSON(t, h, http.MethodPost, "/v1/tenants",
 		`{"id":"c","moduleSize":2,"fast":true,"binSeconds":0}`, http.StatusBadRequest)
 }
+
+// TestServerRejectsBadClusterShapes pins the createTenant validation of
+// non-positive and conflicting cluster-shape fields: negative modules and
+// non-positive moduleSize must 400 instead of reaching the cluster
+// constructors, and a non-default moduleSize alongside modules > 1 — which
+// used to be silently ignored — is now an explicit conflict.
+func TestServerRejectsBadClusterShapes(t *testing.T) {
+	h, _ := testHandler(t)
+	for _, body := range []string{
+		`{"id":"bad","modules":-1}`,
+		`{"id":"bad","moduleSize":0}`,
+		`{"id":"bad","moduleSize":-4}`,
+		`{"id":"bad","modules":-100000}`,
+		`{"id":"bad","modules":2,"moduleSize":6}`,
+		`{"id":"bad","modules":3,"moduleSize":1}`,
+	} {
+		resp := doJSON(t, h, http.MethodPost, "/v1/tenants", body, http.StatusBadRequest)
+		if msg, _ := resp["error"].(string); msg == "" {
+			t.Errorf("%s: want a JSON error payload, got %v", body, resp)
+		}
+	}
+	// An explicit default moduleSize alongside modules is not a conflict,
+	// and modules == 1 still honours moduleSize.
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"one","modules":1,"moduleSize":2,"fast":true}`, http.StatusCreated)
+	st := doJSON(t, h, http.MethodGet, "/v1/tenants/one", "", http.StatusOK)
+	if n, _ := st["computers"].(float64); n != 2 {
+		t.Errorf("modules=1 moduleSize=2 built %v computers, want 2", st["computers"])
+	}
+}

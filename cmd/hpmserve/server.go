@@ -64,6 +64,11 @@ type observeReq struct {
 // observation synthesizes count individual requests, so both must be
 // bounded at the API edge or one call could pin or OOM the daemon.
 const (
+	// standardModuleSize is the paper's module shape: multi-module
+	// clusters (modules > 1) are built from 4-computer modules, and it
+	// doubles as the moduleSize decode default.
+	standardModuleSize = 4
+
 	maxModules     = 64
 	maxModuleSize  = 64
 	maxBinCount    = 1e6
@@ -190,7 +195,7 @@ func (s *server) handleTenants(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
-	req := createReq{ModuleSize: 4, Seed: 1, BinSeconds: 30}
+	req := createReq{ModuleSize: standardModuleSize, Seed: 1, BinSeconds: 30}
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, fmt.Errorf("decode request: %w", err))
 		return
@@ -199,8 +204,22 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if req.Modules > maxModules || req.ModuleSize > maxModuleSize {
-		writeError(w, fmt.Errorf("cluster too large: at most %d modules / %d computers per module", maxModules, maxModuleSize))
+	// Cluster-shape validation: both bounds matter — oversized requests
+	// would pin the daemon in offline learning, and non-positive values
+	// must not leak into the cluster constructors. modules is optional
+	// (0 = single-module cluster of moduleSize computers); moduleSize
+	// only parameterizes that single-module shape, so any non-default
+	// value alongside modules > 1 is a conflict, not silently ignored.
+	if req.Modules < 0 || req.Modules > maxModules {
+		writeError(w, fmt.Errorf("modules %d outside [0, %d]", req.Modules, maxModules))
+		return
+	}
+	if req.ModuleSize < 1 || req.ModuleSize > maxModuleSize {
+		writeError(w, fmt.Errorf("moduleSize %d outside [1, %d]", req.ModuleSize, maxModuleSize))
+		return
+	}
+	if req.Modules > 1 && req.ModuleSize != standardModuleSize {
+		writeError(w, fmt.Errorf("moduleSize %d conflicts with modules %d: multi-module clusters are built from standard %d-computer modules; omit moduleSize (or leave it %d)", req.ModuleSize, req.Modules, standardModuleSize, standardModuleSize))
 		return
 	}
 	if len(req.Calibration) > maxCalibration {
@@ -216,7 +235,7 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case req.Modules > 1:
 		spec, err = hierctl.StandardCluster(req.Modules)
-	case req.ModuleSize == 4:
+	case req.ModuleSize == standardModuleSize:
 		spec, err = hierctl.StandardModuleCluster()
 	default:
 		spec, err = hierctl.ScaledModuleCluster(req.ModuleSize)

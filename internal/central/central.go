@@ -54,6 +54,15 @@ type Config struct {
 	// setting, so the EXT3 comparison keeps measuring control
 	// decomposition, not thread count.
 	Parallelism int
+	// NonNegativeCosts declares the per-sample configuration costs
+	// non-negative — true for the fluid-model pricing below, a sum of
+	// slack, power and switch terms — enabling the same branch-and-bound
+	// pruning the hierarchy's searches use: a candidate whose partial
+	// sample average already meets its pass's incumbent is abandoned
+	// early. Incumbents are kept per α shard, so the decision and the
+	// explored-state count stay identical at any Parallelism and the
+	// EXT3 baseline remains apples-to-apples with the pruned hierarchy.
+	NonNegativeCosts bool
 }
 
 // DefaultConfig mirrors the hierarchy's settings.
@@ -70,6 +79,7 @@ func DefaultConfig() Config {
 		NeighbourDepth:   2,
 		FreqSteps:        1,
 		MinOn:            1,
+		NonNegativeCosts: true,
 	}
 }
 
@@ -248,13 +258,23 @@ func (c *Controller) Decide(obs Observation) (Decision, error) {
 		shardStart := time.Now()
 		alpha := cands[ci]
 		local := shard{cost: math.Inf(1)}
-		price := func(gamma []float64, freq []int) float64 {
-			cost := 0.0
-			for _, lam := range samples {
-				cost += c.evaluate(alpha, gamma, freq, obs, lam)
+		nSamples := float64(len(samples))
+		// price returns the candidate's expected cost and whether it
+		// completed: under NonNegativeCosts a candidate whose partial
+		// sample average already meets the pass's incumbent is abandoned
+		// (it could at best tie, and ties never displace the incumbent),
+		// mirroring the hierarchy's branch-and-bound. The incumbent is
+		// shard-local, so explored counts stay parallelism-independent.
+		price := func(gamma []float64, freq []int, incumbent float64) (float64, bool) {
+			sum := 0.0
+			for si, lam := range samples {
+				sum += c.evaluate(alpha, gamma, freq, obs, lam)
 				local.explored++
+				if c.cfg.NonNegativeCosts && llc.PrunePartialMean(sum, len(samples), si, incumbent) {
+					return 0, false
+				}
 			}
-			return cost / float64(len(samples))
+			return sum / nSamples, true
 		}
 		stay := make([]int, n)
 		for j := range c.specs {
@@ -264,7 +284,7 @@ func (c *Controller) Decide(obs Observation) (Decision, error) {
 		gammaCost := math.Inf(1)
 		var bestGamma []float64
 		for _, gamma := range c.gammaCandidates(alpha) {
-			if cost := price(gamma, stay); cost < gammaCost {
+			if cost, ok := price(gamma, stay, gammaCost); ok && cost < gammaCost {
 				gammaCost = cost
 				bestGamma = gamma
 			}
@@ -276,7 +296,7 @@ func (c *Controller) Decide(obs Observation) (Decision, error) {
 		}
 		// Pass 2: best frequency vector at the chosen γ.
 		for _, freq := range c.freqCandidates(alpha) {
-			if cost := price(bestGamma, freq); cost < local.cost {
+			if cost, ok := price(bestGamma, freq, local.cost); ok && cost < local.cost {
 				local.cost = cost
 				local.dec = Decision{Alpha: alpha, Gamma: bestGamma, FreqIdx: freq}
 			}

@@ -36,6 +36,14 @@ type L0Config struct {
 	// averaged over {λ̂−δ, λ̂, λ̂+δ}, so the processor hedges against
 	// arrival bursts instead of riding the queue at the set-point.
 	UncertaintySamples bool
+	// SearchParallelism fans the lookahead tree's level-0 candidates
+	// (frequency indices) across that many workers inside each Decide.
+	// 0 or 1 (the default) keeps the search sequential, which also keeps
+	// the explored-state overhead counters deterministic; the hierarchy
+	// normally leaves this off because its outer per-module pools
+	// already own the CPUs, but standalone or few-module deployments can
+	// turn it on. Decisions are bit-identical at any setting.
+	SearchParallelism int
 }
 
 // EffectiveTarget returns the tightened internal set-point
@@ -74,6 +82,9 @@ func (c L0Config) Validate() error {
 	if c.SlackWeight < 0 || c.PowerWeight < 0 {
 		return fmt.Errorf("controller: L0 weights (%v, %v) negative", c.SlackWeight, c.PowerWeight)
 	}
+	if c.SearchParallelism < 0 {
+		return fmt.Errorf("controller: L0 search parallelism %d < 0", c.SearchParallelism)
+	}
 	return nil
 }
 
@@ -105,6 +116,10 @@ func (m *l0Model) Step(s queue.State, u int, env llc.Env) queue.State {
 	return next
 }
 
+// Cost is the §4.1 stage cost Q·ε + R·ψ. Both terms are non-negative
+// (the slack ε is clamped at zero and the power draw ψ = a + φ² is
+// physical), so the search runs under the llc.Options.NonNegativeCosts
+// branch-and-bound contract.
 func (m *l0Model) Cost(next queue.State, u int, env llc.Env) float64 {
 	eps := llc.Slack(next.R, m.cfg.EffectiveTarget())
 	psi := m.spec.Power.Draw(m.phis[u], true)
@@ -130,6 +145,23 @@ type L0 struct {
 
 // NewL0 builds an L0 controller for the given computer.
 func NewL0(cfg L0Config, spec cluster.ComputerSpec) (*L0, error) {
+	m, err := newL0Model(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &L0{cfg: cfg, model: m}, nil
+}
+
+// NewL0Model exposes the per-computer fluid-queue model the L0 controller
+// searches over — state queue.State, input a frequency index, environment
+// {λ, ĉ} — so benchmarks and custom engines can drive the llc search
+// against the paper's §4.3 configuration directly. Its stage costs are
+// non-negative, satisfying llc.Options.NonNegativeCosts.
+func NewL0Model(cfg L0Config, spec cluster.ComputerSpec) (llc.Model[queue.State, int], error) {
+	return newL0Model(cfg, spec)
+}
+
+func newL0Model(cfg L0Config, spec cluster.ComputerSpec) (*l0Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -141,7 +173,7 @@ func NewL0(cfg L0Config, spec cluster.ComputerSpec) (*L0, error) {
 	for i := range m.indices {
 		m.indices[i] = i
 	}
-	return &L0{cfg: cfg, model: m}, nil
+	return m, nil
 }
 
 // Config returns the controller's configuration.
@@ -185,7 +217,10 @@ func (l *L0) DecideBanded(queueLen float64, lambda []float64, delta, cHat float6
 			envs[q] = []llc.Env{{lam, cHat}}
 		}
 	}
-	res, err := llc.Exhaustive[queue.State, int](l.model, queue.State{Q: queueLen}, envs, llc.Options{})
+	res, err := llc.Exhaustive[queue.State, int](l.model, queue.State{Q: queueLen}, envs, llc.Options{
+		NonNegativeCosts: true,
+		Parallelism:      l.cfg.SearchParallelism,
+	})
 	if err != nil {
 		return 0, fmt.Errorf("controller: L0 search: %w", err)
 	}

@@ -129,8 +129,10 @@ func TestL0HorizonScalesExploration(t *testing.T) {
 	if eShort != 2*4 {
 		t.Errorf("horizon-1 explored %d, want 8", eShort)
 	}
-	if eLong != 2*84 {
-		t.Errorf("horizon-3 explored %d, want 168", eLong)
+	// Branch-and-bound pruning keeps the horizon-3 count strictly below
+	// the naive Σ|U|^q = 84 per decision while still above horizon 1.
+	if eLong <= eShort || eLong > 2*84 {
+		t.Errorf("horizon-3 explored %d, want in (%d, %d]", eLong, eShort, 2*84)
 	}
 }
 
@@ -162,9 +164,11 @@ func TestL0OverheadMetering(t *testing.T) {
 		t.Fatal(err)
 	}
 	explored, decisions, compute := l0.Overhead()
-	// |U| = 4, N = 3: 4 + 16 + 64 = 84 states.
-	if explored != 84 {
-		t.Errorf("explored = %d, want 84", explored)
+	// |U| = 4, N = 3: the naive tree holds 4 + 16 + 64 = 84 states; the
+	// branch-and-bound search must visit at least the root fan-out and
+	// at most the naive count, and stay deterministic across decisions.
+	if explored < 4 || explored > 84 {
+		t.Errorf("explored = %d, want within [4, 84]", explored)
 	}
 	if decisions != 1 {
 		t.Errorf("decisions = %d, want 1", decisions)
@@ -176,7 +180,7 @@ func TestL0OverheadMetering(t *testing.T) {
 		t.Fatal(err)
 	}
 	explored2, _, _ := l0.Overhead()
-	if explored2 != 168 {
-		t.Errorf("explored after 2 decisions = %d, want 168", explored2)
+	if explored2 != 2*explored {
+		t.Errorf("explored after 2 identical decisions = %d, want %d", explored2, 2*explored)
 	}
 }

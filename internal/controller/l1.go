@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"hierctl/internal/llc"
 )
 
 // L1Config parameterizes a module-level L1 controller (§4.2).
@@ -44,6 +46,17 @@ type L1Config struct {
 	// true the expected cost is averaged over {λ̂−δ, λ̂, λ̂+δ}; when
 	// false only the nominal forecast is used (the EXT2 ablation).
 	UncertaintySamples bool
+	// NonNegativeCosts declares the per-sample candidate costs
+	// non-negative — true for the learned abstraction maps, whose cells
+	// store sums of slack and power terms — enabling branch-and-bound
+	// pruning of the candidate × sample loop: a candidate whose partial
+	// sample average already meets the incumbent best is abandoned
+	// without evaluating its remaining samples. The selected (α, γ) is
+	// bit-identical (a pruned candidate could at best tie, and ties
+	// never displace the incumbent); only Explored shrinks, and it
+	// remains deterministic. Disable for custom maps that can price
+	// candidates negatively.
+	NonNegativeCosts bool
 }
 
 // DefaultL1Config returns the paper's §4.3 settings.
@@ -57,6 +70,7 @@ func DefaultL1Config() L1Config {
 		MinOn:              1,
 		StabilityUtil:      0.85,
 		UncertaintySamples: true,
+		NonNegativeCosts:   true,
 	}
 }
 
@@ -231,18 +245,27 @@ func (l *L1) Decide(obs L1Observation) (L1Decision, error) {
 	bestCost := math.Inf(1)
 	var best L1Decision
 	explored := 0
+	nSamples := float64(len(samples))
 	for _, alpha := range l.alphaCandidates(obs.Available) {
 		for _, gamma := range l.gammaCandidates(alpha) {
-			cost := 0.0
-			for _, lam := range samples {
+			sum := 0.0
+			pruned := false
+			for si, lam := range samples {
 				c, err := l.evaluate(alpha, gamma, obs, lam)
 				if err != nil {
 					return L1Decision{}, err
 				}
-				cost += c
+				sum += c
 				explored++
+				if l.cfg.NonNegativeCosts && llc.PrunePartialMean(sum, len(samples), si, bestCost) {
+					pruned = true
+					break
+				}
 			}
-			cost /= float64(len(samples))
+			if pruned {
+				continue
+			}
+			cost := sum / nSamples
 			if cost < bestCost {
 				bestCost = cost
 				best = L1Decision{Alpha: alpha, Gamma: gamma}

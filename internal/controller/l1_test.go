@@ -345,3 +345,46 @@ func TestL1SetStateValidation(t *testing.T) {
 		t.Error("size mismatch: want error")
 	}
 }
+
+// TestL1PruningPreservesDecision pins the branch-and-bound contract at
+// the L1 level: with NonNegativeCosts on (the default — abstraction-map
+// costs are sums of slack and power terms) the selected (α, γ) is
+// bit-identical to the unpruned search across a varied observation
+// sequence, while exploration never grows.
+func TestL1PruningPreservesDecision(t *testing.T) {
+	mk := func(prune bool) *L1 {
+		cfg := DefaultL1Config()
+		cfg.NonNegativeCosts = prune
+		l1, err := NewL1(cfg, testModuleGMaps(t, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l1
+	}
+	pruned, naive := mk(true), mk(false)
+	obs := []L1Observation{
+		{QueueLens: []float64{0, 0, 0, 0}, LambdaHat: 20, Delta: 5, CHat: 0.0175},
+		{QueueLens: []float64{40, 10, 0, 0}, LambdaHat: 140, Delta: 30, CHat: 0.0175},
+		{QueueLens: []float64{5, 5, 5, 5}, LambdaHat: 60, Delta: 10, CHat: 0.0175},
+		{QueueLens: []float64{0, 80, 0, 20}, LambdaHat: 200, Delta: 40, CHat: 0.0175},
+	}
+	for step, o := range obs {
+		dp, err := pruned.Decide(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dn, err := naive.Decide(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range dn.Alpha {
+			if dp.Alpha[j] != dn.Alpha[j] || dp.Gamma[j] != dn.Gamma[j] {
+				t.Fatalf("step %d computer %d: pruned (%v, %v) vs naive (%v, %v)",
+					step, j, dp.Alpha[j], dp.Gamma[j], dn.Alpha[j], dn.Gamma[j])
+			}
+		}
+		if dp.Explored > dn.Explored {
+			t.Errorf("step %d: pruned explored %d exceeds naive %d", step, dp.Explored, dn.Explored)
+		}
+	}
+}

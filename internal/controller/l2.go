@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hierctl/internal/approx"
+	"hierctl/internal/llc"
 )
 
 // L2Config parameterizes the cluster-level L2 controller (§5.1).
@@ -23,6 +24,17 @@ type L2Config struct {
 	// UncertaintySamples averages the cost over {λ̂−δ, λ̂, λ̂+δ} when
 	// true, mirroring the L1 chattering mitigation.
 	UncertaintySamples bool
+	// NonNegativeCosts declares the per-sample candidate costs
+	// non-negative — true for regression trees fitted to the module
+	// costs, which are sums of slack and power terms — enabling
+	// branch-and-bound pruning of the candidate × sample loop: a
+	// candidate whose partial sample average already meets the incumbent
+	// best is abandoned before its remaining samples (the reallocation
+	// term ‖γ − γ_prev‖₁ only adds more). The selected γ is
+	// bit-identical; only Explored shrinks, and it remains
+	// deterministic. Disable for custom JTilde models that can return
+	// negative costs.
+	NonNegativeCosts bool
 	// DeltaWeight is the S weight of Eq. 3 applied to ‖γ − γ_prev‖₁:
 	// a small reallocation cost that stabilizes the distribution and
 	// breaks ties between equally priced allocations toward the
@@ -39,6 +51,7 @@ func DefaultL2Config() L2Config {
 		EnumLimit:          5000,
 		NeighbourDepth:     3,
 		UncertaintySamples: true,
+		NonNegativeCosts:   true,
 		DeltaWeight:        0.05,
 	}
 }
@@ -215,9 +228,11 @@ func (l *L2) Decide(obs L2Observation) (L2Decision, error) {
 	bestCost := math.Inf(1)
 	var best []float64
 	explored := 0
+	nSamples := float64(len(samples))
 	for _, gamma := range candidates {
-		cost := 0.0
-		for _, lam := range samples {
+		sum := 0.0
+		pruned := false
+		for si, lam := range samples {
 			for i := range gamma {
 				if !obs.Available[i] {
 					continue
@@ -229,11 +244,20 @@ func (l *L2) Decide(obs L2Observation) (L2Decision, error) {
 				if err != nil {
 					return L2Decision{}, err
 				}
-				cost += c
+				sum += c
 			}
 			explored++
+			// The reallocation term added below is non-negative, so the
+			// partial-mean bound remains valid for the full cost.
+			if l.cfg.NonNegativeCosts && llc.PrunePartialMean(sum, len(samples), si, bestCost) {
+				pruned = true
+				break
+			}
 		}
-		cost /= float64(len(samples))
+		if pruned {
+			continue
+		}
+		cost := sum / nSamples
 		// ‖Δu‖_S reallocation cost (Eq. 3).
 		for i := range gamma {
 			cost += l.cfg.DeltaWeight * math.Abs(gamma[i]-l.prevGamma[i])

@@ -205,8 +205,80 @@ func TestL2UncertaintySamplesIncreaseExploration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// With branch-and-bound pruning a banded candidate may abandon its
+	// remaining samples, so the ratio is bounded by 3×, not pinned to it.
+	if banded.Explored <= nominal.Explored || banded.Explored > 3*nominal.Explored {
+		t.Errorf("banded explored %d, want in (%d, %d]", banded.Explored, nominal.Explored, 3*nominal.Explored)
+	}
+}
+
+// TestL2UncertaintySamplesExactWithoutPruning pins the unpruned
+// accounting: with NonNegativeCosts off every candidate prices all three
+// band samples, so exploration is exactly 3× the nominal run.
+func TestL2UncertaintySamplesExactWithoutPruning(t *testing.T) {
+	cfg := DefaultL2Config()
+	cfg.NonNegativeCosts = false
+	models := []JTilde{convexLoadCost(100), convexLoadCost(100)}
+	l2, err := NewL2(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal, err := l2.Decide(L2Observation{
+		QAvg: []float64{0, 0}, LambdaHat: 50, Delta: 0,
+		CHat: []float64{0.018, 0.018},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	banded, err := l2.Decide(L2Observation{
+		QAvg: []float64{0, 0}, LambdaHat: 50, Delta: 20,
+		CHat: []float64{0.018, 0.018},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if banded.Explored != 3*nominal.Explored {
 		t.Errorf("banded explored %d, want 3× nominal %d", banded.Explored, nominal.Explored)
+	}
+}
+
+// TestL2PruningPreservesDecision pins the branch-and-bound contract at
+// the L2 level: pruned and unpruned searches pick the identical γ while
+// pruning never explores more.
+func TestL2PruningPreservesDecision(t *testing.T) {
+	obs := []L2Observation{
+		{QAvg: []float64{5, 40, 0}, LambdaHat: 200, Delta: 30, CHat: []float64{0.018, 0.022, 0.015}},
+		{QAvg: []float64{0, 0, 80}, LambdaHat: 90, Delta: 15, CHat: []float64{0.018, 0.022, 0.015}},
+		{QAvg: []float64{12, 3, 7}, LambdaHat: 310, Delta: 45, CHat: []float64{0.018, 0.022, 0.015}},
+	}
+	mk := func(prune bool) *L2 {
+		cfg := DefaultL2Config()
+		cfg.NonNegativeCosts = prune
+		models := []JTilde{convexLoadCost(90), convexLoadCost(120), convexLoadCost(150)}
+		l2, err := NewL2(cfg, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l2
+	}
+	pruned, naive := mk(true), mk(false)
+	for step, o := range obs {
+		dp, err := pruned.Decide(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dn, err := naive.Decide(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range dn.Gamma {
+			if dp.Gamma[i] != dn.Gamma[i] {
+				t.Fatalf("step %d: γ[%d] = %v pruned vs %v naive", step, i, dp.Gamma[i], dn.Gamma[i])
+			}
+		}
+		if dp.Explored > dn.Explored {
+			t.Errorf("step %d: pruned explored %d exceeds naive %d", step, dp.Explored, dn.Explored)
+		}
 	}
 }
 

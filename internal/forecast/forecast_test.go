@@ -88,6 +88,96 @@ func TestKalmanFirstObservationAnchors(t *testing.T) {
 	}
 }
 
+// refKalman is a plain textbook predict/update recursion with explicit
+// initial state and covariance — the oracle for pinning the anchored
+// first-observation semantics.
+type refKalman struct {
+	qLevel, qTrend, rObs float64
+	level, trend         float64
+	p                    [2][2]float64
+}
+
+func (k *refKalman) observe(y float64) {
+	level := k.level + k.trend
+	trend := k.trend
+	var p [2][2]float64
+	p[0][0] = k.p[0][0] + k.p[0][1] + k.p[1][0] + k.p[1][1] + k.qLevel
+	p[0][1] = k.p[0][1] + k.p[1][1]
+	p[1][0] = k.p[1][0] + k.p[1][1]
+	p[1][1] = k.p[1][1] + k.qTrend
+	s := p[0][0] + k.rObs
+	k0 := p[0][0] / s
+	k1 := p[1][0] / s
+	innov := y - level
+	k.level = level + k0*innov
+	k.trend = trend + k1*innov
+	k.p[0][0] = (1 - k0) * p[0][0]
+	k.p[0][1] = (1 - k0) * p[0][1]
+	k.p[1][0] = p[1][0] - k1*p[0][0]
+	k.p[1][1] = p[1][1] - k1*p[0][1]
+}
+
+// TestKalmanFirstObservationCovarianceConsistent is the regression test
+// for the anchored-start bug: the first observation used to overwrite
+// level/trend *after* the gain update, leaving the covariance as if the
+// filter had converged through the gain (notably a halved trend
+// variance), so early forecasts under-reacted to an emerging trend. The
+// filter must now behave exactly like a textbook recursion initialized
+// from the anchored state (level = y₀, trend = 0) with the consistent
+// covariance diag(rObs, P_trend + qTrend).
+func TestKalmanFirstObservationCovarianceConsistent(t *testing.T) {
+	for _, params := range [][3]float64{
+		{1, 0.1, 10},
+		{4, 0.4, 1e5}, // observation noise comparable to the diffuse prior
+		{0.5, 0, 2},   // local level model
+	} {
+		kf, err := NewKalman(params[0], params[1], params[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := []float64{10, 30, 50, 70, 90, 110}
+		ref := &refKalman{
+			qLevel: params[0], qTrend: params[1], rObs: params[2],
+			level: obs[0], trend: 0,
+			p: [2][2]float64{{params[2], 0}, {0, 1e6 + params[1]}},
+		}
+		kf.Observe(obs[0])
+		if kf.Level() != ref.level || kf.Trend() != ref.trend {
+			t.Fatalf("params %v: anchored state (%v, %v), want (%v, 0)", params, kf.Level(), kf.Trend(), obs[0])
+		}
+		for step, y := range obs[1:] {
+			kf.Observe(y)
+			ref.observe(y)
+			if kf.Level() != ref.level || kf.Trend() != ref.trend {
+				t.Errorf("params %v step %d: state (%v, %v) diverged from consistent recursion (%v, %v)",
+					params, step+2, kf.Level(), kf.Trend(), ref.level, ref.trend)
+			}
+		}
+	}
+}
+
+// TestKalmanEarlyTrendPickupOnRamp checks the user-visible symptom: on a
+// noiseless ramp the filter's trend information is all in the first few
+// steps, and with the consistent covariance the two-observation forecast
+// must already extrapolate the ramp closely.
+func TestKalmanEarlyTrendPickupOnRamp(t *testing.T) {
+	kf, err := NewKalman(1, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kf.Observe(100)
+	kf.Observe(120)
+	// Third point of the ramp is 140; the trend prior is still diffuse
+	// after one observation, so the second must transfer nearly the full
+	// +20 step into the trend estimate.
+	if got := kf.Forecast(1); math.Abs(got-140) > 1 {
+		t.Errorf("Forecast after two ramp points = %v, want ≈140", got)
+	}
+	if trend := kf.Trend(); math.Abs(trend-20) > 1 {
+		t.Errorf("Trend after two ramp points = %v, want ≈20", trend)
+	}
+}
+
 func TestKalmanForecastClampsHorizon(t *testing.T) {
 	kf, _ := NewKalman(1, 0.1, 1)
 	kf.Observe(5)

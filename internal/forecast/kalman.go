@@ -58,6 +58,25 @@ func NewKalman(qLevel, qTrend, rObs float64) (*Kalman, error) {
 func (k *Kalman) Observe(y float64) (priorForecast float64) {
 	priorForecast = k.level + k.trend
 
+	if k.steps == 0 {
+		// First observation: anchor the state directly instead of
+		// running the gain update against the diffuse prior. The
+		// covariance must be reset consistently with the anchored state:
+		// one observation pins the level to within the observation noise
+		// (variance rObs) but carries no information about the trend,
+		// whose prior (plus process noise) survives untouched, with no
+		// level/trend cross-covariance. Running the gain update and then
+		// overwriting the state would leave p as if the filter had
+		// converged through the gain — in particular a roughly halved
+		// trend variance — making the next few forecasts under-react to
+		// the emerging trend.
+		k.level = y
+		k.trend = 0
+		k.p = [2][2]float64{{k.rObs, 0}, {0, k.p[1][1] + k.qTrend}}
+		k.steps++
+		return priorForecast
+	}
+
 	// Predict.
 	level := k.level + k.trend
 	trend := k.trend
@@ -79,12 +98,6 @@ func (k *Kalman) Observe(y float64) (priorForecast float64) {
 	k.p[1][0] = p[1][0] - k1*p[0][0]
 	k.p[1][1] = p[1][1] - k1*p[0][1]
 
-	if k.steps == 0 {
-		// First observation: anchor the level directly; the diffuse prior
-		// already makes k0 ≈ 1, this just avoids a transient at level 0.
-		k.level = y
-		k.trend = 0
-	}
 	k.steps++
 	return priorForecast
 }

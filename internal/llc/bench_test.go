@@ -1,0 +1,104 @@
+package llc_test
+
+// Benchmarks of the branch-and-bound LLC engine on the paper's §4.3
+// configuration (computer C4 under the default L0 settings: horizon 3,
+// three uncertainty samples per step, eight operating frequencies).
+// Run with -cpu 1,4,8: the parallel variant follows GOMAXPROCS, so the
+// -cpu 1 column is the sequential engine and the others its speedup.
+//
+// Custom metric: explored/decide — states evaluated per decision, the
+// paper's §4.3 controller-overhead metric. Pruned variants must report
+// fewer than the naive Σ|U|^q count at an identical decision.
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/controller"
+	"hierctl/internal/llc"
+	"hierctl/internal/queue"
+)
+
+func benchModel(b *testing.B) llc.Model[queue.State, int] {
+	b.Helper()
+	spec, err := cluster.StandardComputer(3, "C4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := controller.NewL0Model(controller.DefaultL0Config(), spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchEnvs(d int) []([]llc.Env) {
+	const cHat, delta = 0.0175, 8.0
+	lam := 40 + 30*math.Sin(float64(d)/9)
+	envs := make([]([]llc.Env), 3)
+	for q := range envs {
+		l := lam + 2*float64(q)
+		lo := math.Max(0, l-delta)
+		envs[q] = []llc.Env{{lo, cHat}, {l, cHat}, {l + delta, cHat}}
+	}
+	return envs
+}
+
+func benchLLC(b *testing.B, opt llc.Options) {
+	m := benchModel(b)
+	explored := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := llc.Exhaustive[queue.State, int](m, queue.State{Q: float64((i * 7) % 200)}, benchEnvs(i), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		explored += res.Explored
+	}
+	b.ReportMetric(float64(explored)/float64(b.N), "explored/decide")
+}
+
+// BenchmarkLLCNaive is the unpruned sequential engine — the original
+// recursive search's exploration, Σ|U|^q states per decision.
+func BenchmarkLLCNaive(b *testing.B) {
+	benchLLC(b, llc.Options{})
+}
+
+// BenchmarkLLCPruned is the branch-and-bound engine (bit-identical
+// decisions, fewer explored states).
+func BenchmarkLLCPruned(b *testing.B) {
+	benchLLC(b, llc.Options{NonNegativeCosts: true})
+}
+
+// BenchmarkLLCPrunedParallel additionally fans the level-0 candidates
+// across one worker per CPU (per the -cpu flag).
+func BenchmarkLLCPrunedParallel(b *testing.B) {
+	benchLLC(b, llc.Options{NonNegativeCosts: true, Parallelism: runtime.GOMAXPROCS(0)})
+}
+
+// BenchmarkLLCBoundedPruned measures the bounded neighbourhood strategy
+// (the L1/L2-style search) under pruning.
+func BenchmarkLLCBoundedPruned(b *testing.B) {
+	m := benchModel(b)
+	neighbours := func(prev int, _ queue.State, _ int) []int {
+		out := make([]int, 0, 3)
+		for _, u := range []int{prev - 1, prev, prev + 1} {
+			if u >= 0 && u < 8 {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+	explored := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := llc.Bounded[queue.State, int](m, queue.State{Q: float64((i * 7) % 200)}, 4, neighbours, benchEnvs(i), llc.Options{NonNegativeCosts: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		explored += res.Explored
+	}
+	b.ReportMetric(float64(explored)/float64(b.N), "explored/decide")
+}

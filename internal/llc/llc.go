@@ -18,14 +18,36 @@
 // Uncertainty in environment forecasts is handled as in §4.2: each horizon
 // step may carry several sampled environment vectors (e.g. λ̂−δ, λ̂, λ̂+δ)
 // and the stage cost is the average over the samples, which damps
-// controller chattering. The nominal (middle) sample drives the state
-// recursion.
+// controller chattering. The nominal sample — the one at index
+// ⌊len(samples)/2⌋, i.e. the middle sample for odd counts and the upper of
+// the two middle samples for even counts — drives the state recursion.
+// Callers that want a different convention (e.g. the lower-middle sample)
+// should order their sample sets accordingly.
+//
+// # Search engine
+//
+// Both strategies run on a shared branch-and-bound engine: an iterative
+// depth-first walk over preallocated per-level buffers (no recursion, no
+// per-node allocation) that keeps the best trajectory found so far as an
+// incumbent. Under the Options.NonNegativeCosts contract the engine prunes
+// any partial trajectory whose accumulated cost already matches or exceeds
+// the incumbent — such a trajectory can only tie, and ties never displace
+// the incumbent, so the returned decision is bit-identical to the
+// unpruned search while Result.Explored (the paper's §4.3
+// controller-overhead metric) shrinks. Options.Parallelism additionally
+// fans the level-0 candidates out across worker goroutines that share the
+// incumbent bound through an atomic; per-worker results are merged in
+// candidate order, so the decision stays bit-identical at any worker
+// count (Explored then depends on pruning timing and may vary run to run).
 package llc
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
+
+	"hierctl/internal/par"
 )
 
 // Env is one sampled environment vector ω̂(q) — e.g. {arrival rate,
@@ -39,7 +61,9 @@ type Env []float64
 // H(x) ≤ 0.
 //
 // S is the state type and U the input type; both are opaque to the
-// framework.
+// framework. Methods must be pure functions of their arguments: the search
+// may evaluate them in any order, and with Options.Parallelism > 1 from
+// several goroutines at once.
 type Model[S, U any] interface {
 	// Step predicts the successor state from s under input u and
 	// environment sample env.
@@ -57,13 +81,58 @@ type Model[S, U any] interface {
 	Inputs(s S) []U
 }
 
-// Options tunes a search. The zero value selects sensible defaults.
+// Options tunes a search. The zero value selects sensible defaults and
+// reproduces the naive engine: no pruning, sequential exploration.
+//
+// One deliberate difference from the historical recursive engine at any
+// setting: a subtree none of whose completions has a finite, comparable
+// cost (every trajectory +Inf or NaN) no longer aborts the whole search —
+// the engine keeps the best trajectory from the remaining candidates and
+// errors only when no trajectory anywhere has finite cost. The old
+// behavior turned one degenerate branch into a controller-wide failure
+// even when other branches held perfectly good decisions.
 type Options struct {
 	// InfeasiblePenalty is added to the stage cost of states failing
 	// Model.Feasible. Default 1e12; it must dwarf any legitimate cost so
 	// feasible trajectories always win when they exist, while the search
 	// still returns a least-bad action under unavoidable infeasibility.
 	InfeasiblePenalty float64
+
+	// NonNegativeCosts declares that Model.Cost never returns a negative
+	// value (the infeasible penalty is always positive, so it never
+	// breaks the contract). Under this contract the accumulated cost of
+	// a partial trajectory is a lower bound on every completion, and the
+	// engine branch-and-bound prunes partial trajectories that already
+	// meet the incumbent best: the selected trajectory, its cost and its
+	// feasibility are bit-identical to the unpruned search — a pruned
+	// trajectory could at best tie, and ties never displace the
+	// incumbent under the first-best-in-candidate-order rule — but
+	// Result.Explored shrinks. Setting this with a model that can return
+	// negative stage costs voids the equivalence guarantee.
+	//
+	// Error surfacing is best-effort under pruning: a subtree that
+	// cannot improve the incumbent is skipped without calling
+	// Model.Inputs (or the neighbourhood function) on its states, so an
+	// ErrNoInputs that the naive search would have hit deep inside such
+	// a subtree may not surface — and with Parallelism > 1, whether it
+	// surfaces can depend on when other workers publish the shared
+	// bound. The bit-identical guarantee covers the returned decision;
+	// models should not rely on the search to probe states that cannot
+	// win.
+	NonNegativeCosts bool
+
+	// Parallelism bounds the workers that fan out the level-0 candidate
+	// subtrees; values <= 1 run the classic sequential walk. Workers
+	// share the incumbent cost through an atomic bound (pruning requires
+	// NonNegativeCosts) and merge per-worker bests in candidate order,
+	// so the decision is bit-identical at any setting. Explored is
+	// deterministic at <= 1; with more workers it depends on how early
+	// each worker publishes its incumbent and may vary run to run.
+	// Unlike the application-level Parallelism knobs, 0 here means
+	// sequential, not one-per-CPU: the search is usually nested inside
+	// outer worker pools that already own the CPUs, so parallel search
+	// must be an explicit choice.
+	Parallelism int
 }
 
 func (o Options) penalty() float64 {
@@ -84,7 +153,9 @@ type Result[S, U any] struct {
 	// Cost is the expected cumulative cost of the best trajectory.
 	Cost float64
 	// Explored counts state evaluations performed during the search —
-	// the paper's controller-overhead metric (§4.3).
+	// the paper's controller-overhead metric (§4.3). Branch-and-bound
+	// pruning (Options.NonNegativeCosts) lowers it without changing the
+	// decision.
 	Explored int
 	// Feasible reports whether the entire nominal trajectory satisfies
 	// the hard constraints.
@@ -96,15 +167,16 @@ type Result[S, U any] struct {
 var ErrNoInputs = errors.New("llc: model returned no admissible inputs")
 
 // Exhaustive runs the full tree search of §4.1: every admissible input
-// sequence over the horizon is evaluated. envs[q] holds the environment
-// samples for horizon step q; the horizon is len(envs) and must be ≥ 1.
-// With |U| inputs the search evaluates Σ_{q=1..N} |U|^q states, so keep
+// sequence over the horizon is evaluated (or provably pruned — see
+// Options.NonNegativeCosts). envs[q] holds the environment samples for
+// horizon step q; the horizon is len(envs) and must be ≥ 1. With |U|
+// inputs the naive search evaluates Σ_{q=1..N} |U|^q states, so keep
 // horizons short — the paper uses N ≤ 3 with ≤ 10 inputs.
 func Exhaustive[S, U any](m Model[S, U], x0 S, envs []([]Env), opt Options) (Result[S, U], error) {
 	if err := checkEnvs(envs); err != nil {
 		return Result[S, U]{}, err
 	}
-	s := &search[S, U]{m: m, envs: envs, penalty: opt.penalty(), inputsAt: func(st S, _ int, _ U) []U {
+	s := &search[S, U]{m: m, envs: envs, opt: opt, inputsAt: func(st S, _ int, _ U) []U {
 		return m.Inputs(st)
 	}}
 	return s.run(x0)
@@ -122,9 +194,9 @@ func Bounded[S, U any](m Model[S, U], x0 S, prev U, neighbours func(prev U, s S,
 	if neighbours == nil {
 		return Result[S, U]{}, errors.New("llc: nil neighbourhood function")
 	}
-	s := &search[S, U]{m: m, envs: envs, penalty: opt.penalty(), inputsAt: func(st S, level int, prevU U) []U {
+	s := &search[S, U]{m: m, envs: envs, opt: opt, inputsAt: func(st S, level int, prevU U) []U {
 		return neighbours(prevU, st, level)
-	}, seeded: true, seed: prev}
+	}, seed: prev}
 	return s.run(x0)
 }
 
@@ -140,90 +212,273 @@ func checkEnvs(envs []([]Env)) error {
 	return nil
 }
 
-// search carries the shared recursion for both strategies.
+// nominal returns the sample that drives the state recursion at one
+// horizon step: index ⌊len/2⌋ — the middle sample for odd counts, the
+// upper of the two middle samples for even counts (pinned by tests; see
+// the package doc).
+func nominal(samples []Env) Env { return samples[len(samples)/2] }
+
+// search carries the shared engine configuration for both strategies.
 type search[S, U any] struct {
 	m        Model[S, U]
 	envs     []([]Env)
-	penalty  float64
+	opt      Options
 	inputsAt func(s S, level int, prev U) []U
-	seeded   bool
 	seed     U
-	explored int
 }
 
+// run fans the level-0 candidates across walkers and merges their results
+// in candidate order.
 func (s *search[S, U]) run(x0 S) (Result[S, U], error) {
-	prev := s.seed
-	best, err := s.expand(x0, prev, 0)
-	if err != nil {
-		return Result[S, U]{}, err
+	roots := s.inputsAt(x0, 0, s.seed)
+	if len(roots) == 0 {
+		return Result[S, U]{}, fmt.Errorf("%w (level 0)", ErrNoInputs)
 	}
-	best.Explored = s.explored
-	// Reverse the sequences accumulated leaf-to-root.
-	reverse(best.Inputs)
-	reverse(best.States)
-	best.Feasible = true
-	for _, st := range best.States {
+	workers := s.opt.Parallelism
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	if workers <= 1 {
+		w := newWalker(s, x0, roots, 0, 1)
+		w.run(nil)
+		return s.finish([]*walker[S, U]{w})
+	}
+
+	// Shared incumbent bound: float64 bits in an atomic. Non-negative
+	// IEEE floats order identically to their bit patterns, and the bound
+	// only ever holds +Inf or a published trajectory cost, so a simple
+	// CAS-min over bits implements min-of-floats.
+	var shared atomic.Uint64
+	shared.Store(math.Float64bits(math.Inf(1)))
+	var sharedPtr *atomic.Uint64
+	if s.opt.NonNegativeCosts {
+		sharedPtr = &shared
+	}
+	walkers := make([]*walker[S, U], workers)
+	// Static stride partition: worker w owns roots w, w+W, w+2W, ... so
+	// each walker sees strictly increasing candidate indices and the
+	// merge below can restore the sequential first-best-in-order rule.
+	_ = par.For(workers, workers, func(w int) error {
+		wk := newWalker(s, x0, roots, w, workers)
+		wk.run(sharedPtr)
+		walkers[w] = wk
+		return nil
+	})
+	return s.finish(walkers)
+}
+
+// finish merges per-walker incumbents (and errors) in candidate order and
+// assembles the Result exactly as the sequential walk would have.
+func (s *search[S, U]) finish(walkers []*walker[S, U]) (Result[S, U], error) {
+	var firstErr error
+	errRoot := -1
+	explored := 0
+	var best *walker[S, U]
+	for _, w := range walkers {
+		explored += w.explored
+		if w.err != nil && (errRoot < 0 || w.errRoot < errRoot) {
+			firstErr, errRoot = w.err, w.errRoot
+		}
+		if !w.bestSet {
+			continue
+		}
+		if best == nil || w.bestCost < best.bestCost ||
+			(w.bestCost == best.bestCost && w.bestRoot < best.bestRoot) {
+			best = w
+		}
+	}
+	if firstErr != nil {
+		return Result[S, U]{}, firstErr
+	}
+	if best == nil {
+		return Result[S, U]{}, errors.New("llc: no finite-cost trajectory")
+	}
+	res := Result[S, U]{
+		Inputs:   best.bestInputs,
+		States:   best.bestStates,
+		Cost:     best.bestCost,
+		Explored: explored,
+		Feasible: true,
+	}
+	for _, st := range res.States {
 		if !s.m.Feasible(st) {
-			best.Feasible = false
+			res.Feasible = false
 			break
 		}
 	}
-	return best, nil
+	return res, nil
 }
 
-// expand returns the best suffix trajectory from state x at the given
-// tree level. Inputs/States in the result are ordered leaf-to-root; run
-// reverses them once at the end.
-func (s *search[S, U]) expand(x S, prev U, level int) (Result[S, U], error) {
-	samples := s.envs[level]
-	nominal := samples[len(samples)/2]
-	candidates := s.inputsAt(x, level, prev)
-	if len(candidates) == 0 {
-		return Result[S, U]{}, fmt.Errorf("%w (level %d)", ErrNoInputs, level)
-	}
-	best := Result[S, U]{Cost: math.Inf(1)}
-	found := false
-	for _, u := range candidates {
-		// Expected stage cost over the uncertainty samples (§4.2): each
-		// sample yields its own successor; the cost is their average.
-		stage := 0.0
-		for _, env := range samples {
-			next := s.m.Step(x, u, env)
-			s.explored++
-			c := s.m.Cost(next, u, env)
-			if !s.m.Feasible(next) {
-				c += s.penalty
-			}
-			stage += c
-		}
-		stage /= float64(len(samples))
-
-		nominalNext := s.m.Step(x, u, nominal)
-		total := stage
-		var suffix Result[S, U]
-		if level+1 < len(s.envs) {
-			var err error
-			suffix, err = s.expand(nominalNext, u, level+1)
-			if err != nil {
-				return Result[S, U]{}, err
-			}
-			total += suffix.Cost
-		}
-		if total < best.Cost {
-			best.Cost = total
-			best.Inputs = append(suffix.Inputs, u)
-			best.States = append(suffix.States, nominalNext)
-			found = true
-		}
-	}
-	if !found {
-		return Result[S, U]{}, fmt.Errorf("llc: no finite-cost trajectory at level %d", level)
-	}
-	return best, nil
+// frame is one level of the iterative DFS: the state it expands from and
+// the candidate cursor.
+type frame[S, U any] struct {
+	x     S
+	cands []U
+	idx   int
 }
 
-func reverse[T any](xs []T) {
-	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
-		xs[i], xs[j] = xs[j], xs[i]
+// walker owns the preallocated buffers for one depth-first exploration of
+// a subset of the level-0 candidates.
+type walker[S, U any] struct {
+	s  *search[S, U]
+	x0 S
+
+	roots  []U // all level-0 candidates (shared, read-only)
+	first  int // first root index owned by this walker
+	stride int // owned roots are first, first+stride, ...
+
+	frames []frame[S, U] // per-level cursors, frames[0] unused for cands
+	inputs []U           // current path: input chosen per level
+	states []S           // current path: nominal successor per level
+	stage  []float64     // current path: expected stage cost per level
+
+	bestSet    bool
+	bestCost   float64
+	bestRoot   int // level-0 candidate index of the incumbent
+	bestInputs []U
+	bestStates []S
+
+	explored int
+	err      error
+	errRoot  int // root index being explored when err was hit
+}
+
+func newWalker[S, U any](s *search[S, U], x0 S, roots []U, first, stride int) *walker[S, U] {
+	n := len(s.envs)
+	return &walker[S, U]{
+		s: s, x0: x0, roots: roots, first: first, stride: stride,
+		frames:     make([]frame[S, U], n),
+		inputs:     make([]U, n),
+		states:     make([]S, n),
+		stage:      make([]float64, n),
+		bestCost:   math.Inf(1),
+		bestInputs: make([]U, n),
+		bestStates: make([]S, n),
 	}
+}
+
+// load reads the shared bound as a float64.
+func load(shared *atomic.Uint64) float64 { return math.Float64frombits(shared.Load()) }
+
+// publish CAS-mins cost into the shared bound.
+func publish(shared *atomic.Uint64, cost float64) {
+	for {
+		cur := shared.Load()
+		if !(cost < math.Float64frombits(cur)) {
+			return
+		}
+		if shared.CompareAndSwap(cur, math.Float64bits(cost)) {
+			return
+		}
+	}
+}
+
+// run explores every owned root subtree depth-first. The expected stage
+// cost of the node entered at each level is accumulated in stage[];
+// trajectory costs are folded leaf-to-root (bound(), matching the original
+// recursive engine's summation order exactly), and under the
+// NonNegativeCosts contract the fold over the current prefix lower-bounds
+// every completion, enabling incumbent pruning.
+func (w *walker[S, U]) run(shared *atomic.Uint64) {
+	s := w.s
+	last := len(s.envs) - 1
+	prune := s.opt.NonNegativeCosts
+	penalty := s.opt.penalty()
+	for root := w.first; root < len(w.roots); root += w.stride {
+		w.frames[0].x = w.x0
+		lv := 0
+		rootDone := false
+		for !rootDone {
+			f := &w.frames[lv]
+			var u U
+			if lv == 0 {
+				// Level 0 holds exactly the single owned root; deeper
+				// levels iterate their own candidate lists.
+				u = w.roots[root]
+			} else {
+				if f.idx >= len(f.cands) {
+					lv--
+					if lv == 0 {
+						rootDone = true
+					}
+					continue
+				}
+				u = f.cands[f.idx]
+				f.idx++
+			}
+
+			// Expected stage cost over the uncertainty samples (§4.2):
+			// each sample yields its own successor; the cost is their
+			// average. The nominal sample drives the state recursion.
+			samples := s.envs[lv]
+			stage := 0.0
+			for _, env := range samples {
+				next := s.m.Step(f.x, u, env)
+				w.explored++
+				c := s.m.Cost(next, u, env)
+				if !s.m.Feasible(next) {
+					c += penalty
+				}
+				stage += c
+			}
+			stage /= float64(len(samples))
+			nominalNext := s.m.Step(f.x, u, nominal(samples))
+			w.inputs[lv] = u
+			w.states[lv] = nominalNext
+			w.stage[lv] = stage
+
+			b := w.bound(lv)
+			if prune && (b >= w.bestCost || (shared != nil && b > load(shared))) {
+				// Every completion costs at least b: it cannot strictly
+				// beat the incumbent, and ties never displace it. The
+				// strict > against the shared bound keeps equal-cost
+				// trajectories from lower candidate indices alive so the
+				// candidate-order merge stays bit-identical.
+				if lv == 0 {
+					rootDone = true
+				}
+				continue
+			}
+			if lv == last {
+				// b is the exact leaf-to-root cost of the full path.
+				if b < w.bestCost {
+					w.bestSet = true
+					w.bestCost = b
+					w.bestRoot = root
+					copy(w.bestInputs, w.inputs)
+					copy(w.bestStates, w.states)
+					if shared != nil {
+						publish(shared, b)
+					}
+				}
+				if lv == 0 {
+					rootDone = true
+				}
+				continue
+			}
+			nf := &w.frames[lv+1]
+			nf.x = nominalNext
+			nf.cands = s.inputsAt(nominalNext, lv+1, u)
+			nf.idx = 0
+			if len(nf.cands) == 0 {
+				w.err = fmt.Errorf("%w (level %d)", ErrNoInputs, lv+1)
+				w.errRoot = root
+				return
+			}
+			lv++
+		}
+	}
+}
+
+// bound folds stage[0..lv] leaf-to-root: at a leaf it is the exact
+// trajectory cost in the same summation order the recursive engine used;
+// at an interior level it lower-bounds every completion of the prefix
+// under the NonNegativeCosts contract (appending non-negative suffix terms
+// inside the fold can only round upward, never below the prefix fold).
+func (w *walker[S, U]) bound(lv int) float64 {
+	acc := w.stage[lv]
+	for l := lv - 1; l >= 0; l-- {
+		acc = w.stage[l] + acc
+	}
+	return acc
 }
