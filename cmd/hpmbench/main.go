@@ -13,6 +13,7 @@
 //	hpmbench -table overhead-cluster
 //	hpmbench -table energy          # EXT1: LLC vs baselines
 //	hpmbench -table ablations       # EXT2: design-choice ablations
+//	hpmbench -table scenarios       # robustness matrix; writes BENCH_scenarios.json
 //	hpmbench -all                   # everything at the given scale
 //	hpmbench -llc-json BENCH_llc.json  # branch-and-bound engine snapshot
 package main
@@ -39,7 +40,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("hpmbench", flag.ContinueOnError)
 	fig := fs.Int("fig", 0, "figure to regenerate (3-7)")
-	table := fs.String("table", "", "table to regenerate: overhead-module, overhead-cluster, energy, ablations, scalability")
+	table := fs.String("table", "", "table to regenerate: overhead-module, overhead-cluster, energy, ablations, scalability, scenarios")
 	all := fs.Bool("all", false, "regenerate every figure and table")
 	scale := fs.Float64("scale", 1, "fraction of each trace to simulate (0, 1]")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -47,6 +48,7 @@ func run(args []string, w io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "per-pool worker width; pools nest (sweep × module × search) (0 = one per CPU, 1 = fully sequential; results identical)")
 	searchParallelism := fs.Int("search-parallelism", 0, "workers fanning each L0 lookahead search's level-0 candidates (0/1 = sequential; decisions identical, explored counters may vary when > 1)")
 	llcJSON := fs.String("llc-json", "", "write the branch-and-bound LLC engine benchmark (pruned vs naive on the §4.3 configuration) to this JSON file; honours -parallelism for the pruned-parallel row (the workload is fixed — -seed/-scale/-fast do not apply)")
+	scenariosJSON := fs.String("scenarios-json", "BENCH_scenarios.json", "path the robustness-matrix snapshot is written to by -table scenarios")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +78,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if *fig != 0 {
 		return runFig(w, *fig, opts)
+	}
+	if *table == "scenarios" {
+		return writeScenarioMatrix(w, *scenariosJSON, *seed, *parallelism)
 	}
 	if *table != "" {
 		return runTable(w, *table, opts)
@@ -208,6 +213,37 @@ func runTable(w io.Writer, name string, opts hierctl.ExperimentOptions) error {
 	default:
 		return fmt.Errorf("unknown table %q", name)
 	}
+}
+
+// writeScenarioMatrix runs the robustness matrix at its canonical
+// benchmark configuration (DefaultScenarioMatrixOptions; -scale and -fast
+// do not apply, matching the -llc-json convention), prints the table, and
+// writes the BENCH_scenarios.json snapshot. The snapshot carries no
+// wall-clock fields, so regeneration with the same -seed is bit-identical
+// at any -parallelism.
+func writeScenarioMatrix(w io.Writer, path string, seed int64, parallelism int) error {
+	opts := hierctl.DefaultScenarioMatrixOptions()
+	opts.Seed = seed
+	opts.Parallelism = parallelism
+	snap, err := hierctl.RunScenarioMatrix(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Robustness matrix: every registered scenario x {LLC hierarchy, threshold, centralized} ==")
+	tab := metrics.NewTable("scenario", "policy", "bins", "completed", "dropped", "energy", "mean resp (s)", "violations", "states/period")
+	for _, c := range snap.Cells {
+		tab.AddRow(c.Scenario, c.Policy, c.Bins, c.Completed, c.Dropped, c.Energy, c.MeanResponse, c.ViolationFrac, c.ExploredPerPeriod)
+	}
+	fmt.Fprintln(w, tab)
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "snapshot written to %s\n", path)
+	return nil
 }
 
 // writeLLCBench measures the branch-and-bound LLC engine against the

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -84,5 +86,36 @@ func TestRunRejectsNegativeParallelism(t *testing.T) {
 	err := run([]string{"-fig", "3", "-parallelism", "-1"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "parallelism") {
 		t.Errorf("negative -parallelism: got %v, want a clear error", err)
+	}
+}
+
+// TestRunScenariosTable smokes the robustness matrix table: it must print
+// one row per (scenario, policy) cell and write a snapshot that
+// regenerates bit-identically at -parallelism 1.
+func TestRunScenariosTable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_scenarios.json")
+	var out bytes.Buffer
+	if err := run([]string{"-table", "scenarios", "-scenarios-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Robustness matrix", "flashcrowd", "failstorm", "hierarchical-llc", "threshold", "centralized", "snapshot written"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-table", "scenarios", "-scenarios-json", path, "-parallelism", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("snapshot differs between default and -parallelism 1 regenerations")
 	}
 }

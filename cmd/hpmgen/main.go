@@ -1,11 +1,16 @@
-// Command hpmgen generates workload traces (requests per bin) as CSV on
-// stdout or into a file.
+// Command hpmgen generates, inspects, and lists workload scenario traces.
+// Traces are emitted as CSV (time_s,value rows) on stdout or into a file;
+// the same files replay as first-class scenarios via "tracefile:<path>".
 //
 // Usage:
 //
+//	hpmgen -list                         # enumerate registered scenarios
 //	hpmgen -profile synthetic            # §4.3 trace, 6400 30-second bins
 //	hpmgen -profile wc98 -out day.csv    # Fig. 6 World-Cup-98-like day
+//	hpmgen -profile flashcrowd -seed 7   # any registered scenario
 //	hpmgen -profile step -lo 150 -hi 3600
+//	hpmgen -profile heavytail -inspect   # summary stats instead of CSV
+//	hpmgen -profile tracefile:day.csv -inspect
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"hierctl"
+	"hierctl/internal/metrics"
 )
 
 func main() {
@@ -26,46 +32,58 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hpmgen", flag.ContinueOnError)
-	profile := fs.String("profile", "synthetic", "trace profile: synthetic, wc98, or step")
+	profile := fs.String("profile", "synthetic", "scenario to build (see -list; tracefile:<path> replays a CSV)")
 	out := fs.String("out", "", "output file (default stdout)")
 	seed := fs.Int64("seed", 1, "noise seed")
-	bins := fs.Int("bins", 0, "override bin count (0 = profile default)")
+	bins := fs.Int("bins", 0, "override bin count for synthetic/wc98/step (0 = profile default)")
 	lo := fs.Float64("lo", 150, "step profile: low requests per bin")
 	hi := fs.Float64("hi", 3600, "step profile: high requests per bin")
 	period := fs.Int("period", 20, "step profile: bins per half-cycle")
+	list := fs.Bool("list", false, "list the registered scenarios and exit")
+	inspect := fs.Bool("inspect", false, "print a scenario summary (bins, load stats, failure plan) instead of CSV")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *list {
+		return listScenarios(stdout)
+	}
+
+	sc, err := hierctl.LookupScenario(*profile)
+	if err != nil {
+		return err
+	}
+
+	// Legacy overrides rebuild the three seed profiles with custom shapes;
+	// every other scenario comes straight from the registry builder.
 	var trace *hierctl.Series
-	var err error
-	switch *profile {
-	case "synthetic":
+	switch {
+	case sc.Name == "synthetic" && *bins > 0:
 		cfg := hierctl.DefaultSyntheticConfig()
 		cfg.Seed = *seed
-		if *bins > 0 {
-			cfg.Bins = *bins
-			cfg.NoiseBounds = []int{cfg.Bins / 5, cfg.Bins / 5 * 3, cfg.Bins}
-		}
+		cfg.Bins = *bins
+		cfg.NoiseBounds = []int{cfg.Bins / 5, cfg.Bins / 5 * 3, cfg.Bins}
 		trace, err = hierctl.SyntheticTrace(cfg)
-	case "wc98":
+	case sc.Name == "wc98" && *bins > 0:
 		cfg := hierctl.DefaultWC98Config()
 		cfg.Seed = *seed
-		if *bins > 0 {
-			cfg.Bins = *bins
-		}
+		cfg.Bins = *bins
 		trace, err = hierctl.WC98Trace(cfg)
-	case "step":
+	case sc.Name == "step":
 		n := *bins
 		if n == 0 {
 			n = 120
 		}
 		trace, err = hierctl.StepTrace(n, 30, *lo, *hi, *period)
 	default:
-		return fmt.Errorf("unknown profile %q", *profile)
+		trace, err = sc.Trace(*seed)
 	}
 	if err != nil {
 		return err
+	}
+
+	if *inspect {
+		return inspectScenario(stdout, sc, trace)
 	}
 
 	w := stdout
@@ -78,4 +96,54 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 	return trace.WriteCSV(w)
+}
+
+// listScenarios renders the registry as an aligned table.
+func listScenarios(w io.Writer) error {
+	tab := metrics.NewTable("scenario", "sized for", "description")
+	for _, sc := range hierctl.Scenarios() {
+		name := sc.Name
+		if sc.NeedsArg {
+			name += ":<path>"
+		}
+		sized := "-"
+		if sc.Computers > 0 {
+			sized = fmt.Sprintf("%d computers", sc.Computers)
+		}
+		tab.AddRow(name, sized, sc.Description)
+	}
+	fmt.Fprintln(w, tab)
+	return nil
+}
+
+// inspectScenario prints the scenario's shape without emitting the CSV.
+func inspectScenario(w io.Writer, sc hierctl.Scenario, trace *hierctl.Series) error {
+	fmt.Fprintf(w, "scenario      %s\n", sc.Name)
+	if sc.Arg != "" {
+		fmt.Fprintf(w, "source        %s\n", sc.Arg)
+	}
+	fmt.Fprintf(w, "description   %s\n", sc.Description)
+	fmt.Fprintf(w, "bins          %d x %.0f s (%.1f h)\n", trace.Len(), trace.Step, (trace.End()-trace.Start)/3600)
+	fmt.Fprintf(w, "requests      %.0f total\n", trace.Sum())
+	fmt.Fprintf(w, "per bin       mean %.0f, min %.0f, max %.0f\n", trace.Mean(), trace.Min(), trace.Max())
+	if sc.Computers > 0 {
+		fmt.Fprintf(w, "sized for     %d computers\n", sc.Computers)
+	}
+	plan := sc.FailurePlan(trace)
+	fmt.Fprintf(w, "failure plan  %d events\n", len(plan))
+	for _, f := range plan {
+		kind := "fail"
+		if f.Repair {
+			kind = "repair"
+		}
+		fmt.Fprintf(w, "  t=%-8.0f %-6s module %d computer %d\n", f.At, kind, f.Module, f.Comp)
+	}
+	store := sc.StoreConfig()
+	if store.TailFrac > 0 {
+		fmt.Fprintf(w, "service mix   %.0f%% Pareto tail (alpha %.2f, cap %.2f s) over U(%.0f, %.0f) ms\n",
+			100*store.TailFrac, store.TailAlpha, store.TailCap, 1000*store.MinDemand, 1000*store.MaxDemand)
+	} else {
+		fmt.Fprintf(w, "service mix   U(%.0f, %.0f) ms\n", 1000*store.MinDemand, 1000*store.MaxDemand)
+	}
+	return nil
 }

@@ -63,3 +63,76 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("bad flag: want error")
 	}
 }
+
+func TestRunListScenarios(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"synthetic", "wc98", "flashcrowd", "diurnal-noisy", "heavytail", "failstorm", "sawtooth", "tracefile:<path>"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunScenarioProfile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "flashcrowd", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 100 {
+		t.Errorf("flashcrowd emitted %d lines", len(lines))
+	}
+}
+
+func TestRunInspect(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "failstorm", "-inspect"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"scenario      failstorm", "failure plan", "fail", "repair", "per bin"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("-inspect output missing %q:\n%s", frag, s)
+		}
+	}
+	out.Reset()
+	if err := run([]string{"-profile", "heavytail", "-inspect"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Pareto tail") {
+		t.Errorf("heavytail inspect missing service mix:\n%s", out.String())
+	}
+}
+
+// TestEmitReplayRoundTrip pins the tracefile contract end to end at the
+// CLI: a trace emitted by hpmgen, replayed via the tracefile scenario,
+// re-emitted, is byte-identical.
+func TestEmitReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "day.csv")
+	var first bytes.Buffer
+	if err := run([]string{"-profile", "synthetic", "-bins", "64", "-out", path}, &first); err != nil {
+		t.Fatal(err)
+	}
+	var replay bytes.Buffer
+	if err := run([]string{"-profile", "tracefile:" + path}, &replay); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.String() != string(orig) {
+		t.Error("replayed CSV differs from the emitted trace")
+	}
+}
+
+func TestUnknownProfileListsScenarios(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-profile", "nope"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "registered:") || !strings.Contains(err.Error(), "flashcrowd") {
+		t.Errorf("unknown profile error %v should list registered scenarios", err)
+	}
+}

@@ -310,3 +310,91 @@ func TestServerRejectsBadClusterShapes(t *testing.T) {
 		t.Errorf("modules=1 moduleSize=2 built %v computers, want 2", st["computers"])
 	}
 }
+
+// TestServerScenarioSeeding exercises tenant creation from a named
+// scenario: the tenant adopts the scenario's bin cadence, the requested
+// prefix is fed at creation, and further observations continue the bin
+// sequence.
+func TestServerScenarioSeeding(t *testing.T) {
+	h, _ := testHandler(t)
+	created := doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"smoke","moduleSize":2,"fast":true,"scenario":"flashcrowd","scenarioBins":4}`, http.StatusCreated)
+	if created["scenario"] != "flashcrowd" {
+		t.Errorf("scenario = %v", created["scenario"])
+	}
+	if created["scenarioBinsFed"].(float64) != 4 {
+		t.Errorf("scenarioBinsFed = %v, want 4", created["scenarioBinsFed"])
+	}
+	if created["binSeconds"].(float64) != 30 {
+		t.Errorf("binSeconds = %v, want the scenario trace's 30", created["binSeconds"])
+	}
+	st := doJSON(t, h, http.MethodGet, "/v1/tenants/smoke/state", "", http.StatusOK)
+	if st["bins"].(float64) != 4 {
+		t.Errorf("bins = %v, want 4 after seeding", st["bins"])
+	}
+	// The next observation continues the sequence.
+	dec := doJSON(t, h, http.MethodPost, "/v1/tenants/smoke/observe", `{"count":500}`, http.StatusOK)
+	if dec["bin"].(float64) != 4 {
+		t.Errorf("bin = %v, want 4", dec["bin"])
+	}
+}
+
+// TestServerScenarioAdoptsCadence pins that a scenario with a non-default
+// bin width (wc98: 120 s) overrides the decode default.
+func TestServerScenarioAdoptsCadence(t *testing.T) {
+	h, _ := testHandler(t)
+	created := doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"cup","moduleSize":2,"fast":true,"scenario":"wc98"}`, http.StatusCreated)
+	if created["binSeconds"].(float64) != 120 {
+		t.Errorf("binSeconds = %v, want 120 from the wc98 trace", created["binSeconds"])
+	}
+}
+
+// TestServerRejectsUnknownScenario pins the bugfix contract: unknown
+// scenario names 400 with the registered list, and scenarioBins without a
+// scenario is a conflict.
+func TestServerRejectsUnknownScenario(t *testing.T) {
+	h, _ := testHandler(t)
+	req := httptest.NewRequest(http.MethodPost, "/v1/tenants",
+		strings.NewReader(`{"id":"x","moduleSize":2,"fast":true,"scenario":"nope"}`))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", w.Code)
+	}
+	body := w.Body.String()
+	for _, frag := range []string{"unknown scenario", "registered:", "flashcrowd"} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("error body missing %q: %s", frag, body)
+		}
+	}
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"x","moduleSize":2,"scenarioBins":4}`, http.StatusBadRequest)
+	doJSON(t, h, http.MethodPost, "/v1/tenants",
+		`{"id":"x","moduleSize":2,"scenario":"flashcrowd","scenarioBins":100000}`, http.StatusBadRequest)
+}
+
+// TestServerRejectsParameterizedScenario pins the security contract:
+// tracefile:<path> must not be reachable through the API (it would let
+// clients make the daemon read arbitrary host files).
+func TestServerRejectsParameterizedScenario(t *testing.T) {
+	h, _ := testHandler(t)
+	req := httptest.NewRequest(http.MethodPost, "/v1/tenants",
+		strings.NewReader(`{"id":"x","moduleSize":2,"fast":true,"scenario":"tracefile:/etc/passwd"}`))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "not available via the API") {
+		t.Errorf("unexpected error body: %s", w.Body.String())
+	}
+	// The bare name is rejected too (arg hint from the lookup).
+	req = httptest.NewRequest(http.MethodPost, "/v1/tenants",
+		strings.NewReader(`{"id":"x","moduleSize":2,"fast":true,"scenario":"tracefile"}`))
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bare tracefile: status %d, want 400", w.Code)
+	}
+}

@@ -54,6 +54,14 @@ type createReq struct {
 	// expose — so tenants come up in well under a second.
 	Fast        bool      `json:"fast"`
 	Calibration []float64 `json:"calibration"`
+	// Scenario seeds the tenant from a registered workload scenario (see
+	// hpmgen -list): the tenant adopts the scenario's service-time mix and
+	// failure plan, its bin width is forced to the scenario trace's, the
+	// Kalman calibration defaults to the trace prefix, and the first
+	// ScenarioBins bins are fed through the hierarchy at creation — a
+	// one-call smoke/load test of a fresh tenant.
+	Scenario     string `json:"scenario"`
+	ScenarioBins int    `json:"scenarioBins"`
 }
 
 type observeReq struct {
@@ -76,6 +84,10 @@ const (
 	maxCalibration = 1 << 16
 	maxBodyBytes   = 1 << 20
 	maxIDLen       = 128
+	// maxScenarioBins bounds the scenario bins fed synchronously at
+	// creation — each bin synthesizes its full request batch, so the cap
+	// keeps a create call from pinning the daemon.
+	maxScenarioBins = 512
 )
 
 // validTenantID rejects ids that would be unroutable in the path-based
@@ -230,6 +242,14 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("binSeconds %v outside (0, %d]", req.BinSeconds, maxBinSeconds))
 		return
 	}
+	if req.ScenarioBins < 0 || req.ScenarioBins > maxScenarioBins {
+		writeError(w, fmt.Errorf("scenarioBins %d outside [0, %d]", req.ScenarioBins, maxScenarioBins))
+		return
+	}
+	if req.Scenario == "" && req.ScenarioBins > 0 {
+		writeError(w, fmt.Errorf("scenarioBins %d without a scenario; name one (see hpmgen -list)", req.ScenarioBins))
+		return
+	}
 	var spec hierctl.ClusterSpec
 	var err error
 	switch {
@@ -244,6 +264,49 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+
+	// Scenario seeding: adopt the scenario's store mix and failure plan,
+	// force the bin cadence to the trace's, and default the calibration
+	// to the trace prefix. Unknown names 400 with the registered list
+	// (the lookup error carries it).
+	storeCfg := hierctl.DefaultStoreConfig()
+	calibration := req.Calibration
+	binSeconds := req.BinSeconds
+	var failures []hierctl.FailureEvent
+	var trace *hierctl.Series
+	if req.Scenario != "" {
+		sc, err := hierctl.LookupScenario(req.Scenario)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		// Parameterized scenarios (tracefile:<path>) would let any client
+		// make the daemon read — and echo parse errors from — arbitrary
+		// host files; only parameter-free scenarios are served.
+		if sc.NeedsArg {
+			writeError(w, fmt.Errorf("scenario %q is not available via the API (recorded traces must be registered server-side)", req.Scenario))
+			return
+		}
+		trace, err = sc.Trace(req.Seed)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		sc.ScaleToCluster(trace, spec.Computers())
+		storeCfg = sc.StoreConfig()
+		failures = sc.FailurePlan(trace)
+		binSeconds = trace.Step
+		// Recorded traces can carry any cadence; the API bound applies to
+		// them like to explicit binSeconds.
+		if !(binSeconds > 0) || binSeconds > maxBinSeconds {
+			writeError(w, fmt.Errorf("scenario bin width %v outside (0, %d]", binSeconds, maxBinSeconds))
+			return
+		}
+		if len(calibration) == 0 {
+			calibration = trace.Values[:min(trace.Len(), 64)]
+		}
+	}
+
 	cfg := hierctl.ExperimentOptions{Seed: req.Seed, Fast: req.Fast}.Config()
 	// A long-running daemon should not accumulate per-T_L0 frequency
 	// series per computer; the decision payloads carry the frequencies.
@@ -255,21 +318,44 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 	if err := s.fleet.CreateTenant(req.ID, hierctl.TenantConfig{
 		Spec:        spec,
 		Core:        cfg,
-		Store:       hierctl.DefaultStoreConfig(),
+		Store:       storeCfg,
 		StoreSeed:   req.Seed,
-		BinSeconds:  req.BinSeconds,
-		Calibration: req.Calibration,
+		BinSeconds:  binSeconds,
+		Calibration: calibration,
+		Failures:    failures,
 	}); err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{
+	learnSeconds := time.Since(learnStart).Seconds()
+
+	// Feed the requested scenario prefix through the hierarchy. A feed
+	// error after creation is reported but leaves the tenant up with
+	// whatever bins it absorbed.
+	binsFed := 0
+	if trace != nil && req.ScenarioBins > 0 {
+		n := min(req.ScenarioBins, trace.Len())
+		for i := 0; i < n; i++ {
+			if _, err := s.fleet.Observe(req.ID, trace.Values[i]); err != nil {
+				writeError(w, fmt.Errorf("seeding bin %d: %w", i, err))
+				return
+			}
+			binsFed++
+		}
+	}
+
+	resp := map[string]any{
 		"id":           req.ID,
 		"computers":    spec.Computers(),
 		"modules":      len(spec.Modules),
-		"binSeconds":   req.BinSeconds,
-		"learnSeconds": time.Since(learnStart).Seconds(),
-	})
+		"binSeconds":   binSeconds,
+		"learnSeconds": learnSeconds,
+	}
+	if req.Scenario != "" {
+		resp["scenario"] = req.Scenario
+		resp["scenarioBinsFed"] = binsFed
+	}
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 // handleTenant serves one tenant: {id}/observe, {id}/state, DELETE {id}.

@@ -1,13 +1,20 @@
 // Command hpmsim runs one closed-loop simulation — the hierarchical LLC
-// controller or a baseline policy — against a chosen cluster and workload,
-// and prints a summary.
+// controller or a baseline policy — against a chosen cluster and a named
+// workload scenario, and prints a summary.
 //
 // Usage:
 //
 //	hpmsim                                  # §4.3 module, synthetic load, LLC
 //	hpmsim -cluster 4 -workload wc98        # §5.2: 4 modules / 16 computers
+//	hpmsim -workload flashcrowd             # any registered scenario
+//	hpmsim -workload failstorm              # correlated failures mid-peak
+//	hpmsim -workload tracefile:day.csv      # replay a recorded trace
 //	hpmsim -policy threshold -workload wc98
 //	hpmsim -policy always-on -scale 0.25
+//
+// Scenario traces are amplitude-scaled to the selected cluster size (the
+// paper's §4.3 recipe), and scenario failure plans are injected for every
+// policy. hpmgen -list enumerates the registered scenarios.
 package main
 
 import (
@@ -29,7 +36,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hpmsim", flag.ContinueOnError)
 	policy := fs.String("policy", "llc", "control policy: llc, threshold, threshold-dvfs, always-on")
-	workloadFlag := fs.String("workload", "synthetic", "workload: synthetic or wc98")
+	workloadFlag := fs.String("workload", "synthetic", "workload scenario name (hpmgen -list enumerates; tracefile:<path> replays a CSV)")
 	clusterFlag := fs.Int("cluster", 0, "number of 4-computer modules (0 = single §4.3 module)")
 	moduleSize := fs.Int("module-size", 4, "computers in the single module (when -cluster 0)")
 	scale := fs.Float64("scale", 1, "fraction of the trace to simulate (0, 1]")
@@ -61,26 +68,22 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	var trace *hierctl.Series
-	switch *workloadFlag {
-	case "synthetic":
-		cfg := hierctl.DefaultSyntheticConfig()
-		cfg.Seed = *seed
-		trace, err = hierctl.SyntheticTrace(cfg)
-	case "wc98":
-		cfg := hierctl.DefaultWC98Config()
-		cfg.Seed = *seed
-		trace, err = hierctl.WC98Trace(cfg)
-	default:
-		return fmt.Errorf("unknown workload %q", *workloadFlag)
-	}
+	sc, err := hierctl.LookupScenario(*workloadFlag)
 	if err != nil {
 		return err
 	}
+	trace, err := sc.Trace(*seed)
+	if err != nil {
+		return err
+	}
+	sc.ScaleToCluster(trace, spec.Computers())
 	opts := hierctl.ExperimentOptions{Scale: *scale, Seed: *seed, Fast: *fast, Parallelism: *parallelism, SearchParallelism: *searchParallelism}
 	trace = trimTrace(trace, *scale)
+	// Entries addressing slots outside the selected cluster are skipped by
+	// the runners themselves (the shared injection contract).
+	plan := sc.FailurePlan(trace)
 
-	store, err := hierctl.NewStore(*seed, hierctl.DefaultStoreConfig())
+	store, err := hierctl.NewStore(*seed, sc.StoreConfig())
 	if err != nil {
 		return err
 	}
@@ -92,6 +95,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		mgr.InjectPlan(plan)
 		rec, err := mgr.Run(trace, store)
 		if err != nil {
 			return err
@@ -128,6 +132,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	bcfg := hierctl.DefaultBaselineConfig()
 	bcfg.Seed = *seed
+	bcfg.Failures = plan
 	res, err := hierctl.RunBaseline(spec, pol, trace, store, bcfg)
 	if err != nil {
 		return err

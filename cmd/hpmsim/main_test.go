@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"hierctl"
 )
 
 func TestRunLLCModule(t *testing.T) {
@@ -73,5 +77,66 @@ func TestRunRejectsNegativeParallelism(t *testing.T) {
 	err := run([]string{"-parallelism", "-2", "-fast", "-scale", "0.02"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "parallelism") {
 		t.Errorf("negative -parallelism: got %v, want a clear error", err)
+	}
+}
+
+// TestRunUnknownWorkloadListsScenarios pins the bugfix contract: an
+// unknown -workload value must error with the registered scenario list.
+func TestRunUnknownWorkloadListsScenarios(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "nope"}, &out)
+	if err == nil {
+		t.Fatal("unknown workload: want error")
+	}
+	for _, frag := range []string{`"nope"`, "registered:", "flashcrowd", "synthetic"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err, frag)
+		}
+	}
+}
+
+// TestRunScenarioWorkloads smokes the new scenarios end to end through
+// the CLI under both the LLC hierarchy and a baseline policy.
+func TestRunScenarioWorkloads(t *testing.T) {
+	for _, name := range []string{"flashcrowd", "heavytail", "sawtooth"} {
+		var out bytes.Buffer
+		if err := run([]string{"-workload", name, "-scale", "0.05", "-fast"}, &out); err != nil {
+			t.Fatalf("llc under %s: %v", name, err)
+		}
+		if !strings.Contains(out.String(), "hierarchical-llc") {
+			t.Errorf("%s output missing policy line:\n%s", name, out.String())
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "failstorm", "-policy", "threshold", "-scale", "0.05"}, &out); err != nil {
+		t.Fatalf("threshold under failstorm: %v", err)
+	}
+	if !strings.Contains(out.String(), "completed") {
+		t.Errorf("failstorm baseline output missing summary:\n%s", out.String())
+	}
+}
+
+// TestRunTracefileWorkload replays an hpmgen-emitted CSV through the
+// simulator via the tracefile scenario.
+func TestRunTracefileWorkload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "day.csv")
+	trace, err := hierctl.StepTrace(32, 30, 150, 900, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "tracefile:" + path, "-fast"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hierarchical-llc") {
+		t.Errorf("tracefile run missing summary:\n%s", out.String())
 	}
 }

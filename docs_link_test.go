@@ -1,0 +1,59 @@
+package hierctl
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownLink matches inline markdown links [text](target). Reference
+// definitions and autolinks are out of scope — the repo's docs use the
+// inline form.
+var markdownLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinks fails on broken relative links in README.md and
+// everything under docs/ — the docs check CI runs. External links
+// (schemes) and pure in-page anchors are skipped; anchors on relative
+// targets are stripped before the existence check.
+func TestDocsRelativeLinks(t *testing.T) {
+	var files []string
+	if _, err := os.Stat("README.md"); err == nil {
+		files = append(files, "README.md")
+	}
+	_ = filepath.WalkDir("docs", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if len(files) == 0 {
+		t.Fatal("no documentation files found")
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range markdownLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", file, m[1], resolved)
+			}
+		}
+	}
+}

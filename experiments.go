@@ -5,9 +5,11 @@ import (
 	"strings"
 	"time"
 
+	"hierctl/internal/central"
 	"hierctl/internal/econ"
 	"hierctl/internal/metrics"
 	"hierctl/internal/par"
+	"hierctl/internal/workload"
 )
 
 // ExperimentOptions tunes the preset experiment runners. The zero value is
@@ -42,6 +44,10 @@ type ExperimentOptions struct {
 	// standalone or few-module deployments whose outer pools leave CPUs
 	// idle.
 	SearchParallelism int
+	// Scenario selects a registered workload scenario by name for the
+	// scenario-driven runners (RunScenario); empty means "synthetic".
+	// See workload.Scenarios / ScenarioNames for the registry.
+	Scenario string
 }
 
 // DefaultExperimentOptions runs experiments at full paper scale.
@@ -407,6 +413,234 @@ func RunEnergyComparison(opts ExperimentOptions) ([]EnergyRow, error) {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// RunScenario runs the hierarchical LLC controller on the §4.3 module
+// under the scenario named by opts.Scenario (empty = "synthetic"): the
+// arrival trace is built from opts.Seed, amplitude-scaled to the module
+// per the scenario's reference cluster size, trimmed by opts.Scale, and
+// the scenario's service-time mix and failure plan are applied.
+func RunScenario(opts ExperimentOptions) (*Record, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	name := opts.Scenario
+	if name == "" {
+		name = "synthetic"
+	}
+	sc, err := workload.LookupScenario(name)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := StandardModuleCluster()
+	if err != nil {
+		return nil, err
+	}
+	trace, err := sc.Trace(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sc.ScaleToCluster(trace, spec.Computers())
+	trace = opts.scaleTrace(trace)
+	mgr, err := NewManager(spec, opts.Config())
+	if err != nil {
+		return nil, err
+	}
+	mgr.InjectPlan(sc.FailurePlan(trace))
+	store, err := NewStore(opts.Seed, sc.StoreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return mgr.Run(trace, store)
+}
+
+// ScenarioCell is one cell of the robustness matrix: one policy's outcome
+// under one registered scenario. All fields are deterministic per seed —
+// wall-clock quantities are deliberately absent so the serialized matrix
+// (BENCH_scenarios.json) is bit-identical across regenerations and worker
+// counts.
+type ScenarioCell struct {
+	Scenario string `json:"scenario"`
+	Policy   string `json:"policy"`
+	// Bins is the trace length the cell ran (after the MaxBins budget).
+	Bins      int   `json:"bins"`
+	Completed int64 `json:"completed"`
+	Dropped   int64 `json:"dropped"`
+	// Energy and Switches are the power-management outcomes; MeanResponse
+	// and ViolationFrac the QoS outcomes (violations are the fraction of
+	// control periods above r*).
+	Energy        float64 `json:"energy"`
+	Switches      int     `json:"switches"`
+	MeanResponse  float64 `json:"meanResponse"`
+	ViolationFrac float64 `json:"violationFrac"`
+	// ExploredPerPeriod is the §4.3 controller-overhead metric: states
+	// examined per decision period (0 for the search-free threshold
+	// policy).
+	ExploredPerPeriod float64 `json:"exploredPerPeriod"`
+}
+
+// ScenarioMatrixOptions tunes RunScenarioMatrix. The zero value is not
+// valid; start from DefaultScenarioMatrixOptions.
+type ScenarioMatrixOptions struct {
+	// Seed drives every cell's randomness; the whole matrix is
+	// deterministic per seed.
+	Seed int64
+	// MaxBins budgets each cell's trace length so the full matrix stays
+	// affordable: traces longer than MaxBins bins are trimmed to their
+	// leading MaxBins (scenarios place their structure — spikes, storms —
+	// inside the default budget).
+	MaxBins int
+	// Fast selects the coarse learning grids (the benchmark setting).
+	Fast bool
+	// Parallelism fans the independent cells across this many workers
+	// (0 = one per CPU). Cell contents are bit-identical at any setting.
+	Parallelism int
+}
+
+// DefaultScenarioMatrixOptions returns the canonical matrix configuration
+// — the one the committed BENCH_scenarios.json snapshot is generated with.
+func DefaultScenarioMatrixOptions() ScenarioMatrixOptions {
+	return ScenarioMatrixOptions{Seed: 1, MaxBins: 160, Fast: true}
+}
+
+// ScenarioMatrixPolicies are the controllers each scenario is run under:
+// the paper's hierarchy, the Pinheiro-style threshold baseline, and the
+// flat centralized controller of EXT3.
+func ScenarioMatrixPolicies() []string {
+	return []string{"hierarchical-llc", "threshold", "centralized"}
+}
+
+// ScenarioMatrixSnapshot is the BENCH_scenarios.json payload: the matrix
+// configuration and one cell per (scenario, policy) pair, scenarios in
+// registry order. Serialization is bit-identical across regenerations with
+// the same options at any Parallelism.
+type ScenarioMatrixSnapshot struct {
+	Seed      int64          `json:"seed"`
+	MaxBins   int            `json:"maxBins"`
+	Fast      bool           `json:"fast"`
+	Policies  []string       `json:"policies"`
+	Scenarios []string       `json:"scenarios"`
+	Cells     []ScenarioCell `json:"cells"`
+}
+
+// RunScenarioMatrix runs the robustness matrix: every registered,
+// parameter-free scenario (see workload.Scenarios) under every matrix
+// policy on the §4.3 module, reporting QoS violations, energy, and search
+// overhead per cell. Cells are independent closed-loop runs fanned across
+// opts.Parallelism workers; order and contents match the sequential sweep
+// exactly.
+func RunScenarioMatrix(opts ScenarioMatrixOptions) (*ScenarioMatrixSnapshot, error) {
+	if opts.MaxBins < 16 {
+		return nil, fmt.Errorf("hierctl: matrix bin budget %d < 16", opts.MaxBins)
+	}
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("hierctl: parallelism %d < 0", opts.Parallelism)
+	}
+	var scens []workload.Scenario
+	for _, sc := range workload.Scenarios() {
+		if !sc.NeedsArg {
+			scens = append(scens, sc)
+		}
+	}
+	policies := ScenarioMatrixPolicies()
+	snap := &ScenarioMatrixSnapshot{
+		Seed:     opts.Seed,
+		MaxBins:  opts.MaxBins,
+		Fast:     opts.Fast,
+		Policies: policies,
+	}
+	for _, sc := range scens {
+		snap.Scenarios = append(snap.Scenarios, sc.Name)
+	}
+	cells, err := par.Map(par.Workers(opts.Parallelism), len(scens)*len(policies), func(i int) (ScenarioCell, error) {
+		sc, policy := scens[i/len(policies)], policies[i%len(policies)]
+		cell, err := runScenarioCell(sc, policy, opts)
+		if err != nil {
+			return ScenarioCell{}, fmt.Errorf("hierctl: scenario %s under %s: %w", sc.Name, policy, err)
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap.Cells = cells
+	return snap, nil
+}
+
+// runScenarioCell runs one (scenario, policy) cell on the §4.3 module.
+// Every policy sees the identical trace, store configuration, and failure
+// plan, so rows compare control strategies, not inputs.
+func runScenarioCell(sc workload.Scenario, policy string, opts ScenarioMatrixOptions) (ScenarioCell, error) {
+	spec, err := StandardModuleCluster()
+	if err != nil {
+		return ScenarioCell{}, err
+	}
+	trace, err := sc.Trace(opts.Seed)
+	if err != nil {
+		return ScenarioCell{}, err
+	}
+	sc.ScaleToCluster(trace, spec.Computers())
+	if trace.Len() > opts.MaxBins {
+		trace = trace.Slice(0, opts.MaxBins)
+	}
+	plan := sc.FailurePlan(trace)
+	store, err := NewStore(opts.Seed, sc.StoreConfig())
+	if err != nil {
+		return ScenarioCell{}, err
+	}
+	cell := ScenarioCell{Scenario: sc.Name, Policy: policy, Bins: trace.Len()}
+	switch policy {
+	case "hierarchical-llc":
+		// Cells already fan out; per-manager parallelism on top would
+		// oversubscribe the scheduler (results are identical either way).
+		eopts := ExperimentOptions{Scale: 1, Seed: opts.Seed, Fast: opts.Fast, Parallelism: 1}
+		mgr, err := NewManager(spec, eopts.Config())
+		if err != nil {
+			return ScenarioCell{}, err
+		}
+		mgr.InjectPlan(plan)
+		rec, err := mgr.Run(trace, store)
+		if err != nil {
+			return ScenarioCell{}, err
+		}
+		cell.Completed, cell.Dropped = rec.Completed, rec.Dropped
+		cell.Energy, cell.Switches = rec.Energy, rec.Switches
+		cell.MeanResponse, cell.ViolationFrac = rec.MeanResponse(), rec.ViolationFrac
+		cell.ExploredPerPeriod = rec.ExploredPerL1Decision()
+	case "threshold":
+		pol, err := ThresholdPolicy(0.35, 0.8, 1)
+		if err != nil {
+			return ScenarioCell{}, err
+		}
+		bcfg := DefaultBaselineConfig()
+		bcfg.Seed = opts.Seed
+		bcfg.Failures = plan
+		res, err := RunBaseline(spec, pol, trace, store, bcfg)
+		if err != nil {
+			return ScenarioCell{}, err
+		}
+		cell.Completed, cell.Dropped = res.Completed, res.Dropped
+		cell.Energy, cell.Switches = res.Energy, res.Switches
+		cell.MeanResponse, cell.ViolationFrac = res.MeanResponse, res.ViolationFrac
+	case "centralized":
+		ccfg := central.DefaultRunnerConfig()
+		ccfg.Seed = opts.Seed
+		ccfg.Failures = plan
+		if opts.Fast {
+			ccfg.Controller.NeighbourDepth = 1
+		}
+		res, err := central.Run(spec, trace, store, ccfg)
+		if err != nil {
+			return ScenarioCell{}, err
+		}
+		cell.Completed, cell.Dropped = res.Completed, res.Dropped
+		cell.Energy, cell.Switches = res.Energy, res.Switches
+		cell.MeanResponse, cell.ViolationFrac = res.MeanResponse, res.ViolationFrac
+		cell.ExploredPerPeriod = res.ExploredPerStep
+	default:
+		return ScenarioCell{}, fmt.Errorf("unknown matrix policy %q", policy)
+	}
+	return cell, nil
 }
 
 // AblationRow is one line of the EXT2 ablation table.

@@ -72,6 +72,11 @@ type (
 	SyntheticConfig = workload.SyntheticConfig
 	// WC98Config parameterizes the World-Cup-98-like trace.
 	WC98Config = workload.WC98Config
+	// Scenario is one named workload scenario (trace builder, service-time
+	// mix, optional failure plan) from the scenario registry.
+	Scenario = workload.Scenario
+	// FailureEvent is one entry of a scenario's failure plan.
+	FailureEvent = workload.FailureEvent
 	// BaselinePolicy decides cluster sizing for comparator runs.
 	BaselinePolicy = baseline.Policy
 	// BaselineResult summarizes a comparator run.
@@ -181,6 +186,21 @@ func WC98Trace(cfg WC98Config) (*Series, error) { return workload.WorldCup98Like
 func StepTrace(bins int, binSeconds, lo, hi float64, period int) (*Series, error) {
 	return workload.StepLoad(bins, binSeconds, lo, hi, period)
 }
+
+// Scenarios returns every registered workload scenario sorted by name.
+func Scenarios() []Scenario { return workload.Scenarios() }
+
+// ScenarioNames returns the sorted registered scenario names;
+// parameterized scenarios carry their argument hint ("tracefile:<path>").
+func ScenarioNames() []string { return workload.ScenarioNames() }
+
+// LookupScenario resolves a scenario selection by name ("flashcrowd",
+// "tracefile:day.csv", ...). Unknown names error with the registered list.
+func LookupScenario(name string) (Scenario, error) { return workload.LookupScenario(name) }
+
+// RegisterScenario adds a user-defined scenario to the registry, making it
+// selectable by name throughout the experiment runners, CLIs, and daemon.
+func RegisterScenario(s Scenario) error { return workload.RegisterScenario(s) }
 
 // AlwaysOnPolicy returns the static all-on/full-speed baseline.
 func AlwaysOnPolicy() BaselinePolicy { return baseline.AlwaysOn{} }

@@ -11,6 +11,11 @@
 //     table" produced by simulation-based learning (§5.1);
 //   - Grid / Learn: the simulation-based learning harness that sweeps the
 //     quantized input domains and produces training samples.
+//
+// Invariant: learned artifacts serialize (persist.go) and reload
+// byte-faithfully, and lookups after a reload answer identically — the
+// property the artifact cache (core.Config.ArtifactDir) and the fleet's
+// event-sourced snapshots build on.
 package approx
 
 import (

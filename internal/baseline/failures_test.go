@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"testing"
+
+	"hierctl/internal/workload"
+)
+
+// TestRunWithFailurePlan exercises the scenario failure-injection path: a
+// correlated mid-run failure must reduce serving capacity (visible as a
+// different run record), repairs must restore it, out-of-range plan
+// entries must be skipped, and the run must stay deterministic per seed.
+func TestRunWithFailurePlan(t *testing.T) {
+	spec := testSpec(3)
+	trace := steady(40, 600)
+	cfg := DefaultRunnerConfig()
+	cfg.Seed = 7
+	span := trace.End() - trace.Start
+	cfg.Failures = []workload.FailureEvent{
+		{At: 0.3 * span, Module: 0, Comp: 0},
+		{At: 0.3 * span, Module: 0, Comp: 1},
+		{At: 0.7 * span, Module: 0, Comp: 0, Repair: true},
+		{At: 0.7 * span, Module: 0, Comp: 1, Repair: true},
+		{At: 0.3 * span, Module: 9, Comp: 0}, // no such module: skipped
+		{At: 0.3 * span, Module: 0, Comp: 9}, // no such computer: skipped
+	}
+	pol, err := NewThreshold(0.3, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec, pol, trace, testStore(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The failure window must show fewer operational computers than the
+	// healthy tail after the repairs.
+	minOp := res.Operational.Values[0]
+	for _, v := range res.Operational.Values {
+		if v < minOp {
+			minOp = v
+		}
+	}
+	if minOp > 1 {
+		t.Errorf("operational never dropped to 1 during the two-failure window (min %v)", minOp)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+
+	// Deterministic per seed.
+	res2, err := Run(spec, pol, trace, testStore(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy != res2.Energy || res.Completed != res2.Completed || res.Dropped != res2.Dropped {
+		t.Errorf("failure-plan run not deterministic: (%v,%d,%d) vs (%v,%d,%d)",
+			res.Energy, res.Completed, res.Dropped, res2.Energy, res2.Completed, res2.Dropped)
+	}
+
+	// A failure-free run of the same configuration must differ (the plan
+	// actually did something).
+	cfg.Failures = nil
+	clean, err := Run(spec, pol, trace, testStore(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Energy == res.Energy && clean.Completed == res.Completed {
+		t.Error("failure plan had no observable effect on the run")
+	}
+}

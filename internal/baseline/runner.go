@@ -26,6 +26,12 @@ type RunnerConfig struct {
 	Seed int64
 	// DrainSeconds extends the run so in-flight work completes.
 	DrainSeconds float64
+	// Failures is an optional injection plan (scenario failure plans):
+	// events are quantized to the next measurement-period boundary and
+	// fire ahead of the policy, matching the hierarchical engine's
+	// ordering; entries whose (Module, Comp) indices are not in the
+	// cluster are skipped.
+	Failures []workload.FailureEvent
 }
 
 // DefaultRunnerConfig matches the hierarchy's cadences for fair
@@ -159,8 +165,13 @@ func Run(spec cluster.Spec, policy Policy, trace *series.Series, store *workload
 	var pending [][]workload.Request
 	pending = make([][]workload.Request, steps)
 
+	failAt := cluster.FailureSteps(cfg.Failures, cfg.PeriodSeconds)
+
 	for k := 0; k < steps; k++ {
 		t := preroll + float64(k)*cfg.PeriodSeconds
+		if err := plant.ApplyPlannedFailures(cfg.Failures, failAt, k); err != nil {
+			return nil, err
+		}
 		if k%sub == 0 {
 			bin, reqs, ok := gen.NextBin()
 			if !ok {
@@ -299,6 +310,11 @@ func Run(spec cluster.Spec, policy Policy, trace *series.Series, store *workload
 		res.ResponseMean.Values = append(res.ResponseMean.Values, mean)
 	}
 
+	// Events quantized exactly to the final boundary still fire before
+	// the drain, matching the hierarchical engine.
+	if err := plant.ApplyPlannedFailures(cfg.Failures, failAt, steps); err != nil {
+		return nil, err
+	}
 	end := preroll + float64(steps)*cfg.PeriodSeconds
 	if err := plant.Advance(end + cfg.DrainSeconds); err != nil {
 		return nil, err

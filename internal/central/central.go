@@ -12,6 +12,12 @@
 // queue model for prediction, a Kalman filter for arrivals, bounded
 // neighbourhood search over the joint configuration — so the comparison
 // isolates the effect of decomposition, not implementation quality.
+//
+// Invariant: the candidate search shards by α-candidate with a private
+// branch-and-bound incumbent per shard, so decisions, costs, and the
+// explored-state counters are all independent of Config.Parallelism —
+// EXT3's overhead comparison stays apples-to-apples at any worker count
+// (pinned by TestPruningPreservesDecisionAndParallelInvariance).
 package central
 
 import (

@@ -26,6 +26,12 @@ type RunnerConfig struct {
 	Seed int64
 	// DrainSeconds extends the run so in-flight work completes.
 	DrainSeconds float64
+	// Failures is an optional injection plan (scenario failure plans):
+	// events are quantized to the next sub-period boundary and fire
+	// ahead of the controller, matching the hierarchical engine's
+	// ordering; entries whose (Module, Comp) indices are not in the
+	// cluster are skipped.
+	Failures []workload.FailureEvent
 }
 
 // DefaultRunnerConfig mirrors the hierarchy's cadences.
@@ -145,8 +151,13 @@ func Run(spec cluster.Spec, trace *series.Series, store *workload.Store, cfg Run
 	violations, respBins := 0, 0
 	cHat := cfg.DefaultCHat
 
+	failAt := cluster.FailureSteps(cfg.Failures, tl0)
+
 	for k := 0; k < steps; k++ {
 		t := preroll + float64(k)*tl0
+		if err := plant.ApplyPlannedFailures(cfg.Failures, failAt, k); err != nil {
+			return nil, err
+		}
 		if k%sub == 0 {
 			bin, reqs, ok := gen.NextBin()
 			if !ok {
@@ -271,6 +282,11 @@ func Run(spec cluster.Spec, trace *series.Series, store *workload.Store, cfg Run
 		}
 	}
 
+	// Events quantized exactly to the final boundary still fire before
+	// the drain, matching the hierarchical engine.
+	if err := plant.ApplyPlannedFailures(cfg.Failures, failAt, steps); err != nil {
+		return nil, err
+	}
 	end := preroll + float64(steps)*tl0
 	if err := plant.Advance(end + cfg.DrainSeconds); err != nil {
 		return nil, err

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"math"
+
+	"hierctl/internal/workload"
+)
+
+// FailureSteps quantizes a scenario failure plan onto a runner's control
+// grid: entry i of the result is the step index (ceil(At/period)) at which
+// plan[i] fires. Runners call ApplyPlannedFailures with the result at each
+// step boundary, and once more at the final boundary so events quantized
+// exactly to the run's end still fire before the drain — the same ordering
+// the hierarchical engine uses in internal/core.
+func FailureSteps(plan []workload.FailureEvent, periodSeconds float64) []int {
+	at := make([]int, len(plan))
+	for i, f := range plan {
+		at[i] = int(math.Ceil(f.At / periodSeconds))
+	}
+	return at
+}
+
+// ApplyPlannedFailures fires the plan entries scheduled for step k, in
+// plan order. Entries addressing a (Module, Comp) slot the plant does not
+// have are skipped, so one scenario plan serves clusters of any shape.
+func (p *Plant) ApplyPlannedFailures(plan []workload.FailureEvent, failAt []int, k int) error {
+	for i, f := range plan {
+		if failAt[i] != k {
+			continue
+		}
+		if f.Module < 0 || f.Module >= len(p.modules) {
+			continue
+		}
+		if f.Comp < 0 || f.Comp >= len(p.modules[f.Module]) {
+			continue
+		}
+		var err error
+		if f.Repair {
+			err = p.Repair(f.Module, f.Comp)
+		} else {
+			err = p.Fail(f.Module, f.Comp)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

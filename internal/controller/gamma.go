@@ -9,6 +9,13 @@
 //   - L2 (§5.1): cluster-level module fractions {γ_i} minimizing the sum
 //     of regression-tree cost approximations J̃_i.
 //
+// Invariants: every controller's Decide is a pure function of its
+// observation and its own prior decision (for the bounded neighbourhood),
+// so decisions are reproducible given the observation stream; the learned
+// artifacts (GMap, TreeJTilde) are keyed by configuration fingerprints and
+// are read-only during decision making, which is what lets managers share
+// them across identical hardware and lets snapshots skip relearning.
+//
 // This file provides the quantized-simplex machinery the L1 and L2
 // controllers share: load-fraction vectors must satisfy Σγ = 1, γ ≥ 0,
 // quantized to a fixed step (the paper quantizes γ_ij at 0.05 and γ_i at

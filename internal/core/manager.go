@@ -8,6 +8,7 @@ import (
 	"hierctl/internal/controller"
 	"hierctl/internal/forecast"
 	"hierctl/internal/par"
+	"hierctl/internal/workload"
 )
 
 // Config bundles the hierarchy's tunables. Use DefaultConfig for the
@@ -411,6 +412,26 @@ func (m *Manager) InjectFailure(at float64, mod, comp int) {
 // and may be powered on again by the hierarchy).
 func (m *Manager) InjectRepair(at float64, mod, comp int) {
 	m.failures = append(m.failures, failureEvent{at: at, module: mod, comp: comp, isRepair: true})
+}
+
+// InjectPlan schedules a scenario failure plan, skipping entries whose
+// (Module, Comp) indices are not in the cluster — the same contract the
+// baseline and centralized runners apply via cluster.ApplyPlannedFailures,
+// so one plan drives every policy identically. Call before Run/NewSession.
+func (m *Manager) InjectPlan(plan []workload.FailureEvent) {
+	for _, f := range plan {
+		if f.Module < 0 || f.Module >= len(m.spec.Modules) {
+			continue
+		}
+		if f.Comp < 0 || f.Comp >= len(m.spec.Modules[f.Module].Computers) {
+			continue
+		}
+		if f.Repair {
+			m.InjectRepair(f.At, f.Module, f.Comp)
+		} else {
+			m.InjectFailure(f.At, f.Module, f.Comp)
+		}
+	}
 }
 
 // maxBootDelay returns the longest boot delay in the cluster — the

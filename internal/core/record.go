@@ -4,6 +4,19 @@
 // of abstraction maps and regression trees from internal/approx — all
 // driven by the discrete-event kernel in internal/des on the multi-rate
 // schedule T_L0 ≤ T_L1 ≤ T_L2.
+//
+// Invariants:
+//
+//   - A run is deterministic for a given (spec, config, trace, store)
+//     tuple: every random stream derives from Config.Seed.
+//   - Config.Parallelism only changes wall-clock time — the per-module L1
+//     fan-out plans in parallel and applies sequentially in module order,
+//     so run records are bit-identical at any worker count (pinned by
+//     parallel_test.go at the repo root).
+//   - Manager.Run is a thin replay over the incremental Session engine:
+//     a Session fed a trace's bins in order produces the identical
+//     Record, which is what lets the online control plane (internal/
+//     fleet) and the batch experiments share one code path.
 package core
 
 import (

@@ -5,6 +5,12 @@
 //
 // Events are plain callbacks scheduled at absolute simulation times.
 // Ties are broken by insertion order so runs are fully deterministic.
+//
+// Invariant: RNG(seed, name) derives an independent, reproducible stream
+// per (seed, component-name) pair, so adding a consumer of randomness to
+// one component never perturbs another's stream — the property that keeps
+// run records stable across refactors and makes the determinism pins
+// throughout the test suites possible.
 package des
 
 import (

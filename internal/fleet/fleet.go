@@ -10,6 +10,17 @@
 // ordering is total, distinct tenants step concurrently, and the tenant
 // state needs no locks. The shard loops run under the context-aware
 // fan-out in internal/par, so closing the fleet stops them promptly.
+//
+// Invariants:
+//
+//   - Online equals batch: a tenant stepped over a trace's bins is
+//     record-for-record identical to core's batch Manager.Run on that
+//     trace (pinned by TestFleetOnlineMatchesBatchRun).
+//   - Snapshots are event-sourced (config + learned artifacts +
+//     observation log); a restore replays the log deterministically, so
+//     the next K decisions after a restore are bit-identical to an
+//     uninterrupted run (pinned by the snapshot tests). Scenario failure
+//     plans ride in TenantConfig, so restores re-inject them.
 package fleet
 
 import (

@@ -29,6 +29,13 @@ type TenantConfig struct {
 	// Calibration is an optional arrival-count history used to tune the
 	// Kalman filters before the first observation (≥ 8 bins to engage).
 	Calibration []float64
+	// Failures is an optional injection plan (scenario failure plans,
+	// times relative to the first observation bin): events are quantized
+	// to T_L0 boundaries by the session engine; entries whose (Module,
+	// Comp) indices are not in Spec are skipped. The plan is part of the
+	// tenant's configuration, so snapshots persist it and restores replay
+	// it deterministically.
+	Failures []workload.FailureEvent
 }
 
 // TenantState is the progress report served by Fleet.State.
@@ -72,6 +79,7 @@ func newTenant(id string, tc TenantConfig, art *core.ArtifactSet) (*tenant, erro
 	if err != nil {
 		return nil, fmt.Errorf("fleet: tenant %s: %w", id, err)
 	}
+	mgr.InjectPlan(tc.Failures)
 	store, err := workload.NewStore(rand.New(rand.NewSource(tc.StoreSeed)), tc.Store)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: tenant %s: %w", id, err)

@@ -1,10 +1,16 @@
 // Package series provides uniformly sampled time-series containers and the
 // small set of transformations the workload generators, forecasters, and
-// reporting code need: rebinning, smoothing, scaling, noise injection, and
-// summary statistics.
+// reporting code need: rebinning, smoothing, scaling, noise injection,
+// summary statistics, CSV persistence, and ASCII plotting for the figure
+// reproductions.
 //
 // A Series is a value sampled at a fixed step starting at time Start.
 // All times are simulation seconds.
+//
+// Invariant: ReadCSV(WriteCSV(s)) reproduces s value-for-value (times are
+// serialized at full float64 precision), which is what makes recorded
+// traces replayable as first-class workload scenarios
+// ("tracefile:<path>", see internal/workload).
 package series
 
 import (

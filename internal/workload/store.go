@@ -1,8 +1,27 @@
 // Package workload implements the paper's workload substrate: binned
 // arrival traces (the §4.3 synthetic trace and a World-Cup-98-like diurnal
 // day), a virtual object store with Zipf popularity and lognormal temporal
-// locality, and a per-bin request generator that turns trace counts into
-// individual requests with arrival offsets and service demands.
+// locality, a per-bin request generator that turns trace counts into
+// individual requests with arrival offsets and service demands, and the
+// named Scenario registry (scenario.go) through which experiments, CLIs,
+// and the control-plane daemon select workloads — including stress
+// profiles beyond the paper's two (flash crowds, multiplicative noise,
+// heavy-tailed service times, correlated failure storms, recorded-trace
+// replay).
+//
+// Invariants the rest of the system relies on:
+//
+//   - Generator and Feed share one bin-synthesis code path (synthBin),
+//     including the exact RNG call sequence, so a Feed pushed a trace's
+//     counts reproduces a pre-materialized Generator run bit-for-bit —
+//     the foundation of the online-equals-batch equivalence pinned in
+//     internal/fleet.
+//   - Every registered Scenario's trace builder is deterministic per
+//     seed: same seed, bin-for-bin identical series (pinned by
+//     TestScenarioDeterminismPerSeed). The robustness-matrix snapshot
+//     (BENCH_scenarios.json) is byte-reproducible because of it.
+//   - Store demand draws with TailFrac == 0 preserve the historical RNG
+//     call sequence, so pre-scenario runs stay bit-identical.
 //
 // Substitution note (see DESIGN.md §3): the real WC'98 and ISP traces are
 // not redistributable; the profiles here reproduce the published shapes
@@ -65,6 +84,19 @@ type StoreConfig struct {
 	LogMu, LogSigma float64
 	// HistoryCap bounds the locality history length.
 	HistoryCap int
+	// TailFrac, when positive, mixes a heavy tail into the demand draws:
+	// each object independently has its full-speed processing time drawn
+	// from a truncated Pareto distribution (scale MaxDemand, shape
+	// TailAlpha, capped at TailCap seconds) with probability TailFrac
+	// instead of the uniform body. Zero (the default) preserves the
+	// paper's uniform demands and the exact historical RNG call
+	// sequence, so existing runs stay bit-identical.
+	TailFrac float64
+	// TailAlpha is the Pareto shape (smaller = heavier tail; web service
+	// times are typically 1-1.5).
+	TailAlpha float64
+	// TailCap truncates tail draws, in seconds.
+	TailCap float64
 }
 
 // DefaultStoreConfig returns the paper's virtual-store parameters.
@@ -109,6 +141,17 @@ func (c StoreConfig) Validate() error {
 	if c.HistoryCap < 1 {
 		return fmt.Errorf("workload: history cap %d < 1", c.HistoryCap)
 	}
+	if c.TailFrac < 0 || c.TailFrac >= 1 {
+		return fmt.Errorf("workload: tail fraction %v outside [0, 1)", c.TailFrac)
+	}
+	if c.TailFrac > 0 {
+		if c.TailAlpha <= 0 {
+			return fmt.Errorf("workload: tail alpha %v <= 0", c.TailAlpha)
+		}
+		if c.TailCap < c.MaxDemand {
+			return fmt.Errorf("workload: tail cap %v below max demand %v", c.TailCap, c.MaxDemand)
+		}
+	}
 	return nil
 }
 
@@ -129,6 +172,16 @@ func NewStore(rng *rand.Rand, cfg StoreConfig) (*Store, error) {
 	}
 	for i := range s.demands {
 		s.demands[i] = cfg.MinDemand + rng.Float64()*(cfg.MaxDemand-cfg.MinDemand)
+		if cfg.TailFrac > 0 && rng.Float64() < cfg.TailFrac {
+			// Truncated Pareto tail: scale MaxDemand, shape TailAlpha.
+			// (1 - U) is in (0, 1], so the draw is finite; U = 0 lands
+			// exactly on the scale.
+			d := cfg.MaxDemand * math.Pow(1-rng.Float64(), -1/cfg.TailAlpha)
+			if d > cfg.TailCap {
+				d = cfg.TailCap
+			}
+			s.demands[i] = d
+		}
 	}
 	s.popZipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.PopularCount-1))
 	rare := cfg.Objects - cfg.PopularCount
