@@ -15,7 +15,12 @@
 //	hpmbench -table ablations       # EXT2: design-choice ablations
 //	hpmbench -table scenarios       # robustness matrix; writes BENCH_scenarios.json
 //	hpmbench -all                   # everything at the given scale
-//	hpmbench -llc-json BENCH_llc.json  # branch-and-bound engine snapshot
+//	hpmbench -llc-json BENCH_llc.json    # branch-and-bound engine snapshot
+//	hpmbench -tick-json BENCH_tick.json  # ns/B/allocs per decision snapshot
+//
+// Exactly one mode may be selected per invocation (-fig, -table, -all,
+// -llc-json, or -tick-json); conflicting or unknown selections are
+// rejected with the valid list.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"hierctl"
 	"hierctl/internal/metrics"
@@ -48,6 +54,7 @@ func run(args []string, w io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "per-pool worker width; pools nest (sweep × module × search) (0 = one per CPU, 1 = fully sequential; results identical)")
 	searchParallelism := fs.Int("search-parallelism", 0, "workers fanning each L0 lookahead search's level-0 candidates (0/1 = sequential; decisions identical, explored counters may vary when > 1)")
 	llcJSON := fs.String("llc-json", "", "write the branch-and-bound LLC engine benchmark (pruned vs naive on the §4.3 configuration) to this JSON file; honours -parallelism for the pruned-parallel row (the workload is fixed — -seed/-scale/-fast do not apply)")
+	tickJSON := fs.String("tick-json", "", "write the decision-tick benchmark (ns, B and allocs per L0/L1/L2 decision, table probe, fleet tenant-ticks/sec) to this JSON file (the workload is fixed and the measurement sequential — -seed/-scale/-fast/-parallelism do not apply)")
 	scenariosJSON := fs.String("scenarios-json", "BENCH_scenarios.json", "path the robustness-matrix snapshot is written to by -table scenarios")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,9 +65,15 @@ func run(args []string, w io.Writer) error {
 	if *searchParallelism < 0 {
 		return fmt.Errorf("-search-parallelism %d is negative; use 0 or 1 for a sequential search or a positive worker width", *searchParallelism)
 	}
+	if err := validateModes(fs, *fig, *table, *all, *llcJSON, *tickJSON); err != nil {
+		return err
+	}
 	opts := hierctl.ExperimentOptions{Scale: *scale, Seed: *seed, Fast: *fast, Parallelism: *parallelism, SearchParallelism: *searchParallelism}
 	if *llcJSON != "" {
 		return writeLLCBench(w, *llcJSON, *parallelism)
+	}
+	if *tickJSON != "" {
+		return writeTickBench(w, *tickJSON)
 	}
 
 	if *all {
@@ -69,7 +82,7 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 		}
-		for _, t := range []string{"overhead-module", "overhead-cluster", "energy", "ablations", "scalability"} {
+		for _, t := range allTables {
 			if err := runTable(w, t, opts); err != nil {
 				return err
 			}
@@ -85,7 +98,68 @@ func run(args []string, w io.Writer) error {
 	if *table != "" {
 		return runTable(w, *table, opts)
 	}
-	return fmt.Errorf("nothing to do: pass -fig, -table, or -all")
+	return fmt.Errorf("nothing to do: pass one of %s", strings.Join(modeFlags, ", "))
+}
+
+// modeFlags are the mutually exclusive top-level selections. allTables is
+// the batch `-all` runs in order; validTables additionally accepts the
+// snapshot-writing scenarios table — both mode validation and the -all
+// loop derive from this single registry, mirroring how the scenario
+// registry rejects unknown names with the valid list.
+var (
+	modeFlags   = []string{"-fig", "-table", "-all", "-llc-json", "-tick-json"}
+	allTables   = []string{"overhead-module", "overhead-cluster", "energy", "ablations", "scalability"}
+	validTables = append(append([]string(nil), allTables...), "scenarios")
+)
+
+// validateModes rejects conflicting or unknown mode selections with a
+// usage error listing the valid modes, and flags that only apply to a
+// mode that was not selected.
+func validateModes(fs *flag.FlagSet, fig int, table string, all bool, llcJSON, tickJSON string) error {
+	var selected []string
+	if fig != 0 {
+		selected = append(selected, "-fig")
+	}
+	if table != "" {
+		selected = append(selected, "-table")
+	}
+	if all {
+		selected = append(selected, "-all")
+	}
+	if llcJSON != "" {
+		selected = append(selected, "-llc-json")
+	}
+	if tickJSON != "" {
+		selected = append(selected, "-tick-json")
+	}
+	if len(selected) > 1 {
+		return fmt.Errorf("conflicting modes %s: pass exactly one of %s",
+			strings.Join(selected, " and "), strings.Join(modeFlags, ", "))
+	}
+	if table != "" {
+		known := false
+		for _, t := range validTables {
+			if table == t {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown table %q; valid tables: %s", table, strings.Join(validTables, ", "))
+		}
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["scenarios-json"] && table != "scenarios" {
+		return fmt.Errorf("-scenarios-json only applies to -table scenarios")
+	}
+	// The tick benchmark is deliberately sequential (its B/allocs columns
+	// are a deterministic projection CI diffs); reject worker-width flags
+	// rather than silently ignoring them.
+	if tickJSON != "" && (explicit["parallelism"] || explicit["search-parallelism"]) {
+		return fmt.Errorf("-parallelism/-search-parallelism do not apply to -tick-json (the tick measurement is sequential by design)")
+	}
+	return nil
 }
 
 func runFig(w io.Writer, fig int, opts hierctl.ExperimentOptions) error {
@@ -211,7 +285,7 @@ func runTable(w io.Writer, name string, opts hierctl.ExperimentOptions) error {
 		fmt.Fprintln(w, tab)
 		return nil
 	default:
-		return fmt.Errorf("unknown table %q", name)
+		return fmt.Errorf("unknown table %q; valid tables: %s", name, strings.Join(validTables, ", "))
 	}
 }
 
@@ -241,6 +315,38 @@ func writeScenarioMatrix(w io.Writer, path string, seed int64, parallelism int) 
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
+	}
+	fmt.Fprintf(w, "snapshot written to %s\n", path)
+	return nil
+}
+
+// writeTickBench measures the steady-state decision tick (ns, heap bytes
+// and heap allocations per L0/L1/L2 decision and per table probe, plus
+// fleet tenant-ticks/sec), prints the rows, and writes the
+// BENCH_tick.json snapshot. The byte/alloc columns are deterministic in
+// steady state and are the projection CI diffs across regenerations;
+// ns/decision and tenant-ticks/sec are wall-clock and vary run to run.
+func writeTickBench(w io.Writer, path string) error {
+	snap, err := hierctl.RunTickBench(256, 64)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Decision tick: ns / B / allocs per decision (steady state, warm controllers) ==")
+	for _, r := range snap.Rows {
+		if r.TenantTicksPerSec > 0 {
+			fmt.Fprintf(w, "%-12s %8d ticks      %9.0f ns/tick      %6.0f tenant-ticks/sec\n",
+				r.Level, r.Decisions, r.NsPerDecision, r.TenantTicksPerSec)
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %8d decisions  %9.0f ns/decision  %6.0f B/decision  %4.0f allocs/decision\n",
+			r.Level, r.Decisions, r.NsPerDecision, r.BytesPerDecision, r.AllocsPerDecision)
 	}
 	fmt.Fprintf(w, "snapshot written to %s\n", path)
 	return nil

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hierctl"
 )
 
 func TestRunFig3(t *testing.T) {
@@ -78,6 +81,102 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v: want error", args)
 		}
+	}
+}
+
+// TestRunRejectsConflictingModes pins the mode validation: exactly one of
+// -fig/-table/-all/-llc-json/-tick-json per invocation, unknown tables
+// rejected with the valid list, and mode-specific flags rejected outside
+// their mode.
+func TestRunRejectsConflictingModes(t *testing.T) {
+	conflicts := [][]string{
+		{"-fig", "3", "-table", "energy"},
+		{"-fig", "3", "-all"},
+		{"-table", "energy", "-llc-json", "x.json"},
+		{"-llc-json", "x.json", "-tick-json", "y.json"},
+		{"-all", "-tick-json", "y.json"},
+	}
+	for _, args := range conflicts {
+		var out bytes.Buffer
+		err := run(args, &out)
+		if err == nil || !strings.Contains(err.Error(), "exactly one of") {
+			t.Errorf("args %v: got %v, want a conflicting-modes usage error", args, err)
+		}
+	}
+	// Unknown table names list the registry of valid tables.
+	var out bytes.Buffer
+	err := run([]string{"-table", "nope"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "valid tables") || !strings.Contains(err.Error(), "scenarios") {
+		t.Errorf("unknown table: got %v, want the valid-table list", err)
+	}
+	// -scenarios-json only applies to -table scenarios.
+	err = run([]string{"-fig", "3", "-scenarios-json", "x.json"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "scenarios-json") {
+		t.Errorf("-scenarios-json with -fig: got %v, want usage error", err)
+	}
+	// Worker-width flags do not apply to the sequential tick measurement.
+	err = run([]string{"-tick-json", "x.json", "-parallelism", "4"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "sequential") {
+		t.Errorf("-parallelism with -tick-json: got %v, want usage error", err)
+	}
+	// The nothing-to-do error lists the modes.
+	err = run(nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "-tick-json") {
+		t.Errorf("empty args: got %v, want the mode list", err)
+	}
+}
+
+// TestValidTablesMatchRunTable pins the table registry against runTable's
+// switch: every name validateModes accepts must reach a real runner (the
+// probe uses an invalid scale so each runner fails fast on validation,
+// never on "unknown table").
+func TestValidTablesMatchRunTable(t *testing.T) {
+	for _, name := range allTables {
+		var out bytes.Buffer
+		err := runTable(&out, name, hierctl.ExperimentOptions{Scale: -1})
+		if err == nil || strings.Contains(err.Error(), "unknown table") {
+			t.Errorf("table %q: got %v; registry and runTable switch have drifted", name, err)
+		}
+	}
+}
+
+// TestRunTickBenchSnapshot smokes -tick-json: rows for every level, the
+// deterministic alloc columns at their pinned steady-state values, and a
+// regeneration that agrees on them.
+func TestRunTickBenchSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_tick.json")
+	var out bytes.Buffer
+	if err := run([]string{"-tick-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Decision tick", "L0-decide", "L1-decide", "L2-decide", "table-probe", "fleet-64", "tenant-ticks/sec", "snapshot written"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Rows []struct {
+			Level             string  `json:"level"`
+			AllocsPerDecision float64 `json:"allocsPerDecision"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"L0-decide": 0, "L1-decide": 2, "L2-decide": 2, "table-probe": 0, "fleet-64": -1}
+	for _, r := range snap.Rows {
+		if w, ok := want[r.Level]; !ok || r.AllocsPerDecision != w {
+			t.Errorf("row %s: %v allocs/decision, want %v", r.Level, r.AllocsPerDecision, want[r.Level])
+		}
+		delete(want, r.Level)
+	}
+	for level := range want {
+		t.Errorf("missing row %s", level)
 	}
 }
 

@@ -72,17 +72,29 @@ type tableDTO struct {
 	Counts  []int
 }
 
-// Save serializes the table (quantizer grid plus populated cells).
+// Save serializes the table (quantizer grid plus populated cells). The
+// on-disk format is the historical string-keyed one regardless of the
+// in-memory representation — packed tables re-encode each cell key as the
+// fixed-width int32 string — so artifacts written before the packed-key
+// rework reload unchanged and vice versa.
 func (t *Table) Save(w io.Writer) error {
 	dto := tableDTO{
 		Version: persistVersion,
 		Min:     t.quant.Min, Max: t.quant.Max, Step: t.quant.Step,
 		Width: t.width,
 	}
-	for k, sum := range t.sums {
-		dto.Keys = append(dto.Keys, k)
-		dto.Sums = append(dto.Sums, sum)
-		dto.Counts = append(dto.Counts, t.counts[k])
+	if t.packed {
+		for k, c := range t.cells {
+			dto.Keys = append(dto.Keys, cellKey(t.unpackKey(k)))
+			dto.Sums = append(dto.Sums, c.sum)
+			dto.Counts = append(dto.Counts, c.n)
+		}
+	} else {
+		for k, c := range t.wide {
+			dto.Keys = append(dto.Keys, k)
+			dto.Sums = append(dto.Sums, c.sum)
+			dto.Counts = append(dto.Counts, c.n)
+		}
 	}
 	if err := gob.NewEncoder(w).Encode(dto); err != nil {
 		return fmt.Errorf("approx: encode table: %w", err)
@@ -111,11 +123,21 @@ func ReadTable(r io.Reader) (*Table, error) {
 		return nil, fmt.Errorf("approx: table artifact cell arrays misaligned")
 	}
 	for i, k := range dto.Keys {
-		if len(dto.Sums[i]) != dto.Width || dto.Counts[i] < 1 {
+		if len(dto.Sums[i]) != dto.Width || dto.Counts[i] < 1 || len(k) != 4*quant.Dims() {
 			return nil, fmt.Errorf("approx: table artifact cell %d malformed", i)
 		}
-		t.sums[k] = dto.Sums[i]
-		t.counts[k] = dto.Counts[i]
+		c := &cell{sum: dto.Sums[i], n: dto.Counts[i]}
+		if t.packed {
+			idx := decodeKey(k)
+			for d, v := range idx {
+				if v < 0 || v > quant.maxIndex(d) {
+					return nil, fmt.Errorf("approx: table artifact cell %d index %d outside grid", i, d)
+				}
+			}
+			t.cells[t.packCell(idx)] = c
+		} else {
+			t.wide[k] = c
+		}
 	}
 	return t, nil
 }

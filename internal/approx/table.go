@@ -16,11 +16,21 @@
 // byte-faithfully, and lookups after a reload answer identically — the
 // property the artifact cache (core.Config.ArtifactDir) and the fleet's
 // event-sourced snapshots build on.
+//
+// Invariant: the steady-state lookup path is allocation-free. Table keys
+// cells by a single packed uint64 of quantized indices (one hash probe per
+// Add/Lookup), and the *Into APIs (Quantizer.CellInto, Table.LookupInto)
+// write into caller-owned scratch — TestTableLookupIntoZeroAlloc and
+// TestQuantizerCellIntoZeroAlloc pin both at 0 allocs/op. Grids whose
+// index ranges overflow 64 packed bits fall back to the historical
+// string-keyed cells (see NewTable); the fallback answers identically but
+// allocates one key per probe.
 package approx
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Quantizer maps continuous feature vectors onto a regular grid so they can
@@ -50,22 +60,43 @@ func NewQuantizer(min, max, step []float64) (*Quantizer, error) {
 // Dims returns the number of feature dimensions.
 func (q *Quantizer) Dims() int { return len(q.Min) }
 
+// index returns the grid index of v along dimension d (clamped into
+// range). Every keying path funnels through this one expression so packed
+// and string-keyed lookups agree bit-for-bit.
+func (q *Quantizer) index(d int, v float64) int {
+	if v < q.Min[d] {
+		v = q.Min[d]
+	}
+	if v > q.Max[d] {
+		v = q.Max[d]
+	}
+	return int(math.Round((v - q.Min[d]) / q.Step[d]))
+}
+
+// maxIndex returns the largest index reachable along dimension d (the
+// index of v = Max[d]).
+func (q *Quantizer) maxIndex(d int) int { return q.index(d, q.Max[d]) }
+
 // Cell returns the grid indices of x (clamped into range).
 func (q *Quantizer) Cell(x []float64) ([]int, error) {
+	return q.CellInto(nil, x)
+}
+
+// CellInto is Cell writing into dst: when cap(dst) ≥ Dims() the returned
+// slice aliases dst and the call performs no allocation (pinned by
+// TestQuantizerCellIntoZeroAlloc); otherwise a fresh slice is allocated.
+func (q *Quantizer) CellInto(dst []int, x []float64) ([]int, error) {
 	if len(x) != q.Dims() {
 		return nil, fmt.Errorf("approx: point has %d dims, quantizer has %d", len(x), q.Dims())
 	}
-	cell := make([]int, len(x))
-	for d, v := range x {
-		if v < q.Min[d] {
-			v = q.Min[d]
-		}
-		if v > q.Max[d] {
-			v = q.Max[d]
-		}
-		cell[d] = int(math.Round((v - q.Min[d]) / q.Step[d]))
+	if cap(dst) < len(x) {
+		dst = make([]int, len(x))
 	}
-	return cell, nil
+	dst = dst[:len(x)]
+	for d, v := range x {
+		dst[d] = q.index(d, v)
+	}
+	return dst, nil
 }
 
 // Centroid returns the representative point of the given cell.
@@ -101,16 +132,37 @@ func cellKey(cell []int) string {
 	return string(buf)
 }
 
+// cell is one populated table entry: running output sums and the
+// observation count, held behind a single map probe.
+type cell struct {
+	sum []float64
+	n   int
+}
+
 // Table is the quantized abstraction map g: a hash table from quantized
 // (state, environment, control) tuples to learned outputs — the paper
 // stores the approximate cost and aggregate behaviour of a computer under
 // its L0 controller. Multiple observations falling in one cell are
 // averaged. Construct with NewTable.
+//
+// Cells are keyed by a single packed uint64 of the quantized indices
+// (bitWidth[d] bits per dimension), so Add and Lookup cost one hash probe
+// and build no intermediate slice or string. Grids too large to pack —
+// Σ_d bits(maxIndex[d]) > 64 — keep the historical string-keyed map
+// instead (Packed reports which); answers are identical either way.
 type Table struct {
-	quant  *Quantizer
-	sums   map[string][]float64
-	counts map[string]int
-	width  int
+	quant *Quantizer
+	width int
+
+	// Packed representation (packed == true): shift[d]/bitsPerDim[d]
+	// place dimension d's index inside the uint64 key.
+	packed bool
+	shift  []uint
+	nbits  []uint
+	cells  map[uint64]*cell
+
+	// Fallback representation for overflowing grids.
+	wide map[string]*cell
 }
 
 // NewTable builds an empty table over the quantizer's grid with the given
@@ -122,12 +174,80 @@ func NewTable(quant *Quantizer, outputWidth int) (*Table, error) {
 	if outputWidth < 1 {
 		return nil, fmt.Errorf("approx: output width %d < 1", outputWidth)
 	}
-	return &Table{
-		quant:  quant,
-		sums:   make(map[string][]float64),
-		counts: make(map[string]int),
-		width:  outputWidth,
-	}, nil
+	t := &Table{quant: quant, width: outputWidth}
+	total := uint(0)
+	nbits := make([]uint, quant.Dims())
+	for d := range nbits {
+		b := uint(bits.Len(uint(quant.maxIndex(d))))
+		if b == 0 {
+			b = 1 // single-level dimension still owns one bit
+		}
+		nbits[d] = b
+		total += b
+	}
+	if total <= 64 {
+		t.packed = true
+		t.nbits = nbits
+		t.shift = make([]uint, len(nbits))
+		at := uint(0)
+		for d, b := range nbits {
+			t.shift[d] = at
+			at += b
+		}
+		t.cells = make(map[uint64]*cell)
+	} else {
+		t.wide = make(map[string]*cell)
+	}
+	return t, nil
+}
+
+// Packed reports whether the table uses the packed-uint64 cell keys (false
+// only for grids whose index ranges overflow 64 bits — see NewTable).
+func (t *Table) Packed() bool { return t.packed }
+
+// packKey computes the packed cell key of x without materializing the
+// index slice. Only valid when t.packed.
+func (t *Table) packKey(x []float64) uint64 {
+	k := uint64(0)
+	for d, v := range x {
+		k |= uint64(t.quant.index(d, v)) << t.shift[d]
+	}
+	return k
+}
+
+// packCell packs an explicit index vector (used when unpacking persisted
+// string keys).
+func (t *Table) packCell(idx []int) uint64 {
+	k := uint64(0)
+	for d, c := range idx {
+		k |= uint64(c) << t.shift[d]
+	}
+	return k
+}
+
+// unpackKey recovers the index vector from a packed key.
+func (t *Table) unpackKey(k uint64) []int {
+	idx := make([]int, t.quant.Dims())
+	for d := range idx {
+		idx[d] = int((k >> t.shift[d]) & (1<<t.nbits[d] - 1))
+	}
+	return idx
+}
+
+// lookupCell returns the populated cell containing x, or nil. The packed
+// path performs no allocation; the wide fallback builds one string key.
+func (t *Table) lookupCell(x []float64) (*cell, error) {
+	if len(x) != t.quant.Dims() {
+		return nil, fmt.Errorf("approx: point has %d dims, quantizer has %d", len(x), t.quant.Dims())
+	}
+	if t.packed {
+		return t.cells[t.packKey(x)], nil
+	}
+	idx, err := t.quant.Cell(x)
+	if err != nil {
+		return nil, err
+	}
+	return t.wide[cellKey(idx)], nil
 }
 
 // Add folds an observation into the cell containing x.
@@ -135,44 +255,72 @@ func (t *Table) Add(x []float64, outputs []float64) error {
 	if len(outputs) != t.width {
 		return fmt.Errorf("approx: %d outputs, table width %d", len(outputs), t.width)
 	}
-	cell, err := t.quant.Cell(x)
+	c, err := t.lookupCell(x)
 	if err != nil {
 		return err
 	}
-	k := cellKey(cell)
-	sum, ok := t.sums[k]
-	if !ok {
-		sum = make([]float64, t.width)
-		t.sums[k] = sum
+	if c == nil {
+		c = &cell{sum: make([]float64, t.width)}
+		if t.packed {
+			t.cells[t.packKey(x)] = c
+		} else {
+			idx, err := t.quant.Cell(x)
+			if err != nil {
+				return err
+			}
+			t.wide[cellKey(idx)] = c
+		}
 	}
 	for i, v := range outputs {
-		sum[i] += v
+		c.sum[i] += v
 	}
-	t.counts[k]++
+	c.n++
 	return nil
 }
 
 // Lookup returns the cell average for the cell containing x, and whether
 // the cell has any observations.
 func (t *Table) Lookup(x []float64) ([]float64, bool, error) {
-	cell, err := t.quant.Cell(x)
+	return t.LookupInto(nil, x)
+}
+
+// LookupInto is Lookup writing the averages into dst: when cap(dst) ≥ the
+// table's output width the returned slice aliases dst and a hit performs
+// no allocation — one hash probe, no intermediate cell slice or key
+// string (pinned by TestTableLookupIntoZeroAlloc; the wide-grid fallback
+// additionally builds one key string per probe). On a miss dst is left
+// untouched and the returned slice is nil.
+func (t *Table) LookupInto(dst []float64, x []float64) ([]float64, bool, error) {
+	c, err := t.lookupCell(x)
 	if err != nil {
 		return nil, false, err
 	}
-	k := cellKey(cell)
-	n := t.counts[k]
-	if n == 0 {
+	if c == nil {
 		return nil, false, nil
 	}
-	out := make([]float64, t.width)
-	for i, v := range t.sums[k] {
-		out[i] = v / float64(n)
+	if cap(dst) < t.width {
+		dst = make([]float64, t.width)
 	}
-	return out, true, nil
+	dst = dst[:t.width]
+	// Per-output division (not multiply-by-reciprocal): cell averages must
+	// stay bit-identical to the historical implementation.
+	n := float64(c.n)
+	for i, v := range c.sum {
+		dst[i] = v / n
+	}
+	return dst, true, nil
 }
 
+// Width returns the number of learned values per cell.
+func (t *Table) Width() int { return t.width }
+
 // Cells returns the number of populated cells.
-func (t *Table) Cells() int { return len(t.counts) }
+func (t *Table) Cells() int {
+	if t.packed {
+		return len(t.cells)
+	}
+	return len(t.wide)
+}
 
 // Samples exports the populated cells as training samples (cell centroid →
 // first output average), the "large lookup table … then used to train a
@@ -182,12 +330,20 @@ func (t *Table) Samples(col int) ([]Sample, error) {
 	if col < 0 || col >= t.width {
 		return nil, fmt.Errorf("approx: column %d outside [0, %d)", col, t.width)
 	}
-	out := make([]Sample, 0, len(t.counts))
-	for k, n := range t.counts {
-		cell := decodeKey(k)
+	out := make([]Sample, 0, t.Cells())
+	if t.packed {
+		for k, c := range t.cells {
+			out = append(out, Sample{
+				X: t.quant.Centroid(t.unpackKey(k)),
+				Y: c.sum[col] / float64(c.n),
+			})
+		}
+		return out, nil
+	}
+	for k, c := range t.wide {
 		out = append(out, Sample{
-			X: t.quant.Centroid(cell),
-			Y: t.sums[k][col] / float64(n),
+			X: t.quant.Centroid(decodeKey(k)),
+			Y: c.sum[col] / float64(c.n),
 		})
 	}
 	return out, nil

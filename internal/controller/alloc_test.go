@@ -1,0 +1,250 @@
+package controller
+
+// Allocation pins for the decision tick (the §4.3 controller-overhead
+// story): warm controllers must not allocate beyond the slices of the
+// decisions they return, and the pooled/packed candidate generators must
+// produce exactly the candidate sets of the historical allocating ones.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGMapEvaluateIntoZeroAlloc(t *testing.T) {
+	g := testGMap(t, ctrlSpec("alloc-gmap"))
+	scratch := make([]float64, 4)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, _, _, err := g.EvaluateInto(scratch, 50, 40, 0.018); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EvaluateInto allocated %v/op, want 0", allocs)
+	}
+}
+
+func TestL0DecideZeroAlloc(t *testing.T) {
+	l0, err := NewL0(DefaultL0Config(), ctrlSpec("alloc-l0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := make([]float64, 3)
+	decide := func(i int) {
+		lam := 40 + 30*math.Sin(float64(i)/9)
+		lambda[0], lambda[1], lambda[2] = lam, lam+2, lam+4
+		if _, err := l0.DecideBanded(float64((i*7)%200), lambda, 8, 0.0175); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		decide(i)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		decide(i)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("warm L0 decide allocated %v/op, want 0", allocs)
+	}
+}
+
+// TestL1DecideSteadyStateAllocs pins the warm L1 period at its small
+// constant: the two slices of the returned decision and nothing else.
+func TestL1DecideSteadyStateAllocs(t *testing.T) {
+	l1 := newTestL1(t, 4)
+	if !l1.fastPaths {
+		t.Fatal("m=4 module should take the pooled candidate paths")
+	}
+	avail := []bool{true, true, true, true}
+	queues := make([]float64, 4)
+	decide := func(i int) {
+		lam := 60 + 40*math.Sin(float64(i)/9)
+		for j := range queues {
+			queues[j] = float64((i * (3 + 2*j)) % 80)
+		}
+		if _, err := l1.Decide(L1Observation{
+			QueueLens: queues, LambdaHat: lam, Delta: 8, CHat: 0.0175, Available: avail,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		decide(i)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		decide(i)
+		i++
+	})
+	// Exactly the returned L1Decision's Alpha and Gamma copies.
+	if allocs > 2 {
+		t.Fatalf("warm L1 decide allocated %v/op, want <= 2 (the returned decision's slices)", allocs)
+	}
+}
+
+// TestL2DecideSteadyStateAllocs pins the warm L2 period (enumeration
+// path, memo hot) at the returned decision's slices.
+func TestL2DecideSteadyStateAllocs(t *testing.T) {
+	jts := make([]JTilde, 4)
+	for i := range jts {
+		jts[i] = allocQuadJTilde{scale: 100 + 20*float64(i)}
+	}
+	l2, err := NewL2(DefaultL2Config(), jts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qavg := make([]float64, 4)
+	chat := []float64{0.0175, 0.0175, 0.0175, 0.0175}
+	avail := []bool{true, true, true, true}
+	decide := func(i int) {
+		lam := 200 + 100*math.Sin(float64(i)/9)
+		for j := range qavg {
+			qavg[j] = float64((i * (3 + 2*j)) % 40)
+		}
+		if _, err := l2.Decide(L2Observation{
+			QAvg: qavg, LambdaHat: lam, Delta: 20, CHat: chat, Available: avail,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		decide(i)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		decide(i)
+		i++
+	})
+	// The returned Gamma copy plus the prevGamma copy.
+	if allocs > 2 {
+		t.Fatalf("warm L2 decide allocated %v/op, want <= 2 (the returned decision's slices)", allocs)
+	}
+}
+
+type allocQuadJTilde struct{ scale float64 }
+
+func (q allocQuadJTilde) Predict(qAvg, lambda, c float64) (float64, error) {
+	return (lambda/q.scale)*(lambda/q.scale) + 0.01*qAvg + 0.8, nil
+}
+
+// TestL1CandidateGeneratorsMatchLegacy drives the pooled/packed candidate
+// generators and the historical allocating ones through random
+// availability masks and controller states and requires identical
+// candidate lists, in order.
+func TestL1CandidateGeneratorsMatchLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	l1 := newTestL1(t, 4)
+	if !l1.fastPaths {
+		t.Fatal("m=4 module should take the pooled candidate paths")
+	}
+	m := l1.Size()
+	for trial := 0; trial < 200; trial++ {
+		// Random controller state on the quantized simplex.
+		alpha := make([]bool, m)
+		on := 0
+		for j := range alpha {
+			alpha[j] = rng.Intn(3) > 0
+			if alpha[j] {
+				on++
+			}
+		}
+		if on == 0 {
+			alpha[rng.Intn(m)] = true
+		}
+		weights := make([]float64, m)
+		for j := range weights {
+			weights[j] = rng.Float64()
+		}
+		gamma, err := SnapSimplex(weights, alpha, l1.cfg.Quantum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l1.SetState(alpha, gamma); err != nil {
+			t.Fatal(err)
+		}
+		avail := make([]bool, m)
+		up := 0
+		for j := range avail {
+			avail[j] = rng.Intn(4) > 0
+			if avail[j] {
+				up++
+			}
+		}
+		if up == 0 {
+			avail[rng.Intn(m)] = true
+		}
+
+		fastA := l1.alphaCandidates(avail)
+		legacyA := l1.alphaCandidatesLegacy(avail)
+		if len(fastA) != len(legacyA) {
+			t.Fatalf("trial %d: %d alpha candidates, legacy %d", trial, len(fastA), len(legacyA))
+		}
+		for i := range legacyA {
+			for j := range legacyA[i] {
+				if fastA[i][j] != legacyA[i][j] {
+					t.Fatalf("trial %d: alpha candidate %d diverged: %v vs %v", trial, i, fastA[i], legacyA[i])
+				}
+			}
+		}
+		for _, cand := range legacyA {
+			fastG := l1.gammaCandidates(cand)
+			legacyG := l1.gammaCandidatesLegacy(cand)
+			if len(fastG) != len(legacyG) {
+				t.Fatalf("trial %d: %d gamma candidates for %v, legacy %d", trial, len(fastG), cand, len(legacyG))
+			}
+			for i := range legacyG {
+				for j := range legacyG[i] {
+					if fastG[i][j] != legacyG[i][j] {
+						t.Fatalf("trial %d: gamma candidate %d for %v diverged: %v vs %v",
+							trial, i, cand, fastG[i], legacyG[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestL1DecideLargeModuleLegacyPath exercises a quantum too fine to pack
+// so the legacy generators drive the decision; the controller must still
+// answer.
+func TestGammaPackedKeyMatchesStringKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		quantum := []float64{0.05, 0.1, 0.2, 0.25, 0.5}[rng.Intn(5)]
+		per, ok := gammaBits(n, quantum)
+		if !ok {
+			t.Fatalf("trial %d: (%d, %v) should pack", trial, n, quantum)
+		}
+		mask := make([]bool, n)
+		mask[rng.Intn(n)] = true
+		for j := range mask {
+			if rng.Intn(2) == 0 {
+				mask[j] = true
+			}
+		}
+		weights := make([]float64, n)
+		for j := range weights {
+			weights[j] = rng.Float64()
+		}
+		a, err := SnapSimplex(weights, mask, quantum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range weights {
+			weights[j] = rng.Float64()
+		}
+		b, err := SnapSimplex(weights, mask, quantum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Packed keys must induce exactly the string keys' equivalence.
+		samePacked := gammaPack(a, quantum, per) == gammaPack(b, quantum, per)
+		sameString := gammaKey(a, quantum) == gammaKey(b, quantum)
+		if samePacked != sameString {
+			t.Fatalf("trial %d: packed equality %v, string equality %v for %v / %v", trial, samePacked, sameString, a, b)
+		}
+	}
+}

@@ -16,6 +16,12 @@
 // are read-only during decision making, which is what lets managers share
 // them across identical hardware and lets snapshots skip relearning.
 //
+// Invariant: the steady-state decision tick is allocation-free up to a
+// small pinned constant (see alloc_test.go) — candidate vectors live in
+// per-controller pools, dedup runs on packed integer keys, neighbour sets
+// are memoized per on/off mask, and abstraction-map probes go through the
+// approx *Into APIs with controller-owned scratch.
+//
 // This file provides the quantized-simplex machinery the L1 and L2
 // controllers share: load-fraction vectors must satisfy Σγ = 1, γ ≥ 0,
 // quantized to a fixed step (the paper quantizes γ_ij at 0.05 and γ_i at
@@ -25,16 +31,28 @@ package controller
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 )
 
-// SnapSimplex quantizes weights onto the simplex grid with the given
-// quantum: the result has entries that are non-negative multiples of
-// quantum summing exactly to 1 (within floating point), distributed by the
-// largest-remainder method, and zero wherever mask is false. It returns an
-// error if quantum does not divide 1 within tolerance, or the mask admits
-// no entries.
-func SnapSimplex(weights []float64, mask []bool, quantum float64) ([]float64, error) {
+// simplexRem is one largest-remainder entry during snapping.
+type simplexRem struct {
+	idx  int
+	frac float64
+}
+
+// snapper owns the scratch a repeated SnapSimplex needs, so controllers
+// can quantize seed allocations every period without allocating.
+type snapper struct {
+	rems []simplexRem
+}
+
+// snapInto quantizes weights onto the simplex grid exactly like
+// SnapSimplex, writing into dst when it has capacity. The result is
+// bit-identical to SnapSimplex: same largest-remainder distribution, same
+// (frac desc, idx asc) total order — the insertion sort below sorts a
+// strict total order, so it yields the same permutation any comparison
+// sort would.
+func (sn *snapper) snapInto(dst, weights []float64, mask []bool, quantum float64) ([]float64, error) {
 	if len(weights) == 0 || len(weights) != len(mask) {
 		return nil, fmt.Errorf("controller: weights/mask lengths %d/%d", len(weights), len(mask))
 	}
@@ -55,12 +73,14 @@ func SnapSimplex(weights []float64, mask []bool, quantum float64) ([]float64, er
 	if active == 0 {
 		return nil, fmt.Errorf("controller: empty mask")
 	}
-	out := make([]float64, len(weights))
-	type rem struct {
-		idx  int
-		frac float64
+	if cap(dst) < len(weights) {
+		dst = make([]float64, len(weights))
 	}
-	var rems []rem
+	dst = dst[:len(weights)]
+	for i := range dst {
+		dst[i] = 0
+	}
+	rems := sn.rems[:0]
 	assigned := 0
 	for i, w := range weights {
 		if !mask[i] {
@@ -73,56 +93,151 @@ func SnapSimplex(weights []float64, mask []bool, quantum float64) ([]float64, er
 			share = float64(units) / float64(active)
 		}
 		fl := math.Floor(share)
-		out[i] = fl
+		dst[i] = fl
 		assigned += int(fl)
-		rems = append(rems, rem{idx: i, frac: share - fl})
+		rems = append(rems, simplexRem{idx: i, frac: share - fl})
 	}
-	sort.Slice(rems, func(a, b int) bool {
-		if rems[a].frac != rems[b].frac {
-			return rems[a].frac > rems[b].frac
+	// Insertion sort on (frac desc, idx asc): allocation-free and, being
+	// a strict total order, identical to any other comparison sort.
+	for i := 1; i < len(rems); i++ {
+		r := rems[i]
+		j := i - 1
+		for j >= 0 && (rems[j].frac < r.frac || (rems[j].frac == r.frac && rems[j].idx > r.idx)) {
+			rems[j+1] = rems[j]
+			j--
 		}
-		return rems[a].idx < rems[b].idx
-	})
+		rems[j+1] = r
+	}
+	sn.rems = rems[:0] // keep grown capacity
 	for k := 0; assigned < units; k++ {
-		out[rems[k%len(rems)].idx]++
+		dst[rems[k%len(rems)].idx]++
 		assigned++
 	}
 	for assigned > units {
 		// Possible only under floating-point pathologies; trim from the
 		// largest entry.
 		maxI := -1
-		for i := range out {
-			if mask[i] && out[i] > 0 && (maxI < 0 || out[i] > out[maxI]) {
+		for i := range dst {
+			if mask[i] && dst[i] > 0 && (maxI < 0 || dst[i] > dst[maxI]) {
 				maxI = i
 			}
 		}
-		out[maxI]--
+		dst[maxI]--
 		assigned--
 	}
-	for i := range out {
-		out[i] *= quantum
+	for i := range dst {
+		dst[i] *= quantum
 	}
-	return out, nil
+	return dst, nil
+}
+
+// SnapSimplex quantizes weights onto the simplex grid with the given
+// quantum: the result has entries that are non-negative multiples of
+// quantum summing exactly to 1 (within floating point), distributed by the
+// largest-remainder method, and zero wherever mask is false. It returns an
+// error if quantum does not divide 1 within tolerance, or the mask admits
+// no entries.
+func SnapSimplex(weights []float64, mask []bool, quantum float64) ([]float64, error) {
+	var sn snapper
+	return sn.snapInto(nil, weights, mask, quantum)
+}
+
+// gammaBits returns the packed-key layout for γ vectors of length n at the
+// given quantum: bits per entry and whether n entries fit a uint64. Each
+// entry holds its unit count (0..1/quantum).
+func gammaBits(n int, quantum float64) (perEntry uint, ok bool) {
+	units := int(math.Round(1 / quantum))
+	if units < 1 {
+		return 0, false
+	}
+	perEntry = uint(bits.Len(uint(units)))
+	return perEntry, uint(n)*perEntry <= 64
+}
+
+// gammaPack packs g's unit counts into a uint64. Only valid when
+// gammaBits reported ok for (len(g), quantum).
+func gammaPack(g []float64, quantum float64, perEntry uint) uint64 {
+	k := uint64(0)
+	at := uint(0)
+	for _, v := range g {
+		k |= uint64(int(math.Round(v/quantum))) << at
+		at += perEntry
+	}
+	return k
+}
+
+// gammaKey is the historical string dedup key, kept for vectors too long
+// to pack (and as the oracle the packed key is tested against).
+func gammaKey(g []float64, quantum float64) string {
+	buf := make([]byte, 0, len(g)*2)
+	for _, v := range g {
+		u := uint16(int(math.Round(v / quantum)))
+		buf = append(buf, byte(u), byte(u>>8))
+	}
+	return string(buf)
+}
+
+// gammaSeen is a dedup set over γ vectors that uses packed uint64 keys
+// whenever the (length, quantum) pair fits one, falling back to the
+// historical string keys otherwise.
+type gammaSeen struct {
+	quantum  float64
+	perEntry uint
+	packed   bool
+	u        map[uint64]bool
+	s        map[string]bool
+}
+
+func newGammaSeen(n int, quantum float64) *gammaSeen {
+	g := &gammaSeen{quantum: quantum}
+	if per, ok := gammaBits(n, quantum); ok {
+		g.packed, g.perEntry = true, per
+		g.u = make(map[uint64]bool)
+	} else {
+		g.s = make(map[string]bool)
+	}
+	return g
+}
+
+// insert reports whether g was new, adding it if so.
+func (gs *gammaSeen) insert(g []float64) bool {
+	if gs.packed {
+		k := gammaPack(g, gs.quantum, gs.perEntry)
+		if gs.u[k] {
+			return false
+		}
+		gs.u[k] = true
+		return true
+	}
+	k := gammaKey(g, gs.quantum)
+	if gs.s[k] {
+		return false
+	}
+	gs.s[k] = true
+	return true
 }
 
 // SimplexNeighbours generates the quantized-simplex neighbourhood of gamma:
 // all vectors obtained by moving up to depth quanta from one masked entry
 // to another, each still summing to 1. The input vector itself is included
-// first. Entries outside the mask stay zero. Duplicate vectors are removed.
+// first. Entries outside the mask stay zero. Duplicate vectors are removed
+// (packed-integer keys when the vector fits a uint64, string keys
+// otherwise — identical sets either way).
 func SimplexNeighbours(gamma []float64, mask []bool, quantum float64, depth int) [][]float64 {
-	seen := make(map[string]bool)
+	seen := newGammaSeen(len(gamma), quantum)
 	var out [][]float64
-	add := func(g []float64) {
-		k := gammaKey(g, quantum)
-		if !seen[k] {
-			seen[k] = true
-			cp := make([]float64, len(g))
-			copy(cp, g)
-			out = append(out, cp)
+	add := func(g []float64) bool {
+		if !seen.insert(g) {
+			return false
 		}
+		cp := make([]float64, len(g))
+		copy(cp, g)
+		out = append(out, cp)
+		return true
 	}
 	add(gamma)
 	frontier := [][]float64{gamma}
+	cand := make([]float64, len(gamma))
 	for d := 0; d < depth; d++ {
 		var next [][]float64
 		for _, g := range frontier {
@@ -134,7 +249,6 @@ func SimplexNeighbours(gamma []float64, mask []bool, quantum float64, depth int)
 					if b == a || !mask[b] {
 						continue
 					}
-					cand := make([]float64, len(g))
 					copy(cand, g)
 					cand[a] -= quantum
 					cand[b] += quantum
@@ -144,13 +258,8 @@ func SimplexNeighbours(gamma []float64, mask []bool, quantum float64, depth int)
 					if cand[a] < 0 {
 						cand[a] = 0
 					}
-					k := gammaKey(cand, quantum)
-					if !seen[k] {
-						seen[k] = true
-						cp := make([]float64, len(cand))
-						copy(cp, cand)
-						out = append(out, cp)
-						next = append(next, cp)
+					if add(cand) {
+						next = append(next, out[len(out)-1])
 					}
 				}
 			}
@@ -214,13 +323,4 @@ func CountSimplex(k int, quantum float64) int {
 		acc = acc * (n - r + i) / i
 	}
 	return acc
-}
-
-func gammaKey(g []float64, quantum float64) string {
-	buf := make([]byte, 0, len(g)*2)
-	for _, v := range g {
-		u := uint16(int(math.Round(v / quantum)))
-		buf = append(buf, byte(u), byte(u>>8))
-	}
-	return string(buf)
 }

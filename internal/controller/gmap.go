@@ -149,7 +149,18 @@ func (g *GMap) simulateCell(l0 *L0, l0cfg L0Config, q0, lambda, c float64) (avgC
 // arrival rate, processing time). Points outside the grid are clamped to
 // its boundary cells, so overload queries saturate rather than miss.
 func (g *GMap) Evaluate(q0, lambda, c float64) (cost, qEnd, resp, power float64, err error) {
-	out, ok, err := g.table.Lookup([]float64{q0, lambda, c})
+	return g.EvaluateInto(nil, q0, lambda, c)
+}
+
+// EvaluateInto is Evaluate probing the table through caller-owned scratch
+// (capacity ≥ 4): with scratch supplied the probe performs no allocation —
+// one hash probe on the packed cell key, no intermediate point or output
+// slice (pinned by TestGMapEvaluateIntoZeroAlloc). The map itself is
+// read-only here, so distinct callers may share one GMap as long as each
+// brings its own scratch.
+func (g *GMap) EvaluateInto(scratch []float64, q0, lambda, c float64) (cost, qEnd, resp, power float64, err error) {
+	x := [3]float64{q0, lambda, c}
+	out, ok, err := g.table.LookupInto(scratch, x[:])
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}

@@ -133,9 +133,21 @@ func (m *l0Model) Inputs(queue.State) []int { return m.indices }
 var _ llc.Model[queue.State, int] = (*l0Model)(nil)
 
 // L0 is the per-computer frequency controller. Construct with NewL0.
+//
+// The controller owns a reusable llc.Searcher and its environment-forecast
+// buffers, so a warm Decide performs no allocation (pinned by
+// TestL0DecideZeroAlloc); like every controller here it is not safe for
+// concurrent use.
 type L0 struct {
-	cfg   L0Config
-	model *l0Model
+	cfg      L0Config
+	model    *l0Model
+	searcher *llc.Searcher[queue.State, int]
+
+	// Reused forecast buffers: envs[q] holds the uncertainty samples for
+	// horizon step q, each an llc.Env view into envBacking.
+	envs       []([]llc.Env)
+	envBacking []float64
+	envSamples int
 
 	// Overhead metering (§4.3).
 	explored    int
@@ -149,7 +161,35 @@ func NewL0(cfg L0Config, spec cluster.ComputerSpec) (*L0, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &L0{cfg: cfg, model: m}, nil
+	sr, err := llc.NewSearcher[queue.State, int](m, llc.Options{
+		NonNegativeCosts: true,
+		Parallelism:      cfg.SearchParallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &L0{cfg: cfg, model: m, searcher: sr}, nil
+}
+
+// ensureEnvs (re)shapes the reused forecast buffers for the given sample
+// count per horizon step; the layout is rebuilt only when the shape
+// changes (first call, or banded ↔ unbanded transitions).
+func (l *L0) ensureEnvs(samples int) {
+	if l.envSamples == samples && len(l.envs) == l.cfg.Horizon {
+		return
+	}
+	h := l.cfg.Horizon
+	l.envBacking = make([]float64, h*samples*2)
+	store := make([]llc.Env, h*samples)
+	l.envs = make([]([]llc.Env), h)
+	for q := 0; q < h; q++ {
+		for s := 0; s < samples; s++ {
+			i := q*samples + s
+			store[i] = l.envBacking[2*i : 2*i+2]
+		}
+		l.envs[q] = store[q*samples : (q+1)*samples]
+	}
+	l.envSamples = samples
 }
 
 // NewL0Model exposes the per-computer fluid-queue model the L0 controller
@@ -201,7 +241,11 @@ func (l *L0) DecideBanded(queueLen float64, lambda []float64, delta, cHat float6
 	}
 	start := time.Now()
 	banded := l.cfg.UncertaintySamples && delta > 0
-	envs := make([]([]llc.Env), l.cfg.Horizon)
+	samples := 1
+	if banded {
+		samples = 3
+	}
+	l.ensureEnvs(samples)
 	for q := 0; q < l.cfg.Horizon; q++ {
 		lam := lambda[min(q, len(lambda)-1)]
 		if lam < 0 {
@@ -212,15 +256,14 @@ func (l *L0) DecideBanded(queueLen float64, lambda []float64, delta, cHat float6
 			if lo < 0 {
 				lo = 0
 			}
-			envs[q] = []llc.Env{{lo, cHat}, {lam, cHat}, {lam + delta, cHat}}
+			l.envs[q][0][0], l.envs[q][0][1] = lo, cHat
+			l.envs[q][1][0], l.envs[q][1][1] = lam, cHat
+			l.envs[q][2][0], l.envs[q][2][1] = lam+delta, cHat
 		} else {
-			envs[q] = []llc.Env{{lam, cHat}}
+			l.envs[q][0][0], l.envs[q][0][1] = lam, cHat
 		}
 	}
-	res, err := llc.Exhaustive[queue.State, int](l.model, queue.State{Q: queueLen}, envs, llc.Options{
-		NonNegativeCosts: true,
-		Parallelism:      l.cfg.SearchParallelism,
-	})
+	res, err := l.searcher.Exhaustive(queue.State{Q: queueLen}, l.envs)
 	if err != nil {
 		return 0, fmt.Errorf("controller: L0 search: %w", err)
 	}

@@ -129,7 +129,54 @@ type L1Decision struct {
 	Explored int
 }
 
+// vecPool recycles candidate vectors across periods.
+type vecPool[T any] struct {
+	vecs [][]T
+	used int
+}
+
+func (p *vecPool[T]) reset() { p.used = 0 }
+
+func (p *vecPool[T]) get(n int) []T {
+	if p.used < len(p.vecs) {
+		v := p.vecs[p.used]
+		p.used++
+		return v
+	}
+	v := make([]T, n)
+	p.vecs = append(p.vecs, v)
+	p.used++
+	return v
+}
+
+// packBools packs an on/off vector into a uint64 bitmask (len ≤ 64).
+func packBools(a []bool) uint64 {
+	k := uint64(0)
+	for i, v := range a {
+		if v {
+			k |= 1 << uint(i)
+		}
+	}
+	return k
+}
+
+// gammaMemoEntry caches the capacity-seeded γ neighbourhood of one α
+// mask. The controller's capacity weights, quantum and neighbour depth
+// are fixed at construction, so the (mask, quantum, depth) →
+// neighbour-set computation that historically reran every period is
+// memoized per mask.
+type gammaMemoEntry struct {
+	cands [][]float64
+	keys  []uint64
+}
+
 // L1 is the module-level controller. Construct with NewL1.
+//
+// The controller owns candidate pools, dedup key slices, a per-α-mask
+// memo of capacity-seeded γ neighbourhoods, and abstraction-map scratch,
+// so a warm Decide allocates only the two slices of the returned
+// decision (pinned by TestL1DecideSteadyStateAllocs). Not safe for
+// concurrent use.
 type L1 struct {
 	cfg   L1Config
 	gmaps []*GMap
@@ -137,6 +184,31 @@ type L1 struct {
 
 	prevAlpha []bool
 	prevGamma []float64
+
+	// fastPaths gates the pooled/packed candidate machinery: the module
+	// must fit a 64-bit α mask and its γ vectors a packed uint64. Larger
+	// modules keep the historical allocating generators (identical
+	// candidate sets either way).
+	fastPaths bool
+	gammaPer  uint // packed-γ bits per entry (valid when fastPaths)
+
+	snap         snapper
+	samplesBuf   [3]float64
+	evalBuf      [gColWidth]float64
+	qEndBuf      []float64
+	alphaBase    []bool
+	alphaScr     []bool
+	alphaPool    vecPool[bool]
+	alphaCands   [][]bool
+	alphaKeys    []uint64
+	gammaMemo    map[uint64]*gammaMemoEntry
+	gammaPool    vecPool[float64]
+	gammaList    [][]float64
+	gammaKeys    []uint64
+	gammaScr     []float64
+	prevSnap     []float64
+	bestAlphaScr []bool
+	bestGammaScr []float64
 
 	explored    int
 	decisions   int
@@ -168,6 +240,17 @@ func NewL1(cfg L1Config, gmaps []*GMap) (*L1, error) {
 		// demand, used only to seed allocations.
 		l.caps[j] = g.Spec().SpeedFactor
 	}
+	per, gammaOK := gammaBits(m, cfg.Quantum)
+	l.fastPaths = m <= 64 && gammaOK
+	l.gammaPer = per
+	l.gammaMemo = make(map[uint64]*gammaMemoEntry)
+	l.qEndBuf = make([]float64, m)
+	l.alphaBase = make([]bool, m)
+	l.alphaScr = make([]bool, m)
+	l.gammaScr = make([]float64, m)
+	l.prevSnap = make([]float64, m)
+	l.bestAlphaScr = make([]bool, m)
+	l.bestGammaScr = make([]float64, m)
 	l.prevAlpha = make([]bool, m)
 	allOn := make([]bool, m)
 	for j := range allOn {
@@ -233,17 +316,17 @@ func (l *L1) Decide(obs L1Observation) (L1Decision, error) {
 	}
 	start := time.Now()
 
-	samples := []float64{obs.LambdaHat}
+	samples := l.samplesBuf[:1]
+	samples[0] = obs.LambdaHat
 	if l.cfg.UncertaintySamples && obs.Delta > 0 {
-		samples = []float64{
-			math.Max(0, obs.LambdaHat-obs.Delta),
-			obs.LambdaHat,
-			obs.LambdaHat + obs.Delta,
-		}
+		samples = l.samplesBuf[:3]
+		samples[0] = math.Max(0, obs.LambdaHat-obs.Delta)
+		samples[1] = obs.LambdaHat
+		samples[2] = obs.LambdaHat + obs.Delta
 	}
 
 	bestCost := math.Inf(1)
-	var best L1Decision
+	bestSet := false
 	explored := 0
 	nSamples := float64(len(samples))
 	for _, alpha := range l.alphaCandidates(obs.Available) {
@@ -268,16 +351,22 @@ func (l *L1) Decide(obs L1Observation) (L1Decision, error) {
 			cost := sum / nSamples
 			if cost < bestCost {
 				bestCost = cost
-				best = L1Decision{Alpha: alpha, Gamma: gamma}
+				bestSet = true
+				// Candidate vectors live in pools recycled on the next
+				// generator call, so the incumbent is copied out now.
+				copy(l.bestAlphaScr, alpha)
+				copy(l.bestGammaScr, gamma)
 			}
 		}
 	}
-	if math.IsInf(bestCost, 1) {
+	if !bestSet || math.IsInf(bestCost, 1) {
 		return L1Decision{}, fmt.Errorf("controller: L1 found no candidate configuration")
 	}
-	best.Alpha = append([]bool(nil), best.Alpha...)
-	best.Gamma = append([]float64(nil), best.Gamma...)
-	best.Explored = explored
+	best := L1Decision{
+		Alpha:    append([]bool(nil), l.bestAlphaScr...),
+		Gamma:    append([]float64(nil), l.bestGammaScr...),
+		Explored: explored,
+	}
 	l.prevAlpha = best.Alpha
 	l.prevGamma = best.Gamma
 	l.explored += explored
@@ -325,7 +414,7 @@ func (l *L1) evaluate(alpha []bool, gamma []float64, obs L1Observation, lambda f
 			if !alpha[j] {
 				continue
 			}
-			cost, _, _, _, err := l.gmaps[j].Evaluate(obs.QueueLens[j], gamma[j]*lambda, obs.CHat)
+			cost, _, _, _, err := l.gmaps[j].EvaluateInto(l.evalBuf[:], obs.QueueLens[j], gamma[j]*lambda, obs.CHat)
 			if err != nil {
 				return 0, err
 			}
@@ -345,7 +434,7 @@ func (l *L1) evaluate(alpha []bool, gamma []float64, obs L1Observation, lambda f
 		}
 	}
 	total := switchCost
-	qEnd := make([]float64, len(alpha))
+	qEnd := l.qEndBuf
 	for j := range alpha {
 		qEnd[j] = obs.QueueLens[j]
 		if !alpha[j] {
@@ -360,7 +449,7 @@ func (l *L1) evaluate(alpha []bool, gamma []float64, obs L1Observation, lambda f
 		if servingShare > 0 {
 			share = gamma[j] / servingShare
 		}
-		cost, qe, _, _, err := l.gmaps[j].Evaluate(obs.QueueLens[j], share*lambda, obs.CHat)
+		cost, qe, _, _, err := l.gmaps[j].EvaluateInto(l.evalBuf[:], obs.QueueLens[j], share*lambda, obs.CHat)
 		if err != nil {
 			return 0, err
 		}
@@ -378,7 +467,7 @@ func (l *L1) evaluate(alpha []bool, gamma []float64, obs L1Observation, lambda f
 		if !alpha[j] {
 			continue
 		}
-		cost, _, _, _, err := l.gmaps[j].Evaluate(qEnd[j], gamma[j]*lambda, obs.CHat)
+		cost, _, _, _, err := l.gmaps[j].EvaluateInto(l.evalBuf[:], qEnd[j], gamma[j]*lambda, obs.CHat)
 		if err != nil {
 			return 0, err
 		}
@@ -390,8 +479,64 @@ func (l *L1) evaluate(alpha []bool, gamma []float64, obs L1Observation, lambda f
 // alphaCandidates returns the bounded on/off candidate set: the previous
 // vector projected onto availability, every single-computer toggle of it,
 // and the all-available-on vector, each with at least MinOn computers on
-// (or as many as availability allows).
+// (or as many as availability allows). Candidate vectors live in the
+// controller's pool and are recycled on the next call.
 func (l *L1) alphaCandidates(avail []bool) [][]bool {
+	if !l.fastPaths {
+		return l.alphaCandidatesLegacy(avail)
+	}
+	m := l.Size()
+	minOn := l.cfg.MinOn
+	if a := countTrue(avail); a < minOn {
+		minOn = a
+	}
+	base := l.alphaBase
+	for j := range base {
+		base[j] = l.prevAlpha[j] && avail[j]
+	}
+	ensureMinOn(base, avail, minOn)
+
+	l.alphaPool.reset()
+	l.alphaCands = l.alphaCands[:0]
+	l.alphaKeys = l.alphaKeys[:0]
+	add := func(a []bool) {
+		if countOn(a) < minOn {
+			return
+		}
+		k := packBools(a)
+		for _, ek := range l.alphaKeys {
+			if ek == k {
+				return
+			}
+		}
+		l.alphaKeys = append(l.alphaKeys, k)
+		cp := l.alphaPool.get(m)
+		copy(cp, a)
+		l.alphaCands = append(l.alphaCands, cp)
+	}
+	add(base)
+	cand := l.alphaScr
+	for j := 0; j < m; j++ {
+		copy(cand, base)
+		if cand[j] {
+			cand[j] = false
+		} else if avail[j] {
+			cand[j] = true
+		} else {
+			continue
+		}
+		add(cand)
+	}
+	for j := range cand {
+		cand[j] = avail[j]
+	}
+	add(cand)
+	return l.alphaCands
+}
+
+// alphaCandidatesLegacy is the historical allocating generator, kept for
+// modules too large for a 64-bit mask.
+func (l *L1) alphaCandidatesLegacy(avail []bool) [][]bool {
 	m := l.Size()
 	minOn := l.cfg.MinOn
 	if a := countTrue(avail); a < minOn {
@@ -437,8 +582,90 @@ func (l *L1) alphaCandidates(avail []bool) [][]bool {
 
 // gammaCandidates returns the bounded γ candidate set for a given α: the
 // quantized neighbourhoods of the capacity-proportional seed and of the
-// previous allocation projected onto α's support.
+// previous allocation projected onto α's support. The capacity-seeded
+// part depends only on the α mask (capacities, quantum and depth are
+// fixed), so it is memoized per mask; the previous-allocation part is
+// regenerated each period into pooled vectors, deduped against the list
+// by packed keys. Returned vectors are recycled on the next call.
 func (l *L1) gammaCandidates(alpha []bool) [][]float64 {
+	if !l.fastPaths {
+		return l.gammaCandidatesLegacy(alpha)
+	}
+	// Bound the memo so long-lived controllers (daemon tenants under
+	// rotating failure masks) cannot grow it toward 2^m entries; a miss
+	// past the cap computes without storing, which is merely slower.
+	const maxGammaMemoEntries = 256
+	mask := packBools(alpha)
+	entry := l.gammaMemo[mask]
+	if entry == nil {
+		seedCap, err := SnapSimplex(l.caps, alpha, l.cfg.Quantum)
+		if err != nil {
+			return nil
+		}
+		cands := SimplexNeighbours(seedCap, alpha, l.cfg.Quantum, l.cfg.NeighbourDepth)
+		entry = &gammaMemoEntry{cands: cands, keys: make([]uint64, len(cands))}
+		for i, g := range cands {
+			entry.keys[i] = gammaPack(g, l.cfg.Quantum, l.gammaPer)
+		}
+		if len(l.gammaMemo) < maxGammaMemoEntries {
+			l.gammaMemo[mask] = entry
+		}
+	}
+	l.gammaPool.reset()
+	l.gammaList = append(l.gammaList[:0], entry.cands...)
+	l.gammaKeys = append(l.gammaKeys[:0], entry.keys...)
+
+	// Previous-allocation neighbourhood (depth 1): prev snapped onto α's
+	// support, then every single-quantum move — the same vectors, in the
+	// same order, SimplexNeighbours(prev, α, quantum, 1) produces.
+	prev, err := l.snap.snapInto(l.prevSnap, l.prevGamma, alpha, l.cfg.Quantum)
+	if err != nil {
+		return l.gammaList
+	}
+	l.prevSnap = prev
+	l.addGammaIfNew(prev)
+	cand := l.gammaScr
+	for a := range prev {
+		if !alpha[a] || prev[a] < l.cfg.Quantum-1e-9 {
+			continue
+		}
+		for b := range prev {
+			if b == a || !alpha[b] {
+				continue
+			}
+			copy(cand, prev)
+			cand[a] -= l.cfg.Quantum
+			cand[b] += l.cfg.Quantum
+			if cand[a] < -1e-9 {
+				continue
+			}
+			if cand[a] < 0 {
+				cand[a] = 0
+			}
+			l.addGammaIfNew(cand)
+		}
+	}
+	return l.gammaList
+}
+
+// addGammaIfNew appends a copy of g to the candidate list unless its
+// packed key is already present.
+func (l *L1) addGammaIfNew(g []float64) {
+	k := gammaPack(g, l.cfg.Quantum, l.gammaPer)
+	for _, ek := range l.gammaKeys {
+		if ek == k {
+			return
+		}
+	}
+	l.gammaKeys = append(l.gammaKeys, k)
+	cp := l.gammaPool.get(len(g))
+	copy(cp, g)
+	l.gammaList = append(l.gammaList, cp)
+}
+
+// gammaCandidatesLegacy is the historical allocating generator, kept for
+// modules whose γ vectors overflow the packed key.
+func (l *L1) gammaCandidatesLegacy(alpha []bool) [][]float64 {
 	seedCap, errCap := SnapSimplex(l.caps, alpha, l.cfg.Quantum)
 	if errCap != nil {
 		return nil

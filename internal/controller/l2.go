@@ -99,9 +99,12 @@ func NewTreeJTilde(tree *approx.RegressionTree) (*TreeJTilde, error) {
 	return &TreeJTilde{tree: tree}, nil
 }
 
-// Predict evaluates the tree at (qAvg, lambda, c).
+// Predict evaluates the tree at (qAvg, lambda, c). The probe point lives
+// on the stack (the tree never retains it), so a prediction performs no
+// allocation — part of the decision tick's allocation-free invariant.
 func (t *TreeJTilde) Predict(qAvg, lambda, c float64) (float64, error) {
-	return t.tree.Predict([]float64{qAvg, lambda, c})
+	x := [3]float64{qAvg, lambda, c}
+	return t.tree.Predict(x[:])
 }
 
 var _ JTilde = (*TreeJTilde)(nil)
@@ -132,11 +135,23 @@ type L2Decision struct {
 }
 
 // L2 is the cluster-level controller. Construct with NewL2.
+//
+// The full-enumeration candidate set depends only on the availability
+// mask (module count and quantum are fixed), so it is memoized per mask;
+// with the memo warm a Decide on the enumeration path allocates only the
+// two slices of the returned decision (pinned by
+// TestL2DecideSteadyStateAllocs). Not safe for concurrent use.
 type L2 struct {
 	cfg     L2Config
 	jtildes []JTilde
 
 	prevGamma []float64
+
+	// enumMemo caches EnumerateSimplex per availability mask (modules
+	// ≤ 64; larger clusters re-enumerate each period). Memoized vectors
+	// are never mutated, so the incumbent may reference them directly.
+	enumMemo   map[uint64][][]float64
+	samplesBuf [3]float64
 
 	explored    int
 	decisions   int
@@ -167,7 +182,10 @@ func NewL2(cfg L2Config, jtildes []JTilde) (*L2, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &L2{cfg: cfg, jtildes: jtildes, prevGamma: prev}, nil
+	return &L2{
+		cfg: cfg, jtildes: jtildes, prevGamma: prev,
+		enumMemo: make(map[uint64][][]float64),
+	}, nil
 }
 
 // Modules returns the number of modules the controller manages.
@@ -207,7 +225,26 @@ func (l *L2) Decide(obs L2Observation) (L2Decision, error) {
 
 	var candidates [][]float64
 	if CountSimplex(avail, l.cfg.Quantum) <= l.cfg.EnumLimit {
-		candidates = EnumerateSimplex(p, obs.Available, l.cfg.Quantum)
+		if p <= 64 {
+			// The enumeration is a pure function of the mask; memoize it
+			// so steady-state periods skip the combinatorial rebuild. The
+			// memo is bounded (entries hold up to EnumLimit vectors) so a
+			// long-lived controller under rotating availability masks
+			// cannot grow it without limit; past the cap, misses compute
+			// without storing.
+			const maxEnumMemoEntries = 64
+			mask := packBools(obs.Available)
+			if cached, ok := l.enumMemo[mask]; ok {
+				candidates = cached
+			} else {
+				candidates = EnumerateSimplex(p, obs.Available, l.cfg.Quantum)
+				if len(l.enumMemo) < maxEnumMemoEntries {
+					l.enumMemo[mask] = candidates
+				}
+			}
+		} else {
+			candidates = EnumerateSimplex(p, obs.Available, l.cfg.Quantum)
+		}
 	} else {
 		seed, err := SnapSimplex(l.prevGamma, obs.Available, l.cfg.Quantum)
 		if err != nil {
@@ -216,13 +253,13 @@ func (l *L2) Decide(obs L2Observation) (L2Decision, error) {
 		candidates = SimplexNeighbours(seed, obs.Available, l.cfg.Quantum, l.cfg.NeighbourDepth)
 	}
 
-	samples := []float64{obs.LambdaHat}
+	samples := l.samplesBuf[:1]
+	samples[0] = obs.LambdaHat
 	if l.cfg.UncertaintySamples && obs.Delta > 0 {
-		samples = []float64{
-			math.Max(0, obs.LambdaHat-obs.Delta),
-			obs.LambdaHat,
-			obs.LambdaHat + obs.Delta,
-		}
+		samples = l.samplesBuf[:3]
+		samples[0] = math.Max(0, obs.LambdaHat-obs.Delta)
+		samples[1] = obs.LambdaHat
+		samples[2] = obs.LambdaHat + obs.Delta
 	}
 
 	bestCost := math.Inf(1)

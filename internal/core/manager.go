@@ -174,6 +174,15 @@ type moduleAsm struct {
 	// controllers for the remainder of the L1 period, since their
 	// per-T_L0 filter lags reallocations just the same.
 	l0Ratio float64
+
+	// Observation scratch, reused across control periods: the
+	// controllers read their observation slices and never retain them,
+	// and each module is planned by a single goroutine, so the decision
+	// loop stays allocation-free (the tick invariant — see the
+	// controller package doc).
+	obsQueues []float64
+	obsAvail  []bool
+	l0Lambda  []float64
 }
 
 // Manager owns one experiment: the plant, the controller hierarchy, the

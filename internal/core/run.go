@@ -83,6 +83,12 @@ type run struct {
 	arrivedTL2   int
 	violations   int
 	responseBins int
+
+	// L2 observation scratch, reused across periods (the controller
+	// reads, never retains it).
+	l2QAvg  []float64
+	l2CHat  []float64
+	l2Avail []bool
 }
 
 // capacities returns relative capacity weights used for seed allocations.
@@ -212,12 +218,18 @@ func (r *run) decideL2(k int) error {
 		lambdaG = mean * float64(r.l2Every)
 		deltaG = (peak - mean) * float64(r.l2Every)
 	}
+	// Reused observation scratch (the L2 reads, never retains it).
+	if r.l2QAvg == nil {
+		r.l2QAvg = make([]float64, len(m.modules))
+		r.l2CHat = make([]float64, len(m.modules))
+		r.l2Avail = make([]bool, len(m.modules))
+	}
 	obs := controller.L2Observation{
-		QAvg:      make([]float64, len(m.modules)),
+		QAvg:      r.l2QAvg,
 		LambdaHat: lambdaG / m.cfg.L2.PeriodSeconds,
 		Delta:     deltaG / m.cfg.L2.PeriodSeconds,
-		CHat:      make([]float64, len(m.modules)),
-		Available: make([]bool, len(m.modules)),
+		CHat:      r.l2CHat,
+		Available: r.l2Avail,
 	}
 	for i, asm := range m.modules {
 		obs.QAvg[i] = float64(asm.lastAgg.QueueLen) / float64(len(asm.specs))
@@ -290,8 +302,11 @@ func (r *run) planL1(i int, k int) (l1Plan, error) {
 	}
 	asm.hasPredicted = true
 
-	queues := make([]float64, len(asm.specs))
-	avail := make([]bool, len(asm.specs))
+	if asm.obsQueues == nil {
+		asm.obsQueues = make([]float64, len(asm.specs))
+		asm.obsAvail = make([]bool, len(asm.specs))
+	}
+	queues, avail := asm.obsQueues, asm.obsAvail
 	for j := range asm.specs {
 		queues[j] = float64(asm.lastPer[j].QueueLen)
 		comp, err := r.plant.Computer(i, j)
@@ -375,6 +390,9 @@ func (r *run) isOperational(i, j int) bool {
 func (r *run) decideL0(i int, asm *moduleAsm, k int) error {
 	m := r.m
 	cHat := r.cHat(asm)
+	if cap(asm.l0Lambda) < m.cfg.L0.Horizon {
+		asm.l0Lambda = make([]float64, m.cfg.L0.Horizon)
+	}
 	for j := range asm.specs {
 		comp, err := r.plant.Computer(i, j)
 		if err != nil {
@@ -385,7 +403,7 @@ func (r *run) decideL0(i int, asm *moduleAsm, k int) error {
 			r.recordFreq(asm.specs[j].Name, 0)
 			continue
 		}
-		lambda := make([]float64, m.cfg.L0.Horizon)
+		lambda := asm.l0Lambda[:m.cfg.L0.Horizon]
 		for h := range lambda {
 			var forecastCount float64
 			if m.cfg.OracleForecast {

@@ -46,8 +46,6 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
-
-	"hierctl/internal/par"
 )
 
 // Env is one sampled environment vector ω̂(q) — e.g. {arrival rate,
@@ -173,13 +171,11 @@ var ErrNoInputs = errors.New("llc: model returned no admissible inputs")
 // inputs the naive search evaluates Σ_{q=1..N} |U|^q states, so keep
 // horizons short — the paper uses N ≤ 3 with ≤ 10 inputs.
 func Exhaustive[S, U any](m Model[S, U], x0 S, envs []([]Env), opt Options) (Result[S, U], error) {
-	if err := checkEnvs(envs); err != nil {
+	sr, err := NewSearcher(m, opt)
+	if err != nil {
 		return Result[S, U]{}, err
 	}
-	s := &search[S, U]{m: m, envs: envs, opt: opt, inputsAt: func(st S, _ int, _ U) []U {
-		return m.Inputs(st)
-	}}
-	return s.run(x0)
+	return sr.Exhaustive(x0, envs)
 }
 
 // Bounded runs the bounded neighbourhood search of §4.2: at each tree
@@ -188,16 +184,11 @@ func Exhaustive[S, U any](m Model[S, U], x0 S, envs []([]Env), opt Options) (Res
 // parameters rarely change drastically within one sampling period. prev
 // seeds the neighbourhood at level 0.
 func Bounded[S, U any](m Model[S, U], x0 S, prev U, neighbours func(prev U, s S, level int) []U, envs []([]Env), opt Options) (Result[S, U], error) {
-	if err := checkEnvs(envs); err != nil {
+	sr, err := NewSearcher(m, opt)
+	if err != nil {
 		return Result[S, U]{}, err
 	}
-	if neighbours == nil {
-		return Result[S, U]{}, errors.New("llc: nil neighbourhood function")
-	}
-	s := &search[S, U]{m: m, envs: envs, opt: opt, inputsAt: func(st S, level int, prevU U) []U {
-		return neighbours(prevU, st, level)
-	}, seed: prev}
-	return s.run(x0)
+	return sr.Bounded(x0, prev, neighbours, envs)
 }
 
 func checkEnvs(envs []([]Env)) error {
@@ -220,51 +211,22 @@ func nominal(samples []Env) Env { return samples[len(samples)/2] }
 
 // search carries the shared engine configuration for both strategies.
 type search[S, U any] struct {
-	m        Model[S, U]
-	envs     []([]Env)
-	opt      Options
-	inputsAt func(s S, level int, prev U) []U
-	seed     U
+	m          Model[S, U]
+	envs       []([]Env)
+	opt        Options
+	neighbours func(prev U, s S, level int) []U
+	seed       U
 }
 
-// run fans the level-0 candidates across walkers and merges their results
-// in candidate order.
-func (s *search[S, U]) run(x0 S) (Result[S, U], error) {
-	roots := s.inputsAt(x0, 0, s.seed)
-	if len(roots) == 0 {
-		return Result[S, U]{}, fmt.Errorf("%w (level 0)", ErrNoInputs)
+// inputsAt returns the candidate inputs at one tree level: the bounded
+// neighbourhood when one is installed, the model's full input set
+// otherwise. A plain method (not a per-call closure) so reusing a
+// Searcher allocates nothing.
+func (s *search[S, U]) inputsAt(st S, level int, prev U) []U {
+	if s.neighbours != nil {
+		return s.neighbours(prev, st, level)
 	}
-	workers := s.opt.Parallelism
-	if workers > len(roots) {
-		workers = len(roots)
-	}
-	if workers <= 1 {
-		w := newWalker(s, x0, roots, 0, 1)
-		w.run(nil)
-		return s.finish([]*walker[S, U]{w})
-	}
-
-	// Shared incumbent bound: float64 bits in an atomic. Non-negative
-	// IEEE floats order identically to their bit patterns, and the bound
-	// only ever holds +Inf or a published trajectory cost, so a simple
-	// CAS-min over bits implements min-of-floats.
-	var shared atomic.Uint64
-	shared.Store(math.Float64bits(math.Inf(1)))
-	var sharedPtr *atomic.Uint64
-	if s.opt.NonNegativeCosts {
-		sharedPtr = &shared
-	}
-	walkers := make([]*walker[S, U], workers)
-	// Static stride partition: worker w owns roots w, w+W, w+2W, ... so
-	// each walker sees strictly increasing candidate indices and the
-	// merge below can restore the sequential first-best-in-order rule.
-	_ = par.For(workers, workers, func(w int) error {
-		wk := newWalker(s, x0, roots, w, workers)
-		wk.run(sharedPtr)
-		walkers[w] = wk
-		return nil
-	})
-	return s.finish(walkers)
+	return s.m.Inputs(st)
 }
 
 // finish merges per-walker incumbents (and errors) in candidate order and
@@ -343,18 +305,28 @@ type walker[S, U any] struct {
 	errRoot  int // root index being explored when err was hit
 }
 
-func newWalker[S, U any](s *search[S, U], x0 S, roots []U, first, stride int) *walker[S, U] {
-	n := len(s.envs)
-	return &walker[S, U]{
-		s: s, x0: x0, roots: roots, first: first, stride: stride,
-		frames:     make([]frame[S, U], n),
-		inputs:     make([]U, n),
-		states:     make([]S, n),
-		stage:      make([]float64, n),
-		bestCost:   math.Inf(1),
-		bestInputs: make([]U, n),
-		bestStates: make([]S, n),
+// reset (re)arms the walker for one exploration: per-level buffers are
+// reallocated only when the horizon changed, so a Searcher reusing its
+// walkers performs no steady-state allocation.
+func (w *walker[S, U]) reset(x0 S, roots []U, first, stride int) {
+	if n := len(w.s.envs); len(w.frames) != n {
+		w.frames = make([]frame[S, U], n)
+		w.inputs = make([]U, n)
+		w.states = make([]S, n)
+		w.stage = make([]float64, n)
+		w.bestInputs = make([]U, n)
+		w.bestStates = make([]S, n)
 	}
+	w.x0 = x0
+	w.roots = roots
+	w.first = first
+	w.stride = stride
+	w.bestSet = false
+	w.bestCost = math.Inf(1)
+	w.bestRoot = 0
+	w.explored = 0
+	w.err = nil
+	w.errRoot = 0
 }
 
 // load reads the shared bound as a float64.

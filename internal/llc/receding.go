@@ -12,8 +12,10 @@ import (
 // it so bounded searches can seed their neighbourhoods. Construct with
 // NewController.
 type Controller[S, U any] struct {
-	model Model[S, U]
-	opts  Options
+	// searcher owns the walkers and their per-level buffers, reused
+	// across steps so the steady-state receding-horizon loop does not
+	// allocate.
+	searcher *Searcher[S, U]
 
 	// neighbours enables bounded search when non-nil.
 	neighbours func(prev U, s S, level int) []U
@@ -27,35 +29,39 @@ type Controller[S, U any] struct {
 // NewController returns a receding-horizon controller using exhaustive
 // search over Model.Inputs.
 func NewController[S, U any](m Model[S, U], opts Options) (*Controller[S, U], error) {
-	if m == nil {
-		return nil, errors.New("llc: nil model")
+	sr, err := NewSearcher(m, opts)
+	if err != nil {
+		return nil, err
 	}
-	return &Controller[S, U]{model: m, opts: opts}, nil
+	return &Controller[S, U]{searcher: sr}, nil
 }
 
 // NewBoundedController returns a receding-horizon controller using bounded
 // neighbourhood search seeded from the previous applied input (seed for
 // the very first step).
 func NewBoundedController[S, U any](m Model[S, U], seed U, neighbours func(prev U, s S, level int) []U, opts Options) (*Controller[S, U], error) {
-	if m == nil {
-		return nil, errors.New("llc: nil model")
+	sr, err := NewSearcher(m, opts)
+	if err != nil {
+		return nil, err
 	}
 	if neighbours == nil {
 		return nil, errors.New("llc: nil neighbourhood function")
 	}
-	return &Controller[S, U]{model: m, opts: opts, neighbours: neighbours, prev: seed, hasPrev: true}, nil
+	return &Controller[S, U]{searcher: sr, neighbours: neighbours, prev: seed, hasPrev: true}, nil
 }
 
 // Step runs one receding-horizon iteration from state x against the
 // environment forecasts (one sample set per horizon level) and returns the
-// input to apply now along with the full search result.
+// input to apply now along with the full search result. Result.Inputs and
+// Result.States alias the controller's reused search buffers and are valid
+// only until the next Step; copy them if retained.
 func (c *Controller[S, U]) Step(x S, envs []([]Env)) (U, Result[S, U], error) {
 	var res Result[S, U]
 	var err error
 	if c.neighbours != nil {
-		res, err = Bounded(c.model, x, c.prev, c.neighbours, envs, c.opts)
+		res, err = c.searcher.Bounded(x, c.prev, c.neighbours, envs)
 	} else {
-		res, err = Exhaustive(c.model, x, envs, c.opts)
+		res, err = c.searcher.Exhaustive(x, envs)
 	}
 	if err != nil {
 		var zero U

@@ -1,0 +1,135 @@
+package llc
+
+// Searcher reuse pins: a Searcher driven across many decisions must answer
+// exactly like a fresh search per call, and its warm steady-state decide
+// must not allocate (the zero-allocation half of the §4.3 overhead story).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// reusedVsFresh drives one Searcher and per-call fresh searches over the
+// same decision sequence and requires identical results.
+func TestSearcherReuseMatchesFreshSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, opt := range []Options{
+		{},
+		{NonNegativeCosts: true},
+		{NonNegativeCosts: true, Parallelism: 3},
+	} {
+		m := scalarModel{target: 5, inputs: []int{-2, -1, 0, 1, 2}, inputWeight: 0.01}
+		sr, err := NewSearcher[float64, int](m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < 120; d++ {
+			// Vary the horizon occasionally so buffer regrowth is covered.
+			h := 2 + d%2
+			envs := make([]([]Env), h)
+			for q := range envs {
+				w := math.Round(rng.Float64()*4 - 2)
+				envs[q] = []Env{{w - 1}, {w}, {w + 1}}
+			}
+			x0 := rng.Float64()*20 - 10
+			got, err := sr.Exhaustive(x0, envs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Exhaustive[float64, int](m, x0, envs, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cost != want.Cost || got.Feasible != want.Feasible {
+				t.Fatalf("decision %d (opt %+v): cost/feasible %v/%v, want %v/%v",
+					d, opt, got.Cost, got.Feasible, want.Cost, want.Feasible)
+			}
+			for i := range want.Inputs {
+				if got.Inputs[i] != want.Inputs[i] {
+					t.Fatalf("decision %d (opt %+v): inputs %v, want %v", d, opt, got.Inputs, want.Inputs)
+				}
+			}
+			if opt.Parallelism <= 1 && got.Explored != want.Explored {
+				t.Fatalf("decision %d (opt %+v): explored %d, want %d", d, opt, got.Explored, want.Explored)
+			}
+		}
+	}
+}
+
+func TestSearcherBoundedReuseMatchesFreshSearch(t *testing.T) {
+	m := scalarModel{target: 0, inputs: []int{-3, -2, -1, 0, 1, 2, 3}, inputWeight: 0.05}
+	neighbours := func(prev int, _ float64, _ int) []int {
+		return []int{prev - 1, prev, prev + 1}
+	}
+	opt := Options{NonNegativeCosts: true}
+	sr, err := NewSearcher[float64, int](m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	x := 7.0
+	for d := 0; d < 60; d++ {
+		envs := nominalEnvs(3, math.Sin(float64(d)/5))
+		got, err := sr.Bounded(x, prev, neighbours, envs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Bounded[float64, int](m, x, prev, neighbours, envs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != want.Cost || got.Inputs[0] != want.Inputs[0] || got.Explored != want.Explored {
+			t.Fatalf("decision %d: (%v, %d, %d) vs fresh (%v, %d, %d)",
+				d, got.Cost, got.Inputs[0], got.Explored, want.Cost, want.Inputs[0], want.Explored)
+		}
+		prev = got.Inputs[0]
+		x = m.Step(x, prev, envs[0][0])
+	}
+}
+
+// TestSearcherWarmDecideZeroAlloc pins a warm sequential Searcher decide
+// at zero allocations per call: the walker buffers, candidate cursors and
+// result slices are all reused.
+func TestSearcherWarmDecideZeroAlloc(t *testing.T) {
+	m := scalarModel{target: 5, inputs: []int{-2, -1, 0, 1, 2}, inputWeight: 0.01}
+	sr, err := NewSearcher[float64, int](m, Options{NonNegativeCosts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := make([]([]Env), 3)
+	store := make([]Env, 9)
+	backing := make([]float64, 9)
+	for q := range envs {
+		for s := 0; s < 3; s++ {
+			store[q*3+s] = backing[q*3+s : q*3+s+1]
+		}
+		envs[q] = store[q*3 : q*3+3]
+	}
+	setEnvs := func(d int) {
+		for q := 0; q < 3; q++ {
+			w := math.Round(3 * math.Sin(float64(d)/7))
+			backing[q*3] = w - 1
+			backing[q*3+1] = w
+			backing[q*3+2] = w + 1
+		}
+	}
+	// Warm up: buffer growth happens on the first calls.
+	for d := 0; d < 10; d++ {
+		setEnvs(d)
+		if _, err := sr.Exhaustive(float64(d%7), envs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		setEnvs(d)
+		d++
+		if _, err := sr.Exhaustive(float64(d%7), envs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Searcher.Exhaustive allocated %v/op, want 0", allocs)
+	}
+}
