@@ -11,6 +11,7 @@
 //	hpmsim -workload tracefile:day.csv      # replay a recorded trace
 //	hpmsim -policy threshold -workload wc98
 //	hpmsim -policy always-on -scale 0.25
+//	hpmsim -l3 2 -workload wc98             # 2 clusters, shared clock, L3 budget
 //
 // Scenario traces are amplitude-scaled to the selected cluster size (the
 // paper's §4.3 recipe), and scenario failure plans are injected for every
@@ -36,6 +37,8 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hpmsim", flag.ContinueOnError)
 	policy := fs.String("policy", "llc", "control policy: llc, threshold, threshold-dvfs, always-on")
+	l3 := fs.Int("l3", 0, "run N clusters under one shared clock with an L3 layer reallocating a shared computer budget (threshold policy per cluster; 0 = single-cluster mode)")
+	l3Budget := fs.Int("l3-budget", 0, "total operational-computer budget across the -l3 clusters (0 = 75% of all computers)")
 	workloadFlag := fs.String("workload", "synthetic", "workload scenario name (hpmgen -list enumerates; tracefile:<path> replays a CSV)")
 	clusterFlag := fs.Int("cluster", 0, "number of 4-computer modules (0 = single §4.3 module)")
 	moduleSize := fs.Int("module-size", 4, "computers in the single module (when -cluster 0)")
@@ -72,6 +75,14 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	if *l3 > 0 {
+		if *l3 < 2 {
+			return fmt.Errorf("-l3 %d: a cross-cluster layer needs at least 2 clusters", *l3)
+		}
+		return runL3(stdout, spec, sc, *l3, *l3Budget, *seed, *scale)
+	}
+
 	trace, err := sc.Trace(*seed)
 	if err != nil {
 		return err
@@ -145,6 +156,77 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "energy            %.1f units\n", res.Energy)
 	fmt.Fprintf(stdout, "power switches    %d\n", res.Switches)
 	fmt.Fprintf(stdout, "operational mean  %.2f computers\n", res.Operational.Mean())
+	return nil
+}
+
+// runL3 drives n copies of the selected cluster under one shared
+// simulation clock, each fed the scenario under a different seed, with the
+// proportional-share L3 layer reallocating a shared computer budget every
+// 240 s (see engine.MultiCluster). Each cluster runs the threshold policy
+// — the budget cap rides on the baseline adaptation hook.
+func runL3(stdout io.Writer, spec hierctl.ClusterSpec, sc hierctl.Scenario, n, budget int, seed int64, scale float64) error {
+	clusters := make([]hierctl.L3Cluster, n)
+	total := 0
+	for idx := range clusters {
+		tr, err := sc.Trace(seed + int64(idx))
+		if err != nil {
+			return err
+		}
+		sc.ScaleToCluster(tr, spec.Computers())
+		tr = trimTrace(tr, scale)
+		// Stagger the clusters' loads (full, half, third, ...) so the
+		// budget split has an asymmetry to track.
+		for i := range tr.Values {
+			tr.Values[i] /= float64(idx + 1)
+		}
+		store, err := hierctl.NewStore(seed+int64(idx), sc.StoreConfig())
+		if err != nil {
+			return err
+		}
+		pol, err := hierctl.ThresholdPolicy(0.35, 0.8, 1)
+		if err != nil {
+			return err
+		}
+		bcfg := hierctl.DefaultBaselineConfig()
+		bcfg.Seed = seed + int64(idx)
+		bcfg.Failures = sc.FailurePlan(tr)
+		clusters[idx] = hierctl.L3Cluster{
+			Name:   fmt.Sprintf("cluster-%d", idx+1),
+			Spec:   spec,
+			Policy: pol,
+			Trace:  tr,
+			Store:  store,
+			Config: bcfg,
+		}
+		total += spec.Computers()
+	}
+	if budget <= 0 {
+		budget = total * 3 / 4
+	}
+	const l3Period = 240.0
+	results, events, err := hierctl.RunMultiCluster(clusters, hierctl.ProportionalShare{}, budget, l3Period)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "l3 policy         proportional-share (%d clusters, budget %d of %d computers, period %.0f s)\n",
+		n, budget, total, l3Period)
+	for idx, res := range results {
+		fmt.Fprintf(stdout, "%-17s %d completed, %d dropped, mean response %.3f s, energy %.1f, operational mean %.2f\n",
+			clusters[idx].Name, res.Completed, res.Dropped, res.MeanResponse, res.Energy, res.Operational.Mean())
+	}
+	fmt.Fprintf(stdout, "reallocations     %d\n", len(events))
+	show := events
+	if len(show) > 8 {
+		show = show[:5]
+	}
+	for _, ev := range show {
+		fmt.Fprintf(stdout, "  t=%6.0fs budgets %v (window arrivals %v)\n", ev.Time, ev.Budgets, ev.Arrived)
+	}
+	if len(events) > 8 {
+		fmt.Fprintf(stdout, "  ... %d more ...\n", len(events)-6)
+		last := events[len(events)-1]
+		fmt.Fprintf(stdout, "  t=%6.0fs budgets %v (window arrivals %v)\n", last.Time, last.Budgets, last.Arrived)
+	}
 	return nil
 }
 

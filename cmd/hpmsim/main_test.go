@@ -58,11 +58,42 @@ func TestRunScaledModule(t *testing.T) {
 	}
 }
 
+// TestRunL3Farm smokes the cross-cluster mode: two clusters under one
+// shared clock with the proportional-share layer splitting the budget.
+func TestRunL3Farm(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-l3", "2", "-scale", "0.05"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"proportional-share", "cluster-1", "cluster-2", "reallocations"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("l3 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunL3Deterministic pins the shared-clock merge at the CLI level:
+// the same flags produce byte-identical reports.
+func TestRunL3Deterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-l3", "2", "-scale", "0.05"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-l3", "2", "-scale", "0.05"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("l3 runs diverge:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-policy", "nope"},
 		{"-workload", "nope"},
 		{"-badflag"},
+		{"-l3", "1"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

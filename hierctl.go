@@ -37,11 +37,13 @@
 package hierctl
 
 import (
+	"fmt"
 	"math/rand"
 
 	"hierctl/internal/baseline"
 	"hierctl/internal/cluster"
 	"hierctl/internal/core"
+	"hierctl/internal/engine"
 	"hierctl/internal/fleet"
 	"hierctl/internal/series"
 	"hierctl/internal/workload"
@@ -102,6 +104,16 @@ type (
 	TenantState = fleet.TenantState
 	// FleetStats summarizes fleet-level counters.
 	FleetStats = fleet.Stats
+	// L3Policy decides the cross-cluster budget split at each L3 boundary
+	// of a multi-cluster run.
+	L3Policy = engine.L3Policy
+	// L3Obs is what an L3 policy sees about one cluster at a boundary.
+	L3Obs = engine.L3Obs
+	// L3Event records one cross-cluster reallocation.
+	L3Event = engine.L3Event
+	// ProportionalShare is the reference L3 policy (largest-remainder
+	// split proportional to window arrivals, floor 1 per live cluster).
+	ProportionalShare = engine.ProportionalShare
 )
 
 // Fleet sentinel errors, re-exported for errors.Is checks.
@@ -225,4 +237,50 @@ func DefaultBaselineConfig() BaselineConfig { return baseline.DefaultRunnerConfi
 // workload machinery the hierarchy uses.
 func RunBaseline(spec ClusterSpec, policy BaselinePolicy, trace *Series, store *Store, cfg BaselineConfig) (*BaselineResult, error) {
 	return baseline.Run(spec, policy, trace, store, cfg)
+}
+
+// L3Cluster describes one member of a multi-cluster (L3) run: its own
+// cluster, baseline policy, workload, and runner configuration. Each
+// member keeps independent RNG streams (seeded by its own Config.Seed).
+type L3Cluster struct {
+	Name   string
+	Spec   ClusterSpec
+	Policy BaselinePolicy
+	Trace  *Series
+	Store  *Store
+	Config BaselineConfig
+}
+
+// RunMultiCluster advances the clusters under one shared simulation clock
+// and runs the L3 policy on top: every l3PeriodSeconds it observes each
+// cluster's window (arrivals, completions, response) and reallocates
+// budget operational computers across the clusters — the cross-cluster
+// layer above the paper's L2. Returns the per-cluster results
+// (index-aligned with clusters) and the reallocation history. The run is
+// deterministic for a given input tuple.
+func RunMultiCluster(clusters []L3Cluster, l3 L3Policy, budget int, l3PeriodSeconds float64) ([]*BaselineResult, []L3Event, error) {
+	members := make([]engine.Member, len(clusters))
+	finals := make([]func() (*baseline.Result, error), len(clusters))
+	for idx, c := range clusters {
+		h, finalize, err := baseline.PrepareEngine(c.Spec, c.Policy, c.Trace, c.Store, c.Config)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster %q: %w", c.Name, err)
+		}
+		members[idx] = engine.Member{Name: c.Name, Harness: h, Trace: c.Trace}
+		finals[idx] = finalize
+	}
+	mc, err := engine.NewMultiCluster(members, l3, budget, l3PeriodSeconds)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := mc.Run(); err != nil {
+		return nil, nil, err
+	}
+	results := make([]*BaselineResult, len(clusters))
+	for idx, finalize := range finals {
+		if results[idx], err = finalize(); err != nil {
+			return nil, nil, fmt.Errorf("cluster %q: %w", clusters[idx].Name, err)
+		}
+	}
+	return results, mc.Events(), nil
 }

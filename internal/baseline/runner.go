@@ -5,7 +5,7 @@ import (
 	"math"
 
 	"hierctl/internal/cluster"
-	"hierctl/internal/des"
+	"hierctl/internal/engine"
 	"hierctl/internal/series"
 	"hierctl/internal/workload"
 )
@@ -79,267 +79,271 @@ type Result struct {
 	// ResponseP95 is the per-request 95th-percentile latency.
 	ResponseP95   float64
 	ViolationFrac float64
-	Operational   *series.Series // per adaptation period
-	ResponseMean  *series.Series // per measurement period
+	// Spilled counts requests whose arrival offset landed past the run's
+	// final measurement period and were folded into it (a float-rounding
+	// edge at the trace end; see engine.Harness.Spilled). Almost always 0.
+	Spilled      int64
+	Operational  *series.Series // per adaptation period
+	ResponseMean *series.Series // per measurement period
+}
+
+// runner adapts a flat Policy onto the shared simulation engine: it keeps
+// the measurement state the policy observes (utilization, arrival rate,
+// c-hat) and performs the actuation — power toggles and frequency picks —
+// the legacy step loop did, in the same order.
+type runner struct {
+	spec   cluster.Spec
+	cfg    RunnerConfig
+	policy Policy
+
+	plant      *cluster.Plant
+	slots      []slot
+	total      int
+	adaptEvery int
+
+	cHat     float64
+	lastRate float64
+	lastUtil float64
+
+	violations int
+	respBins   int
+
+	// budget caps operational computers when a cross-cluster L3 layer
+	// imposes one (engine.Budgeted); 0 means uncapped.
+	budget int
+
+	res *Result
+}
+
+type slot struct{ i, j int }
+
+// Name implements engine.Policy.
+func (r *runner) Name() string { return r.policy.Name() }
+
+// SetBudget implements engine.Budgeted: an L3 layer caps how many
+// computers this cluster may keep operational.
+func (r *runner) SetBudget(maxOperational int) { r.budget = maxOperational }
+
+// Init implements engine.Policy: the plant arrives warm (all-on at full
+// speed, pre-roll done); the adapter flattens the cluster — the policies
+// are module-agnostic — and seeds the result series on the pre-roll.
+func (r *runner) Init(p *cluster.Plant) error {
+	r.plant = p
+	preroll := 0.0
+	for i := range r.spec.Modules {
+		for j := range r.spec.Modules[i].Computers {
+			r.slots = append(r.slots, slot{i, j})
+			if d := r.spec.Modules[i].Computers[j].BootDelaySeconds; d > preroll {
+				preroll = d
+			}
+		}
+	}
+	r.total = len(r.slots)
+	r.adaptEvery = int(r.cfg.AdaptEverySeconds/r.cfg.PeriodSeconds + 0.5)
+	r.res = &Result{
+		Policy:       r.policy.Name(),
+		Operational:  series.New(preroll, r.cfg.AdaptEverySeconds, 0),
+		ResponseMean: series.New(preroll, r.cfg.PeriodSeconds, 0),
+	}
+	r.cHat = r.cfg.DefaultCHat
+	return nil
+}
+
+// Decide implements engine.Policy: adaptation (on/off per the policy's
+// watermark rule plus frequency targets) at the adaptation cadence, and
+// uniform dispatch fractions across fully-on computers for the tick's
+// arrivals.
+func (r *runner) Decide(k int, obs engine.TickObs) (engine.Settings, error) {
+	if k%r.adaptEvery == 0 {
+		act := r.policy.Decide(Observation{
+			Operational: r.plant.OperationalComputers(),
+			Total:       r.total,
+			Utilization: r.lastUtil,
+			ArrivalRate: r.lastRate,
+			CHat:        r.cHat,
+		})
+		want := act.Operational
+		if want < 1 {
+			want = 1
+		}
+		if want > r.total {
+			want = r.total
+		}
+		if r.budget > 0 && want > r.budget {
+			want = r.budget
+		}
+		wantOn := want
+		on := 0
+		for _, s := range r.slots {
+			comp, err := r.plant.Computer(s.i, s.j)
+			if err != nil {
+				return engine.Settings{}, err
+			}
+			operational := comp.State() == cluster.PowerOn || comp.State() == cluster.Booting
+			switch {
+			case on < wantOn && !operational && comp.State() != cluster.Failed:
+				if err := r.plant.PowerOn(s.i, s.j); err != nil {
+					return engine.Settings{}, err
+				}
+				on++
+			case on < wantOn && operational:
+				on++
+			case on >= wantOn && operational:
+				if err := r.plant.PowerOff(s.i, s.j); err != nil {
+					return engine.Settings{}, err
+				}
+			}
+		}
+		r.res.Operational.Values = append(r.res.Operational.Values, float64(r.plant.OperationalComputers()))
+		// Frequency targets for the coming period.
+		perComp := r.lastRate / math.Max(1, float64(r.plant.OperationalComputers()))
+		for _, s := range r.slots {
+			comp, err := r.plant.Computer(s.i, s.j)
+			if err != nil {
+				return engine.Settings{}, err
+			}
+			if !comp.Serving() && comp.State() != cluster.Booting {
+				continue
+			}
+			spec := comp.Spec()
+			idx := phiFor(spec.PhiLadder(), perComp, r.cHat, spec.SpeedFactor, act.PhiTarget)
+			if err := comp.SetFrequencyIndex(idx); err != nil {
+				return engine.Settings{}, err
+			}
+		}
+	}
+
+	if obs.PendingRequests == 0 {
+		return engine.Settings{}, nil
+	}
+	// Dispatch uniformly across fully-on computers.
+	gm := make([]float64, len(r.spec.Modules))
+	gc := make([][]float64, len(r.spec.Modules))
+	for i := range r.spec.Modules {
+		gc[i] = make([]float64, len(r.spec.Modules[i].Computers))
+	}
+	for _, s := range r.slots {
+		comp, err := r.plant.Computer(s.i, s.j)
+		if err != nil {
+			return engine.Settings{}, err
+		}
+		if comp.State() == cluster.PowerOn {
+			gc[s.i][s.j] = 1
+			gm[s.i]++
+		}
+	}
+	return engine.Settings{GammaModules: gm, GammaComputers: gc}, nil
+}
+
+// Observe implements engine.Policy: fold the period's harvest into the
+// measurement state (arrival rate, utilization, c-hat EWMA) and the
+// violation accounting.
+func (r *runner) Observe(k int, stats []engine.ModuleStats) error {
+	arrived, completed := 0, 0
+	respSum, busySum, demandSum := 0.0, 0.0, 0.0
+	busyN := 0
+	for i, st := range stats {
+		agg := st.Agg
+		arrived += agg.Arrived
+		completed += agg.Completed
+		if agg.Completed > 0 {
+			respSum += agg.MeanResponse * float64(agg.Completed)
+			demandSum += agg.MeanDemand * float64(agg.Completed)
+		}
+		busySum += agg.Busy * float64(len(r.spec.Modules[i].Computers))
+		busyN += len(r.spec.Modules[i].Computers)
+	}
+	r.lastRate = float64(arrived) / r.cfg.PeriodSeconds
+	if op := r.plant.OperationalComputers(); op > 0 && busyN > 0 {
+		// Utilization over operational computers only.
+		r.lastUtil = busySum / float64(op)
+		if r.lastUtil > 1 {
+			r.lastUtil = 1
+		}
+	}
+	mean := 0.0
+	if completed > 0 {
+		mean = respSum / float64(completed)
+		r.cHat = 0.9*r.cHat + 0.1*demandSum/float64(completed)
+		r.respBins++
+		if mean > r.cfg.TargetResponse {
+			r.violations++
+		}
+	}
+	r.res.ResponseMean.Values = append(r.res.ResponseMean.Values, mean)
+	return nil
 }
 
 // Run simulates the policy against the plant for the whole trace. The
 // trace bin width must be an integer multiple of the measurement period.
 // Computers are powered in spec order; dispatch is uniform across serving
 // computers (the flat policies have no notion of per-computer fractions).
+//
+// Run is a thin adapter over the shared simulation engine: the harness
+// owns the clock, pre-roll, request feed, failure schedule, and step loop,
+// and calls back into the runner above. Results are bit-identical to the
+// package's historical private loop, which survives as the test oracle in
+// legacy_oracle_test.go.
 func Run(spec cluster.Spec, policy Policy, trace *series.Series, store *workload.Store, cfg RunnerConfig) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	h, finalize, err := PrepareEngine(spec, policy, trace, store, cfg)
+	if err != nil {
 		return nil, err
+	}
+	if err := h.RunTrace(trace); err != nil {
+		return nil, err
+	}
+	return finalize()
+}
+
+// PrepareEngine builds the engine harness for a baseline run without
+// advancing it, for shared-clock drivers (engine.MultiCluster) that
+// interleave several clusters and impose budgets mid-run; Run is
+// PrepareEngine + Harness.RunTrace + finalize. The returned finalize
+// assembles the Result once the harness has finished.
+func PrepareEngine(spec cluster.Spec, policy Policy, trace *series.Series, store *workload.Store, cfg RunnerConfig) (*engine.Harness, func() (*Result, error), error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
 	}
 	if policy == nil {
-		return nil, fmt.Errorf("baseline: nil policy")
+		return nil, nil, fmt.Errorf("baseline: nil policy")
 	}
 	if trace == nil || trace.Len() == 0 {
-		return nil, fmt.Errorf("baseline: empty trace")
+		return nil, nil, fmt.Errorf("baseline: empty trace")
 	}
-	sub := int(trace.Step/cfg.PeriodSeconds + 0.5)
-	if sub < 1 || math.Abs(float64(sub)*cfg.PeriodSeconds-trace.Step) > 1e-6 {
-		return nil, fmt.Errorf("baseline: trace bin %vs not a multiple of period %vs", trace.Step, cfg.PeriodSeconds)
-	}
-	plant, err := cluster.NewPlant(spec, des.RNG(cfg.Seed, "baseline-dispatch"))
+	r := &runner{spec: spec, cfg: cfg, policy: policy}
+	h, err := engine.New(engine.Config{
+		Spec:           spec,
+		Seed:           cfg.Seed,
+		DispatchStream: "baseline-dispatch",
+		WorkloadStream: "baseline-workload",
+		PeriodSeconds:  cfg.PeriodSeconds,
+		BinSeconds:     trace.Step,
+		Start:          trace.Start,
+		TotalBins:      trace.Len(),
+		DrainSeconds:   cfg.DrainSeconds,
+		Failures:       cfg.Failures,
+		Spread:         engine.SpreadRunArray,
+	}, store, r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	gen, err := workload.NewGenerator(trace, store, des.RNG(cfg.Seed, "baseline-workload"))
-	if err != nil {
-		return nil, err
-	}
-
-	// Flatten the cluster: policies are module-agnostic.
-	type slot struct{ i, j int }
-	var slots []slot
-	preroll := 0.0
-	for i := range spec.Modules {
-		for j := range spec.Modules[i].Computers {
-			slots = append(slots, slot{i, j})
-			if d := spec.Modules[i].Computers[j].BootDelaySeconds; d > preroll {
-				preroll = d
-			}
-		}
-	}
-	total := len(slots)
-
-	// Start everything on at full speed (same warm start as the
-	// hierarchy).
-	for _, s := range slots {
-		if err := plant.PowerOn(s.i, s.j); err != nil {
-			return nil, err
-		}
-		comp, err := plant.Computer(s.i, s.j)
+	finalize := func() (*Result, error) {
+		tot, err := h.Totals()
 		if err != nil {
 			return nil, err
 		}
-		if err := comp.SetFrequencyIndex(len(comp.Spec().FrequenciesHz) - 1); err != nil {
-			return nil, err
+		res := r.res
+		res.Energy = tot.Energy
+		res.Switches = tot.Switches
+		res.Completed = tot.Completed
+		res.Dropped = tot.Dropped
+		res.MeanResponse = tot.MeanResponse
+		res.ResponseP95 = tot.ResponseP95
+		res.Spilled = h.Spilled()
+		if r.respBins > 0 {
+			res.ViolationFrac = float64(r.violations) / float64(r.respBins)
 		}
+		return res, nil
 	}
-	if preroll > 0 {
-		if err := plant.Advance(preroll); err != nil {
-			return nil, err
-		}
-		for i := range spec.Modules {
-			if _, _, err := plant.ModuleIntervalStats(i); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	steps := trace.Len() * sub
-	adaptEvery := int(cfg.AdaptEverySeconds/cfg.PeriodSeconds + 0.5)
-	res := &Result{
-		Policy:       policy.Name(),
-		Operational:  series.New(preroll, cfg.AdaptEverySeconds, 0),
-		ResponseMean: series.New(preroll, cfg.PeriodSeconds, 0),
-	}
-	wantOn := total
-	cHat := cfg.DefaultCHat
-	lastRate := 0.0
-	lastUtil := 0.0
-	violations, respBins := 0, 0
-
-	var pending [][]workload.Request
-	pending = make([][]workload.Request, steps)
-
-	failAt := cluster.FailureSteps(cfg.Failures, cfg.PeriodSeconds)
-
-	for k := 0; k < steps; k++ {
-		t := preroll + float64(k)*cfg.PeriodSeconds
-		if err := plant.ApplyPlannedFailures(cfg.Failures, failAt, k); err != nil {
-			return nil, err
-		}
-		if k%sub == 0 {
-			bin, reqs, ok := gen.NextBin()
-			if !ok {
-				return nil, fmt.Errorf("baseline: trace exhausted at step %d", k)
-			}
-			binStart := trace.TimeAt(bin)
-			for _, req := range reqs {
-				idx := k + int((req.Arrival-binStart)/cfg.PeriodSeconds)
-				if idx >= steps {
-					idx = steps - 1
-				}
-				req.Arrival += preroll - trace.Start
-				pending[idx] = append(pending[idx], req)
-			}
-		}
-
-		// Adaptation: on/off per the policy's watermark rule.
-		if k%adaptEvery == 0 {
-			act := policy.Decide(Observation{
-				Operational: plant.OperationalComputers(),
-				Total:       total,
-				Utilization: lastUtil,
-				ArrivalRate: lastRate,
-				CHat:        cHat,
-			})
-			want := act.Operational
-			if want < 1 {
-				want = 1
-			}
-			if want > total {
-				want = total
-			}
-			wantOn = want
-			on := 0
-			for _, s := range slots {
-				comp, err := plant.Computer(s.i, s.j)
-				if err != nil {
-					return nil, err
-				}
-				operational := comp.State() == cluster.PowerOn || comp.State() == cluster.Booting
-				switch {
-				case on < wantOn && !operational && comp.State() != cluster.Failed:
-					if err := plant.PowerOn(s.i, s.j); err != nil {
-						return nil, err
-					}
-					on++
-				case on < wantOn && operational:
-					on++
-				case on >= wantOn && operational:
-					if err := plant.PowerOff(s.i, s.j); err != nil {
-						return nil, err
-					}
-				}
-			}
-			res.Operational.Values = append(res.Operational.Values, float64(plant.OperationalComputers()))
-			// Frequency targets for the coming period.
-			perComp := lastRate / math.Max(1, float64(plant.OperationalComputers()))
-			for _, s := range slots {
-				comp, err := plant.Computer(s.i, s.j)
-				if err != nil {
-					return nil, err
-				}
-				if !comp.Serving() && comp.State() != cluster.Booting {
-					continue
-				}
-				spec := comp.Spec()
-				idx := phiFor(spec.PhiLadder(), perComp, cHat, spec.SpeedFactor, act.PhiTarget)
-				if err := comp.SetFrequencyIndex(idx); err != nil {
-					return nil, err
-				}
-			}
-		}
-
-		// Dispatch uniformly across fully-on computers.
-		if len(pending[k]) > 0 {
-			gm := make([]float64, len(spec.Modules))
-			gc := make([][]float64, len(spec.Modules))
-			for i := range spec.Modules {
-				gc[i] = make([]float64, len(spec.Modules[i].Computers))
-			}
-			for _, s := range slots {
-				comp, err := plant.Computer(s.i, s.j)
-				if err != nil {
-					return nil, err
-				}
-				if comp.State() == cluster.PowerOn {
-					gc[s.i][s.j] = 1
-					gm[s.i]++
-				}
-			}
-			if err := plant.Dispatch(pending[k], gm, gc); err != nil {
-				return nil, err
-			}
-			pending[k] = nil
-		}
-
-		if err := plant.Advance(t + cfg.PeriodSeconds); err != nil {
-			return nil, err
-		}
-
-		// Harvest.
-		arrived, completed := 0, 0
-		respSum, busySum, demandSum := 0.0, 0.0, 0.0
-		busyN := 0
-		for i := range spec.Modules {
-			agg, _, err := plant.ModuleIntervalStats(i)
-			if err != nil {
-				return nil, err
-			}
-			arrived += agg.Arrived
-			completed += agg.Completed
-			if agg.Completed > 0 {
-				respSum += agg.MeanResponse * float64(agg.Completed)
-				demandSum += agg.MeanDemand * float64(agg.Completed)
-			}
-			busySum += agg.Busy * float64(len(spec.Modules[i].Computers))
-			busyN += len(spec.Modules[i].Computers)
-		}
-		lastRate = float64(arrived) / cfg.PeriodSeconds
-		if op := plant.OperationalComputers(); op > 0 && busyN > 0 {
-			// Utilization over operational computers only.
-			lastUtil = busySum / float64(op)
-			if lastUtil > 1 {
-				lastUtil = 1
-			}
-		}
-		mean := 0.0
-		if completed > 0 {
-			mean = respSum / float64(completed)
-			cHat = 0.9*cHat + 0.1*demandSum/float64(completed)
-			respBins++
-			if mean > cfg.TargetResponse {
-				violations++
-			}
-		}
-		res.ResponseMean.Values = append(res.ResponseMean.Values, mean)
-	}
-
-	// Events quantized exactly to the final boundary still fire before
-	// the drain, matching the hierarchical engine.
-	if err := plant.ApplyPlannedFailures(cfg.Failures, failAt, steps); err != nil {
-		return nil, err
-	}
-	end := preroll + float64(steps)*cfg.PeriodSeconds
-	if err := plant.Advance(end + cfg.DrainSeconds); err != nil {
-		return nil, err
-	}
-	plant.FinishAccounting()
-	res.Energy = plant.Accountant().TotalEnergy()
-	res.Switches = plant.Accountant().TotalSwitches()
-	var respAll float64
-	var respCount int64
-	for _, s := range slots {
-		comp, err := plant.Computer(s.i, s.j)
-		if err != nil {
-			return nil, err
-		}
-		res.Completed += comp.TotalCompleted()
-		res.Dropped += comp.TotalDropped()
-		respAll += comp.LifetimeResponse().Mean() * float64(comp.LifetimeResponse().Count())
-		respCount += comp.LifetimeResponse().Count()
-	}
-	if respCount > 0 {
-		res.MeanResponse = respAll / float64(respCount)
-	}
-	res.ResponseP95 = plant.Latencies().Quantile(0.95)
-	if respBins > 0 {
-		res.ViolationFrac = float64(violations) / float64(respBins)
-	}
-	return res, nil
+	return h, finalize, nil
 }

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"hierctl/internal/cluster"
-	"hierctl/internal/des"
+	"hierctl/internal/engine"
 	"hierctl/internal/forecast"
 	"hierctl/internal/series"
 	"hierctl/internal/workload"
@@ -57,12 +57,183 @@ type Result struct {
 	ViolationFrac     float64
 	ExploredPerStep   float64
 	DecideTimePerStep time.Duration // wall-clock per decision
-	Operational       *series.Series
+	// Spilled counts requests folded into the final sub-period by the
+	// trace-end rounding edge (see engine.Harness.Spilled).
+	Spilled     int64
+	Operational *series.Series
+}
+
+// runner adapts the flat controller onto the shared simulation engine,
+// holding the estimator chain (Kalman arrival forecast, uncertainty band,
+// processing-time EWMA) and the queue/gamma state the controller observes.
+type runner struct {
+	spec cluster.Spec
+	cfg  RunnerConfig
+
+	ctl    *Controller
+	kalman *forecast.Kalman
+	band   *forecast.Band
+	cEst   *forecast.EWMA
+
+	plant *cluster.Plant
+	slots []slot
+
+	decideEvery   int
+	queues        []float64
+	gamma         []float64
+	arrivedPeriod int
+	violations    int
+	respBins      int
+	cHat          float64
+
+	res *Result
+}
+
+type slot struct{ i, j int }
+
+// Name implements engine.Policy.
+func (r *runner) Name() string { return "centralized" }
+
+// Init implements engine.Policy: the plant arrives warm; the adapter
+// flattens the cluster and seeds the controller-visible state.
+func (r *runner) Init(p *cluster.Plant) error {
+	r.plant = p
+	preroll := 0.0
+	for i := range r.spec.Modules {
+		for j := range r.spec.Modules[i].Computers {
+			r.slots = append(r.slots, slot{i, j})
+			if d := r.spec.Modules[i].Computers[j].BootDelaySeconds; d > preroll {
+				preroll = d
+			}
+		}
+	}
+	tl0 := r.cfg.Controller.SubPeriodSeconds
+	r.decideEvery = int(r.cfg.Controller.PeriodSeconds/tl0 + 0.5)
+	r.res = &Result{Operational: series.New(preroll, r.cfg.Controller.PeriodSeconds, 0)}
+	r.queues = make([]float64, len(r.slots))
+	r.gamma = append([]float64(nil), r.ctl.prevGamma...)
+	r.cHat = r.cfg.DefaultCHat
+	return nil
+}
+
+// Decide implements engine.Policy: at the controller period the estimator
+// chain updates and the exhaustive controller picks the joint
+// (alpha, gamma, phi) setting, which is actuated immediately; every
+// sub-period the tick's arrivals dispatch under the current fractions.
+func (r *runner) Decide(k int, obs engine.TickObs) (engine.Settings, error) {
+	if k%r.decideEvery == 0 {
+		if k > 0 {
+			prior := r.kalman.Observe(float64(r.arrivedPeriod))
+			if r.kalman.Steps() > 1 {
+				r.band.Observe(prior, float64(r.arrivedPeriod))
+			}
+			r.arrivedPeriod = 0
+		}
+		avail := make([]bool, len(r.slots))
+		for idx, s := range r.slots {
+			comp, err := r.plant.Computer(s.i, s.j)
+			if err != nil {
+				return engine.Settings{}, err
+			}
+			avail[idx] = comp.State() != cluster.Failed
+		}
+		dec, err := r.ctl.Decide(Observation{
+			QueueLens: r.queues,
+			LambdaHat: math.Max(0, r.kalman.Forecast(1)) / r.cfg.Controller.PeriodSeconds,
+			Delta:     r.band.Delta() / r.cfg.Controller.PeriodSeconds,
+			CHat:      r.cHat,
+			Available: avail,
+		})
+		if err != nil {
+			return engine.Settings{}, err
+		}
+		for idx, s := range r.slots {
+			comp, err := r.plant.Computer(s.i, s.j)
+			if err != nil {
+				return engine.Settings{}, err
+			}
+			operational := comp.State() == cluster.PowerOn || comp.State() == cluster.Booting
+			if dec.Alpha[idx] && !operational {
+				if err := r.plant.PowerOn(s.i, s.j); err != nil {
+					return engine.Settings{}, err
+				}
+			}
+			if !dec.Alpha[idx] && operational {
+				if err := r.plant.PowerOff(s.i, s.j); err != nil {
+					return engine.Settings{}, err
+				}
+			}
+			if err := r.plant.SetFrequency(s.i, s.j, dec.FreqIdx[idx]); err != nil {
+				return engine.Settings{}, err
+			}
+		}
+		r.gamma = dec.Gamma
+		r.res.Operational.Values = append(r.res.Operational.Values, float64(r.plant.OperationalComputers()))
+	}
+
+	if obs.PendingRequests == 0 {
+		return engine.Settings{}, nil
+	}
+	// Dispatch per the joint fractions, zeroing non-serving targets.
+	gm := make([]float64, len(r.spec.Modules))
+	gc := make([][]float64, len(r.spec.Modules))
+	for i := range r.spec.Modules {
+		gc[i] = make([]float64, len(r.spec.Modules[i].Computers))
+	}
+	for idx, s := range r.slots {
+		comp, err := r.plant.Computer(s.i, s.j)
+		if err != nil {
+			return engine.Settings{}, err
+		}
+		if comp.State() == cluster.PowerOn {
+			gc[s.i][s.j] = r.gamma[idx]
+			gm[s.i] += r.gamma[idx]
+		}
+	}
+	return engine.Settings{GammaModules: gm, GammaComputers: gc}, nil
+}
+
+// Observe implements engine.Policy: fold the sub-period's harvest into the
+// queue snapshot, arrival accumulator, processing-time EWMA, and QoS
+// accounting.
+func (r *runner) Observe(k int, stats []engine.ModuleStats) error {
+	arrived, completed := 0, 0
+	respSum, demandSum := 0.0, 0.0
+	qi := 0
+	for _, st := range stats {
+		agg := st.Agg
+		arrived += agg.Arrived
+		completed += agg.Completed
+		if agg.Completed > 0 {
+			respSum += agg.MeanResponse * float64(agg.Completed)
+			demandSum += agg.MeanDemand * float64(agg.Completed)
+		}
+		for _, p := range st.Per {
+			r.queues[qi] = float64(p.QueueLen)
+			qi++
+		}
+	}
+	r.arrivedPeriod += arrived
+	if completed > 0 {
+		if r.cEst.Observe(demandSum / float64(completed)); r.cEst.Started() {
+			r.cHat = r.cEst.Value()
+		}
+		r.respBins++
+		if respSum/float64(completed) > r.cfg.Controller.TargetResponse {
+			r.violations++
+		}
+	}
+	return nil
 }
 
 // Run simulates the flat controller against the plant for the whole
 // trace. The trace bin width must be an integer multiple of the
 // controller's sub-period.
+//
+// Run is a thin adapter over the shared simulation engine (see
+// internal/engine): the harness owns the mechanics, the runner above owns
+// the control. Results are bit-identical to the package's historical
+// private loop, kept as the oracle in legacy_oracle_test.go.
 func Run(spec cluster.Spec, trace *series.Series, store *workload.Store, cfg RunnerConfig) (*Result, error) {
 	if err := cfg.Controller.Validate(); err != nil {
 		return nil, err
@@ -70,32 +241,9 @@ func Run(spec cluster.Spec, trace *series.Series, store *workload.Store, cfg Run
 	if trace == nil || trace.Len() == 0 {
 		return nil, fmt.Errorf("central: empty trace")
 	}
-	sub := int(trace.Step/cfg.Controller.SubPeriodSeconds + 0.5)
-	if sub < 1 || math.Abs(float64(sub)*cfg.Controller.SubPeriodSeconds-trace.Step) > 1e-6 {
-		return nil, fmt.Errorf("central: trace bin %vs not a multiple of sub-period %vs", trace.Step, cfg.Controller.SubPeriodSeconds)
-	}
-	plant, err := cluster.NewPlant(spec, des.RNG(cfg.Seed, "central-dispatch"))
-	if err != nil {
-		return nil, err
-	}
-	gen, err := workload.NewGenerator(trace, store, des.RNG(cfg.Seed, "central-workload"))
-	if err != nil {
-		return nil, err
-	}
-
-	// Flatten the cluster.
-	type slot struct{ i, j int }
-	var slots []slot
 	var specs []cluster.ComputerSpec
-	preroll := 0.0
 	for i := range spec.Modules {
-		for j := range spec.Modules[i].Computers {
-			slots = append(slots, slot{i, j})
-			specs = append(specs, spec.Modules[i].Computers[j])
-			if d := spec.Modules[i].Computers[j].BootDelaySeconds; d > preroll {
-				preroll = d
-			}
-		}
+		specs = append(specs, spec.Modules[i].Computers...)
 	}
 	ctl, err := New(cfg.Controller, specs)
 	if err != nil {
@@ -120,197 +268,39 @@ func Run(spec cluster.Spec, trace *series.Series, store *workload.Store, cfg Run
 		return nil, err
 	}
 
-	// Warm start all-on at full speed.
-	for k, s := range slots {
-		if err := plant.PowerOn(s.i, s.j); err != nil {
-			return nil, err
-		}
-		if err := plant.SetFrequency(s.i, s.j, len(specs[k].FrequenciesHz)-1); err != nil {
-			return nil, err
-		}
-	}
-	if preroll > 0 {
-		if err := plant.Advance(preroll); err != nil {
-			return nil, err
-		}
-		for i := range spec.Modules {
-			if _, _, err := plant.ModuleIntervalStats(i); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	tl0 := cfg.Controller.SubPeriodSeconds
-	steps := trace.Len() * sub
-	decideEvery := int(cfg.Controller.PeriodSeconds/tl0 + 0.5)
-	res := &Result{Operational: series.New(preroll, cfg.Controller.PeriodSeconds, 0)}
-	pending := make([][]workload.Request, steps)
-	queues := make([]float64, len(slots))
-	gamma := append([]float64(nil), ctl.prevGamma...)
-	arrivedPeriod := 0
-	violations, respBins := 0, 0
-	cHat := cfg.DefaultCHat
-
-	failAt := cluster.FailureSteps(cfg.Failures, tl0)
-
-	for k := 0; k < steps; k++ {
-		t := preroll + float64(k)*tl0
-		if err := plant.ApplyPlannedFailures(cfg.Failures, failAt, k); err != nil {
-			return nil, err
-		}
-		if k%sub == 0 {
-			bin, reqs, ok := gen.NextBin()
-			if !ok {
-				return nil, fmt.Errorf("central: trace exhausted at step %d", k)
-			}
-			binStart := trace.TimeAt(bin)
-			for _, req := range reqs {
-				idx := k + int((req.Arrival-binStart)/tl0)
-				if idx >= steps {
-					idx = steps - 1
-				}
-				req.Arrival += preroll - trace.Start
-				pending[idx] = append(pending[idx], req)
-			}
-		}
-
-		if k%decideEvery == 0 {
-			if k > 0 {
-				prior := kalman.Observe(float64(arrivedPeriod))
-				if kalman.Steps() > 1 {
-					band.Observe(prior, float64(arrivedPeriod))
-				}
-				arrivedPeriod = 0
-			}
-			avail := make([]bool, len(slots))
-			for idx, s := range slots {
-				comp, err := plant.Computer(s.i, s.j)
-				if err != nil {
-					return nil, err
-				}
-				avail[idx] = comp.State() != cluster.Failed
-			}
-			dec, err := ctl.Decide(Observation{
-				QueueLens: queues,
-				LambdaHat: math.Max(0, kalman.Forecast(1)) / cfg.Controller.PeriodSeconds,
-				Delta:     band.Delta() / cfg.Controller.PeriodSeconds,
-				CHat:      cHat,
-				Available: avail,
-			})
-			if err != nil {
-				return nil, err
-			}
-			for idx, s := range slots {
-				comp, err := plant.Computer(s.i, s.j)
-				if err != nil {
-					return nil, err
-				}
-				operational := comp.State() == cluster.PowerOn || comp.State() == cluster.Booting
-				if dec.Alpha[idx] && !operational {
-					if err := plant.PowerOn(s.i, s.j); err != nil {
-						return nil, err
-					}
-				}
-				if !dec.Alpha[idx] && operational {
-					if err := plant.PowerOff(s.i, s.j); err != nil {
-						return nil, err
-					}
-				}
-				if err := plant.SetFrequency(s.i, s.j, dec.FreqIdx[idx]); err != nil {
-					return nil, err
-				}
-			}
-			gamma = dec.Gamma
-			res.Operational.Values = append(res.Operational.Values, float64(plant.OperationalComputers()))
-		}
-
-		// Dispatch per the joint fractions, zeroing non-serving targets.
-		if len(pending[k]) > 0 {
-			gm := make([]float64, len(spec.Modules))
-			gc := make([][]float64, len(spec.Modules))
-			for i := range spec.Modules {
-				gc[i] = make([]float64, len(spec.Modules[i].Computers))
-			}
-			for idx, s := range slots {
-				comp, err := plant.Computer(s.i, s.j)
-				if err != nil {
-					return nil, err
-				}
-				if comp.State() == cluster.PowerOn {
-					gc[s.i][s.j] = gamma[idx]
-					gm[s.i] += gamma[idx]
-				}
-			}
-			if err := plant.Dispatch(pending[k], gm, gc); err != nil {
-				return nil, err
-			}
-			pending[k] = nil
-		}
-
-		if err := plant.Advance(t + tl0); err != nil {
-			return nil, err
-		}
-
-		arrived, completed := 0, 0
-		respSum, demandSum := 0.0, 0.0
-		qi := 0
-		for i := range spec.Modules {
-			agg, per, err := plant.ModuleIntervalStats(i)
-			if err != nil {
-				return nil, err
-			}
-			arrived += agg.Arrived
-			completed += agg.Completed
-			if agg.Completed > 0 {
-				respSum += agg.MeanResponse * float64(agg.Completed)
-				demandSum += agg.MeanDemand * float64(agg.Completed)
-			}
-			for _, st := range per {
-				queues[qi] = float64(st.QueueLen)
-				qi++
-			}
-		}
-		arrivedPeriod += arrived
-		if completed > 0 {
-			if cEst.Observe(demandSum / float64(completed)); cEst.Started() {
-				cHat = cEst.Value()
-			}
-			respBins++
-			if respSum/float64(completed) > cfg.Controller.TargetResponse {
-				violations++
-			}
-		}
-	}
-
-	// Events quantized exactly to the final boundary still fire before
-	// the drain, matching the hierarchical engine.
-	if err := plant.ApplyPlannedFailures(cfg.Failures, failAt, steps); err != nil {
+	r := &runner{spec: spec, cfg: cfg, ctl: ctl, kalman: kalman, band: band, cEst: cEst}
+	h, err := engine.New(engine.Config{
+		Spec:           spec,
+		Seed:           cfg.Seed,
+		DispatchStream: "central-dispatch",
+		WorkloadStream: "central-workload",
+		PeriodSeconds:  cfg.Controller.SubPeriodSeconds,
+		BinSeconds:     trace.Step,
+		Start:          trace.Start,
+		TotalBins:      trace.Len(),
+		DrainSeconds:   cfg.DrainSeconds,
+		Failures:       cfg.Failures,
+		Spread:         engine.SpreadRunArray,
+	}, store, r)
+	if err != nil {
 		return nil, err
 	}
-	end := preroll + float64(steps)*tl0
-	if err := plant.Advance(end + cfg.DrainSeconds); err != nil {
+	if err := h.RunTrace(trace); err != nil {
 		return nil, err
 	}
-	plant.FinishAccounting()
-	res.Energy = plant.Accountant().TotalEnergy()
-	res.Switches = plant.Accountant().TotalSwitches()
-	var respAll float64
-	var respCount int64
-	for _, s := range slots {
-		comp, err := plant.Computer(s.i, s.j)
-		if err != nil {
-			return nil, err
-		}
-		res.Completed += comp.TotalCompleted()
-		res.Dropped += comp.TotalDropped()
-		respAll += comp.LifetimeResponse().Mean() * float64(comp.LifetimeResponse().Count())
-		respCount += comp.LifetimeResponse().Count()
+	tot, err := h.Totals()
+	if err != nil {
+		return nil, err
 	}
-	if respCount > 0 {
-		res.MeanResponse = respAll / float64(respCount)
-	}
-	if respBins > 0 {
-		res.ViolationFrac = float64(violations) / float64(respBins)
+	res := r.res
+	res.Energy = tot.Energy
+	res.Switches = tot.Switches
+	res.Completed = tot.Completed
+	res.Dropped = tot.Dropped
+	res.MeanResponse = tot.MeanResponse
+	res.Spilled = h.Spilled()
+	if r.respBins > 0 {
+		res.ViolationFrac = float64(r.violations) / float64(r.respBins)
 	}
 	explored, decisions, compute := ctl.Overhead()
 	if decisions > 0 {

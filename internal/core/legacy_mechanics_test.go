@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/des"
+	"hierctl/internal/engine"
+	"hierctl/internal/forecast"
+	"hierctl/internal/par"
+	"hierctl/internal/series"
+	"hierctl/internal/workload"
+)
+
+// legacyMechanicsRun reproduces the package's pre-engine session mechanics
+// verbatim — own plant and feed, pending ring indexed by step mod sub,
+// ceil-quantized failure schedule, dispatch/advance/harvest loop — while
+// driving the same policy hooks (initPolicy, Decide, Observe, finish) the
+// engine harness calls. It is the equivalence oracle for the engine
+// migration: Manager.Run must keep producing bit-identical Records against
+// an independent implementation of the mechanics. Do not modify it.
+func legacyMechanicsRun(m *Manager, trace *series.Series, store *workload.Store) (*Record, error) {
+	binStep, start0 := trace.Step, trace.Start
+	tl0 := m.cfg.L0.PeriodSeconds
+	sub := int(binStep/tl0 + 0.5)
+	if sub < 1 || math.Abs(float64(sub)*tl0-binStep) > 1e-6 {
+		return nil, fmt.Errorf("mechanics oracle: trace bin %vs is not a multiple of T_L0 %vs", binStep, tl0)
+	}
+	r := &run{
+		m:       m,
+		trace:   trace,
+		sub:     sub,
+		tl0:     tl0,
+		binStep: binStep,
+		start0:  start0,
+		l1Every: int(m.cfg.L1.PeriodSeconds/tl0 + 0.5),
+		l2Every: int(m.cfg.L2.PeriodSeconds/tl0 + 0.5),
+		workers: par.Workers(m.cfg.Parallelism),
+	}
+	r.totalSteps = trace.Len() * sub
+
+	plant, err := cluster.NewPlant(m.spec, des.RNG(m.cfg.Seed, "dispatch"))
+	if err != nil {
+		return nil, err
+	}
+	feed, err := workload.NewFeed(start0, binStep, store, des.RNG(m.cfg.Seed, "workload"))
+	if err != nil {
+		return nil, err
+	}
+
+	// Kalman tuning and estimator resets, as NewSession performs them.
+	prefixBins := int(float64(trace.Len()) * m.cfg.TunePrefixFrac)
+	cal := trace.Values[:prefixBins]
+	ql, qt, ro := 1.0, 0.1, 10.0
+	if len(cal) >= 8 {
+		tuned, _, err := forecast.TuneKalman(cal)
+		if err != nil {
+			return nil, err
+		}
+		ql, qt, ro = tuned.Params()
+	}
+	newKalman := func() (*forecast.Kalman, error) { return forecast.NewKalman(ql, qt, ro) }
+	for _, asm := range m.modules {
+		if asm.kalman0, err = newKalman(); err != nil {
+			return nil, err
+		}
+		if asm.kalman1, err = newKalman(); err != nil {
+			return nil, err
+		}
+		asm.lastPer = make([]cluster.IntervalStats, len(asm.specs))
+		asm.lastAgg = cluster.IntervalStats{}
+		asm.arrivedTL1 = 0
+		asm.hasPredicted = false
+		asm.pendingRatio = 1
+		asm.l0Ratio = 1
+	}
+	if m.kalmanG, err = newKalman(); err != nil {
+		return nil, err
+	}
+	if m.bandG, err = forecast.NewBand(m.cfg.BandSmoothing); err != nil {
+		return nil, err
+	}
+
+	// Warm start all-on at full speed, then pre-roll through the boot.
+	for i, asm := range m.modules {
+		for j := range asm.specs {
+			if err := plant.PowerOn(i, j); err != nil {
+				return nil, err
+			}
+			if err := plant.SetFrequency(i, j, len(asm.specs[j].FrequenciesHz)-1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	preroll := m.maxBootDelay()
+	if preroll > 0 {
+		if err := plant.Advance(preroll); err != nil {
+			return nil, err
+		}
+		for i := range m.modules {
+			if _, _, err := plant.ModuleIntervalStats(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := r.initPolicy(plant); err != nil {
+		return nil, err
+	}
+
+	// Legacy mechanics state: the pending ring, the quantized failure
+	// schedule, and the step index.
+	pending := make([][]workload.Request, sub)
+	failAt := make([]int, len(m.failures))
+	for idx, f := range m.failures {
+		failAt[idx] = int(math.Ceil(f.at / tl0))
+	}
+	applyFailures := func(k int) error {
+		for idx, f := range m.failures {
+			if failAt[idx] != k {
+				continue
+			}
+			var err error
+			if f.isRepair {
+				err = plant.Repair(f.module, f.comp)
+			} else {
+				err = plant.Fail(f.module, f.comp)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	stepIdx := 0
+	steps := trace.Len() * sub
+	for _, count := range trace.Values {
+		bin, reqs := feed.Push(count)
+		binStart := start0 + float64(bin)*binStep
+		for _, req := range reqs {
+			d := int((req.Arrival - binStart) / tl0)
+			if d < 0 {
+				d = 0
+			}
+			if d >= sub {
+				d = sub - 1
+			}
+			req.Arrival += preroll - start0
+			slot := (stepIdx + d) % sub
+			pending[slot] = append(pending[slot], req)
+		}
+		for dstep := 0; dstep < sub; dstep++ {
+			k := stepIdx
+			t := preroll + float64(k)*tl0
+			if err := applyFailures(k); err != nil {
+				return nil, err
+			}
+			slot := k % sub
+			set, err := r.Decide(k, engine.TickObs{
+				Time:            t,
+				PendingRequests: len(pending[slot]),
+				NewBin:          dstep == 0,
+				Bin:             bin,
+				BinCount:        count,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if batch := pending[slot]; len(batch) > 0 {
+				pending[slot] = nil
+				if err := plant.Dispatch(batch, set.GammaModules, set.GammaComputers); err != nil {
+					return nil, err
+				}
+			}
+			if err := plant.Advance(t + tl0); err != nil {
+				return nil, err
+			}
+			stats := make([]engine.ModuleStats, len(m.modules))
+			for i := range m.modules {
+				agg, per, err := plant.ModuleIntervalStats(i)
+				if err != nil {
+					return nil, err
+				}
+				stats[i] = engine.ModuleStats{Agg: agg, Per: per}
+			}
+			if err := r.Observe(k, stats); err != nil {
+				return nil, err
+			}
+			stepIdx++
+		}
+	}
+	if err := applyFailures(stepIdx); err != nil {
+		return nil, err
+	}
+	end := preroll + float64(steps)*tl0
+	if err := plant.Advance(end + m.cfg.DrainSeconds); err != nil {
+		return nil, err
+	}
+	plant.FinishAccounting()
+	return r.finish()
+}
+
+// TestRunMatchesLegacyMechanics pins the engine migration for the
+// hierarchy: the harness-backed Manager.Run must reproduce the legacy
+// session mechanics bit-for-bit across the scenario registry, multiple
+// seeds, and both sequential and fanned-out L1 planning. Wall-clock
+// overhead fields are the only nondeterministic ones and are zeroed.
+func TestRunMatchesLegacyMechanics(t *testing.T) {
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 2), moduleOf("M2", 2)}}
+
+	for _, sc := range workload.Scenarios() {
+		if sc.NeedsArg {
+			continue
+		}
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				trace, err := sc.Trace(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc.ScaleToCluster(trace, 4)
+				if trace.Len() > 24 {
+					trace = trace.Slice(0, 24)
+				}
+				plan := sc.FailurePlan(trace)
+				cfg := fastConfig()
+				cfg.Seed = seed
+				// Sweep the L1 planning fan-out: the plans are applied in
+				// module order regardless, so results must not depend on it.
+				cfg.Parallelism = 1
+				if seed%2 == 0 {
+					cfg.Parallelism = 4
+				}
+
+				newStore := func() *workload.Store {
+					s, err := workload.NewStore(rand.New(rand.NewSource(seed)), sc.StoreConfig())
+					if err != nil {
+						t.Fatal(err)
+					}
+					return s
+				}
+				mgrA, err := NewManager(spec, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mgrA.InjectPlan(plan)
+				want, err := legacyMechanicsRun(mgrA, trace, newStore())
+				if err != nil {
+					t.Fatalf("seed %d: legacy mechanics: %v", seed, err)
+				}
+				mgrB, err := NewManager(spec, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mgrB.InjectPlan(plan)
+				got, err := mgrB.Run(trace, newStore())
+				if err != nil {
+					t.Fatalf("seed %d: engine: %v", seed, err)
+				}
+
+				want.LearnTime, got.LearnTime = 0, 0
+				want.L0Time, got.L0Time = 0, 0
+				want.L1Time, got.L1Time = 0, 0
+				want.L2Time, got.L2Time = 0, 0
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("seed %d: engine run diverges from legacy mechanics\nlegacy: %+v\nengine: %+v", seed, want, got)
+				}
+			}
+		})
+	}
+}

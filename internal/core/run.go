@@ -6,6 +6,7 @@ import (
 
 	"hierctl/internal/cluster"
 	"hierctl/internal/controller"
+	"hierctl/internal/engine"
 	"hierctl/internal/par"
 	"hierctl/internal/series"
 	"hierctl/internal/workload"
@@ -35,8 +36,12 @@ func (m *Manager) Run(trace *series.Series, store *workload.Store) (*Record, err
 	return s.Finish()
 }
 
-// run carries the state of one simulation, advanced one T_L0 step at a
-// time by the owning Session.
+// run is the hierarchy's engine.Policy adapter: the shared harness
+// (internal/engine) owns the clock, request feed, failure schedule,
+// dispatch, and plant advance; run owns the L2/L1/L0 control flow and the
+// record. Decide runs the three levels at their cadences and returns the
+// dispatch fractions; Observe folds the harvested interval back into the
+// estimators.
 type run struct {
 	m       *Manager
 	trace   *series.Series // full trace when known up front; nil when streaming
@@ -52,20 +57,13 @@ type run struct {
 	// oracle lookups); 0 when streaming.
 	totalSteps int
 
-	plant   *cluster.Plant
-	feed    *workload.Feed
+	plant   *cluster.Plant // set by the harness via initPolicy
 	preroll float64
-	stepIdx int   // next T_L0 step index
-	failAt  []int // failure step indices aligned with m.failures
 
 	rec *Record
 	// observed collects the ingested arrival counts when no trace was
 	// given up front; it then serves as Record.Trace.
 	observed *series.Series
-
-	// pending holds request batches awaiting dispatch: a ring with one
-	// slot per T_L0 step of the current bin, indexed by step mod sub.
-	pending [][]workload.Request
 
 	// freqIdx is the last L0 frequency decision per computer (-1 while
 	// off or failed), captured for the per-bin decision payload.
@@ -100,46 +98,30 @@ func capacities(specs []cluster.ComputerSpec) []float64 {
 	return out
 }
 
-// applyFailures fires the failure and repair injections quantized to step
-// boundary k, in injection order — the order the batch engine's event
-// calendar replayed them in.
-func (r *run) applyFailures(k int) error {
-	for idx, f := range r.m.failures {
-		if r.failAt[idx] != k {
-			continue
-		}
-		var err error
-		if f.isRepair {
-			err = r.plant.Repair(f.module, f.comp)
-		} else {
-			err = r.plant.Fail(f.module, f.comp)
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// Name implements engine.Policy.
+func (r *run) Name() string { return "hierarchical-llc" }
 
-// step runs one T_L0 control period starting at step index k.
-func (r *run) step(k int) error {
+// Init implements engine.Policy (see initPolicy in session.go: the L1
+// state seeding and record construction live next to NewSession, whose
+// estimator setup they complete).
+func (r *run) Init(p *cluster.Plant) error { return r.initPolicy(p) }
+
+// Decide implements engine.Policy: one T_L0 control period at step index
+// k. The failure schedule has already fired for this boundary (the
+// harness applies it ahead of the controllers, matching the event
+// calendar's replay order); the returned fractions dispatch this step's
+// arrivals.
+func (r *run) Decide(k int, obs engine.TickObs) (engine.Settings, error) {
 	m := r.m
-	t := r.preroll + float64(k)*r.tl0
 
-	// (1) Failure injections land ahead of the controllers at the same
-	// boundary.
-	if err := r.applyFailures(k); err != nil {
-		return err
-	}
-
-	// (2) L2: redistribute load across modules.
+	// (1) L2: redistribute load across modules.
 	if m.l2 != nil && k%r.l2Every == 0 {
 		if err := r.decideL2(k); err != nil {
-			return err
+			return engine.Settings{}, err
 		}
 	}
 
-	// (3) L1 per module: operating states and within-module fractions.
+	// (2) L1 per module: operating states and within-module fractions.
 	// The modules' searches are independent (§3's decomposition), so the
 	// planning fans out across the worker pool; plant mutations and
 	// record appends are applied sequentially in module order afterwards,
@@ -151,53 +133,51 @@ func (r *run) step(k int) error {
 			plans[i], err = r.planL1(i, k)
 			return err
 		}); err != nil {
-			return err
+			return engine.Settings{}, err
 		}
 		for i := range m.modules {
 			if err := r.applyL1(i, plans[i]); err != nil {
-				return err
+				return engine.Settings{}, err
 			}
 		}
 		r.rec.Operational.Values = append(r.rec.Operational.Values, float64(r.plant.OperationalComputers()))
 	}
 
-	// (4) L0 per computer: frequency for the next period.
+	// (3) L0 per computer: frequency for the next period.
 	for i, asm := range m.modules {
 		if err := r.decideL0(i, asm, k); err != nil {
-			return err
+			return engine.Settings{}, err
 		}
 	}
 
-	// (5) Dispatch this step's arrivals under the current fractions.
-	if err := r.dispatch(k); err != nil {
-		return err
+	// (4) Dispatch fractions for this step's arrivals. Only computers that
+	// are fully on receive weight — booting machines would sit on requests
+	// for up to the boot delay; the plant renormalizes the rest.
+	if obs.PendingRequests == 0 {
+		return engine.Settings{}, nil
 	}
-
-	// (6) Advance the plant through the period and harvest observations.
-	if err := r.plant.Advance(t + r.tl0); err != nil {
-		return err
-	}
-	return r.observe()
-}
-
-// spreadBin splits one observation bin's requests into the per-T_L0-step
-// pending ring (arrival times are shifted by the pre-roll).
-func (r *run) spreadBin(bin int, reqs []workload.Request) {
-	binStart := r.start0 + float64(bin)*r.binStep
-	for _, req := range reqs {
-		d := int((req.Arrival - binStart) / r.tl0)
-		if d < 0 {
-			d = 0
+	gm := r.gammaModules
+	if gm == nil {
+		gm = make([]float64, len(m.modules))
+		for i := range gm {
+			gm[i] = 1 / float64(len(gm))
 		}
-		if d >= r.sub {
-			d = r.sub - 1
-		}
-		// Rebase onto the simulation clock: workload time zero is the end
-		// of the pre-roll (traces sliced mid-day have non-zero Start).
-		req.Arrival += r.preroll - r.start0
-		slot := (r.stepIdx + d) % r.sub
-		r.pending[slot] = append(r.pending[slot], req)
 	}
+	gc := make([][]float64, len(m.modules))
+	for i, asm := range m.modules {
+		weights := make([]float64, len(asm.specs))
+		for j := range asm.specs {
+			comp, err := r.plant.Computer(i, j)
+			if err != nil {
+				return engine.Settings{}, err
+			}
+			if comp.State() == cluster.PowerOn {
+				weights[j] = asm.gamma[j]
+			}
+		}
+		gc[i] = weights
+	}
+	return engine.Settings{GammaModules: gm, GammaComputers: gc}, nil
 }
 
 // decideL2 runs the cluster-level controller and stores its fractions.
@@ -436,51 +416,14 @@ func (r *run) recordFreq(name string, hz float64) {
 	}
 }
 
-// dispatch routes this step's arrivals. Only computers that are fully on
-// receive weight — booting machines would sit on requests for up to the
-// boot delay; the plant renormalizes the remaining fractions.
-func (r *run) dispatch(k int) error {
-	slot := k % r.sub
-	reqs := r.pending[slot]
-	r.pending[slot] = nil
-	if len(reqs) == 0 {
-		return nil
-	}
-	gm := r.gammaModules
-	if gm == nil {
-		gm = make([]float64, len(r.m.modules))
-		for i := range gm {
-			gm[i] = 1 / float64(len(gm))
-		}
-	}
-	gc := make([][]float64, len(r.m.modules))
-	for i, asm := range r.m.modules {
-		weights := make([]float64, len(asm.specs))
-		for j := range asm.specs {
-			comp, err := r.plant.Computer(i, j)
-			if err != nil {
-				return err
-			}
-			if comp.State() == cluster.PowerOn {
-				weights[j] = asm.gamma[j]
-			}
-		}
-		gc[i] = weights
-	}
-	return r.plant.Dispatch(reqs, gm, gc)
-}
-
-// observe harvests the plant interval that just completed and updates the
-// estimators and records.
-func (r *run) observe() error {
+// Observe implements engine.Policy: fold the plant interval the harness
+// just harvested into the estimators and records.
+func (r *run) Observe(k int, stats []engine.ModuleStats) error {
 	m := r.m
 	var respSum float64
 	var respN int
 	for i, asm := range m.modules {
-		agg, per, err := r.plant.ModuleIntervalStats(i)
-		if err != nil {
-			return err
-		}
+		agg, per := stats[i].Agg, stats[i].Per
 		asm.lastAgg = agg
 		asm.lastPer = per
 		prior := asm.kalman0.Observe(float64(agg.Arrived))
@@ -564,10 +507,10 @@ func moduleAvailable(p *cluster.Plant, i int) bool {
 	return false
 }
 
-// finish assembles the Record.
+// finish assembles the Record. The harness has already drained in-flight
+// work and closed the energy accounting.
 func (r *run) finish() (*Record, error) {
 	m := r.m
-	r.plant.FinishAccounting()
 	rec := r.rec
 
 	// Assemble the Fig. 4 prediction series: per T_L1 boundary, sum the

@@ -2,11 +2,10 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"hierctl/internal/cluster"
 	"hierctl/internal/controller"
-	"hierctl/internal/des"
+	"hierctl/internal/engine"
 	"hierctl/internal/forecast"
 	"hierctl/internal/par"
 	"hierctl/internal/series"
@@ -46,10 +45,17 @@ type SessionConfig struct {
 // produces. A session fed a trace's bins in order is bit-identical to
 // Manager.Run over that trace.
 //
+// The mechanics — clock, pre-roll, request feed, failure schedule,
+// dispatch, plant advance, harvest — live in the shared simulation engine
+// (internal/engine); the session's run adapter implements engine.Policy
+// and owns only the hierarchy's control flow. The pre-engine mechanics
+// survive verbatim as the test oracle in legacy_mechanics_test.go.
+//
 // A Manager supports one live session at a time — NewSession resets the
 // hierarchy's estimator state. Sessions are not safe for concurrent use.
 type Session struct {
 	r        *run
+	h        *engine.Harness
 	finished bool
 }
 
@@ -86,9 +92,9 @@ type ModuleDecision struct {
 }
 
 // NewSession builds the runtime state for an incremental run: the plant is
-// booted and pre-rolled, the Kalman filters are tuned on the calibration
-// prefix, and the request feed is seeded. See SessionConfig for the online
-// vs batch modes.
+// booted and pre-rolled by the engine harness, the Kalman filters are
+// tuned on the calibration prefix, and the request feed is seeded. See
+// SessionConfig for the online vs batch modes.
 func (m *Manager) NewSession(store *workload.Store, sc SessionConfig) (*Session, error) {
 	if store == nil {
 		return nil, fmt.Errorf("core: nil store")
@@ -101,8 +107,8 @@ func (m *Manager) NewSession(store *workload.Store, sc SessionConfig) (*Session,
 		binStep, start0 = sc.Trace.Step, sc.Trace.Start
 	}
 	tl0 := m.cfg.L0.PeriodSeconds
-	sub := int(binStep/tl0 + 0.5)
-	if sub < 1 || math.Abs(float64(sub)*tl0-binStep) > 1e-6 {
+	sub, err := series.SubSteps(binStep, tl0)
+	if err != nil {
 		return nil, fmt.Errorf("core: trace bin %vs is not a multiple of T_L0 %vs", binStep, tl0)
 	}
 	if m.cfg.OracleForecast && sc.Trace == nil {
@@ -119,18 +125,10 @@ func (m *Manager) NewSession(store *workload.Store, sc SessionConfig) (*Session,
 		l2Every: int(m.cfg.L2.PeriodSeconds/tl0 + 0.5),
 		workers: par.Workers(m.cfg.Parallelism),
 	}
+	totalBins := 0
 	if sc.Trace != nil {
-		r.totalSteps = sc.Trace.Len() * sub
-	}
-
-	plant, err := cluster.NewPlant(m.spec, des.RNG(m.cfg.Seed, "dispatch"))
-	if err != nil {
-		return nil, err
-	}
-	r.plant = plant
-	r.feed, err = workload.NewFeed(start0, binStep, store, des.RNG(m.cfg.Seed, "workload"))
-	if err != nil {
-		return nil, err
+		totalBins = sc.Trace.Len()
+		r.totalSteps = totalBins * sub
 	}
 
 	// Tune Kalman noise parameters on the calibration prefix (§4.3). The
@@ -171,44 +169,64 @@ func (m *Manager) NewSession(store *workload.Store, sc SessionConfig) (*Session,
 		return nil, err
 	}
 
-	// Pre-roll: boot every computer at t = 0 at full frequency; the
-	// controllers scale down immediately if the load does not justify it.
+	// The failure schedule, quantized to T_L0 boundaries, goes to the
+	// harness as a scenario plan (InjectPlan and the harness skip invalid
+	// indices identically).
+	plan := make([]workload.FailureEvent, len(m.failures))
+	for idx, f := range m.failures {
+		plan[idx] = workload.FailureEvent{At: f.at, Module: f.module, Comp: f.comp, Repair: f.isRepair}
+	}
+
+	h, err := engine.New(engine.Config{
+		Spec:           m.spec,
+		Seed:           m.cfg.Seed,
+		DispatchStream: "dispatch",
+		WorkloadStream: "workload",
+		PeriodSeconds:  tl0,
+		BinSeconds:     binStep,
+		Start:          start0,
+		TotalBins:      totalBins,
+		DrainSeconds:   m.cfg.DrainSeconds,
+		Failures:       plan,
+		Spread:         engine.SpreadBinRing,
+	}, store, r)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Trace == nil {
+		// Streaming: collect the ingested counts so the record still
+		// carries the workload it ran against.
+		r.observed = series.New(start0, binStep, 0)
+		r.rec.Trace = r.observed
+	}
+	return &Session{r: r, h: h}, nil
+}
+
+// initPolicy is the engine.Policy Init hook: the plant arrives warm
+// (all-on at full frequency, pre-roll advanced). It seeds the L1
+// controllers' state to the all-on configuration and builds the record.
+func (r *run) initPolicy(plant *cluster.Plant) error {
+	m := r.m
+	r.plant = plant
 	r.preroll = m.maxBootDelay()
-	for i, asm := range m.modules {
+	for _, asm := range m.modules {
 		allOn := make([]bool, len(asm.specs))
-		for j := range asm.specs {
-			if err := plant.PowerOn(i, j); err != nil {
-				return nil, err
-			}
-			if err := plant.SetFrequency(i, j, len(asm.specs[j].FrequenciesHz)-1); err != nil {
-				return nil, err
-			}
+		for j := range allOn {
 			allOn[j] = true
 		}
 		gamma, err := controller.SnapSimplex(capacities(asm.specs), allOn, m.cfg.L1.Quantum)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		asm.alpha = allOn
 		asm.gamma = gamma
 		if err := asm.l1.SetState(allOn, gamma); err != nil {
-			return nil, err
-		}
-	}
-	if r.preroll > 0 {
-		if err := plant.Advance(r.preroll); err != nil {
-			return nil, err
-		}
-		for i := range m.modules {
-			// Discard boot-interval stats.
-			if _, _, err := plant.ModuleIntervalStats(i); err != nil {
-				return nil, err
-			}
+			return err
 		}
 	}
 
 	r.rec = &Record{
-		Trace:          sc.Trace,
+		Trace:          r.trace,
 		PredictedL1:    series.New(r.preroll+m.cfg.L1.PeriodSeconds, m.cfg.L1.PeriodSeconds, 0),
 		ActualL1:       series.New(r.preroll+m.cfg.L1.PeriodSeconds, m.cfg.L1.PeriodSeconds, 0),
 		Operational:    series.New(r.preroll, m.cfg.L1.PeriodSeconds, 0),
@@ -216,12 +234,6 @@ func (m *Manager) NewSession(store *workload.Store, sc SessionConfig) (*Session,
 		FreqByComputer: map[string]*series.Series{},
 		TargetResponse: m.cfg.L0.TargetResponse,
 		LearnTime:      m.learnTime,
-	}
-	if sc.Trace == nil {
-		// Streaming: collect the ingested counts so the record still
-		// carries the workload it ran against.
-		r.observed = series.New(start0, binStep, 0)
-		r.rec.Trace = r.observed
 	}
 	if m.l2 != nil {
 		r.rec.GammaModules = make([]*series.Series, len(m.modules))
@@ -236,7 +248,6 @@ func (m *Manager) NewSession(store *workload.Store, sc SessionConfig) (*Session,
 			}
 		}
 	}
-	r.pending = make([][]workload.Request, r.sub)
 	r.freqIdx = make([][]int, len(m.modules))
 	for i, asm := range m.modules {
 		r.freqIdx[i] = make([]int, len(asm.specs))
@@ -244,11 +255,7 @@ func (m *Manager) NewSession(store *workload.Store, sc SessionConfig) (*Session,
 			r.freqIdx[i][j] = -1
 		}
 	}
-	r.failAt = make([]int, len(m.failures))
-	for idx, f := range m.failures {
-		r.failAt[idx] = int(math.Ceil(f.at / tl0))
-	}
-	return &Session{r: r}, nil
+	return nil
 }
 
 // ObserveBin ingests the next observation bin's arrival count, advances
@@ -259,29 +266,28 @@ func (s *Session) ObserveBin(count float64) (BinDecision, error) {
 		return BinDecision{}, fmt.Errorf("core: session already finished")
 	}
 	r := s.r
-	if r.trace != nil && r.feed.Bins() >= r.trace.Len() {
-		return BinDecision{}, fmt.Errorf("core: trace exhausted at bin %d", r.feed.Bins())
+	if r.trace != nil && s.h.Bins() >= r.trace.Len() {
+		return BinDecision{}, fmt.Errorf("core: trace exhausted at bin %d", s.h.Bins())
 	}
-	bin, reqs := r.feed.Push(count)
+	if err := s.h.PushBin(count); err != nil {
+		return BinDecision{}, err
+	}
 	if r.observed != nil {
 		r.observed.Values = append(r.observed.Values, count)
 	}
-	r.spreadBin(bin, reqs)
 	for d := 0; d < r.sub; d++ {
-		if err := r.step(r.stepIdx); err != nil {
+		if err := s.h.Tick(); err != nil {
 			return BinDecision{}, err
 		}
-		r.stepIdx++
 	}
-	return r.binDecision(bin), nil
+	return r.binDecision(s.h.Bins() - 1), nil
 }
 
 // Progress reports how far the session has advanced: observation bins
 // ingested, T_L0 steps run, and the simulation clock (which includes the
 // boot pre-roll).
 func (s *Session) Progress() (bins, steps int, simTime float64) {
-	r := s.r
-	return r.feed.Bins(), r.stepIdx, r.preroll + float64(r.stepIdx)*r.tl0
+	return s.h.Bins(), s.h.Ticks(), s.h.NextTickTime()
 }
 
 // Finish drains in-flight work past the last observed bin and assembles
@@ -291,17 +297,12 @@ func (s *Session) Finish() (*Record, error) {
 		return nil, fmt.Errorf("core: session already finished")
 	}
 	s.finished = true
-	r := s.r
-	// Failures quantized exactly to the final boundary still fire before
-	// the drain, matching the batch engine's event calendar.
-	if err := r.applyFailures(r.stepIdx); err != nil {
+	// The harness fires failures quantized exactly to the final boundary,
+	// drains in-flight work, and closes the energy accounting.
+	if err := s.h.Finish(); err != nil {
 		return nil, err
 	}
-	end := r.preroll + float64(r.stepIdx)*r.tl0
-	if err := r.plant.Advance(end + r.m.cfg.DrainSeconds); err != nil {
-		return nil, err
-	}
-	return r.finish()
+	return s.r.finish()
 }
 
 // binDecision assembles the decision payload after a bin's steps ran.

@@ -109,24 +109,68 @@ func (s *Simulator) ScheduleAfter(delay float64, fn func(*Simulator)) (*Event, e
 // Stop halts the run loop after the current event completes.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// purgeCancelled discards cancelled events sitting at the head of the
+// calendar so the step primitives observe only live events. Cancelled
+// events deeper in the heap are discarded lazily once they surface.
+func (s *Simulator) purgeCancelled() {
+	for len(s.queue) > 0 && s.queue[0].cancel {
+		heap.Pop(&s.queue)
+	}
+}
+
+// HasPendingEvents reports whether any live (non-cancelled) event remains
+// on the calendar.
+func (s *Simulator) HasPendingEvents() bool {
+	s.purgeCancelled()
+	return len(s.queue) > 0
+}
+
+// PeekNextEventTime returns the scheduled time of the next live event
+// without executing it, and ok=false when the calendar is empty. The clock
+// does not move. An event cancelled after being peeked will still be
+// skipped by ProcessNextEvent.
+func (s *Simulator) PeekNextEventTime() (t float64, ok bool) {
+	s.purgeCancelled()
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].time, true
+}
+
+// ProcessNextEvent pops the next live event, advances the clock to its
+// time, and runs its callback. It reports whether an event executed (false
+// on an empty calendar). Unlike Run it enforces no horizon: callers
+// sequencing multiple simulators against a shared clock peek first and
+// decide which one advances.
+func (s *Simulator) ProcessNextEvent() bool {
+	s.purgeCancelled()
+	if len(s.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&s.queue).(*Event)
+	s.now = next.time
+	s.fired++
+	next.fn(s)
+	return true
+}
+
 // Run executes events in time order until the calendar is empty, Stop is
 // called, or the clock would pass horizon (events at exactly horizon run).
 // It returns the number of events executed during the call.
+//
+// Run is a thin loop over the step primitives (PeekNextEventTime /
+// ProcessNextEvent); shared-clock drivers such as engine.MultiCluster use
+// the primitives directly to interleave several simulations in global
+// timestamp order.
 func (s *Simulator) Run(horizon float64) uint64 {
 	s.stopped = false
 	start := s.fired
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.queue[0]
-		if next.time > horizon {
+	for !s.stopped {
+		t, ok := s.PeekNextEventTime()
+		if !ok || t > horizon {
 			break
 		}
-		heap.Pop(&s.queue)
-		if next.cancel {
-			continue
-		}
-		s.now = next.time
-		s.fired++
-		next.fn(s)
+		s.ProcessNextEvent()
 	}
 	if s.now < horizon && !s.stopped {
 		// Advance the clock to the horizon so repeated Run calls observe

@@ -1,0 +1,166 @@
+package des
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// A peeked event that is cancelled before ProcessNextEvent must be skipped:
+// the cancellation contract does not depend on whether a shared-clock
+// driver already looked at the event's timestamp.
+func TestCancelAfterPeekSkipsEvent(t *testing.T) {
+	s := New()
+	ran := false
+	ev, err := s.Schedule(2, func(*Simulator) { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := false
+	if _, err := s.Schedule(3, func(*Simulator) { after = true }); err != nil {
+		t.Fatal(err)
+	}
+	tm, ok := s.PeekNextEventTime()
+	if !ok || tm != 2 {
+		t.Fatalf("PeekNextEventTime = %v, %v; want 2, true", tm, ok)
+	}
+	ev.Cancel()
+	if !s.ProcessNextEvent() {
+		t.Fatal("ProcessNextEvent = false with a live event pending")
+	}
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if !after {
+		t.Error("live event after the cancelled one did not run")
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %v, want 3 (cancelled event must not advance the clock)", s.Now())
+	}
+	if s.Fired() != 1 {
+		t.Errorf("Fired = %d, want 1", s.Fired())
+	}
+}
+
+// HasPendingEvents must see through a calendar holding only cancelled
+// events, and the step primitives must report an empty calendar.
+func TestStepPrimitivesOnCancelledOnlyCalendar(t *testing.T) {
+	s := New()
+	ev1, err := s.Schedule(1, func(*Simulator) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := s.Schedule(2, func(*Simulator) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev1.Cancel()
+	ev2.Cancel()
+	if s.HasPendingEvents() {
+		t.Error("HasPendingEvents = true with only cancelled events")
+	}
+	if _, ok := s.PeekNextEventTime(); ok {
+		t.Error("PeekNextEventTime ok = true with only cancelled events")
+	}
+	if s.ProcessNextEvent() {
+		t.Error("ProcessNextEvent = true with only cancelled events")
+	}
+	if s.Fired() != 0 {
+		t.Errorf("Fired = %d, want 0", s.Fired())
+	}
+}
+
+// Same-timestamp events must fire in insertion order when driven one
+// ProcessNextEvent call at a time — the tie-break that keeps stepped
+// execution identical to Run.
+func TestStepTieBreakByInsertionOrder(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		if _, err := s.Schedule(5, func(*Simulator) { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s.HasPendingEvents() {
+		if !s.ProcessNextEvent() {
+			t.Fatal("ProcessNextEvent = false with pending events")
+		}
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("stepped tie order = %v, want insertion order", got)
+		}
+	}
+}
+
+// Run and the stepped loop must agree on Fired, Now, and the exact event
+// order under randomized schedules, including events that schedule further
+// events and random cancellations.
+func TestRunVersusSteppedEquivalence(t *testing.T) {
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		build := func(order *[]int) *Simulator {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			s := New()
+			n := 5 + rng.Intn(40)
+			var events []*Event
+			for i := 0; i < n; i++ {
+				i := i
+				tm := rng.Float64() * 90
+				chain := rng.Intn(3) == 0
+				ev, err := s.Schedule(tm, func(sim *Simulator) {
+					*order = append(*order, i)
+					if chain {
+						if _, err := sim.ScheduleAfter(rng.Float64()*10, func(*Simulator) {
+							*order = append(*order, -i-1)
+						}); err != nil {
+							t.Error(err)
+						}
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				events = append(events, ev)
+			}
+			for _, ev := range events {
+				if rng.Intn(4) == 0 {
+					ev.Cancel()
+				}
+			}
+			return s
+		}
+
+		var orderRun []int
+		ran := build(&orderRun)
+		ran.Run(100)
+
+		var orderStep []int
+		stepped := build(&orderStep)
+		for {
+			tm, ok := stepped.PeekNextEventTime()
+			if !ok || tm > 100 {
+				break
+			}
+			stepped.ProcessNextEvent()
+		}
+
+		if ran.Fired() != stepped.Fired() {
+			t.Fatalf("trial %d: Fired: Run %d vs stepped %d", trial, ran.Fired(), stepped.Fired())
+		}
+		if len(orderRun) != len(orderStep) {
+			t.Fatalf("trial %d: order length: Run %d vs stepped %d", trial, len(orderRun), len(orderStep))
+		}
+		for i := range orderRun {
+			if orderRun[i] != orderStep[i] {
+				t.Fatalf("trial %d: event order diverges at %d: Run %v vs stepped %v", trial, i, orderRun, orderStep)
+			}
+		}
+		// Run advances the clock to the horizon on exit; the stepped loop
+		// leaves it at the last processed event. Both must agree on the
+		// last event time, which is the stepped clock.
+		if stepped.Now() > ran.Now() {
+			t.Fatalf("trial %d: stepped clock %v passed Run clock %v", trial, stepped.Now(), ran.Now())
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Package engine is the shared-clock simulation engine under every
+// closed-loop policy runner. One Harness owns the mechanics a runner needs
+// — the simulation clock and control-tick cadence, the boot pre-roll, the
+// push-driven request feed (workload.Feed), the quantized failure-plan
+// schedule (cluster.FailureSteps / ApplyPlannedFailures), request spreading
+// and dispatch, plant advancement, and the per-tick interval harvest —
+// and calls back into a small Policy interface that the hierarchical,
+// threshold, and centralized controllers implement.
+//
+// The harness's tick loop mirrors the step-primitive decomposition of the
+// des kernel (HasPendingEvents / PeekNextEventTime / ProcessNextEvent):
+// Tick advances exactly one control period, NextTickTime peeks the clock,
+// and Done reports exhaustion — which is what lets MultiCluster interleave
+// several harnesses in global timestamp order behind one clock and layer a
+// cross-cluster L3 optimizer on top.
+//
+// Invariant: a policy rewritten from a private step loop onto the harness
+// produces bit-identical results — decisions, QoS violations, energy,
+// explored counts — to its pre-engine runner. The legacy loops survive
+// verbatim as test oracles (legacy_oracle_test.go in internal/baseline and
+// internal/central, mechanics oracle in internal/core) and the committed
+// BENCH_scenarios.json regenerates byte-identically through the engine
+// path; both pins run under -race in CI.
+package engine
+
+import (
+	"fmt"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/des"
+	"hierctl/internal/series"
+	"hierctl/internal/workload"
+)
+
+// SpreadMode selects how a bin's arrivals map onto control ticks.
+type SpreadMode int
+
+const (
+	// SpreadBinRing folds each request into one of its own bin's ticks
+	// (offset clamped to the bin), buffered in a ring of one slot per
+	// tick of the bin — the hierarchical engine's historical semantics,
+	// and the only mode available to open-ended streaming runs.
+	SpreadBinRing SpreadMode = iota
+	// SpreadRunArray indexes each request onto the absolute tick grid of
+	// a fixed-length run — the flat runners' historical semantics.
+	// Requests whose offset lands past the final tick (a float-rounding
+	// edge at the trace end) are folded into the last tick and counted in
+	// Spilled, so the accounting is no longer silent. Requires TotalBins.
+	SpreadRunArray
+)
+
+// Config parameterizes a Harness. PeriodSeconds is the control-tick width
+// (the finest cadence any level of the policy decides at); BinSeconds must
+// be an integer multiple of it.
+type Config struct {
+	// Spec is the cluster the plant simulates.
+	Spec cluster.Spec
+	// Seed drives the run's random streams.
+	Seed int64
+	// DispatchStream and WorkloadStream name the des.RNG streams for the
+	// plant's dispatcher and the request feed. Each policy keeps its
+	// historical stream names so runs stay bit-identical across the
+	// engine migration.
+	DispatchStream string
+	WorkloadStream string
+	// PeriodSeconds is the control-tick width in seconds.
+	PeriodSeconds float64
+	// BinSeconds is the observation-bin width; Start the workload-clock
+	// time of the first bin.
+	BinSeconds float64
+	Start      float64
+	// TotalBins fixes the run length when the trace is known up front
+	// (PushBin then refuses extra bins); 0 leaves the run open-ended.
+	TotalBins int
+	// DrainSeconds extends the run past the last tick so in-flight
+	// requests complete into the aggregate statistics.
+	DrainSeconds float64
+	// Failures is the scenario injection plan, quantized onto the tick
+	// grid (ceil(At/PeriodSeconds)) and fired ahead of the policy at each
+	// boundary — and once more at the final boundary before the drain.
+	Failures []workload.FailureEvent
+	// Spread selects the bin-to-tick request mapping.
+	Spread SpreadMode
+}
+
+// Harness owns one closed-loop run's mechanics and drives a Policy.
+// Construct with New, then either RunTrace for a batch replay or
+// PushBin/Tick/Finish for incremental stepping.
+type Harness struct {
+	cfg    Config
+	policy Policy
+	plant  *cluster.Plant
+	feed   *workload.Feed
+
+	sub     int // ticks per observation bin
+	steps   int // TotalBins*sub; 0 when open-ended
+	preroll float64
+	tick    int
+	failAt  []int
+
+	ring [][]workload.Request // SpreadBinRing: one slot per tick of a bin
+	flat [][]workload.Request // SpreadRunArray: one slot per tick of the run
+
+	stats    []ModuleStats
+	spilled  int64
+	finished bool
+
+	// Lifetime arrival/completion counters for cross-cluster observation
+	// windows (MultiCluster snapshots deltas between L3 boundaries).
+	cumArrived   int64
+	cumCompleted int64
+	cumRespSum   float64 // sum of interval mean response × completions
+}
+
+// New builds the harness: the plant is constructed and warm-started (every
+// computer on at full frequency), the boot pre-roll is advanced with its
+// interval statistics discarded, and the policy is initialized against the
+// warmed plant.
+func New(cfg Config, store *workload.Store, p Policy) (*Harness, error) {
+	if p == nil {
+		return nil, fmt.Errorf("engine: nil policy")
+	}
+	sub, err := series.SubSteps(cfg.BinSeconds, cfg.PeriodSeconds)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Spread == SpreadRunArray && cfg.TotalBins <= 0 {
+		return nil, fmt.Errorf("engine: run-array spreading needs TotalBins")
+	}
+	if cfg.TotalBins < 0 {
+		return nil, fmt.Errorf("engine: total bins %d < 0", cfg.TotalBins)
+	}
+	if cfg.DrainSeconds < 0 {
+		return nil, fmt.Errorf("engine: drain %v < 0", cfg.DrainSeconds)
+	}
+	if cfg.DispatchStream == "" || cfg.WorkloadStream == "" {
+		return nil, fmt.Errorf("engine: dispatch and workload RNG stream names are required")
+	}
+	plant, err := cluster.NewPlant(cfg.Spec, des.RNG(cfg.Seed, cfg.DispatchStream))
+	if err != nil {
+		return nil, err
+	}
+	feed, err := workload.NewFeed(cfg.Start, cfg.BinSeconds, store, des.RNG(cfg.Seed, cfg.WorkloadStream))
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{
+		cfg:    cfg,
+		policy: p,
+		plant:  plant,
+		feed:   feed,
+		sub:    sub,
+		steps:  cfg.TotalBins * sub,
+		stats:  make([]ModuleStats, len(cfg.Spec.Modules)),
+	}
+	if cfg.Spread == SpreadBinRing {
+		h.ring = make([][]workload.Request, sub)
+	} else {
+		h.flat = make([][]workload.Request, h.steps)
+	}
+	h.failAt = cluster.FailureSteps(cfg.Failures, cfg.PeriodSeconds)
+
+	// Warm start: boot every computer at full frequency; the policy scales
+	// down immediately if the load does not justify it.
+	for i := range cfg.Spec.Modules {
+		for j := range cfg.Spec.Modules[i].Computers {
+			if err := plant.PowerOn(i, j); err != nil {
+				return nil, err
+			}
+			if err := plant.SetFrequency(i, j, len(cfg.Spec.Modules[i].Computers[j].FrequenciesHz)-1); err != nil {
+				return nil, err
+			}
+			if d := cfg.Spec.Modules[i].Computers[j].BootDelaySeconds; d > h.preroll {
+				h.preroll = d
+			}
+		}
+	}
+	if h.preroll > 0 {
+		if err := plant.Advance(h.preroll); err != nil {
+			return nil, err
+		}
+		for i := range cfg.Spec.Modules {
+			// Discard boot-interval stats.
+			if _, _, err := plant.ModuleIntervalStats(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.Init(plant); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Plant returns the simulated cluster.
+func (h *Harness) Plant() *cluster.Plant { return h.plant }
+
+// Policy returns the policy the harness drives — the handle a
+// cross-cluster layer uses to reach capabilities like Budgeted.
+func (h *Harness) Policy() Policy { return h.policy }
+
+// Preroll returns the boot pre-roll in seconds (the longest boot delay).
+func (h *Harness) Preroll() float64 { return h.preroll }
+
+// SubSteps returns the number of control ticks per observation bin.
+func (h *Harness) SubSteps() int { return h.sub }
+
+// Ticks returns the number of control ticks completed.
+func (h *Harness) Ticks() int { return h.tick }
+
+// Bins returns the number of observation bins ingested.
+func (h *Harness) Bins() int { return h.feed.Bins() }
+
+// NextTickTime returns the simulation time the next tick starts at — the
+// harness-level analogue of des.Simulator.PeekNextEventTime, used by
+// shared-clock drivers to pick which harness advances next.
+func (h *Harness) NextTickTime() float64 {
+	return h.preroll + float64(h.tick)*h.cfg.PeriodSeconds
+}
+
+// Done reports whether a fixed-length run has consumed its trace and run
+// every tick (always false for open-ended runs until Finish).
+func (h *Harness) Done() bool {
+	return h.finished || (h.cfg.TotalBins > 0 && h.tick >= h.steps)
+}
+
+// Spilled reports how many requests were folded into the final tick
+// because their arrival offset landed past the end of a fixed-length run —
+// the float-rounding edge at the trace end that used to be clamped
+// silently. Always 0 in SpreadBinRing mode, where offsets fold within
+// their own bin instead.
+func (h *Harness) Spilled() int64 { return h.spilled }
+
+// PushBin ingests the next observation bin's arrival count: the bin's
+// requests are synthesized through the feed and spread onto the tick grid.
+// It does not advance the clock — call Tick (SubSteps times per bin) to
+// run the control loop, or use RunTrace for the batch loop.
+func (h *Harness) PushBin(count float64) error {
+	if h.finished {
+		return fmt.Errorf("engine: harness already finished")
+	}
+	if h.cfg.TotalBins > 0 && h.feed.Bins() >= h.cfg.TotalBins {
+		return fmt.Errorf("engine: trace exhausted at bin %d", h.feed.Bins())
+	}
+	if h.feed.Bins()*h.sub != h.tick {
+		return fmt.Errorf("engine: bin %d pushed mid-bin at tick %d", h.feed.Bins(), h.tick)
+	}
+	bin, reqs := h.feed.Push(count)
+	h.spread(bin, reqs)
+	return nil
+}
+
+// spread maps one bin's requests onto the tick grid, rebasing arrival
+// times onto the simulation clock (workload time zero is the end of the
+// boot pre-roll; traces sliced mid-day have a non-zero Start).
+func (h *Harness) spread(bin int, reqs []workload.Request) {
+	binStart := h.cfg.Start + float64(bin)*h.cfg.BinSeconds
+	for _, req := range reqs {
+		d := int((req.Arrival - binStart) / h.cfg.PeriodSeconds)
+		req.Arrival += h.preroll - h.cfg.Start
+		if h.cfg.Spread == SpreadBinRing {
+			if d < 0 {
+				d = 0
+			}
+			if d >= h.sub {
+				d = h.sub - 1
+			}
+			slot := (h.tick + d) % h.sub
+			h.ring[slot] = append(h.ring[slot], req)
+			continue
+		}
+		idx := h.tick + d
+		if idx >= h.steps {
+			idx = h.steps - 1
+			h.spilled++
+		}
+		h.flat[idx] = append(h.flat[idx], req)
+	}
+}
+
+// pending returns the request batch queued for tick k without consuming it.
+func (h *Harness) pending(k int) []workload.Request {
+	if h.cfg.Spread == SpreadBinRing {
+		return h.ring[k%h.sub]
+	}
+	return h.flat[k]
+}
+
+// clearPending consumes tick k's batch.
+func (h *Harness) clearPending(k int) {
+	if h.cfg.Spread == SpreadBinRing {
+		h.ring[k%h.sub] = nil
+		return
+	}
+	h.flat[k] = nil
+}
+
+// Tick advances one control period: planned failures fire at the boundary,
+// the policy decides, the tick's arrivals dispatch under the returned
+// fractions, the plant advances through the period, and the harvested
+// interval statistics go back to the policy.
+func (h *Harness) Tick() error {
+	if h.finished {
+		return fmt.Errorf("engine: harness already finished")
+	}
+	k := h.tick
+	if k >= h.feed.Bins()*h.sub {
+		return fmt.Errorf("engine: tick %d outruns the %d ingested bins", k, h.feed.Bins())
+	}
+	t := h.preroll + float64(k)*h.cfg.PeriodSeconds
+	if err := h.plant.ApplyPlannedFailures(h.cfg.Failures, h.failAt, k); err != nil {
+		return err
+	}
+	obs := TickObs{
+		Time:            t,
+		PendingRequests: len(h.pending(k)),
+	}
+	if k%h.sub == 0 {
+		obs.NewBin = true
+		obs.Bin = k / h.sub
+	}
+	st, err := h.policy.Decide(k, obs)
+	if err != nil {
+		return err
+	}
+	if reqs := h.pending(k); len(reqs) > 0 {
+		if err := h.plant.Dispatch(reqs, st.GammaModules, st.GammaComputers); err != nil {
+			return err
+		}
+	}
+	h.clearPending(k)
+	if err := h.plant.Advance(t + h.cfg.PeriodSeconds); err != nil {
+		return err
+	}
+	for i := range h.stats {
+		agg, per, err := h.plant.ModuleIntervalStats(i)
+		if err != nil {
+			return err
+		}
+		h.stats[i] = ModuleStats{Agg: agg, Per: per}
+		h.cumArrived += int64(agg.Arrived)
+		h.cumCompleted += int64(agg.Completed)
+		if agg.Completed > 0 {
+			h.cumRespSum += agg.MeanResponse * float64(agg.Completed)
+		}
+	}
+	h.tick++
+	return h.policy.Observe(k, h.stats)
+}
+
+// Finish fires failures quantized exactly to the final boundary, drains
+// in-flight work, and closes the energy accounting. The harness cannot be
+// stepped afterwards.
+func (h *Harness) Finish() error {
+	if h.finished {
+		return fmt.Errorf("engine: harness already finished")
+	}
+	h.finished = true
+	if err := h.plant.ApplyPlannedFailures(h.cfg.Failures, h.failAt, h.tick); err != nil {
+		return err
+	}
+	end := h.preroll + float64(h.tick)*h.cfg.PeriodSeconds
+	if err := h.plant.Advance(end + h.cfg.DrainSeconds); err != nil {
+		return err
+	}
+	h.plant.FinishAccounting()
+	return nil
+}
+
+// RunTrace is the batch loop: every trace bin is pushed and ticked through,
+// then the run finishes. The trace must match the configured bin grid (its
+// Step and Start are the caller's responsibility — they seed Config).
+func (h *Harness) RunTrace(trace *series.Series) error {
+	for _, count := range trace.Values {
+		if err := h.PushBin(count); err != nil {
+			return err
+		}
+		for d := 0; d < h.sub; d++ {
+			if err := h.Tick(); err != nil {
+				return err
+			}
+		}
+	}
+	return h.Finish()
+}
+
+// Totals aggregates the plant's lifetime accounting in module-major
+// computer order — the order and arithmetic every legacy runner used, so
+// results summed through the harness stay bit-identical.
+type Totals struct {
+	Energy       float64
+	Switches     int
+	Completed    int64
+	Dropped      int64
+	MeanResponse float64
+	ResponseP95  float64
+}
+
+// Totals reads the run's aggregate outcomes; call after Finish.
+func (h *Harness) Totals() (Totals, error) {
+	var out Totals
+	out.Energy = h.plant.Accountant().TotalEnergy()
+	out.Switches = h.plant.Accountant().TotalSwitches()
+	var respAll float64
+	var respCount int64
+	for i := 0; i < h.plant.Modules(); i++ {
+		for j := 0; j < h.plant.ModuleSize(i); j++ {
+			c, err := h.plant.Computer(i, j)
+			if err != nil {
+				return Totals{}, err
+			}
+			out.Completed += c.TotalCompleted()
+			out.Dropped += c.TotalDropped()
+			respAll += c.LifetimeResponse().Mean() * float64(c.LifetimeResponse().Count())
+			respCount += c.LifetimeResponse().Count()
+		}
+	}
+	if respCount > 0 {
+		out.MeanResponse = respAll / float64(respCount)
+	}
+	out.ResponseP95 = h.plant.Latencies().Quantile(0.95)
+	return out, nil
+}
+
+// WindowTotals returns the lifetime arrival/completion counters and the
+// response-time mass (interval mean × completions, summed). Shared-clock
+// drivers snapshot these at L3 boundaries and difference them to observe a
+// cluster's recent window.
+func (h *Harness) WindowTotals() (arrived, completed int64, respSum float64) {
+	return h.cumArrived, h.cumCompleted, h.cumRespSum
+}

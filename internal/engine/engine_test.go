@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/series"
+	"hierctl/internal/workload"
+)
+
+// stubPolicy records the harness's callbacks and dispatches uniformly.
+type stubPolicy struct {
+	plant   *cluster.Plant
+	inits   int
+	decides []TickObs
+	observe int
+}
+
+func (s *stubPolicy) Name() string { return "stub" }
+
+func (s *stubPolicy) Init(p *cluster.Plant) error {
+	s.plant = p
+	s.inits++
+	return nil
+}
+
+func (s *stubPolicy) Decide(tick int, obs TickObs) (Settings, error) {
+	s.decides = append(s.decides, obs)
+	gm := make([]float64, s.plant.Modules())
+	gc := make([][]float64, s.plant.Modules())
+	for i := range gc {
+		gc[i] = make([]float64, s.plant.ModuleSize(i))
+		for j := range gc[i] {
+			gc[i][j] = 1
+			gm[i]++
+		}
+	}
+	return Settings{GammaModules: gm, GammaComputers: gc}, nil
+}
+
+func (s *stubPolicy) Observe(tick int, stats []ModuleStats) error {
+	s.observe++
+	return nil
+}
+
+func testSpec(t *testing.T) cluster.Spec {
+	t.Helper()
+	m, err := cluster.StandardModule("M1", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster.Spec{Modules: []cluster.ModuleSpec{m}}
+}
+
+func testStore(t *testing.T) *workload.Store {
+	t.Helper()
+	s, err := workload.NewStore(rand.New(rand.NewSource(2)), workload.DefaultStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testConfig(spec cluster.Spec, bins int, mode SpreadMode) Config {
+	return Config{
+		Spec:           spec,
+		Seed:           1,
+		DispatchStream: "test-dispatch",
+		WorkloadStream: "test-workload",
+		PeriodSeconds:  30,
+		BinSeconds:     60,
+		TotalBins:      bins,
+		DrainSeconds:   60,
+		Spread:         mode,
+	}
+}
+
+func TestHarnessLifecycle(t *testing.T) {
+	spec := testSpec(t)
+	pol := &stubPolicy{}
+	h, err := New(testConfig(spec, 3, SpreadRunArray), testStore(t), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.inits != 1 {
+		t.Fatalf("Init called %d times, want 1", pol.inits)
+	}
+	if got := h.SubSteps(); got != 2 {
+		t.Fatalf("SubSteps = %d, want 2", got)
+	}
+	// The warm start boots every computer; the pre-roll is the longest
+	// boot delay and the first tick starts there.
+	if h.Preroll() <= 0 {
+		t.Fatalf("Preroll = %v, want > 0", h.Preroll())
+	}
+	if got := h.NextTickTime(); got != h.Preroll() {
+		t.Fatalf("NextTickTime = %v before any tick, want preroll %v", got, h.Preroll())
+	}
+	if op := h.Plant().OperationalComputers(); op != 4 {
+		t.Fatalf("warm start left %d computers operational, want 4", op)
+	}
+
+	// Ticking before any bin is ingested must fail, not deadlock.
+	if err := h.Tick(); err == nil || !strings.Contains(err.Error(), "outruns") {
+		t.Fatalf("Tick without a bin: %v, want outrun error", err)
+	}
+	if err := h.PushBin(40); err != nil {
+		t.Fatal(err)
+	}
+	// A second push before the bin's ticks ran is a cadence bug.
+	if err := h.PushBin(40); err == nil || !strings.Contains(err.Error(), "mid-bin") {
+		t.Fatalf("mid-bin push: %v, want mid-bin error", err)
+	}
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PushBin(40); err != nil {
+		t.Fatal(err)
+	}
+	if want := h.Preroll() + 2*30; h.NextTickTime() != want {
+		t.Fatalf("NextTickTime = %v after 2 ticks, want %v", h.NextTickTime(), want)
+	}
+
+	// Decide saw the bin boundaries: tick 0 opened bin 0, tick 1 did not.
+	if len(pol.decides) != 2 || pol.observe != 2 {
+		t.Fatalf("decides %d observes %d, want 2 and 2", len(pol.decides), pol.observe)
+	}
+	if !pol.decides[0].NewBin || pol.decides[0].Bin != 0 {
+		t.Fatalf("tick 0 obs = %+v, want NewBin for bin 0", pol.decides[0])
+	}
+	if pol.decides[1].NewBin {
+		t.Fatalf("tick 1 obs = %+v, want mid-bin", pol.decides[1])
+	}
+
+	if h.Done() {
+		t.Fatal("Done before the trace is consumed")
+	}
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PushBin(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Done() {
+		t.Fatal("not Done after consuming the whole trace")
+	}
+	// The trace length is fixed: a fourth bin must be refused.
+	if err := h.PushBin(40); err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("push past TotalBins: %v, want exhausted error", err)
+	}
+	if err := h.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Finish(); err == nil {
+		t.Fatal("second Finish succeeded, want error")
+	}
+	if err := h.Tick(); err == nil {
+		t.Fatal("Tick after Finish succeeded, want error")
+	}
+	tot, err := h.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Completed == 0 || tot.Energy <= 0 {
+		t.Fatalf("Totals = %+v, want completions and energy", tot)
+	}
+	arrived, completed, _ := h.WindowTotals()
+	if arrived == 0 || completed == 0 {
+		t.Fatalf("WindowTotals arrived %d completed %d, want both > 0", arrived, completed)
+	}
+}
+
+// TestRunArraySpillIsCounted pins the fix for the historically silent
+// index clamp: a request whose arrival offset lands past the final tick of
+// a fixed-length run is folded into the last tick AND counted in Spilled.
+func TestRunArraySpillIsCounted(t *testing.T) {
+	spec := testSpec(t)
+	h, err := New(testConfig(spec, 2, SpreadRunArray), testStore(t), &stubPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bin 1 spans workload time [60, 120) and is pushed at tick 2; its
+	// last tick is index 3. An arrival stamped exactly at the bin's right
+	// edge — the float-rounding edge traces can produce — offsets one
+	// period past the grid.
+	h.tick = 2
+	h.spread(1, []workload.Request{
+		{Arrival: 60, Demand: 0.01},  // first tick of bin 1 → index 2
+		{Arrival: 120, Demand: 0.01}, // past the end → folded into index 3
+	})
+	if got := h.Spilled(); got != 1 {
+		t.Fatalf("Spilled = %d, want 1", got)
+	}
+	if n := len(h.flat[2]); n != 1 {
+		t.Fatalf("tick 2 holds %d requests, want 1", n)
+	}
+	if n := len(h.flat[3]); n != 1 {
+		t.Fatalf("final tick holds %d requests, want the spilled 1", n)
+	}
+}
+
+// TestBinRingSpreadFoldsWithinBin pins the hierarchical semantics: offsets
+// clamp within the request's own bin and never spill.
+func TestBinRingSpreadFoldsWithinBin(t *testing.T) {
+	spec := testSpec(t)
+	h, err := New(testConfig(spec, 0, SpreadBinRing), testStore(t), &stubPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.spread(0, []workload.Request{
+		{Arrival: -5, Demand: 0.01},  // before the bin → first tick
+		{Arrival: 0, Demand: 0.01},   // first tick
+		{Arrival: 45, Demand: 0.01},  // second tick
+		{Arrival: 500, Demand: 0.01}, // past the bin → clamped to its last tick
+	})
+	if got := h.Spilled(); got != 0 {
+		t.Fatalf("Spilled = %d in ring mode, want 0", got)
+	}
+	if n := len(h.ring[0]); n != 2 {
+		t.Fatalf("ring slot 0 holds %d, want 2", n)
+	}
+	if n := len(h.ring[1]); n != 2 {
+		t.Fatalf("ring slot 1 holds %d, want 2", n)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	spec := testSpec(t)
+	store := testStore(t)
+	base := testConfig(spec, 2, SpreadRunArray)
+
+	bad := base
+	bad.PeriodSeconds = 45
+	if _, err := New(bad, store, &stubPolicy{}); err == nil {
+		t.Fatal("non-tiling period accepted")
+	}
+	bad = base
+	bad.TotalBins = 0
+	if _, err := New(bad, store, &stubPolicy{}); err == nil {
+		t.Fatal("run-array spreading without TotalBins accepted")
+	}
+	bad = base
+	bad.WorkloadStream = ""
+	if _, err := New(bad, store, &stubPolicy{}); err == nil {
+		t.Fatal("missing RNG stream name accepted")
+	}
+	bad = base
+	bad.DrainSeconds = -1
+	if _, err := New(bad, store, &stubPolicy{}); err == nil {
+		t.Fatal("negative drain accepted")
+	}
+	if _, err := New(base, store, nil); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+}
+
+// TestRunTraceMatchesManualStepping pins RunTrace as pure sugar over
+// PushBin/Tick/Finish: both drives produce identical totals.
+func TestRunTraceMatchesManualStepping(t *testing.T) {
+	spec := testSpec(t)
+	trace := series.New(0, 60, 0)
+	for i := 0; i < 6; i++ {
+		trace.Values = append(trace.Values, 40+10*float64(i%3))
+	}
+
+	batch, err := New(testConfig(spec, trace.Len(), SpreadRunArray), testStore(t), &stubPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.RunTrace(trace); err != nil {
+		t.Fatal(err)
+	}
+	bt, err := batch.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	man, err := New(testConfig(spec, trace.Len(), SpreadRunArray), testStore(t), &stubPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !man.Done() {
+		if man.Bins()*man.SubSteps() == man.Ticks() {
+			if err := man.PushBin(trace.Values[man.Bins()]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := man.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := man.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	mt, err := man.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt != mt {
+		t.Fatalf("batch totals %+v != manual totals %+v", bt, mt)
+	}
+}

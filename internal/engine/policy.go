@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"hierctl/internal/cluster"
+)
+
+// Settings is what a policy wants in force for the tick being decided: the
+// dispatch fractions the harness routes the tick's arrivals under. Power
+// and frequency actuation happen inside Decide through the plant handle —
+// the ordering of those plant calls is part of each policy's contract with
+// its historical runner, so the harness does not mediate them.
+type Settings struct {
+	// GammaModules is the module-level dispatch split γ_i.
+	GammaModules []float64
+	// GammaComputers is the within-module split γ_ij per module.
+	GammaComputers [][]float64
+}
+
+// ModuleStats is one module's harvested plant interval: the aggregate and
+// the per-computer statistics, in module order. Slices are owned by the
+// harness until the next tick's harvest; policies that retain them across
+// ticks must copy (the per-computer slice is freshly allocated each
+// harvest, matching the plant's contract).
+type ModuleStats struct {
+	Agg cluster.IntervalStats
+	Per []cluster.IntervalStats
+}
+
+// TickObs is the harness's payload for one Decide call.
+type TickObs struct {
+	// Time is the simulation clock at the start of the tick (the boot
+	// pre-roll included).
+	Time float64
+	// PendingRequests is how many requests are queued for dispatch this
+	// tick; when it is zero the returned Settings are not used.
+	PendingRequests int
+	// NewBin marks the first tick after an observation bin was ingested;
+	// Bin and BinCount then identify it.
+	NewBin   bool
+	Bin      int
+	BinCount float64
+}
+
+// Policy is the control side of a closed-loop run. The harness owns the
+// mechanics — clock, pre-roll, workload feed, failure schedule, dispatch,
+// plant advance, and interval harvest — and calls back into the policy:
+//
+//	Init    once, after the warm start and boot pre-roll
+//	Decide  at the start of every control tick (failures already applied)
+//	Observe after the plant advanced through the tick, with the harvest
+//
+// The hierarchical (internal/core), threshold (internal/baseline), and
+// centralized (internal/central) controllers each implement Policy; the
+// shared loop is what makes their event accounting apples-to-apples and
+// lets cross-cluster layers observe any of them mid-run.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Init prepares policy state against the warmed plant (every computer
+	// on at full speed, boot pre-roll completed).
+	Init(p *cluster.Plant) error
+	// Decide runs the policy's controllers for tick (deciding at its own
+	// cadence) and returns the dispatch fractions for the tick's arrivals.
+	Decide(tick int, obs TickObs) (Settings, error)
+	// Observe folds the tick's harvested plant statistics into the
+	// policy's estimators and records.
+	Observe(tick int, stats []ModuleStats) error
+}
+
+// Budgeted is implemented by policies that honour an externally-imposed
+// cap on operational computers — the lever a cross-cluster L3 layer pulls
+// when it reallocates a shared power budget (see MultiCluster).
+type Budgeted interface {
+	// SetBudget caps the number of computers the policy may keep
+	// operational; 0 or negative removes the cap.
+	SetBudget(maxOperational int)
+}

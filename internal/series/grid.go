@@ -1,0 +1,23 @@
+package series
+
+import (
+	"fmt"
+	"math"
+)
+
+// SubSteps returns how many control periods of width period tile one
+// observation bin of width binStep — the bin-to-grid check every
+// closed-loop runner performs before stepping a trace. The widths need not
+// divide exactly in floating point: a residue up to 1e-6 seconds is
+// tolerated (trace files round-trip through decimal text), anything larger
+// is an error. The period must be positive and no wider than the bin.
+func SubSteps(binStep, period float64) (int, error) {
+	if period <= 0 {
+		return 0, fmt.Errorf("series: control period %vs is not positive", period)
+	}
+	sub := int(binStep/period + 0.5)
+	if sub < 1 || math.Abs(float64(sub)*period-binStep) > 1e-6 {
+		return 0, fmt.Errorf("series: bin width %vs is not a multiple of control period %vs", binStep, period)
+	}
+	return sub, nil
+}

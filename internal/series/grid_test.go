@@ -1,0 +1,50 @@
+package series
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSubSteps(t *testing.T) {
+	cases := []struct {
+		name    string
+		binStep float64
+		period  float64
+		want    int
+		wantErr bool
+	}{
+		{name: "exact multiple", binStep: 90, period: 30, want: 3},
+		{name: "equal widths", binStep: 30, period: 30, want: 1},
+		{name: "unit period", binStep: 7, period: 1, want: 7},
+		{name: "fractional widths", binStep: 1.5, period: 0.5, want: 3},
+		{name: "residue within tolerance", binStep: 90 + 5e-7, period: 30, want: 3},
+		{name: "residue below tolerance", binStep: 90 - 5e-7, period: 30, want: 3},
+		{name: "residue past tolerance", binStep: 90 + 2e-6, period: 30, wantErr: true},
+		{name: "negative residue past tolerance", binStep: 90 - 2e-6, period: 30, wantErr: true},
+		{name: "bin narrower than period", binStep: 15, period: 30, wantErr: true},
+		{name: "non-integer ratio", binStep: 45, period: 30, wantErr: true},
+		{name: "zero bin", binStep: 0, period: 30, wantErr: true},
+		{name: "zero period", binStep: 90, period: 0, wantErr: true},
+		{name: "negative period", binStep: 90, period: -30, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := SubSteps(tc.binStep, tc.period)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("SubSteps(%v, %v) = %d, want error", tc.binStep, tc.period, got)
+				}
+				if !strings.Contains(err.Error(), "series:") {
+					t.Errorf("error %q does not carry the package prefix", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("SubSteps(%v, %v): %v", tc.binStep, tc.period, err)
+			}
+			if got != tc.want {
+				t.Errorf("SubSteps(%v, %v) = %d, want %d", tc.binStep, tc.period, got, tc.want)
+			}
+		})
+	}
+}
