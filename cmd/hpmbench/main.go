@@ -34,6 +34,7 @@ import (
 
 	"hierctl"
 	"hierctl/internal/metrics"
+	"hierctl/internal/obs"
 )
 
 func main() {
@@ -43,7 +44,7 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("hpmbench", flag.ContinueOnError)
 	fig := fs.Int("fig", 0, "figure to regenerate (3-7)")
 	table := fs.String("table", "", "table to regenerate: overhead-module, overhead-cluster, energy, ablations, scalability, scenarios")
@@ -56,8 +57,28 @@ func run(args []string, w io.Writer) error {
 	llcJSON := fs.String("llc-json", "", "write the branch-and-bound LLC engine benchmark (pruned vs naive on the §4.3 configuration) to this JSON file; honours -parallelism for the pruned-parallel row (the workload is fixed — -seed/-scale/-fast do not apply)")
 	tickJSON := fs.String("tick-json", "", "write the decision-tick benchmark (ns, B and allocs per L0/L1/L2 decision, table probe, fleet tenant-ticks/sec) to this JSON file (the workload is fixed and the measurement sequential — -seed/-scale/-fast/-parallelism do not apply)")
 	scenariosJSON := fs.String("scenarios-json", "BENCH_scenarios.json", "path the robustness-matrix snapshot is written to by -table scenarios")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memprofile); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
 	}
 	if *parallelism < 0 {
 		return fmt.Errorf("-parallelism %d is negative; use 0 for one worker per CPU or a positive width", *parallelism)

@@ -21,6 +21,7 @@ import (
 
 	"hierctl"
 	"hierctl/internal/metrics"
+	"hierctl/internal/obs"
 )
 
 func main() {
@@ -30,7 +31,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("hpmgen", flag.ContinueOnError)
 	profile := fs.String("profile", "synthetic", "scenario to build (see -list; tracefile:<path> replays a CSV)")
 	out := fs.String("out", "", "output file (default stdout)")
@@ -41,8 +42,28 @@ func run(args []string, stdout io.Writer) error {
 	period := fs.Int("period", 20, "step profile: bins per half-cycle")
 	list := fs.Bool("list", false, "list the registered scenarios and exit")
 	inspect := fs.Bool("inspect", false, "print a scenario summary (bins, load stats, failure plan) instead of CSV")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memprofile); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
 	}
 
 	if *list {

@@ -1,0 +1,35 @@
+// Command hpmlint validates Prometheus text-exposition input on stdin —
+// the check CI runs against a live hpmserve /metrics scrape.
+//
+// Usage:
+//
+//	curl -s localhost:8700/metrics | hpmlint
+//
+// Exit status 0 means the input parses under the strict linter (HELP/TYPE
+// once per family, escaped help and label values, cumulative histogram
+// buckets with a +Inf bucket equal to _count); 1 means it does not, with
+// the reason on stderr.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"hierctl/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hpmlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(r io.Reader, stdout io.Writer) error {
+	if err := metrics.LintPromText(r); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "ok")
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAcceptsValidExposition(t *testing.T) {
+	in := strings.NewReader(`# HELP up Target liveness.
+# TYPE up gauge
+up 1
+`)
+	var out bytes.Buffer
+	if err := run(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+// TestRunRejectsMalformedExposition smokes the error path; the full
+// accept/reject matrix lives with the linter in internal/metrics.
+func TestRunRejectsMalformedExposition(t *testing.T) {
+	cases := map[string]string{
+		"duplicate TYPE": "# HELP a A.\n# TYPE a gauge\n# TYPE a gauge\na 1\n",
+		"bare garbage":   "not a metric line\n",
+	}
+	for name, in := range cases {
+		var out bytes.Buffer
+		if err := run(strings.NewReader(in), &out); err == nil {
+			t.Errorf("%s: want an error", name)
+		}
+	}
+}

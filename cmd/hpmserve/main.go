@@ -29,6 +29,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -53,6 +54,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	shards := fs.Int("shards", 0, "worker shards hosting tenants (0 = one per CPU)")
 	snapshot := fs.String("snapshot", "", "snapshot file: restored on start when present, written on shutdown and every -snapshot-interval")
 	interval := fs.Duration("snapshot-interval", 0, "periodic snapshot cadence (0 = only on shutdown; needs -snapshot)")
+	telemetryRecords := fs.Int("telemetry-records", 4096, "flight-recorder ring size per tenant: decisions retained for /v1/tenants/{id}/telemetry and the per-level /metrics histograms (0 disables recording)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = profiling off; keep it private)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +64,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *interval > 0 && *snapshot == "" {
 		return fmt.Errorf("-snapshot-interval needs -snapshot")
+	}
+	if *telemetryRecords < 0 {
+		return fmt.Errorf("negative -telemetry-records %d", *telemetryRecords)
 	}
 
 	f := hierctl.NewFleet(hierctl.FleetConfig{Shards: *shards})
@@ -75,9 +81,29 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newServer(f).routes()}
+	srv := &http.Server{Handler: newServer(f, *telemetryRecords).routes()}
 	fmt.Fprintf(stdout, "hpmserve listening on %s (%d shards, %d tenants)\n",
 		ln.Addr(), f.Stats().Shards, f.Stats().Tenants)
+
+	// The pprof endpoints live on their own mux and listener: the API mux
+	// never exposes them, so an operator can firewall the debug port
+	// separately from the service port.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: debugMux}
+		fmt.Fprintf(stdout, "hpmserve pprof on %s/debug/pprof/\n", dln.Addr())
+		go func() { _ = debugSrv.Serve(dln) }()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -113,6 +139,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return err
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
 	}
 	// Join the periodic snapshotter before the final write so a stale
 	// in-flight snapshot can never overwrite the shutdown state.

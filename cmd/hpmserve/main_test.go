@@ -20,7 +20,7 @@ func testHandler(t *testing.T) (http.Handler, *hierctl.Fleet) {
 	t.Helper()
 	f := hierctl.NewFleet(hierctl.FleetConfig{Shards: 2})
 	t.Cleanup(f.Close)
-	return newServer(f).routes(), f
+	return newServer(f, 1<<12).routes(), f
 }
 
 func doJSON(t *testing.T, h http.Handler, method, path, body string, wantStatus int) map[string]any {

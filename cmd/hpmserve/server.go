@@ -5,28 +5,111 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"hierctl"
+	"hierctl/internal/metrics"
+	"hierctl/internal/obs"
 )
 
 // server wires the fleet to the HTTP/JSON API:
 //
-//	POST   /v1/tenants              create a tenant hierarchy
-//	GET    /v1/tenants              list tenant states
-//	POST   /v1/tenants/{id}/observe feed one arrival bin, get decisions
-//	GET    /v1/tenants/{id}/state   progress and last decision
-//	DELETE /v1/tenants/{id}         finish the tenant, return its record
-//	GET    /metrics                 Prometheus text format
-//	GET    /healthz                 liveness probe
+//	POST   /v1/tenants                create a tenant hierarchy
+//	GET    /v1/tenants                list tenant states
+//	POST   /v1/tenants/{id}/observe   feed one arrival bin, get decisions
+//	GET    /v1/tenants/{id}/state     progress and last decision
+//	GET    /v1/tenants/{id}/telemetry recent flight-recorder window
+//	DELETE /v1/tenants/{id}           finish the tenant, return its record
+//	GET    /metrics                   Prometheus text format
+//	GET    /healthz                   liveness probe
 type server struct {
 	fleet *hierctl.Fleet
 	start time.Time
+	// telemetryRecords sizes each new tenant's flight recorder (0 turns
+	// recording off and empties the telemetry endpoint and the per-level
+	// decision histograms).
+	telemetryRecords int
+
+	reg *metrics.Registry
+	// Fleet-wide series, set from Fleet.Stats at scrape time.
+	tenants, shards, uptime            metrics.Gauge
+	observations, ticks, decideSeconds metrics.Counter
+	snapshots, restores                metrics.Counter
+	// Per-tenant progress, rebuilt from Fleet.States at scrape time so
+	// closed tenants' series disappear.
+	tenantBins        *metrics.CounterVec
+	tenantOperational *metrics.GaugeVec
+	// Cumulative per-tenant series fed by the handlers/scrape drain;
+	// deleted explicitly when a tenant closes.
+	observeLatency *metrics.HistogramVec
+	qosViolations  *metrics.CounterVec
+	// Per-level decision telemetry folded in from the flight recorders.
+	levelDecide   *metrics.HistogramVec
+	levelExplored *metrics.HistogramVec
+
+	// cursors tracks, per tenant, how far the scrape-time drain has read
+	// each flight recorder (guarded by mu; scrapes may race tenant
+	// deletion).
+	mu      sync.Mutex
+	cursors map[string]uint64
 }
 
-func newServer(f *hierctl.Fleet) *server {
-	return &server{fleet: f, start: time.Now()}
+func newServer(f *hierctl.Fleet, telemetryRecords int) *server {
+	s := &server{
+		fleet:            f,
+		start:            time.Now(),
+		telemetryRecords: telemetryRecords,
+		reg:              metrics.NewRegistry(),
+		cursors:          map[string]uint64{},
+	}
+	// Registration only fails on malformed names/labels, which would be a
+	// programming error here — the must helpers keep wiring linear.
+	mustCounter := func(name, help string, labels ...string) *metrics.CounterVec {
+		c, err := s.reg.Counter(name, help, labels...)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	mustGauge := func(name, help string, labels ...string) *metrics.GaugeVec {
+		g, err := s.reg.Gauge(name, help, labels...)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+	mustHistogram := func(name, help string, bounds []float64, labels ...string) *metrics.HistogramVec {
+		h, err := s.reg.Histogram(name, help, bounds, labels...)
+		if err != nil {
+			panic(err)
+		}
+		return h
+	}
+	s.tenants = mustGauge("hpmserve_tenants", "Active tenant hierarchies.").With()
+	s.shards = mustGauge("hpmserve_shards", "Worker shards hosting tenants.").With()
+	s.uptime = mustGauge("hpmserve_uptime_seconds", "Seconds since the daemon started.").With()
+	s.observations = mustCounter("hpmserve_observations_total", "Observation bins ingested across tenants.").With()
+	s.ticks = mustCounter("hpmserve_ticks_total", "T_L0 control periods stepped across tenants.").With()
+	s.decideSeconds = mustCounter("hpmserve_decide_seconds_total", "Wall-clock seconds spent stepping tenants.").With()
+	s.snapshots = mustCounter("hpmserve_snapshots_total", "Fleet snapshots written.").With()
+	s.restores = mustCounter("hpmserve_restores_total", "Fleet snapshots restored.").With()
+	s.tenantBins = mustCounter("hpmserve_tenant_bins", "Observation bins ingested per tenant.", "tenant")
+	s.tenantOperational = mustGauge("hpmserve_tenant_operational", "Operational computers per tenant.", "tenant")
+	s.observeLatency = mustHistogram("hpmserve_observe_seconds",
+		"Wall-clock latency of /observe calls (decode + shard step) per tenant.",
+		[]float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10}, "tenant")
+	s.qosViolations = mustCounter("hpmserve_qos_violations_total",
+		"Control periods whose interval mean response exceeded the target, per tenant.", "tenant")
+	s.levelDecide = mustHistogram("hpmserve_level_decide_seconds",
+		"Controller decide latency from the flight recorders, per hierarchy level.",
+		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}, "level")
+	s.levelExplored = mustHistogram("hpmserve_level_explored",
+		"States explored per decision from the flight recorders, per hierarchy level.",
+		[]float64{1, 10, 100, 1e3, 1e4, 1e5}, "level")
+	return s
 }
 
 func (s *server) routes() http.Handler {
@@ -316,13 +399,14 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 	cfg.Parallelism = 1
 	learnStart := time.Now()
 	if err := s.fleet.CreateTenant(req.ID, hierctl.TenantConfig{
-		Spec:        spec,
-		Core:        cfg,
-		Store:       storeCfg,
-		StoreSeed:   req.Seed,
-		BinSeconds:  binSeconds,
-		Calibration: calibration,
-		Failures:    failures,
+		Spec:             spec,
+		Core:             cfg,
+		Store:            storeCfg,
+		StoreSeed:        req.Seed,
+		BinSeconds:       binSeconds,
+		Calibration:      calibration,
+		Failures:         failures,
+		TelemetryRecords: s.telemetryRecords,
 	}); err != nil {
 		writeError(w, err)
 		return
@@ -377,12 +461,16 @@ func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 			writeError(w, fmt.Errorf("count %v outside [0, %g]", req.Count, float64(maxBinCount)))
 			return
 		}
+		start := time.Now()
 		dec, err := s.fleet.Observe(id, req.Count)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
+		s.observeLatency.With(id).Observe(time.Since(start).Seconds())
 		writeJSON(w, http.StatusOK, toDecisionDTO(dec))
+	case len(parts) == 2 && parts[1] == "telemetry" && r.Method == http.MethodGet:
+		s.handleTelemetry(w, r, id)
 	case len(parts) == 2 && parts[1] == "state" && r.Method == http.MethodGet,
 		len(parts) == 1 && r.Method == http.MethodGet:
 		st, err := s.fleet.State(id)
@@ -392,11 +480,14 @@ func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, toStateDTO(st))
 	case len(parts) == 1 && r.Method == http.MethodDelete:
+		// Fold in any last recorded decisions before the ring goes away.
+		s.drainTelemetry(id)
 		rec, err := s.fleet.CloseTenant(id)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
+		s.forgetTenant(id)
 		writeJSON(w, http.StatusOK, recordDTO{
 			Completed:     rec.Completed,
 			Dropped:       rec.Dropped,
@@ -411,41 +502,127 @@ func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleMetrics renders the fleet counters in the Prometheus text
-// exposition format (no client library needed).
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	stats := s.fleet.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var b strings.Builder
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
-	}
-	gauge("hpmserve_tenants", "Active tenant hierarchies.", float64(stats.Tenants))
-	gauge("hpmserve_shards", "Worker shards hosting tenants.", float64(stats.Shards))
-	gauge("hpmserve_uptime_seconds", "Seconds since the daemon started.", time.Since(s.start).Seconds())
-	counter("hpmserve_observations_total", "Observation bins ingested across tenants.", float64(stats.Observations))
-	counter("hpmserve_ticks_total", "T_L0 control periods stepped across tenants.", float64(stats.Ticks))
-	counter("hpmserve_decide_seconds_total", "Wall-clock seconds spent stepping tenants.", stats.DecideSeconds)
-	counter("hpmserve_snapshots_total", "Fleet snapshots written.", float64(stats.Snapshots))
-	counter("hpmserve_restores_total", "Fleet snapshots restored.", float64(stats.Restores))
+// maxTelemetryWindow bounds one telemetry response; the flight recorder
+// may retain more, but a single GET never serializes more than this.
+const maxTelemetryWindow = 4096
 
-	// Per-tenant progress, labelled; States() preserves the sorted id
-	// order so scrapes are stable.
-	var binRows, opRows strings.Builder
-	for _, st := range s.fleet.States() {
-		fmt.Fprintf(&binRows, "hpmserve_tenant_bins{tenant=%q} %d\n", st.ID, st.Bins)
-		if st.LastDecision != nil {
-			fmt.Fprintf(&opRows, "hpmserve_tenant_operational{tenant=%q} %d\n", st.ID, st.LastDecision.Operational)
+// telemetryDTO is the /v1/tenants/{id}/telemetry payload: the newest
+// recorded decisions (oldest first) plus the recorder's write cursor.
+// Records use the flight recorder's JSON shape (tick, level, module,
+// comp, freqIdx, ...); total only grows, so clients can diff it across
+// polls to detect how much they missed.
+type telemetryDTO struct {
+	Tenant  string                    `json:"tenant"`
+	Total   uint64                    `json:"total"`
+	Records []hierctl.TelemetryRecord `json:"records"`
+}
+
+// handleTelemetry serves the read-only flight-recorder window. ?max=N
+// trims the response to the newest N records (default and cap
+// maxTelemetryWindow). Tenants running without a recorder return an
+// empty window, not an error.
+func (s *server) handleTelemetry(w http.ResponseWriter, r *http.Request, id string) {
+	max := maxTelemetryWindow
+	if raw := r.URL.Query().Get("max"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeError(w, fmt.Errorf("max %q is not a positive integer", raw))
+			return
+		}
+		if n < max {
+			max = n
 		}
 	}
-	if binRows.Len() > 0 {
-		fmt.Fprintf(&b, "# HELP hpmserve_tenant_bins Observation bins ingested per tenant.\n# TYPE hpmserve_tenant_bins counter\n%s", binRows.String())
+	recs, total, err := s.fleet.Telemetry(id, max)
+	if err != nil {
+		writeError(w, err)
+		return
 	}
-	if opRows.Len() > 0 {
-		fmt.Fprintf(&b, "# HELP hpmserve_tenant_operational Operational computers per tenant.\n# TYPE hpmserve_tenant_operational gauge\n%s", opRows.String())
+	if recs == nil {
+		recs = []hierctl.TelemetryRecord{}
 	}
-	_, _ = w.Write([]byte(b.String()))
+	writeJSON(w, http.StatusOK, telemetryDTO{Tenant: id, Total: total, Records: recs})
+}
+
+// handleMetrics renders the fleet counters and the flight-recorder
+// telemetry in the Prometheus text exposition format (the internal
+// registry — no client library). Fleet-wide and per-tenant progress
+// series are refreshed from the fleet's authoritative counters at scrape
+// time; decision telemetry is drained incrementally from each tenant's
+// flight recorder so repeated scrapes fold in only new records.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	stats := s.fleet.Stats()
+	s.tenants.Set(float64(stats.Tenants))
+	s.shards.Set(float64(stats.Shards))
+	s.uptime.Set(time.Since(s.start).Seconds())
+	s.observations.SetTotal(float64(stats.Observations))
+	s.ticks.SetTotal(float64(stats.Ticks))
+	s.decideSeconds.SetTotal(stats.DecideSeconds)
+	s.snapshots.SetTotal(float64(stats.Snapshots))
+	s.restores.SetTotal(float64(stats.Restores))
+
+	// Rebuild the per-tenant progress series from scratch: States() is the
+	// authority, and a Reset drops series for tenants closed since the
+	// last scrape.
+	s.tenantBins.Reset()
+	s.tenantOperational.Reset()
+	for _, st := range s.fleet.States() {
+		s.tenantBins.With(st.ID).SetTotal(float64(st.Bins))
+		if st.LastDecision != nil {
+			s.tenantOperational.With(st.ID).Set(float64(st.LastDecision.Operational))
+		}
+		s.drainTelemetry(st.ID)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WriteText(w)
+}
+
+// drainTelemetry folds a tenant's flight-recorder records written since
+// the last scrape into the per-level and per-tenant series. Detail
+// records (per-computer rows under an L1 summary, per-module rows under
+// an L2 summary) carry no timing of their own and are skipped; if the
+// ring wrapped between scrapes the gap is simply lost, matching the
+// recorder's bounded-window contract.
+func (s *server) drainTelemetry(id string) {
+	// The lock spans the read-drain-advance sequence so concurrent scrapes
+	// cannot double-count the same window.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs, next, err := s.fleet.TelemetrySince(id, s.cursors[id])
+	if err != nil || next == s.cursors[id] {
+		return
+	}
+	for _, rec := range recs {
+		switch rec.Level {
+		case obs.LevelTick:
+			if rec.QoS {
+				s.qosViolations.With(id).Inc()
+			}
+			continue
+		case obs.LevelL1:
+			if rec.Comp != -1 { // per-computer detail row
+				continue
+			}
+		case obs.LevelL2:
+			if rec.Module != -1 { // per-module detail row
+				continue
+			}
+		}
+		level := rec.Level.String()
+		s.levelDecide.With(level).Observe(float64(rec.DecideNs) / 1e9)
+		s.levelExplored.With(level).Observe(float64(rec.Explored))
+	}
+	s.cursors[id] = next
+}
+
+// forgetTenant drops the cumulative per-tenant series and the telemetry
+// cursor once a tenant is closed (the scrape-time series vanish on their
+// own at the next Reset).
+func (s *server) forgetTenant(id string) {
+	s.mu.Lock()
+	delete(s.cursors, id)
+	s.mu.Unlock()
+	s.observeLatency.Delete(id)
+	s.qosViolations.Delete(id)
 }

@@ -12,6 +12,14 @@
 //	hpmsim -policy threshold -workload wc98
 //	hpmsim -policy always-on -scale 0.25
 //	hpmsim -l3 2 -workload wc98             # 2 clusters, shared clock, L3 budget
+//	hpmsim -fast -trace decisions.json      # Chrome trace_event decision timeline
+//	hpmsim -fast -trace-jsonl decisions.jsonl
+//	hpmsim -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -trace and -trace-jsonl attach the decision flight recorder to the LLC
+// hierarchy and export every tick/L0/L1/L2 record; load the -trace file in
+// chrome://tracing or https://ui.perfetto.dev. The profiles are standard
+// pprof files (go tool pprof cpu.pprof).
 //
 // Scenario traces are amplitude-scaled to the selected cluster size (the
 // paper's §4.3 recipe), and scenario failure plans are injected for every
@@ -25,6 +33,7 @@ import (
 	"os"
 
 	"hierctl"
+	"hierctl/internal/obs"
 )
 
 func main() {
@@ -34,7 +43,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("hpmsim", flag.ContinueOnError)
 	policy := fs.String("policy", "llc", "control policy: llc, threshold, threshold-dvfs, always-on")
 	l3 := fs.Int("l3", 0, "run N clusters under one shared clock with an L3 layer reallocating a shared computer budget (threshold policy per cluster; 0 = single-cluster mode)")
@@ -48,8 +57,34 @@ func run(args []string, stdout io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "per-pool worker width; pools nest (sweep × module × search) (0 = one per CPU, 1 = fully sequential; results identical)")
 	searchParallelism := fs.Int("search-parallelism", 0, "workers fanning each L0 lookahead search's level-0 candidates (0/1 = sequential; decisions identical, explored counters may vary when > 1)")
 	artifacts := fs.String("artifacts", "", "directory caching offline learning results (must exist)")
+	traceOut := fs.String("trace", "", "write the LLC decision timeline as a Chrome trace_event file (chrome://tracing / Perfetto)")
+	traceJSONL := fs.String("trace-jsonl", "", "write the LLC decision records as JSON Lines")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memprofile); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	}
+	wantTrace := *traceOut != "" || *traceJSONL != ""
+	if wantTrace && (*policy != "llc" || *l3 > 0) {
+		return fmt.Errorf("-trace/-trace-jsonl record the LLC hierarchy's decisions; they need -policy llc without -l3")
 	}
 	if *parallelism < 0 {
 		return fmt.Errorf("-parallelism %d is negative; use 0 for one worker per CPU or a positive width", *parallelism)
@@ -106,10 +141,22 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		var flight *hierctl.TelemetryRecorder
+		if wantTrace {
+			if flight, err = hierctl.NewTelemetryRecorder(recorderCapacity(trace, spec, cfg.L0.PeriodSeconds)); err != nil {
+				return err
+			}
+			mgr.SetRecorder(flight)
+		}
 		mgr.InjectPlan(plan)
 		rec, err := mgr.Run(trace, store)
 		if err != nil {
 			return err
+		}
+		if wantTrace {
+			if err := exportTelemetry(stdout, flight, *traceOut, *traceJSONL, cfg.L0.PeriodSeconds); err != nil {
+				return err
+			}
 		}
 		fmt.Fprintf(stdout, "policy            hierarchical-llc\n")
 		fmt.Fprintf(stdout, "computers         %d\n", spec.Computers())
@@ -226,6 +273,62 @@ func runL3(stdout io.Writer, spec hierctl.ClusterSpec, sc hierctl.Scenario, n, b
 		fmt.Fprintf(stdout, "  ... %d more ...\n", len(events)-6)
 		last := events[len(events)-1]
 		fmt.Fprintf(stdout, "  t=%6.0fs budgets %v (window arrivals %v)\n", last.Time, last.Budgets, last.Arrived)
+	}
+	return nil
+}
+
+// recorderCapacity sizes the flight recorder to hold the whole run: one
+// tick record plus one L0 record per computer every period, and the L1/L2
+// summary + detail bursts on their (sparser) periods — bounded above by
+// one record per computer and per module every tick. Clamped so a huge
+// -cluster/-scale combination cannot balloon memory; if the ring still
+// wraps, the export keeps the newest window and says so.
+func recorderCapacity(tr *hierctl.Series, spec hierctl.ClusterSpec, periodSeconds float64) int {
+	ticks := int(float64(tr.Len())*tr.Step/periodSeconds) + 2
+	perTick := 2 + 2*spec.Computers() + len(spec.Modules)
+	n := ticks * perTick
+	if n > 1<<20 {
+		n = 1 << 20
+	}
+	if n < 1024 {
+		n = 1024
+	}
+	return n
+}
+
+// exportTelemetry writes the recorded decision stream to the requested
+// trace/JSONL files.
+func exportTelemetry(stdout io.Writer, flight *hierctl.TelemetryRecorder, tracePath, jsonlPath string, periodSeconds float64) error {
+	recs := flight.Window(nil, 0)
+	if dropped := flight.Total() - uint64(len(recs)); dropped > 0 {
+		fmt.Fprintf(stdout, "telemetry         ring wrapped: exporting newest %d of %d records\n", len(recs), flight.Total())
+	}
+	write := func(path string, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if tracePath != "" {
+		if err := write(tracePath, func(w io.Writer) error {
+			return hierctl.WriteDecisionTrace(w, recs, periodSeconds)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace             %s (%d records; load in chrome://tracing or ui.perfetto.dev)\n", tracePath, len(recs))
+	}
+	if jsonlPath != "" {
+		if err := write(jsonlPath, func(w io.Writer) error {
+			return hierctl.WriteTelemetryJSONL(w, recs)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace-jsonl       %s (%d records)\n", jsonlPath, len(recs))
 	}
 	return nil
 }

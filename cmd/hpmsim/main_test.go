@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -169,5 +171,115 @@ func TestRunTracefileWorkload(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "hierarchical-llc") {
 		t.Errorf("tracefile run missing summary:\n%s", out.String())
+	}
+}
+
+// TestRunTraceExport drives the flight-recorder path end to end: a
+// recorded LLC run must emit a valid Chrome trace_event file and a JSONL
+// stream covering every hierarchy level, without changing the summary.
+func TestRunTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "decisions.json")
+	jsonlPath := filepath.Join(dir, "decisions.jsonl")
+	var out bytes.Buffer
+	// Two modules so the L2 arbiter is in the loop (single-module clusters
+	// have no L2 controller and would leave the level uncovered).
+	err := run([]string{"-cluster", "2", "-scale", "0.02", "-fast", "-trace", tracePath, "-trace-jsonl", jsonlPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hierarchical-llc") {
+		t.Errorf("recorded run lost its summary:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("trace file is not valid trace_event JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" || len(tf.TraceEvents) == 0 {
+		t.Fatalf("trace shape wrong: unit %q, %d events", tf.DisplayTimeUnit, len(tf.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		phases[ev.Ph]++
+	}
+	for _, ph := range []string{"M", "X", "C"} {
+		if phases[ph] == 0 {
+			t.Errorf("trace has no %q events (%v)", ph, phases)
+		}
+	}
+
+	jf, err := os.Open(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	levels := map[string]int{}
+	lines := 0
+	sc := bufio.NewScanner(jf)
+	for sc.Scan() {
+		lines++
+		var rec struct {
+			Level string `json:"level"`
+			Tick  int64  `json:"tick"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not a JSON record: %v", lines, err)
+		}
+		levels[rec.Level]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, lv := range []string{"tick", "l0", "l1", "l2"} {
+		if levels[lv] == 0 {
+			t.Errorf("JSONL stream has no %q records (%d lines: %v)", lv, lines, levels)
+		}
+	}
+}
+
+// TestRunTraceRequiresLLC pins the flag contract: decision tracing only
+// instruments the LLC hierarchy.
+func TestRunTraceRequiresLLC(t *testing.T) {
+	for _, args := range [][]string{
+		{"-policy", "threshold", "-trace", "out.json"},
+		{"-l3", "2", "-trace-jsonl", "out.jsonl"},
+	} {
+		var out bytes.Buffer
+		err := run(args, &out)
+		if err == nil || !strings.Contains(err.Error(), "llc") {
+			t.Errorf("args %v: got %v, want an llc-only error", args, err)
+		}
+	}
+}
+
+// TestRunProfiles checks the pprof flags produce non-empty profile files.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.02", "-fast", "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"hierctl/internal/cluster"
 	"hierctl/internal/controller"
 	"hierctl/internal/metrics"
+	"hierctl/internal/obs"
 )
 
 func main() {
@@ -28,11 +29,31 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("hpmtrain", flag.ContinueOnError)
 	probe := fs.Bool("probe", false, "print learned costs on a probe grid")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memprofile); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
 	}
 
 	l0cfg := controller.DefaultL0Config()

@@ -38,6 +38,7 @@ package hierctl
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"hierctl/internal/baseline"
@@ -45,6 +46,7 @@ import (
 	"hierctl/internal/core"
 	"hierctl/internal/engine"
 	"hierctl/internal/fleet"
+	"hierctl/internal/obs"
 	"hierctl/internal/series"
 	"hierctl/internal/workload"
 )
@@ -114,6 +116,16 @@ type (
 	// ProportionalShare is the reference L3 policy (largest-remainder
 	// split proportional to window arrivals, floor 1 per live cluster).
 	ProportionalShare = engine.ProportionalShare
+	// TelemetryRecorder is the decision flight recorder: a fixed-size,
+	// allocation-free ring of per-tick and per-controller records. Attach
+	// one with Manager.SetRecorder before running; a nil recorder keeps
+	// the hierarchy's zero-allocation decision path.
+	TelemetryRecorder = obs.Recorder
+	// TelemetryRecord is one flight-recorder entry.
+	TelemetryRecord = obs.Record
+	// TelemetryLevel identifies which layer wrote a record (tick, l0, l1,
+	// l2).
+	TelemetryLevel = obs.Level
 )
 
 // Fleet sentinel errors, re-exported for errors.Is checks.
@@ -126,6 +138,28 @@ var (
 // NewFleet starts an online control plane hosting tenant hierarchies
 // sharded across worker goroutines.
 func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
+
+// NewTelemetryRecorder builds a flight recorder retaining the newest
+// capacity records. Writes are allocation-free and safe from the L1
+// planning fan-out's concurrent goroutines.
+func NewTelemetryRecorder(capacity int) (*TelemetryRecorder, error) {
+	return obs.NewRecorder(capacity)
+}
+
+// WriteTelemetryJSONL streams records as JSON Lines (one object per
+// line), the grep/jq-friendly export.
+func WriteTelemetryJSONL(w io.Writer, recs []TelemetryRecord) error {
+	return obs.WriteJSONL(w, recs)
+}
+
+// WriteDecisionTrace renders records as a Chrome trace_event file
+// (load it in chrome://tracing or Perfetto). Decide latencies become
+// duration slices on per-computer/per-module tracks placed at simulated
+// time (tick × periodSeconds); costs, γ splits, frequencies, and the
+// operational-computer count become counter tracks.
+func WriteDecisionTrace(w io.Writer, recs []TelemetryRecord, periodSeconds float64) error {
+	return obs.WriteTrace(w, recs, periodSeconds)
+}
 
 // DefaultConfig returns the paper's parameter set (§4.3/§5.2): T_L0 = 30 s,
 // N_L0 = 3, T_L1 = T_L2 = 2 min, r* = 4 s, Q = 100, R = 1, W = 8,

@@ -6,6 +6,7 @@ import (
 
 	"hierctl/internal/cluster"
 	"hierctl/internal/llc"
+	"hierctl/internal/obs"
 	"hierctl/internal/queue"
 )
 
@@ -153,6 +154,12 @@ type L0 struct {
 	explored    int
 	decisions   int
 	computeTime time.Duration
+
+	// Flight recorder (nil = disabled) and this computer's coordinates
+	// in its records.
+	rec       *obs.Recorder
+	recModule int16
+	recComp   int16
 }
 
 // NewL0 builds an L0 controller for the given computer.
@@ -219,6 +226,13 @@ func newL0Model(cfg L0Config, spec cluster.ComputerSpec) (*l0Model, error) {
 // Config returns the controller's configuration.
 func (l *L0) Config() L0Config { return l.cfg }
 
+// SetRecorder attaches a decision flight recorder (nil detaches) and
+// names the (module, computer) coordinates stamped onto records.
+// Recording is observe-only: decisions are identical with it on or off.
+func (l *L0) SetRecorder(r *obs.Recorder, module, comp int) {
+	l.rec, l.recModule, l.recComp = r, int16(module), int16(comp)
+}
+
 // Decide selects the frequency index for the next period. queueLen is the
 // observed queue length; lambda holds the forecast arrival rates
 // (requests/second) for each horizon step (length ≥ 1 — shorter than the
@@ -267,9 +281,21 @@ func (l *L0) DecideBanded(queueLen float64, lambda []float64, delta, cHat float6
 	if err != nil {
 		return 0, fmt.Errorf("controller: L0 search: %w", err)
 	}
+	elapsed := time.Since(start)
 	l.explored += res.Explored
 	l.decisions++
-	l.computeTime += time.Since(start)
+	l.computeTime += elapsed
+	if l.rec.Enabled() {
+		l.rec.Record(obs.Record{
+			Level:    obs.LevelL0,
+			Module:   l.recModule,
+			Comp:     l.recComp,
+			FreqIdx:  int16(res.Inputs[0]),
+			Explored: int32(res.Explored),
+			DecideNs: elapsed.Nanoseconds(),
+			Cost:     res.Cost,
+		})
+	}
 	return res.Inputs[0], nil
 }
 

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"hierctl/internal/llc"
+	// Aliased: Decide's observation parameter is conventionally named obs.
+	flight "hierctl/internal/obs"
 )
 
 // L1Config parameterizes a module-level L1 controller (§4.2).
@@ -213,6 +215,11 @@ type L1 struct {
 	explored    int
 	decisions   int
 	computeTime time.Duration
+
+	// Flight recorder (nil = disabled) and the module index stamped onto
+	// records.
+	rec       *flight.Recorder
+	recModule int16
 }
 
 // NewL1 builds an L1 controller over the module's learned abstraction
@@ -268,6 +275,40 @@ func NewL1(cfg L1Config, gmaps []*GMap) (*L1, error) {
 // Size returns the number of computers the controller manages.
 func (l *L1) Size() int { return len(l.gmaps) }
 
+// SetRecorder attaches a decision flight recorder (nil detaches) and
+// names the module index stamped onto records. Each Decide writes one
+// summary record (Comp == -1: packed α mask, explored count, incumbent
+// cost, decide latency) followed by one detail record per computer
+// (its On state and γ share). Recording is observe-only: decisions are
+// identical with it on or off.
+func (l *L1) SetRecorder(r *flight.Recorder, module int) {
+	l.rec, l.recModule = r, int16(module)
+}
+
+// record writes the decision boundary to the flight recorder.
+func (l *L1) record(dec L1Decision, cost float64, elapsed time.Duration) {
+	l.rec.Record(flight.Record{
+		Level:    flight.LevelL1,
+		Module:   l.recModule,
+		Comp:     -1,
+		FreqIdx:  -1,
+		Explored: int32(dec.Explored),
+		DecideNs: elapsed.Nanoseconds(),
+		Alpha:    packBools(dec.Alpha),
+		Cost:     cost,
+	})
+	for j := range dec.Gamma {
+		l.rec.Record(flight.Record{
+			Level:   flight.LevelL1,
+			Module:  l.recModule,
+			Comp:    int16(j),
+			FreqIdx: -1,
+			On:      dec.Alpha[j],
+			Gamma:   dec.Gamma[j],
+		})
+	}
+}
+
 // SetState overrides the controller's notion of the previous decision —
 // used when the manager forces a configuration (e.g. initial state).
 func (l *L1) SetState(alpha []bool, gamma []float64) error {
@@ -312,6 +353,9 @@ func (l *L1) Decide(obs L1Observation) (L1Decision, error) {
 		l.prevAlpha = dec.Alpha
 		l.prevGamma = dec.Gamma
 		l.decisions++
+		if l.rec.Enabled() {
+			l.record(dec, 0, 0)
+		}
 		return dec, nil
 	}
 	start := time.Now()
@@ -367,11 +411,15 @@ func (l *L1) Decide(obs L1Observation) (L1Decision, error) {
 		Gamma:    append([]float64(nil), l.bestGammaScr...),
 		Explored: explored,
 	}
+	elapsed := time.Since(start)
 	l.prevAlpha = best.Alpha
 	l.prevGamma = best.Gamma
 	l.explored += explored
 	l.decisions++
-	l.computeTime += time.Since(start)
+	l.computeTime += elapsed
+	if l.rec.Enabled() {
+		l.record(best, bestCost, elapsed)
+	}
 	return best, nil
 }
 

@@ -7,6 +7,8 @@ import (
 
 	"hierctl/internal/approx"
 	"hierctl/internal/llc"
+	// Aliased: Decide's observation parameter is conventionally named obs.
+	flight "hierctl/internal/obs"
 )
 
 // L2Config parameterizes the cluster-level L2 controller (§5.1).
@@ -156,6 +158,9 @@ type L2 struct {
 	explored    int
 	decisions   int
 	computeTime time.Duration
+
+	// Flight recorder (nil = disabled).
+	rec *flight.Recorder
 }
 
 // NewL2 builds an L2 controller over per-module cost approximations.
@@ -190,6 +195,13 @@ func NewL2(cfg L2Config, jtildes []JTilde) (*L2, error) {
 
 // Modules returns the number of modules the controller manages.
 func (l *L2) Modules() int { return len(l.jtildes) }
+
+// SetRecorder attaches a decision flight recorder (nil detaches). Each
+// Decide writes one summary record (Module == -1: explored count,
+// incumbent cost, decide latency) followed by one detail record per
+// module carrying its chosen γ share. Recording is observe-only:
+// decisions are identical with it on or off.
+func (l *L2) SetRecorder(r *flight.Recorder) { l.rec = r }
 
 // Decide solves the L2 optimization (Eq. 15): choose {γ_i} minimizing
 // Σ_i J̃_i. The quantized simplex is enumerated exhaustively while small
@@ -307,10 +319,31 @@ func (l *L2) Decide(obs L2Observation) (L2Decision, error) {
 	if best == nil {
 		return L2Decision{}, fmt.Errorf("controller: L2 found no candidate allocation")
 	}
+	elapsed := time.Since(start)
 	l.prevGamma = append([]float64(nil), best...)
 	l.explored += explored
 	l.decisions++
-	l.computeTime += time.Since(start)
+	l.computeTime += elapsed
+	if l.rec.Enabled() {
+		l.rec.Record(flight.Record{
+			Level:    flight.LevelL2,
+			Module:   -1,
+			Comp:     -1,
+			FreqIdx:  -1,
+			Explored: int32(explored),
+			DecideNs: elapsed.Nanoseconds(),
+			Cost:     bestCost,
+		})
+		for i, g := range best {
+			l.rec.Record(flight.Record{
+				Level:   flight.LevelL2,
+				Module:  int16(i),
+				Comp:    -1,
+				FreqIdx: -1,
+				Gamma:   g,
+			})
+		}
+	}
 	return L2Decision{Gamma: append([]float64(nil), best...), Explored: explored}, nil
 }
 

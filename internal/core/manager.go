@@ -7,6 +7,7 @@ import (
 	"hierctl/internal/cluster"
 	"hierctl/internal/controller"
 	"hierctl/internal/forecast"
+	"hierctl/internal/obs"
 	"hierctl/internal/par"
 	"hierctl/internal/workload"
 )
@@ -201,7 +202,33 @@ type Manager struct {
 	learnTime time.Duration
 
 	failures []failureEvent
+
+	// recorder is the attached decision flight recorder (nil = off); it
+	// feeds every controller and the sessions built afterwards.
+	recorder *obs.Recorder
 }
+
+// SetRecorder attaches a decision flight recorder to the whole hierarchy
+// — the L2, every module's L1, every L0 — and to sessions created
+// afterwards (which add the engine's per-tick records). A nil recorder
+// detaches. Recording is observe-only: runs are bit-identical with it on
+// or off (pinned by TestManagerRecorderEquivalence); under parallel
+// planning only the interleaving of same-tick records varies.
+func (m *Manager) SetRecorder(r *obs.Recorder) {
+	m.recorder = r
+	for i, asm := range m.modules {
+		asm.l1.SetRecorder(r, i)
+		for j, l0 := range asm.l0s {
+			l0.SetRecorder(r, i, j)
+		}
+	}
+	if m.l2 != nil {
+		m.l2.SetRecorder(r)
+	}
+}
+
+// Recorder returns the attached flight recorder (nil when disabled).
+func (m *Manager) Recorder() *obs.Recorder { return m.recorder }
 
 // ArtifactSet holds the offline learning results — the abstraction maps g
 // per distinct hardware and the regression trees J̃ per distinct module

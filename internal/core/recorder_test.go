@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/obs"
+	"hierctl/internal/workload"
+)
+
+// TestManagerRecorderEquivalence is the recorder equivalence suite: the
+// flight recorder must be observe-only. Randomized over the scenario
+// registry, seeds, and the L1 planning fan-out, a run with the recorder
+// attached must reproduce the unrecorded run bit-for-bit — decisions,
+// QoS accounting, energy, explored counts. Wall-clock overhead fields
+// are the only nondeterministic ones and are zeroed before comparing.
+// CI runs this suite under -race (the parallel L1 fan-out writes the
+// ring concurrently).
+func TestManagerRecorderEquivalence(t *testing.T) {
+	spec := cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 2), moduleOf("M2", 2)}}
+	scenarios := workload.Scenarios()
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 6; trial++ {
+		sc := scenarios[rng.Intn(len(scenarios))]
+		for sc.NeedsArg {
+			sc = scenarios[rng.Intn(len(scenarios))]
+		}
+		seed := int64(1 + rng.Intn(100))
+		parallelism := 1 + rng.Intn(4)
+		t.Run(sc.Name, func(t *testing.T) {
+			trace, err := sc.Trace(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.ScaleToCluster(trace, 4)
+			if trace.Len() > 20 {
+				trace = trace.Slice(0, 20)
+			}
+			plan := sc.FailurePlan(trace)
+			cfg := fastConfig()
+			cfg.Seed = seed
+			cfg.Parallelism = parallelism
+			newStore := func() *workload.Store {
+				s, err := workload.NewStore(rand.New(rand.NewSource(seed)), sc.StoreConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			runOnce := func(rec *obs.Recorder) *Record {
+				mgr, err := NewManager(spec, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mgr.SetRecorder(rec)
+				mgr.InjectPlan(plan)
+				r, err := mgr.Run(trace, newStore())
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.LearnTime, r.L0Time, r.L1Time, r.L2Time = 0, 0, 0, 0
+				return r
+			}
+			rec, err := obs.NewRecorder(1 << 14)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := runOnce(nil)
+			got := runOnce(rec)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("seed %d parallelism %d: recorded run diverges\nplain:    %+v\nrecorded: %+v",
+					seed, parallelism, want, got)
+			}
+
+			// The recorder actually saw the hierarchy: tick records for
+			// every engine tick plus controller records at every level.
+			counts := map[obs.Level]int{}
+			ticks := int64(-1)
+			for _, r := range rec.Window(nil, 0) {
+				counts[r.Level]++
+				if r.Tick > ticks {
+					ticks = r.Tick
+				}
+			}
+			if counts[obs.LevelTick] == 0 || counts[obs.LevelL0] == 0 ||
+				counts[obs.LevelL1] == 0 || counts[obs.LevelL2] == 0 {
+				t.Errorf("level coverage incomplete: %v (total %d)", counts, rec.Total())
+			}
+			if ticks < 1 {
+				t.Errorf("tick stamps did not advance (max %d)", ticks)
+			}
+		})
+	}
+}

@@ -189,6 +189,8 @@ func (m *Manager) NewSession(store *workload.Store, sc SessionConfig) (*Session,
 		DrainSeconds:   m.cfg.DrainSeconds,
 		Failures:       plan,
 		Spread:         engine.SpreadBinRing,
+		Recorder:       m.recorder,
+		QoSTarget:      m.cfg.L0.TargetResponse,
 	}, store, r)
 	if err != nil {
 		return nil, err

@@ -25,9 +25,12 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"hierctl/internal/cluster"
 	"hierctl/internal/des"
+	// Aliased: Tick's per-tick observation local is conventionally named obs.
+	flight "hierctl/internal/obs"
 	"hierctl/internal/series"
 	"hierctl/internal/workload"
 )
@@ -81,6 +84,15 @@ type Config struct {
 	Failures []workload.FailureEvent
 	// Spread selects the bin-to-tick request mapping.
 	Spread SpreadMode
+	// Recorder, when non-nil, receives one flight-recorder record per
+	// tick (whole-decision latency, interval mean response, QoS flag) and
+	// carries the tick stamp the controllers' own records pick up.
+	// Recording is observe-only: runs are bit-identical with it on or
+	// off.
+	Recorder *flight.Recorder
+	// QoSTarget is the mean-response target (seconds) the tick records'
+	// QoS-violation flag is judged against; 0 disables the flag.
+	QoSTarget float64
 }
 
 // Harness owns one closed-loop run's mechanics and drives a Policy.
@@ -319,9 +331,19 @@ func (h *Harness) Tick() error {
 		obs.NewBin = true
 		obs.Bin = k / h.sub
 	}
+	rec := h.cfg.Recorder
+	rec.SetTick(int64(k))
+	var decideStart time.Time
+	if rec.Enabled() {
+		decideStart = time.Now()
+	}
 	st, err := h.policy.Decide(k, obs)
 	if err != nil {
 		return err
+	}
+	var decideNs int64
+	if rec.Enabled() {
+		decideNs = time.Since(decideStart).Nanoseconds()
 	}
 	if reqs := h.pending(k); len(reqs) > 0 {
 		if err := h.plant.Dispatch(reqs, st.GammaModules, st.GammaComputers); err != nil {
@@ -332,6 +354,7 @@ func (h *Harness) Tick() error {
 	if err := h.plant.Advance(t + h.cfg.PeriodSeconds); err != nil {
 		return err
 	}
+	completedBefore, respBefore := h.cumCompleted, h.cumRespSum
 	for i := range h.stats {
 		agg, per, err := h.plant.ModuleIntervalStats(i)
 		if err != nil {
@@ -343,6 +366,24 @@ func (h *Harness) Tick() error {
 		if agg.Completed > 0 {
 			h.cumRespSum += agg.MeanResponse * float64(agg.Completed)
 		}
+	}
+	if rec.Enabled() {
+		// One tick record after the harvest: the interval's mean response
+		// across modules, judged against the configured QoS target.
+		completed := h.cumCompleted - completedBefore
+		mean := 0.0
+		if completed > 0 {
+			mean = (h.cumRespSum - respBefore) / float64(completed)
+		}
+		rec.Record(flight.Record{
+			Level:    flight.LevelTick,
+			Module:   -1,
+			Comp:     -1,
+			FreqIdx:  -1,
+			DecideNs: decideNs,
+			Resp:     mean,
+			QoS:      h.cfg.QoSTarget > 0 && completed > 0 && mean > h.cfg.QoSTarget,
+		})
 	}
 	h.tick++
 	return h.policy.Observe(k, h.stats)

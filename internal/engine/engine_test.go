@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hierctl/internal/cluster"
+	flight "hierctl/internal/obs"
 	"hierctl/internal/series"
 	"hierctl/internal/workload"
 )
@@ -312,5 +313,59 @@ func TestRunTraceMatchesManualStepping(t *testing.T) {
 	}
 	if bt != mt {
 		t.Fatalf("batch totals %+v != manual totals %+v", bt, mt)
+	}
+}
+
+// TestHarnessTickRecords pins the engine's flight-recorder contract: one
+// LevelTick record per tick carrying the whole-decision latency, the
+// interval mean response, and a QoS flag judged against cfg.QoSTarget —
+// and an unchanged run when the recorder is nil.
+func TestHarnessTickRecords(t *testing.T) {
+	spec := testSpec(t)
+	cfg := testConfig(spec, 3, SpreadRunArray)
+	cfg.QoSTarget = 1e-9 // any completed interval violates
+	rec, err := flight.NewRecorder(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Recorder = rec
+	h, err := New(cfg, testStore(t), &stubPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bin := 0; bin < 3; bin++ {
+		if err := h.PushBin(60); err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < h.SubSteps(); s++ {
+			if err := h.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := h.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	recs := rec.Window(nil, 0)
+	if len(recs) != h.Ticks() {
+		t.Fatalf("%d tick records for %d ticks", len(recs), h.Ticks())
+	}
+	sawCompleted := false
+	for i, r := range recs {
+		if r.Level != flight.LevelTick || r.Tick != int64(i) || r.Module != -1 || r.Comp != -1 {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+		if r.DecideNs < 0 {
+			t.Fatalf("record %d: negative decide latency", i)
+		}
+		if r.Resp > 0 {
+			sawCompleted = true
+			if !r.QoS {
+				t.Fatalf("record %d: resp %v above target yet QoS flag unset", i, r.Resp)
+			}
+		}
+	}
+	if !sawCompleted {
+		t.Fatal("no tick saw completions; the QoS path went unexercised")
 	}
 }

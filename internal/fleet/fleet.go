@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"hierctl/internal/core"
+	"hierctl/internal/obs"
 	"hierctl/internal/par"
 )
 
@@ -231,6 +232,49 @@ func (f *Fleet) State(id string) (TenantState, error) {
 		return TenantState{}, err
 	}
 	return st, nil
+}
+
+// Telemetry returns up to max of the tenant's most recent flight-recorder
+// records (oldest first) plus the cursor one past the newest record — the
+// value to hand TelemetrySince to resume from here. max <= 0 means the
+// whole retained window. Tenants configured with TelemetryRecords == 0
+// return an empty window and cursor 0. The ring read executes on the
+// tenant's home shard, so it never races the tenant's own writers.
+func (f *Fleet) Telemetry(id string, max int) ([]obs.Record, uint64, error) {
+	t, err := f.tenant(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	var recs []obs.Record
+	var cursor uint64
+	if err := f.exec(t, func() {
+		rec := t.mgr.Recorder()
+		recs = rec.Window(nil, max)
+		cursor = rec.Total()
+	}); err != nil {
+		return nil, 0, err
+	}
+	return recs, cursor, nil
+}
+
+// TelemetrySince returns the tenant's flight-recorder records written at or
+// after cursor (oldest first) and the next cursor. If the ring wrapped past
+// the cursor the gap is skipped: the oldest retained record is returned
+// next, so pollers lose records rather than block — the recorder is a
+// bounded window, not a durable log.
+func (f *Fleet) TelemetrySince(id string, cursor uint64) ([]obs.Record, uint64, error) {
+	t, err := f.tenant(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	var recs []obs.Record
+	var next uint64
+	if err := f.exec(t, func() {
+		recs, next = t.mgr.Recorder().Since(nil, cursor)
+	}); err != nil {
+		return nil, 0, err
+	}
+	return recs, next, nil
 }
 
 // CloseTenant finishes the tenant's session (draining in-flight work),

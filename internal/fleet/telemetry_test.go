@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"hierctl/internal/cluster"
+	"hierctl/internal/obs"
+)
+
+func telemetryTenantConfig(records int) TenantConfig {
+	return TenantConfig{
+		Spec:             cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 2), moduleOf("M2", 2)}},
+		Core:             fastCore(),
+		Store:            testStoreConfig(),
+		StoreSeed:        7,
+		BinSeconds:       30,
+		TelemetryRecords: records,
+	}
+}
+
+// TestFleetTelemetry drives a recording tenant and reads its window back
+// through the shard-synchronized accessors: records cover every level,
+// the cursor advances monotonically, and TelemetrySince resumes exactly
+// where Telemetry left off.
+func TestFleetTelemetry(t *testing.T) {
+	f := New(Config{Shards: 2})
+	defer f.Close()
+	if err := f.CreateTenant("rec", telemetryTenantConfig(1<<12)); err != nil {
+		t.Fatal(err)
+	}
+	counts := func(i int) float64 { return 700 + 400*math.Sin(float64(i)/3) }
+	for i := 0; i < 6; i++ {
+		if _, err := f.Observe("rec", counts(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recs, cursor, err := f.Telemetry("rec", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("recording tenant returned an empty telemetry window")
+	}
+	if cursor != uint64(len(recs)) {
+		t.Fatalf("cursor %d != records written %d (ring has not wrapped)", cursor, len(recs))
+	}
+	levels := map[obs.Level]int{}
+	lastTick := int64(-1)
+	for i, r := range recs {
+		levels[r.Level]++
+		if r.Tick < lastTick {
+			t.Fatalf("record %d out of order: tick %d after %d", i, r.Tick, lastTick)
+		}
+		lastTick = r.Tick
+	}
+	for _, lv := range []obs.Level{obs.LevelTick, obs.LevelL0, obs.LevelL1, obs.LevelL2} {
+		if levels[lv] == 0 {
+			t.Errorf("no %s records in telemetry window (%v)", lv, levels)
+		}
+	}
+
+	// A bounded read returns the newest max records.
+	tail, cur2, err := f.Telemetry("rec", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 3 || cur2 != cursor {
+		t.Fatalf("bounded read: %d records cursor %d, want 3 records cursor %d", len(tail), cur2, cursor)
+	}
+	if tail[2] != recs[len(recs)-1] {
+		t.Error("bounded read did not return the newest records")
+	}
+
+	// Incremental polling: nothing new yet, then exactly the new bins' worth.
+	got, next, err := f.TelemetrySince("rec", cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || next != cursor {
+		t.Fatalf("no new records expected, got %d (next %d)", len(got), next)
+	}
+	if _, err := f.Observe("rec", counts(6)); err != nil {
+		t.Fatal(err)
+	}
+	got, next, err = f.TelemetrySince("rec", cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || next <= cursor {
+		t.Fatalf("expected fresh records after another bin, got %d (next %d)", len(got), next)
+	}
+	for _, r := range got {
+		if r.Tick < lastTick {
+			t.Errorf("incremental record regressed to tick %d (window ended at %d)", r.Tick, lastTick)
+		}
+	}
+}
+
+// TestFleetTelemetryDisabled covers the default-off path: no recorder is
+// allocated, reads return an empty window, and negative sizes are
+// rejected at tenant creation.
+func TestFleetTelemetryDisabled(t *testing.T) {
+	f := New(Config{Shards: 1})
+	defer f.Close()
+	if err := f.CreateTenant("off", telemetryTenantConfig(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Observe("off", 500); err != nil {
+		t.Fatal(err)
+	}
+	recs, cursor, err := f.Telemetry("off", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || cursor != 0 {
+		t.Fatalf("disabled tenant returned %d records cursor %d", len(recs), cursor)
+	}
+	if _, _, err := f.TelemetrySince("off", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Telemetry("ghost", 0); err == nil {
+		t.Error("telemetry for unknown tenant did not error")
+	}
+
+	err = f.CreateTenant("neg", telemetryTenantConfig(-1))
+	if err == nil || !strings.Contains(err.Error(), "telemetry records") {
+		t.Fatalf("negative TelemetryRecords accepted: %v", err)
+	}
+}
+
+// TestFleetTelemetrySurvivesRestore pins the snapshot contract: the
+// recorder size is configuration (persisted), the ring is state
+// (ephemeral) — but because restores replay the observation log, the
+// restored tenant's ring is rebuilt with the same record stream.
+func TestFleetTelemetrySurvivesRestore(t *testing.T) {
+	f1 := New(Config{Shards: 1})
+	defer f1.Close()
+	if err := f1.CreateTenant("a", telemetryTenantConfig(1<<12)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := f1.Observe("a", 600+50*float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, wantCur, err := f1.Telemetry("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := f1.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f2 := New(Config{Shards: 1})
+	defer f2.Close()
+	if err := f2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, gotCur, err := f2.Telemetry("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCur != wantCur {
+		t.Fatalf("restored cursor %d, want %d", gotCur, wantCur)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("restored window has %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		// Wall-clock decide latency is the only nondeterministic field.
+		w.DecideNs, g.DecideNs = 0, 0
+		if w != g {
+			t.Fatalf("record %d diverged after restore:\noriginal %+v\nrestored %+v", i, want[i], got[i])
+		}
+	}
+}

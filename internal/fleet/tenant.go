@@ -6,6 +6,7 @@ import (
 
 	"hierctl/internal/cluster"
 	"hierctl/internal/core"
+	"hierctl/internal/obs"
 	"hierctl/internal/workload"
 )
 
@@ -36,6 +37,12 @@ type TenantConfig struct {
 	// tenant's configuration, so snapshots persist it and restores replay
 	// it deterministically.
 	Failures []workload.FailureEvent
+	// TelemetryRecords sizes the tenant's decision flight recorder (the
+	// retained window of per-tick and per-controller records served by
+	// Fleet.Telemetry); 0 disables recording. Part of the configuration,
+	// so snapshots persist it; the ring itself is ephemeral — a restore
+	// re-fills it by replaying the observation log.
+	TelemetryRecords int
 }
 
 // TenantState is the progress report served by Fleet.State.
@@ -75,9 +82,20 @@ type tenant struct {
 // newTenant builds a tenant's manager and session. A non-nil artifact set
 // (from a snapshot) skips the offline learning.
 func newTenant(id string, tc TenantConfig, art *core.ArtifactSet) (*tenant, error) {
+	if tc.TelemetryRecords < 0 {
+		return nil, fmt.Errorf("fleet: tenant %s: telemetry records %d < 0", id, tc.TelemetryRecords)
+	}
 	mgr, err := core.NewManagerWithArtifacts(tc.Spec, tc.Core, art)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: tenant %s: %w", id, err)
+	}
+	if tc.TelemetryRecords > 0 {
+		rec, err := obs.NewRecorder(tc.TelemetryRecords)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: tenant %s: %w", id, err)
+		}
+		// Attach before NewSession so the engine harness records ticks.
+		mgr.SetRecorder(rec)
 	}
 	mgr.InjectPlan(tc.Failures)
 	store, err := workload.NewStore(rand.New(rand.NewSource(tc.StoreSeed)), tc.Store)

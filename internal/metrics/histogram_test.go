@@ -120,3 +120,87 @@ func TestHistogramMerge(t *testing.T) {
 		t.Error("incompatible merge: want error")
 	}
 }
+
+// Satellite coverage: the degenerate shapes the general tests skip —
+// fully empty, a single observation, and mass past the top bucket.
+
+func TestHistogramEmpty(t *testing.T) {
+	h, err := NewHistogram(1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram reports Count=%d Mean=%v Max=%v, want zeros",
+			h.Count(), h.Mean(), h.Max())
+	}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// Merging two empties stays empty and error-free.
+	o, err := NewHistogram(1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 0 {
+		t.Fatalf("empty merge Count = %d", h.Count())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h, err := NewHistogram(1, 2, 4) // buckets [1,2) [2,4) [4,8) [8,16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(3)
+	if h.Count() != 1 || h.Mean() != 3 || h.Max() != 3 {
+		t.Fatalf("single sample: Count=%d Mean=%v Max=%v", h.Count(), h.Mean(), h.Max())
+	}
+	// Every quantile of a one-sample histogram is that sample's bucket
+	// midpoint: 2·√2 for [2,4).
+	want := 2 * math.Sqrt2
+	for _, q := range []float64{0.001, 0.5, 1} {
+		if got := h.Quantile(q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("single-sample Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h, err := NewHistogram(1, 2, 4) // top bucket [8,16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All mass far beyond the covered range: clamped into the top bucket,
+	// with Max and Mean staying exact.
+	for i := 0; i < 10; i++ {
+		h.Observe(1e6)
+	}
+	if h.Count() != 10 || h.Max() != 1e6 || h.Mean() != 1e6 {
+		t.Fatalf("overflow: Count=%d Max=%v Mean=%v", h.Count(), h.Max(), h.Mean())
+	}
+	// The quantile estimate is the top bucket's midpoint — bounded, not
+	// the wild out-of-range value.
+	want := 8 * math.Sqrt2
+	if got := h.Quantile(0.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("overflow Quantile(0.5) = %v, want top-bucket midpoint %v", got, want)
+	}
+	// Exactly-at-top-edge observations land in the top bucket too (the
+	// index computation may round onto len(buckets)).
+	h2, err := NewHistogram(1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Observe(16)
+	h2.Observe(15.999)
+	if h2.Count() != 2 {
+		t.Fatalf("edge Count = %d", h2.Count())
+	}
+	if got := h2.Quantile(1); math.Abs(got-8*math.Sqrt2) > 1e-12 {
+		t.Errorf("edge Quantile(1) = %v, want %v", got, 8*math.Sqrt2)
+	}
+}

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func lint(s string) error { return LintPromText(strings.NewReader(s)) }
+
+func TestLintPromTextAccepts(t *testing.T) {
+	good := []string{
+		"",
+		"# HELP a_total things\n# TYPE a_total counter\na_total 5\n",
+		"# TYPE a_total counter\na_total{x=\"1\",y=\"two\"} 5\na_total{x=\"2\"} 1e-05\n",
+		"# TYPE g gauge\ng -2.5\n",
+		"# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_sum 4.2\nh_count 3\n",
+		"# TYPE h histogram\n" +
+			"h_bucket{t=\"a\",le=\"1\"} 1\nh_bucket{t=\"a\",le=\"+Inf\"} 2\nh_sum{t=\"a\"} 2\nh_count{t=\"a\"} 2\n" +
+			"h_bucket{t=\"b\",le=\"1\"} 0\nh_bucket{t=\"b\",le=\"+Inf\"} 0\nh_sum{t=\"b\"} 0\nh_count{t=\"b\"} 0\n",
+		"# TYPE esc gauge\nesc{v=\"a\\\\b\\\"c\\nd\"} 1\n",
+	}
+	for i, s := range good {
+		if err := lint(s); err != nil {
+			t.Errorf("good[%d] rejected: %v\n%s", i, err, s)
+		}
+	}
+}
+
+func TestLintPromTextRejects(t *testing.T) {
+	bad := map[string]string{
+		"sample without TYPE":    "a_total 5\n",
+		"duplicate TYPE":         "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"duplicate HELP":         "# HELP a x\n# HELP a y\n# TYPE a counter\na 1\n",
+		"TYPE after samples":     "# TYPE a counter\na 1\n# TYPE b counter\n# TYPE a counter\n",
+		"unknown type":           "# TYPE a widget\na 1\n",
+		"empty help":             "# HELP a\n# TYPE a counter\na 1\n",
+		"malformed comment":      "# NOTE a counter\n",
+		"malformed sample":       "# TYPE a counter\na{ 1\n",
+		"bad value":              "# TYPE a counter\na five\n",
+		"bad label name":         "# TYPE a counter\na{0x=\"1\"} 5\n",
+		"unquoted label value":   "# TYPE a counter\na{x=1} 5\n",
+		"duplicate series":       "# TYPE a counter\na{x=\"1\"} 5\na{x=\"1\"} 6\n",
+		"interleaved families":   "# TYPE a counter\na 1\n# TYPE b counter\nb 1\na 2\n",
+		"reopened header":        "# TYPE a counter\na 1\n# TYPE b counter\n# HELP a again\n",
+		"bare histogram sample":  "# TYPE h histogram\nh 1\n",
+		"bucket without le":      "# TYPE h histogram\nh_bucket 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\nh_count 1\n",
+		"le on counter":          "# TYPE a counter\na{le=\"1\"} 5\n",
+		"buckets out of order":   "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\nh_count 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 0\nh_count 5\n",
+		"missing +Inf bucket":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 0\nh_count 1\n",
+		"missing count":          "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\n",
+		"+Inf bucket != count":   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 0\nh_count 3\n",
+		"duplicate le":           "# TYPE h histogram\nh_bucket{le=\"1\",le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\nh_count 1\n",
+		"timestamped sample":     "# TYPE a counter\na 1 1700000000\n",
+	}
+	for name, s := range bad {
+		if err := lint(s); err == nil {
+			t.Errorf("%s: accepted\n%s", name, s)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Exporters for a recorded window: JSON Lines for programmatic
+// consumers and Chrome trace_event JSON for chrome://tracing and
+// Perfetto (ui.perfetto.dev).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// WriteJSONL writes one JSON object per record, one record per line
+// (the field layout is Record's json tags; levels render as names).
+func WriteJSONL(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("obs: jsonl record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// traceEvent is one entry of the Chrome trace_event JSON array. Ts and
+// Dur are microseconds. Ph "X" is a complete duration slice, "C" a
+// counter sample, "M" process/thread metadata.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object flavor of the trace format, which lets
+// us name the time unit alongside the events.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders a recorded window as Chrome trace_event JSON on a
+// simulated-time axis: tick k lands at k*periodSeconds. Process 0 holds
+// the engine tick track and the L2 controller; process i+1 holds module
+// i's L1 track and one L0 track per computer. Decision latencies become
+// slice durations (real decide time painted onto sim time, so a 2 ms
+// decide inside a 30 s period renders as a sliver at the period start);
+// chosen γ shares, frequency indices and operational counts become
+// counter tracks. Load the file in chrome://tracing or ui.perfetto.dev.
+func WriteTrace(w io.Writer, recs []Record, periodSeconds float64) error {
+	if periodSeconds <= 0 {
+		return fmt.Errorf("obs: trace period %g s, need > 0", periodSeconds)
+	}
+	tf := traceFile{DisplayTimeUnit: "ms"}
+	usPerTick := periodSeconds * 1e6
+	meta := func(pid, tid int, key, name string) {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: key, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	named := map[[3]int]bool{} // {pid, tid, isThread} already labeled
+	ensure := func(pid, tid int, proc, thread string) {
+		if !named[[3]int{pid, -1, 0}] {
+			named[[3]int{pid, -1, 0}] = true
+			meta(pid, 0, "process_name", proc)
+		}
+		if !named[[3]int{pid, tid, 1}] {
+			named[[3]int{pid, tid, 1}] = true
+			meta(pid, tid, "thread_name", thread)
+		}
+	}
+	durUS := func(ns int64) float64 {
+		us := float64(ns) / 1e3
+		if us < 1 {
+			us = 1 // sub-µs decides still get a visible slice
+		}
+		return us
+	}
+	for _, rec := range recs {
+		ts := float64(rec.Tick) * usPerTick
+		switch {
+		case rec.Level == LevelTick:
+			ensure(0, 0, "cluster", "engine tick")
+			name := "tick"
+			if rec.QoS {
+				name = "tick (QoS violation)"
+			}
+			tf.TraceEvents = append(tf.TraceEvents,
+				traceEvent{Name: name, Ph: "X", Ts: ts, Dur: usPerTick, Pid: 0, Tid: 0,
+					Args: map[string]any{"decideNs": rec.DecideNs, "meanResponse": rec.Resp, "qosViolation": rec.QoS}},
+				traceEvent{Name: "mean response (s)", Ph: "C", Ts: ts, Pid: 0,
+					Args: map[string]any{"resp": rec.Resp}},
+			)
+		case rec.Level == LevelL2 && rec.Module < 0:
+			ensure(0, 1, "cluster", "L2 decide")
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: "L2 decide", Ph: "X", Ts: ts, Dur: durUS(rec.DecideNs), Pid: 0, Tid: 1,
+				Args: map[string]any{"explored": rec.Explored, "cost": rec.Cost, "decideNs": rec.DecideNs},
+			})
+		case rec.Level == LevelL2:
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: fmt.Sprintf("gamma module %d", rec.Module), Ph: "C", Ts: ts, Pid: 0,
+				Args: map[string]any{"gamma": rec.Gamma},
+			})
+		case rec.Level == LevelL1 && rec.Comp < 0:
+			pid := int(rec.Module) + 1
+			ensure(pid, 0, fmt.Sprintf("module %d", rec.Module), "L1 decide")
+			tf.TraceEvents = append(tf.TraceEvents,
+				traceEvent{Name: "L1 decide", Ph: "X", Ts: ts, Dur: durUS(rec.DecideNs), Pid: pid, Tid: 0,
+					Args: map[string]any{"explored": rec.Explored, "cost": rec.Cost,
+						"decideNs": rec.DecideNs, "alphaMask": rec.Alpha}},
+				traceEvent{Name: "operational computers", Ph: "C", Ts: ts, Pid: pid,
+					Args: map[string]any{"on": bits.OnesCount64(rec.Alpha)}},
+			)
+		case rec.Level == LevelL1:
+			pid := int(rec.Module) + 1
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: fmt.Sprintf("gamma computer %d", rec.Comp), Ph: "C", Ts: ts, Pid: pid,
+				Args: map[string]any{"gamma": rec.Gamma},
+			})
+		case rec.Level == LevelL0:
+			pid := int(rec.Module) + 1
+			tid := int(rec.Comp) + 1
+			ensure(pid, tid, fmt.Sprintf("module %d", rec.Module), fmt.Sprintf("L0 computer %d", rec.Comp))
+			tf.TraceEvents = append(tf.TraceEvents,
+				traceEvent{Name: "L0 decide", Ph: "X", Ts: ts, Dur: durUS(rec.DecideNs), Pid: pid, Tid: tid,
+					Args: map[string]any{"freqIdx": rec.FreqIdx, "explored": rec.Explored,
+						"cost": rec.Cost, "decideNs": rec.DecideNs}},
+				traceEvent{Name: fmt.Sprintf("freq idx computer %d", rec.Comp), Ph: "C", Ts: ts, Pid: pid,
+					Args: map[string]any{"freq": rec.FreqIdx}},
+			)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tf)
+}

@@ -1,0 +1,219 @@
+// Package obs is the observability layer: a fixed-size, allocation-free
+// flight recorder for per-decision telemetry, exporters for the recorded
+// window (JSON Lines and Chrome trace_event), and small profiling
+// helpers shared by the CLIs.
+//
+// The flight recorder follows the avionics model: a bounded ring of the
+// most recent decision records, cheap enough to leave on in production
+// and empty-cost when off. Every hook is nil-checkable — a nil *Recorder
+// is a valid, disabled recorder, so instrumented code paths carry a
+// single pointer test and no allocation. Telemetry observes, never
+// steers: decisions are bit-identical with recording on or off (pinned
+// by the recorder equivalence suites in internal/controller and
+// internal/core).
+//
+// Writers may be concurrent (the L1 planning fan-out decides modules in
+// parallel); each Record call claims a distinct slot with one atomic
+// add. Readers must be externally synchronized with writers — the fleet
+// reads on the tenant's home shard, the CLIs read after the run.
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Level says which layer of the hierarchy a record describes.
+type Level uint8
+
+const (
+	// LevelTick is a per-tick engine record: whole-decision latency and
+	// the interval's QoS outcome.
+	LevelTick Level = iota
+	// LevelL0 is a per-computer frequency decision (one per L0 tick).
+	LevelL0
+	// LevelL1 is a per-module power-state/load-split decision boundary.
+	LevelL1
+	// LevelL2 is a cluster-level load-distribution decision boundary.
+	LevelL2
+)
+
+var levelNames = [...]string{"tick", "l0", "l1", "l2"}
+
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// MarshalText renders the level as its lowercase name, so JSON exports
+// say "l1", not 2.
+func (l Level) MarshalText() ([]byte, error) {
+	return []byte(l.String()), nil
+}
+
+// UnmarshalText parses the form MarshalText produced.
+func (l *Level) UnmarshalText(b []byte) error {
+	for i, name := range levelNames {
+		if string(b) == name {
+			*l = Level(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown level %q", b)
+}
+
+// Record is one flight-recorder entry. It is deliberately flat — no
+// slices, no pointers — so writing one is a struct copy into the ring.
+// Fields that don't apply to a record's level keep their zero value
+// (index fields use -1 for "not applicable"):
+//
+//   - tick records (LevelTick): DecideNs spans the whole hierarchical
+//     decision, Resp is the interval's mean response time and QoS flags a
+//     violation of the configured target.
+//   - L0 records: Module/Comp locate the computer, FreqIdx is the chosen
+//     frequency index, Explored/Cost/DecideNs describe the lookahead
+//     search.
+//   - L1 summary records (Comp == -1): Alpha packs the chosen on/off
+//     mask (bit j = computer j operational; computers beyond 63 are not
+//     represented), Explored/Cost/DecideNs describe the search. Each
+//     summary is followed by one detail record per computer (Comp == j)
+//     carrying that computer's On state and Gamma share.
+//   - L2 summary records (Module == -1): Explored/Cost/DecideNs for the
+//     cluster-level search, followed by one detail record per module
+//     (Module == i) carrying the module's Gamma share.
+type Record struct {
+	Tick     int64   `json:"tick"`
+	Level    Level   `json:"level"`
+	Module   int16   `json:"module"`
+	Comp     int16   `json:"comp"`
+	FreqIdx  int16   `json:"freqIdx"`
+	On       bool    `json:"on"`
+	QoS      bool    `json:"qosViolation"`
+	Explored int32   `json:"explored"`
+	DecideNs int64   `json:"decideNs"`
+	Alpha    uint64  `json:"alpha"`
+	Gamma    float64 `json:"gamma"`
+	Cost     float64 `json:"cost"`
+	Resp     float64 `json:"resp"`
+}
+
+// Recorder is a fixed-size ring of the most recent Records. The zero
+// value is not usable; a nil *Recorder is — every method no-ops (or
+// returns emptiness) on a nil receiver, which is how instrumented code
+// stays allocation-free when telemetry is off.
+type Recorder struct {
+	ring []Record
+	head atomic.Uint64 // total records ever written
+	tick atomic.Int64  // current engine tick, stamped onto writes
+}
+
+// NewRecorder returns a recorder retaining the most recent capacity
+// records.
+func NewRecorder(capacity int) (*Recorder, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("obs: recorder capacity %d, need >= 1", capacity)
+	}
+	return &Recorder{ring: make([]Record, capacity)}, nil
+}
+
+// Enabled reports whether records will actually be retained. It is the
+// one-branch guard instrumented code uses before building a Record.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Capacity returns the ring size (0 for a nil recorder).
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}
+
+// SetTick sets the tick stamped onto subsequent records. The engine
+// calls it once per tick, before the policy decides, so controllers
+// never need the tick threaded through their signatures.
+func (r *Recorder) SetTick(tick int64) {
+	if r == nil {
+		return
+	}
+	r.tick.Store(tick)
+}
+
+// Tick returns the currently stamped tick.
+func (r *Recorder) Tick() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.tick.Load()
+}
+
+// Record appends rec to the ring, stamping the current tick over
+// rec.Tick and overwriting the oldest entry once the ring is full. Safe
+// for concurrent writers; never allocates.
+func (r *Recorder) Record(rec Record) {
+	if r == nil {
+		return
+	}
+	rec.Tick = r.tick.Load()
+	seq := r.head.Add(1) - 1
+	r.ring[seq%uint64(len(r.ring))] = rec
+}
+
+// Total returns how many records were ever written, including ones the
+// ring has since overwritten. It is also the cursor one past the newest
+// record (see Since).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.head.Load()
+}
+
+// Len returns how many records the ring currently retains.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	total := r.head.Load()
+	if total > uint64(len(r.ring)) {
+		return len(r.ring)
+	}
+	return int(total)
+}
+
+// Window appends the newest max retained records to dst, oldest first,
+// and returns the extended slice. max <= 0 means the whole retained
+// window. Callers must not race Window with writers.
+func (r *Recorder) Window(dst []Record, max int) []Record {
+	if r == nil {
+		return dst
+	}
+	n := r.Len()
+	if max > 0 && max < n {
+		n = max
+	}
+	recs, _ := r.Since(dst, r.head.Load()-uint64(n))
+	return recs
+}
+
+// Since appends every retained record with sequence number >= cursor to
+// dst, oldest first, and returns the extended slice plus the next
+// cursor (pass it back to read only newer records next time). Records
+// overwritten before the read are silently gone — a scraper polling
+// Since sees gaps, never duplicates. Callers must not race Since with
+// writers.
+func (r *Recorder) Since(dst []Record, cursor uint64) ([]Record, uint64) {
+	if r == nil {
+		return dst, 0
+	}
+	total := r.head.Load()
+	start := cursor
+	if oldest := total - uint64(r.Len()); start < oldest {
+		start = oldest
+	}
+	for seq := start; seq < total; seq++ {
+		dst = append(dst, r.ring[seq%uint64(len(r.ring))])
+	}
+	return dst, total
+}

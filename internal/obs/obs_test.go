@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := NewRecorder(-5); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	r, err := NewRecorder(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want 1", r.Capacity())
+	}
+}
+
+// A nil *Recorder is the disabled recorder: every method must be safe
+// and report emptiness.
+func TestNilRecorderIsDisabled(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder claims enabled")
+	}
+	r.SetTick(7)
+	r.Record(Record{Level: LevelL0})
+	if r.Tick() != 0 || r.Total() != 0 || r.Len() != 0 || r.Capacity() != 0 {
+		t.Fatal("nil recorder not empty")
+	}
+	if got := r.Window(nil, 10); len(got) != 0 {
+		t.Fatalf("nil window returned %d records", len(got))
+	}
+	if got, next := r.Since(nil, 0); len(got) != 0 || next != 0 {
+		t.Fatalf("nil Since returned %d records, cursor %d", len(got), next)
+	}
+}
+
+func TestRecorderTickStampAndWraparound(t *testing.T) {
+	r, err := NewRecorder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 6; k++ {
+		r.SetTick(k)
+		r.Record(Record{Level: LevelL0, Module: 0, Comp: int16(k)})
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total = %d, want 6", r.Total())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (ring capacity)", r.Len())
+	}
+	win := r.Window(nil, 0)
+	if len(win) != 4 {
+		t.Fatalf("window = %d records, want 4", len(win))
+	}
+	// Oldest first, and the stamped tick overrides whatever the caller set.
+	for i, rec := range win {
+		want := int64(i + 2) // records 0 and 1 were overwritten
+		if rec.Tick != want || rec.Comp != int16(want) {
+			t.Fatalf("window[%d] = tick %d comp %d, want %d", i, rec.Tick, rec.Comp, want)
+		}
+	}
+	if got := r.Window(nil, 2); len(got) != 2 || got[0].Tick != 4 {
+		t.Fatalf("window(max=2) = %+v, want ticks 4,5", got)
+	}
+}
+
+func TestRecorderSinceCursor(t *testing.T) {
+	r, err := NewRecorder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(n int) {
+		for i := 0; i < n; i++ {
+			r.Record(Record{Level: LevelL1})
+		}
+	}
+	write(3)
+	got, cur := r.Since(nil, 0)
+	if len(got) != 3 || cur != 3 {
+		t.Fatalf("first read: %d records, cursor %d", len(got), cur)
+	}
+	got, cur = r.Since(got[:0], cur)
+	if len(got) != 0 || cur != 3 {
+		t.Fatalf("idle read: %d records, cursor %d", len(got), cur)
+	}
+	// Overflow the ring between reads: the overwritten records are gone,
+	// the survivors arrive exactly once.
+	write(12)
+	got, cur = r.Since(got[:0], cur)
+	if len(got) != 8 || cur != 15 {
+		t.Fatalf("overflow read: %d records, cursor %d; want 8, 15", len(got), cur)
+	}
+}
+
+// Concurrent writers (the parallel L1 fan-out) must be race-clean and
+// lose nothing when the ring is large enough.
+func TestRecorderConcurrentWriters(t *testing.T) {
+	const writers, each = 8, 500
+	r, err := NewRecorder(writers * each)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Record(Record{Level: LevelL1, Module: int16(w), Explored: int32(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != writers*each {
+		t.Fatalf("total = %d, want %d", r.Total(), writers*each)
+	}
+	counts := make(map[int16]int)
+	for _, rec := range r.Window(nil, 0) {
+		counts[rec.Module]++
+	}
+	for w := int16(0); w < writers; w++ {
+		if counts[w] != each {
+			t.Fatalf("writer %d: %d records retained, want %d", w, counts[w], each)
+		}
+	}
+}
+
+// The recorder hot path must not allocate: the whole point of the ring
+// is that enabling telemetry keeps the engine's 0-alloc decision tick.
+func TestRecordZeroAlloc(t *testing.T) {
+	r, err := NewRecorder(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Level: LevelL0, Module: 1, Comp: 2, FreqIdx: 3, Explored: 99, Cost: 1.5}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.SetTick(3)
+		r.Record(rec)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per call, want 0", allocs)
+	}
+	var nilRec *Recorder
+	allocs = testing.AllocsPerRun(1000, func() {
+		if nilRec.Enabled() {
+			t.Fatal("nil enabled")
+		}
+		nilRec.Record(rec)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Record allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestLevelTextRoundTrip(t *testing.T) {
+	for _, l := range []Level{LevelTick, LevelL0, LevelL1, LevelL2} {
+		b, err := l.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Level
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != l {
+			t.Fatalf("round trip %v -> %s -> %v", l, b, back)
+		}
+	}
+	var l Level
+	if err := l.UnmarshalText([]byte("bogus")); err == nil {
+		t.Fatal("bogus level parsed")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	recs := []Record{
+		{Tick: 0, Level: LevelTick, Module: -1, Comp: -1, FreqIdx: -1, Resp: 2.5, QoS: true, DecideNs: 1200},
+		{Tick: 1, Level: LevelL0, Module: 0, Comp: 2, FreqIdx: 3, Explored: 42, Cost: 0.75},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line not JSON: %v", err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	if lines[0]["level"] != "tick" || lines[0]["qosViolation"] != true {
+		t.Fatalf("tick line = %v", lines[0])
+	}
+	if lines[1]["level"] != "l0" || lines[1]["freqIdx"] != float64(3) {
+		t.Fatalf("l0 line = %v", lines[1])
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	if err := WriteTrace(&bytes.Buffer{}, nil, 0); err == nil {
+		t.Fatal("period 0 accepted")
+	}
+	recs := []Record{
+		{Tick: 0, Level: LevelTick, Module: -1, Comp: -1, DecideNs: 5000, Resp: 1.2},
+		{Tick: 0, Level: LevelL2, Module: -1, Comp: -1, DecideNs: 900, Explored: 12, Cost: 3},
+		{Tick: 0, Level: LevelL2, Module: 1, Gamma: 0.4},
+		{Tick: 0, Level: LevelL1, Module: 1, Comp: -1, DecideNs: 800, Explored: 31, Alpha: 0b1011, Cost: 2},
+		{Tick: 0, Level: LevelL1, Module: 1, Comp: 0, On: true, Gamma: 0.5},
+		{Tick: 1, Level: LevelL0, Module: 1, Comp: 0, FreqIdx: 2, DecideNs: 300, Explored: 9},
+		{Tick: 1, Level: LevelTick, Module: -1, Comp: -1, QoS: true, Resp: 9.9},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, recs, 30); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if tf.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tf.Unit)
+	}
+	byPhase := map[string]int{}
+	sawQoS, sawL0Ts := false, math.NaN()
+	for _, ev := range tf.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		byPhase[ph]++
+		name, _ := ev["name"].(string)
+		if name == "tick (QoS violation)" {
+			sawQoS = true
+		}
+		if name == "L0 decide" {
+			sawL0Ts = ev["ts"].(float64)
+		}
+	}
+	if byPhase["M"] == 0 || byPhase["X"] == 0 || byPhase["C"] == 0 {
+		t.Fatalf("phase counts %v: want metadata, slices and counters", byPhase)
+	}
+	// Tick 1 lands one period (30 s = 3e7 µs) into the trace.
+	if sawL0Ts != 3e7 {
+		t.Fatalf("L0 slice ts = %v, want 3e7 µs", sawL0Ts)
+	}
+	if !sawQoS {
+		t.Fatal("QoS-violating tick not flagged in trace")
+	}
+}
+
+func TestProfileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := StartCPUProfile("")
+	if err != nil || stop() != nil {
+		t.Fatalf("empty cpu path: %v", err)
+	}
+	if err := WriteHeapProfile(""); err != nil {
+		t.Fatalf("empty heap path: %v", err)
+	}
+	cpu := filepath.Join(dir, "cpu.out")
+	stop, err = StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = math.Sqrt(float64(i))
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	heap := filepath.Join(dir, "heap.out")
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, heap} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s empty or missing (err %v)", p, err)
+		}
+	}
+	if _, err := StartCPUProfile(filepath.Join(dir, "no/such/dir/x")); err == nil {
+		t.Fatal("unwritable cpu path accepted")
+	}
+	if err := WriteHeapProfile(filepath.Join(dir, "no/such/dir/x")); err == nil {
+		t.Fatal("unwritable heap path accepted")
+	}
+}
