@@ -1,0 +1,259 @@
+// Command hpmvet is the repo's static-analysis multichecker: it runs
+// the internal/analysis suite — the machine-checkable forms of the
+// conventions every equivalence pin depends on — over Go packages.
+//
+// Standalone (the CI entry point):
+//
+//	go run ./cmd/hpmvet ./...
+//
+// As a vet tool (per-package, driven by the go command):
+//
+//	go build -o hpmvet ./cmd/hpmvet
+//	go vet -vettool=$(pwd)/hpmvet ./...
+//
+// The analyzers:
+//
+//	simdeterminism  no wall clock / global rand / env / sleeps in
+//	                deterministic simulation packages
+//	maprange        no order-sensitive map iteration in those packages
+//	hotalloc        no allocating constructs in //hpm:hotpath functions
+//	recordernil     nil-receiver guards on internal/obs recorder methods
+//	rawgo           goroutine fan-out only via internal/par (or cmd/)
+//	metriclabel     constant, well-formed Prometheus registration
+//	hpmdirective    every //hpm: annotation parses (no typo'd escapes)
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 internal failure.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hierctl/internal/analysis"
+	"hierctl/internal/analysis/hotalloc"
+	"hierctl/internal/analysis/hpmdirective"
+	"hierctl/internal/analysis/load"
+	"hierctl/internal/analysis/maprange"
+	"hierctl/internal/analysis/metriclabel"
+	"hierctl/internal/analysis/rawgo"
+	"hierctl/internal/analysis/recordernil"
+	"hierctl/internal/analysis/simdeterminism"
+)
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	simdeterminism.Analyzer,
+	maprange.Analyzer,
+	hotalloc.Analyzer,
+	recordernil.Analyzer,
+	rawgo.Analyzer,
+	metriclabel.Analyzer,
+	hpmdirective.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	// The go command probes a vettool before use: -V=full must print a
+	// version line, -flags the JSON list of supported flags.
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-V"):
+			// The go command derives the vettool's cache key from the
+			// trailing buildID field, so it must track the executable's
+			// content: hash ourselves, like x/tools' unitchecker does.
+			fmt.Printf("%s version devel buildID=%s\n", filepath.Base(os.Args[0]), selfHash())
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(standalone(patterns))
+}
+
+// selfHash returns a content hash of the running executable, the
+// stand-in build ID reported to the go command's tool-probing protocol.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// standalone loads whole-module packages via go list and analyzes them.
+func standalone(patterns []string) int {
+	pkgs, err := load.Packages(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpmvet: %v\n", err)
+		return 2
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := analyze(pkg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpmvet: %v\n", err)
+			return 2
+		}
+		total += len(diags)
+		printDiags(os.Stdout, pkg.Fset, diags)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "hpmvet: %d diagnostic(s)\n", total)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the per-package JSON the go command hands a vettool
+// (the unitchecker protocol).
+type vetConfig struct {
+	ImportPath                string
+	Dir                       string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package from a go vet cfg file.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpmvet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hpmvet: parse %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The go command requires the facts file to exist after the run;
+	// this suite carries no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "hpmvet: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// The invariants are production-code conventions: test files read
+	// clocks and environments legitimately, so test variants reduce to
+	// their non-test sources (external test packages to nothing).
+	importPath := strings.TrimSuffix(strings.SplitN(cfg.ImportPath, " ", 2)[0], ".test")
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 {
+		return 0
+	}
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	for p, f := range cfg.PackageFile {
+		exports[p] = f
+	}
+	imp := cfgImporter{base: load.ExportImporter(fset, exports), importMap: cfg.ImportMap}
+	pkg, err := load.File(fset, importPath, cfg.Dir, goFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "hpmvet: %v\n", err)
+		return 2
+	}
+	diags, err := analyze(pkg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpmvet: %v\n", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		printDiags(os.Stderr, fset, diags)
+		return 2
+	}
+	return 0
+}
+
+// cfgImporter resolves imports through the cfg's ImportMap/PackageFile
+// export-data tables. A single underlying gc importer preserves package
+// identity across shared dependencies.
+type cfgImporter struct {
+	base      types.ImporterFrom
+	importMap map[string]string
+}
+
+func (ci cfgImporter) Import(path string) (*types.Package, error) {
+	return ci.ImportFrom(path, "", 0)
+}
+
+func (ci cfgImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := ci.importMap[path]; ok {
+		path = mapped
+	}
+	return ci.base.ImportFrom(path, dir, mode)
+}
+
+// analyze runs the whole suite over one package, stamping analyzer
+// names and ordering diagnostics by position.
+func analyze(pkg *load.Package) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		name := a.Name
+		pass := &analysis.Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			Report: func(d analysis.Diagnostic) {
+				d.Analyzer = name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+func printDiags(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		file := pos.Filename
+		if rel, err := filepath.Rel(".", file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+}

@@ -1,0 +1,31 @@
+// Package hpmdirective is the suite's self-check: every `//hpm:`
+// comment in the tree must be a directive the parser recognizes, with a
+// justification where one is required.
+//
+// Without this, a typo'd annotation (`//hpm:wallclok`) would silently
+// fail to escape its site — or worse, sit as dead documentation while
+// the analyzer it was meant to satisfy never sees it. Running the check
+// as an analyzer means CI gets it for free from the hpmvet step.
+package hpmdirective
+
+import (
+	"hierctl/internal/analysis"
+	"hierctl/internal/analysis/directive"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hpmdirective",
+	Doc:  "flag unknown or malformed //hpm: directives (no typo'd dead annotations)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		_, problems := directive.ParseFile(pass.Fset, file)
+		for _, p := range problems {
+			pass.Report(analysis.Diagnostic{Pos: p.Pos, Message: p.Message})
+		}
+	}
+	return nil
+}

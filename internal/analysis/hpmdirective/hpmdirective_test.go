@@ -1,0 +1,12 @@
+package hpmdirective_test
+
+import (
+	"testing"
+
+	"hierctl/internal/analysis/analysistest"
+	"hierctl/internal/analysis/hpmdirective"
+)
+
+func TestDirectiveSelfCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", hpmdirective.Analyzer, "hierctl/internal/core")
+}

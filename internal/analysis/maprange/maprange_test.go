@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"hierctl/internal/analysis/analysistest"
+	"hierctl/internal/analysis/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata", maprange.Analyzer, "hierctl/internal/core")
+}

@@ -1,0 +1,56 @@
+package core
+
+import "sort"
+
+// An order-dependent fold over a map is flagged.
+func hash(m map[string]int) int {
+	h := 0
+	for k, v := range m { // want `map iteration order is randomized`
+		h = h*31 + len(k) + v
+	}
+	return h
+}
+
+// Commutative accumulation is order-insensitive: legal.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Collect-then-sort is order-insensitive: legal.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Guarded writes into distinct map slots stay commutative: legal.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		if v >= 0 {
+			out[v] = k
+		}
+	}
+	return out
+}
+
+// Min-tracking is order-insensitive but uses a guarded plain assignment
+// the heuristics cannot prove; the annotation sanctions it. Deleting the
+// directive re-surfaces the diagnostic.
+func minVal(m map[string]int) int {
+	best := 1 << 62
+	//hpm:orderfree min over values is commutative
+	for _, v := range m {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}

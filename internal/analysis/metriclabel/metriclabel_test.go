@@ -1,0 +1,12 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"hierctl/internal/analysis/analysistest"
+	"hierctl/internal/analysis/metriclabel"
+)
+
+func TestMetricLabel(t *testing.T) {
+	analysistest.Run(t, "testdata", metriclabel.Analyzer, "hierctl/cmd/app")
+}

@@ -1,0 +1,49 @@
+// Package rawgo forbids bare `go` statements outside internal/par and
+// the cmd/ entry points.
+//
+// All library-level fan-out goes through the internal/par worker pool:
+// that is what keeps parallelism bounded (Workers caps goroutines at
+// the configured width), cancellable (ForCtx stops scheduling), and —
+// because pool results merge in index order — deterministic. A raw
+// goroutine in library code escapes all three properties. Daemon
+// plumbing in cmd/ (HTTP serve loops, signal handlers) legitimately
+// spawns goroutines, as does the pool itself; a sanctioned long-lived
+// supervisor elsewhere (the fleet's shard-loop starter) carries
+// `//hpm:goroutine <why>`.
+package rawgo
+
+import (
+	"go/ast"
+	"strings"
+
+	"hierctl/internal/analysis"
+	"hierctl/internal/analysis/directive"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "rawgo",
+	Doc:  "forbid bare go statements outside internal/par and cmd/ (fan-out goes through the pool)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if path == "hierctl/internal/par" || strings.HasPrefix(path, "hierctl/cmd/") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		dirs, _ := directive.ParseFile(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !dirs.EscapedAt(pass.Fset, g.Pos(), directive.Goroutine) {
+				pass.Reportf(g.Pos(), "bare go statement outside internal/par and cmd/ (fan out through the par pool, or annotate a long-lived supervisor with //hpm:goroutine)")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package rawgo_test
+
+import (
+	"testing"
+
+	"hierctl/internal/analysis/analysistest"
+	"hierctl/internal/analysis/rawgo"
+)
+
+func TestRawGo(t *testing.T) {
+	analysistest.Run(t, "testdata", rawgo.Analyzer, "hierctl/internal/core")
+}
+
+func TestParIsExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", rawgo.Analyzer, "hierctl/internal/par")
+}
+
+func TestCmdIsExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", rawgo.Analyzer, "hierctl/cmd/app")
+}

@@ -1,0 +1,8 @@
+package main
+
+func work() {}
+
+// cmd/ binaries may spawn goroutines freely (serving, signal handling).
+func main() {
+	go work()
+}

@@ -1,0 +1,16 @@
+package core
+
+func work() {}
+
+// Bare goroutines outside internal/par and cmd/ are flagged.
+func spawn() {
+	go work() // want `bare go statement outside internal/par and cmd/`
+}
+
+// A long-lived supervisor escapes with a justification; deleting the
+// directive re-surfaces the diagnostic.
+func supervise() {
+	go work() //hpm:goroutine single long-lived supervisor
+}
+
+var _, _ = spawn, supervise

@@ -1,0 +1,10 @@
+package par
+
+func work() {}
+
+// internal/par owns the goroutine fan-out: bare go statements are legal.
+func fan() {
+	go work()
+}
+
+var _ = fan

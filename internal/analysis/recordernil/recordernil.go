@@ -1,0 +1,120 @@
+// Package recordernil enforces the internal/obs nil-receiver contract:
+// a nil *Recorder is a valid, disabled recorder, so every exported
+// pointer-receiver method on the package's recorder (struct) types must
+// begin with a nil-receiver guard.
+//
+// Instrumented code across the engine, controllers, and fleet calls
+// recorder methods unconditionally (`l.rec.Record(...)` after a single
+// Enabled() branch, or not even that); a method missing its guard turns
+// "telemetry off" into a panic on the decide path. Accepted guard
+// shapes:
+//
+//	func (r *Recorder) M(...) { if r == nil { return ... } ... }
+//	func (r *Recorder) M(...) bool { return r != nil }
+//
+// i.e. the first statement is an if testing the receiver against nil,
+// or the body is a single return whose expression contains such a test.
+package recordernil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hierctl/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "recordernil",
+	Doc:  "require nil-receiver guards on exported pointer-receiver methods of internal/obs recorder types",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != "hierctl/internal/obs" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			recv := receiverVar(pass, fn)
+			if recv == nil {
+				continue // value receiver or non-struct type
+			}
+			if guardsNil(pass, fn.Body, recv) {
+				continue
+			}
+			pass.Reportf(fn.Pos(), "exported method %s must begin with a nil-receiver guard (a nil recorder is the disabled recorder)", fn.Name.Name)
+		}
+	}
+	return nil
+}
+
+// receiverVar returns the receiver variable when fn has a pointer
+// receiver over a named struct type, else nil.
+func receiverVar(pass *analysis.Pass, fn *ast.FuncDecl) *types.Var {
+	if len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	id := fn.Recv.List[0].Names[0]
+	obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	ptr, ok := obj.Type().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	if _, ok := ptr.Elem().Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return obj
+}
+
+// guardsNil reports whether the body starts with a nil test of recv.
+func guardsNil(pass *analysis.Pass, body *ast.BlockStmt, recv *types.Var) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch first := body.List[0].(type) {
+	case *ast.IfStmt:
+		return first.Init == nil && isNilTest(pass, first.Cond, recv)
+	case *ast.ReturnStmt:
+		for _, res := range first.Results {
+			found := false
+			ast.Inspect(res, func(n ast.Node) bool {
+				if b, ok := n.(*ast.BinaryExpr); ok && isNilTest(pass, b, recv) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isNilTest matches `recv == nil` / `recv != nil` (either operand
+// order).
+func isNilTest(pass *analysis.Pass, cond ast.Expr, recv *types.Var) bool {
+	b, ok := cond.(*ast.BinaryExpr)
+	if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && tv.IsNil()
+	}
+	return (isRecv(b.X) && isNil(b.Y)) || (isNil(b.X) && isRecv(b.Y))
+}

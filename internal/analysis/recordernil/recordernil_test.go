@@ -1,0 +1,12 @@
+package recordernil_test
+
+import (
+	"testing"
+
+	"hierctl/internal/analysis/analysistest"
+	"hierctl/internal/analysis/recordernil"
+)
+
+func TestRecorderNil(t *testing.T) {
+	analysistest.Run(t, "testdata", recordernil.Analyzer, "hierctl/internal/obs")
+}

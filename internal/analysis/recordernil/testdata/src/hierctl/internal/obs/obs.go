@@ -1,0 +1,29 @@
+package obs
+
+// Recorder mirrors the production flight recorder: a nil *Recorder is
+// the valid, disabled recorder.
+type Recorder struct{ n int }
+
+// Enabled's single return contains the nil test: legal.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Count begins with the guard statement: legal.
+func (r *Recorder) Count() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Bump is missing its guard.
+func (r *Recorder) Bump() { // want `exported method Bump must begin with a nil-receiver guard`
+	r.n++
+}
+
+// reset is unexported: internal callers already hold a checked receiver.
+func (r *Recorder) reset() { r.n = 0 }
+
+// Snapshot has a value receiver: it can never be nil.
+func (r Recorder) Snapshot() int { return r.n }
+
+var _ = (*Recorder)(nil).reset

@@ -1,0 +1,105 @@
+// Package simdeterminism forbids ambient-state reads — wall clock,
+// global math/rand, environment variables, sleeps — inside the
+// deterministic simulation packages (analysis.DeterministicPkgs).
+//
+// Those packages must be pure functions of their inputs: every
+// equivalence pin in the suite (bit-identical decisions at any
+// parallelism, snapshot→restore replay, byte-identical
+// BENCH_scenarios.json) assumes a run can be replayed exactly. A clock
+// read or a draw from the process-global RNG breaks replay silently;
+// this analyzer turns the convention into a build failure.
+//
+// Seeded randomness stays legal: rand.New, rand.NewSource, and
+// rand.NewZipf construct explicitly-seeded generators and are allowed —
+// it is the package-level convenience functions (rand.Intn, rand.Float64,
+// ...) drawing from the shared global source that are forbidden.
+//
+// The sanctioned exception is decide-latency measurement: controllers
+// time their own searches to report the paper's §4.3 overhead metric.
+// Those sites are observe-only (the duration feeds telemetry, never a
+// decision) and carry a `//hpm:wallclock <why>` directive, which escapes
+// time.Now/time.Since on that line. os.Getenv and time.Sleep have no
+// escape.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hierctl/internal/analysis"
+	"hierctl/internal/analysis/directive"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc:  "forbid wall-clock, global math/rand, env reads, and sleeps in deterministic simulation packages",
+	Run:  run,
+}
+
+// wallclockFuncs are the time functions escapable via //hpm:wallclock.
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandFuncs are the math/rand constructors that take explicit
+// seeds or sources and are therefore deterministic.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		dirs, _ := directive.ParseFile(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions matter here; methods (e.g. on
+			// a seeded *rand.Rand or a time.Duration) are fine.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch {
+				case wallclockFuncs[fn.Name()]:
+					if !dirs.EscapedAt(pass.Fset, call.Pos(), directive.Wallclock) {
+						pass.Reportf(call.Pos(), "time.%s in deterministic package %s (wall clock breaks replay; annotate an observe-only overhead measurement with //hpm:wallclock)", fn.Name(), pass.Pkg.Path())
+					}
+				case fn.Name() == "Sleep":
+					pass.Reportf(call.Pos(), "time.Sleep in deterministic package %s (simulated time advances via the engine clock, never by sleeping)", pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "global rand.%s in deterministic package %s (draws from the process-wide source; use an explicitly seeded *rand.Rand)", fn.Name(), pass.Pkg.Path())
+				}
+			case "os":
+				if fn.Name() == "Getenv" || fn.Name() == "LookupEnv" {
+					pass.Reportf(call.Pos(), "os.%s in deterministic package %s (environment reads make runs machine-dependent; thread configuration through Config structs)", fn.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function object, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

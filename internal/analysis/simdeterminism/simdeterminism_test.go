@@ -1,0 +1,16 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"hierctl/internal/analysis/analysistest"
+	"hierctl/internal/analysis/simdeterminism"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "hierctl/internal/core")
+}
+
+func TestNonDeterministicPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "hierctl/internal/obs")
+}

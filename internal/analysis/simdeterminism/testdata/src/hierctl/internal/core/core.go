@@ -1,0 +1,38 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Wall-clock and sleep reads in a deterministic package are flagged.
+func clocky() time.Duration {
+	t0 := time.Now()             // want `time\.Now in deterministic package hierctl/internal/core`
+	time.Sleep(time.Millisecond) // want `time\.Sleep in deterministic package`
+	return time.Since(t0)        // want `time\.Since in deterministic package`
+}
+
+// Draws from the process-wide source are flagged.
+func randy() float64 {
+	return rand.Float64() // want `global rand\.Float64 in deterministic package`
+}
+
+// Environment reads are flagged.
+func envy() string {
+	return os.Getenv("HOME") // want `os\.Getenv in deterministic package`
+}
+
+// Observe-only overhead measurement, sanctioned by the escape — deleting
+// either directive re-surfaces its diagnostic.
+func measured() time.Duration {
+	start := time.Now()      //hpm:wallclock observe-only overhead metric
+	return time.Since(start) //hpm:wallclock observe-only overhead metric
+}
+
+// An explicitly seeded source is the sanctioned way to draw randomness;
+// rand.New/NewSource and methods on the seeded source are legal.
+func seeded() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}

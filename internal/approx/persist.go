@@ -83,14 +83,20 @@ func (t *Table) Save(w io.Writer) error {
 		Min:     t.quant.Min, Max: t.quant.Max, Step: t.quant.Step,
 		Width: t.width,
 	}
+	// Cells are written in sorted key order: map iteration order is
+	// randomized per run, and a Save that depended on it produced
+	// byte-different artifacts for identical tables (caught by the
+	// maprange analyzer, pinned by TestTableSaveDeterministic).
 	if t.packed {
-		for k, c := range t.cells {
+		for _, k := range t.sortedPackedKeys() {
+			c := t.cells[k]
 			dto.Keys = append(dto.Keys, cellKey(t.unpackKey(k)))
 			dto.Sums = append(dto.Sums, c.sum)
 			dto.Counts = append(dto.Counts, c.n)
 		}
 	} else {
-		for k, c := range t.wide {
+		for _, k := range t.sortedWideKeys() {
+			c := t.wide[k]
 			dto.Keys = append(dto.Keys, k)
 			dto.Sums = append(dto.Sums, c.sum)
 			dto.Counts = append(dto.Counts, c.n)

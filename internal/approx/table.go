@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 )
 
 // Quantizer maps continuous feature vectors onto a regular grid so they can
@@ -85,12 +86,14 @@ func (q *Quantizer) Cell(x []float64) ([]int, error) {
 // CellInto is Cell writing into dst: when cap(dst) ≥ Dims() the returned
 // slice aliases dst and the call performs no allocation (pinned by
 // TestQuantizerCellIntoZeroAlloc); otherwise a fresh slice is allocated.
+//
+//hpm:hotpath
 func (q *Quantizer) CellInto(dst []int, x []float64) ([]int, error) {
 	if len(x) != q.Dims() {
 		return nil, fmt.Errorf("approx: point has %d dims, quantizer has %d", len(x), q.Dims())
 	}
 	if cap(dst) < len(x) {
-		dst = make([]int, len(x))
+		dst = make([]int, len(x)) //hpm:alloc fallback when caller scratch is too small; the *Into contract
 	}
 	dst = dst[:len(x)]
 	for d, v := range x {
@@ -290,6 +293,8 @@ func (t *Table) Lookup(x []float64) ([]float64, bool, error) {
 // string (pinned by TestTableLookupIntoZeroAlloc; the wide-grid fallback
 // additionally builds one key string per probe). On a miss dst is left
 // untouched and the returned slice is nil.
+//
+//hpm:hotpath
 func (t *Table) LookupInto(dst []float64, x []float64) ([]float64, bool, error) {
 	c, err := t.lookupCell(x)
 	if err != nil {
@@ -299,7 +304,7 @@ func (t *Table) LookupInto(dst []float64, x []float64) ([]float64, bool, error) 
 		return nil, false, nil
 	}
 	if cap(dst) < t.width {
-		dst = make([]float64, t.width)
+		dst = make([]float64, t.width) //hpm:alloc fallback when caller scratch is too small; the *Into contract
 	}
 	dst = dst[:t.width]
 	// Per-output division (not multiply-by-reciprocal): cell averages must
@@ -330,23 +335,47 @@ func (t *Table) Samples(col int) ([]Sample, error) {
 	if col < 0 || col >= t.width {
 		return nil, fmt.Errorf("approx: column %d outside [0, %d)", col, t.width)
 	}
+	// Samples are emitted in sorted key order: the regression-tree
+	// fitter's tie-breaking is input-order-sensitive, so exporting in
+	// map order could train different trees from identical tables.
 	out := make([]Sample, 0, t.Cells())
 	if t.packed {
-		for k, c := range t.cells {
+		for _, k := range t.sortedPackedKeys() {
 			out = append(out, Sample{
 				X: t.quant.Centroid(t.unpackKey(k)),
-				Y: c.sum[col] / float64(c.n),
+				Y: t.cells[k].sum[col] / float64(t.cells[k].n),
 			})
 		}
 		return out, nil
 	}
-	for k, c := range t.wide {
+	for _, k := range t.sortedWideKeys() {
 		out = append(out, Sample{
 			X: t.quant.Centroid(decodeKey(k)),
-			Y: c.sum[col] / float64(c.n),
+			Y: t.wide[k].sum[col] / float64(t.wide[k].n),
 		})
 	}
 	return out, nil
+}
+
+// sortedPackedKeys returns the packed-cell keys in ascending order —
+// the deterministic iteration order for serialization and export.
+func (t *Table) sortedPackedKeys() []uint64 {
+	keys := make([]uint64, 0, len(t.cells))
+	for k := range t.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// sortedWideKeys returns the wide-grid string keys in ascending order.
+func (t *Table) sortedWideKeys() []string {
+	keys := make([]string, 0, len(t.wide))
+	for k := range t.wide {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func decodeKey(k string) []int {

@@ -261,7 +261,7 @@ func (c *Controller) Decide(obs Observation) (Decision, error) {
 	}
 	shards := make([]shard, len(cands))
 	_ = par.For(par.Workers(c.cfg.Parallelism), len(cands), func(ci int) error {
-		shardStart := time.Now()
+		shardStart := time.Now() //hpm:wallclock §4.3 controller-overhead metric; summed per-shard compute, never a decision input
 		alpha := cands[ci]
 		local := shard{cost: math.Inf(1)}
 		nSamples := float64(len(samples))
@@ -296,7 +296,7 @@ func (c *Controller) Decide(obs Observation) (Decision, error) {
 			}
 		}
 		if bestGamma == nil {
-			local.elapsed = time.Since(shardStart)
+			local.elapsed = time.Since(shardStart) //hpm:wallclock §4.3 controller-overhead metric; observe-only
 			shards[ci] = local
 			return nil
 		}
@@ -307,7 +307,7 @@ func (c *Controller) Decide(obs Observation) (Decision, error) {
 				local.dec = Decision{Alpha: alpha, Gamma: bestGamma, FreqIdx: freq}
 			}
 		}
-		local.elapsed = time.Since(shardStart)
+		local.elapsed = time.Since(shardStart) //hpm:wallclock §4.3 controller-overhead metric; observe-only
 		shards[ci] = local
 		return nil
 	})

@@ -238,6 +238,8 @@ func (l *L0) SetRecorder(r *obs.Recorder, module, comp int) {
 // (requests/second) for each horizon step (length ≥ 1 — shorter than the
 // horizon is padded with the last value); cHat is the estimated full-speed
 // processing time. It is equivalent to DecideBanded with δ = 0.
+//
+//hpm:hotpath
 func (l *L0) Decide(queueLen float64, lambda []float64, cHat float64) (freqIdx int, err error) {
 	return l.DecideBanded(queueLen, lambda, 0, cHat)
 }
@@ -246,6 +248,8 @@ func (l *L0) Decide(queueLen float64, lambda []float64, cHat float64) (freqIdx i
 // delta (requests/second): when the configuration enables uncertainty
 // sampling, each horizon step's cost averages the three sampled rates
 // {λ̂−δ, λ̂, λ̂+δ}.
+//
+//hpm:hotpath
 func (l *L0) DecideBanded(queueLen float64, lambda []float64, delta, cHat float64) (freqIdx int, err error) {
 	if len(lambda) == 0 {
 		return 0, fmt.Errorf("controller: L0 needs at least one arrival-rate forecast")
@@ -253,7 +257,7 @@ func (l *L0) DecideBanded(queueLen float64, lambda []float64, delta, cHat float6
 	if cHat <= 0 {
 		return 0, fmt.Errorf("controller: L0 processing-time estimate %v <= 0", cHat)
 	}
-	start := time.Now()
+	start := time.Now() //hpm:wallclock decide-latency for the §4.3 overhead metric; observe-only
 	banded := l.cfg.UncertaintySamples && delta > 0
 	samples := 1
 	if banded {
@@ -281,7 +285,7 @@ func (l *L0) DecideBanded(queueLen float64, lambda []float64, delta, cHat float6
 	if err != nil {
 		return 0, fmt.Errorf("controller: L0 search: %w", err)
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //hpm:wallclock decide-latency for the §4.3 overhead metric; observe-only
 	l.explored += res.Explored
 	l.decisions++
 	l.computeTime += elapsed

@@ -325,13 +325,15 @@ func (l *L1) SetState(alpha []bool, gamma []float64) error {
 // candidate load fractions are the quantized neighbourhoods of
 // capacity-proportional and previous allocations; the expected cost of
 // each candidate is averaged over the forecast uncertainty band.
+//
+//hpm:hotpath
 func (l *L1) Decide(obs L1Observation) (L1Decision, error) {
 	m := l.Size()
 	if len(obs.QueueLens) != m {
 		return L1Decision{}, fmt.Errorf("controller: observation has %d queues, module has %d", len(obs.QueueLens), m)
 	}
 	if obs.Available == nil {
-		obs.Available = make([]bool, m)
+		obs.Available = make([]bool, m) //hpm:alloc nil-Available normalization; steady-state callers pass their scratch slice
 		for j := range obs.Available {
 			obs.Available[j] = true
 		}
@@ -349,7 +351,7 @@ func (l *L1) Decide(obs L1Observation) (L1Decision, error) {
 	// decision so the hierarchy keeps running (the L2 routes around the
 	// module via its availability flag).
 	if countTrue(obs.Available) == 0 {
-		dec := L1Decision{Alpha: make([]bool, m), Gamma: make([]float64, m)}
+		dec := L1Decision{Alpha: make([]bool, m), Gamma: make([]float64, m)} //hpm:alloc all-off degrade path; off the steady-state loop
 		l.prevAlpha = dec.Alpha
 		l.prevGamma = dec.Gamma
 		l.decisions++
@@ -358,7 +360,7 @@ func (l *L1) Decide(obs L1Observation) (L1Decision, error) {
 		}
 		return dec, nil
 	}
-	start := time.Now()
+	start := time.Now() //hpm:wallclock decide-latency for the §4.3 overhead metric; observe-only
 
 	samples := l.samplesBuf[:1]
 	samples[0] = obs.LambdaHat
@@ -407,11 +409,11 @@ func (l *L1) Decide(obs L1Observation) (L1Decision, error) {
 		return L1Decision{}, fmt.Errorf("controller: L1 found no candidate configuration")
 	}
 	best := L1Decision{
-		Alpha:    append([]bool(nil), l.bestAlphaScr...),
-		Gamma:    append([]float64(nil), l.bestGammaScr...),
+		Alpha:    append([]bool(nil), l.bestAlphaScr...),    //hpm:alloc decision copy-out; counted by the allocs/decision pin
+		Gamma:    append([]float64(nil), l.bestGammaScr...), //hpm:alloc decision copy-out; counted by the allocs/decision pin
 		Explored: explored,
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //hpm:wallclock decide-latency for the §4.3 overhead metric; observe-only
 	l.prevAlpha = best.Alpha
 	l.prevGamma = best.Gamma
 	l.explored += explored

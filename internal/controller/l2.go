@@ -207,13 +207,15 @@ func (l *L2) SetRecorder(r *flight.Recorder) { l.rec = r }
 // Σ_i J̃_i. The quantized simplex is enumerated exhaustively while small
 // enough, otherwise a bounded neighbourhood of the previous decision is
 // searched.
+//
+//hpm:hotpath
 func (l *L2) Decide(obs L2Observation) (L2Decision, error) {
 	p := l.Modules()
 	if len(obs.QAvg) != p || len(obs.CHat) != p {
 		return L2Decision{}, fmt.Errorf("controller: observation sizes %d/%d, modules %d", len(obs.QAvg), len(obs.CHat), p)
 	}
 	if obs.Available == nil {
-		obs.Available = make([]bool, p)
+		obs.Available = make([]bool, p) //hpm:alloc nil-Available normalization; steady-state callers pass their scratch slice
 		for i := range obs.Available {
 			obs.Available[i] = true
 		}
@@ -233,7 +235,7 @@ func (l *L2) Decide(obs L2Observation) (L2Decision, error) {
 	if obs.LambdaHat < 0 {
 		obs.LambdaHat = 0
 	}
-	start := time.Now()
+	start := time.Now() //hpm:wallclock decide-latency for the §4.3 overhead metric; observe-only
 
 	var candidates [][]float64
 	if CountSimplex(avail, l.cfg.Quantum) <= l.cfg.EnumLimit {
@@ -319,8 +321,8 @@ func (l *L2) Decide(obs L2Observation) (L2Decision, error) {
 	if best == nil {
 		return L2Decision{}, fmt.Errorf("controller: L2 found no candidate allocation")
 	}
-	elapsed := time.Since(start)
-	l.prevGamma = append([]float64(nil), best...)
+	elapsed := time.Since(start)                  //hpm:wallclock decide-latency for the §4.3 overhead metric; observe-only
+	l.prevGamma = append([]float64(nil), best...) //hpm:alloc decision copy-out; counted by the allocs/decision pin
 	l.explored += explored
 	l.decisions++
 	l.computeTime += elapsed
@@ -344,7 +346,7 @@ func (l *L2) Decide(obs L2Observation) (L2Decision, error) {
 			})
 		}
 	}
-	return L2Decision{Gamma: append([]float64(nil), best...), Explored: explored}, nil
+	return L2Decision{Gamma: append([]float64(nil), best...), Explored: explored}, nil //hpm:alloc decision copy-out; counted by the allocs/decision pin
 }
 
 // Overhead reports accumulated overhead counters.

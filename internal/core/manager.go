@@ -288,7 +288,7 @@ func NewManagerWithArtifacts(spec cluster.Spec, cfg Config, art *ArtifactSet) (*
 		return nil, err
 	}
 	m := &Manager{cfg: cfg, spec: spec}
-	learnStart := time.Now()
+	learnStart := time.Now() //hpm:wallclock one-time learning-phase duration report; observe-only
 	workers := par.Workers(cfg.Parallelism)
 
 	// Learn the abstraction map g once per distinct hardware, fanning the
@@ -413,7 +413,7 @@ func NewManagerWithArtifacts(spec cluster.Spec, cfg Config, art *ArtifactSet) (*
 		}
 		m.l2 = l2
 	}
-	m.learnTime = time.Since(learnStart)
+	m.learnTime = time.Since(learnStart) //hpm:wallclock one-time learning-phase duration report; observe-only
 	return m, nil
 }
 

@@ -335,7 +335,7 @@ func (h *Harness) Tick() error {
 	rec.SetTick(int64(k))
 	var decideStart time.Time
 	if rec.Enabled() {
-		decideStart = time.Now()
+		decideStart = time.Now() //hpm:wallclock decide-latency telemetry; observe-only, never a decision input
 	}
 	st, err := h.policy.Decide(k, obs)
 	if err != nil {
@@ -343,7 +343,7 @@ func (h *Harness) Tick() error {
 	}
 	var decideNs int64
 	if rec.Enabled() {
-		decideNs = time.Since(decideStart).Nanoseconds()
+		decideNs = time.Since(decideStart).Nanoseconds() //hpm:wallclock decide-latency telemetry; observe-only, never a decision input
 	}
 	if reqs := h.pending(k); len(reqs) > 0 {
 		if err := h.plant.Dispatch(reqs, st.GammaModules, st.GammaComputers); err != nil {

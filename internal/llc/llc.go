@@ -351,6 +351,8 @@ func publish(shared *atomic.Uint64, cost float64) {
 // recursive engine's summation order exactly), and under the
 // NonNegativeCosts contract the fold over the current prefix lower-bounds
 // every completion, enabling incumbent pruning.
+//
+//hpm:hotpath
 func (w *walker[S, U]) run(shared *atomic.Uint64) {
 	s := w.s
 	last := len(s.envs) - 1
@@ -447,6 +449,8 @@ func (w *walker[S, U]) run(shared *atomic.Uint64) {
 // at an interior level it lower-bounds every completion of the prefix
 // under the NonNegativeCosts contract (appending non-negative suffix terms
 // inside the fold can only round upward, never below the prefix fold).
+//
+//hpm:hotpath
 func (w *walker[S, U]) bound(lv int) float64 {
 	acc := w.stage[lv]
 	for l := lv - 1; l >= 0; l-- {

@@ -72,6 +72,8 @@ func (sr *Searcher[S, U]) Bounded(x0 S, prev U, neighbours func(prev U, s S, lev
 
 // run fans the level-0 candidates across the reused walkers and merges
 // their results in candidate order.
+//
+//hpm:hotpath
 func (sr *Searcher[S, U]) run(x0 S) (Result[S, U], error) {
 	s := &sr.s
 	roots := s.inputsAt(x0, 0, s.seed)
@@ -84,7 +86,7 @@ func (sr *Searcher[S, U]) run(x0 S) (Result[S, U], error) {
 	}
 	if workers <= 1 {
 		if sr.seq == nil {
-			sr.seq = &walker[S, U]{s: s}
+			sr.seq = &walker[S, U]{s: s} //hpm:alloc one-time sequential-walker warm-up; reused across decisions
 		}
 		sr.seq.reset(x0, roots, 0, 1)
 		sr.seq.run(nil)
@@ -103,13 +105,13 @@ func (sr *Searcher[S, U]) run(x0 S) (Result[S, U], error) {
 		sharedPtr = &shared
 	}
 	for len(sr.pool) < workers {
-		sr.pool = append(sr.pool, &walker[S, U]{s: s})
+		sr.pool = append(sr.pool, &walker[S, U]{s: s}) //hpm:alloc pool warm-up to the configured parallelism; reused across decisions
 	}
 	walkers := sr.pool[:workers]
 	// Static stride partition: worker w owns roots w, w+W, w+2W, ... so
 	// each walker sees strictly increasing candidate indices and the
 	// merge can restore the sequential first-best-in-order rule.
-	_ = par.For(workers, workers, func(w int) error {
+	_ = par.For(workers, workers, func(w int) error { //hpm:alloc fan-out closure; the parallel path trades a per-call alloc for wall-clock
 		walkers[w].reset(x0, roots, w, workers)
 		walkers[w].run(sharedPtr)
 		return nil

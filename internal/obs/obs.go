@@ -133,6 +133,8 @@ func (r *Recorder) Capacity() int {
 // SetTick sets the tick stamped onto subsequent records. The engine
 // calls it once per tick, before the policy decides, so controllers
 // never need the tick threaded through their signatures.
+//
+//hpm:hotpath
 func (r *Recorder) SetTick(tick int64) {
 	if r == nil {
 		return
@@ -151,6 +153,8 @@ func (r *Recorder) Tick() int64 {
 // Record appends rec to the ring, stamping the current tick over
 // rec.Tick and overwriting the oldest entry once the ring is full. Safe
 // for concurrent writers; never allocates.
+//
+//hpm:hotpath
 func (r *Recorder) Record(rec Record) {
 	if r == nil {
 		return
