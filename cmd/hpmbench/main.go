@@ -17,10 +17,11 @@
 //	hpmbench -all                   # everything at the given scale
 //	hpmbench -llc-json BENCH_llc.json    # branch-and-bound engine snapshot
 //	hpmbench -tick-json BENCH_tick.json  # ns/B/allocs per decision snapshot
+//	hpmbench -fleet-json BENCH_fleet.json # fleet capacity at 64/1k/10k tenants
 //
 // Exactly one mode may be selected per invocation (-fig, -table, -all,
-// -llc-json, or -tick-json); conflicting or unknown selections are
-// rejected with the valid list.
+// -llc-json, -tick-json, or -fleet-json); conflicting or unknown
+// selections are rejected with the valid list.
 package main
 
 import (
@@ -56,6 +57,7 @@ func run(args []string, w io.Writer) (retErr error) {
 	searchParallelism := fs.Int("search-parallelism", 0, "workers fanning each L0 lookahead search's level-0 candidates (0/1 = sequential; decisions identical, explored counters may vary when > 1)")
 	llcJSON := fs.String("llc-json", "", "write the branch-and-bound LLC engine benchmark (pruned vs naive on the §4.3 configuration) to this JSON file; honours -parallelism for the pruned-parallel row (the workload is fixed — -seed/-scale/-fast do not apply)")
 	tickJSON := fs.String("tick-json", "", "write the decision-tick benchmark (ns, B and allocs per L0/L1/L2 decision, table probe, fleet tenant-ticks/sec) to this JSON file (the workload is fixed and the measurement sequential — -seed/-scale/-fast/-parallelism do not apply)")
+	fleetJSON := fs.String("fleet-json", "", "write the fleet capacity benchmark (batched-ingest tenant-ticks/sec and snapshot/restore latency at 64, 1024 and 10240 tenants) to this JSON file; the generation verifies batch-vs-sequential and restore-vs-replay decision equivalence (the configuration is fixed — -seed/-scale/-fast/-parallelism do not apply)")
 	scenariosJSON := fs.String("scenarios-json", "BENCH_scenarios.json", "path the robustness-matrix snapshot is written to by -table scenarios")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -86,7 +88,7 @@ func run(args []string, w io.Writer) (retErr error) {
 	if *searchParallelism < 0 {
 		return fmt.Errorf("-search-parallelism %d is negative; use 0 or 1 for a sequential search or a positive worker width", *searchParallelism)
 	}
-	if err := validateModes(fs, *fig, *table, *all, *llcJSON, *tickJSON); err != nil {
+	if err := validateModes(fs, *fig, *table, *all, *llcJSON, *tickJSON, *fleetJSON); err != nil {
 		return err
 	}
 	opts := hierctl.ExperimentOptions{Scale: *scale, Seed: *seed, Fast: *fast, Parallelism: *parallelism, SearchParallelism: *searchParallelism}
@@ -95,6 +97,9 @@ func run(args []string, w io.Writer) (retErr error) {
 	}
 	if *tickJSON != "" {
 		return writeTickBench(w, *tickJSON)
+	}
+	if *fleetJSON != "" {
+		return writeFleetBench(w, *fleetJSON)
 	}
 
 	if *all {
@@ -128,7 +133,7 @@ func run(args []string, w io.Writer) (retErr error) {
 // loop derive from this single registry, mirroring how the scenario
 // registry rejects unknown names with the valid list.
 var (
-	modeFlags   = []string{"-fig", "-table", "-all", "-llc-json", "-tick-json"}
+	modeFlags   = []string{"-fig", "-table", "-all", "-llc-json", "-tick-json", "-fleet-json"}
 	allTables   = []string{"overhead-module", "overhead-cluster", "energy", "ablations", "scalability"}
 	validTables = append(append([]string(nil), allTables...), "scenarios")
 )
@@ -136,7 +141,7 @@ var (
 // validateModes rejects conflicting or unknown mode selections with a
 // usage error listing the valid modes, and flags that only apply to a
 // mode that was not selected.
-func validateModes(fs *flag.FlagSet, fig int, table string, all bool, llcJSON, tickJSON string) error {
+func validateModes(fs *flag.FlagSet, fig int, table string, all bool, llcJSON, tickJSON, fleetJSON string) error {
 	var selected []string
 	if fig != 0 {
 		selected = append(selected, "-fig")
@@ -152,6 +157,9 @@ func validateModes(fs *flag.FlagSet, fig int, table string, all bool, llcJSON, t
 	}
 	if tickJSON != "" {
 		selected = append(selected, "-tick-json")
+	}
+	if fleetJSON != "" {
+		selected = append(selected, "-fleet-json")
 	}
 	if len(selected) > 1 {
 		return fmt.Errorf("conflicting modes %s: pass exactly one of %s",
@@ -179,6 +187,12 @@ func validateModes(fs *flag.FlagSet, fig int, table string, all bool, llcJSON, t
 	// rather than silently ignoring them.
 	if tickJSON != "" && (explicit["parallelism"] || explicit["search-parallelism"]) {
 		return fmt.Errorf("-parallelism/-search-parallelism do not apply to -tick-json (the tick measurement is sequential by design)")
+	}
+	// The fleet benchmark's parallelism comes from the fleet's own shard
+	// workers; reject the sweep worker-width flags rather than silently
+	// ignoring them.
+	if fleetJSON != "" && (explicit["parallelism"] || explicit["search-parallelism"]) {
+		return fmt.Errorf("-parallelism/-search-parallelism do not apply to -fleet-json (the fleet's shard workers set the parallelism)")
 	}
 	return nil
 }
@@ -369,6 +383,38 @@ func writeTickBench(w io.Writer, path string) error {
 		fmt.Fprintf(w, "%-12s %8d decisions  %9.0f ns/decision  %6.0f B/decision  %4.0f allocs/decision\n",
 			r.Level, r.Decisions, r.NsPerDecision, r.BytesPerDecision, r.AllocsPerDecision)
 	}
+	fmt.Fprintf(w, "snapshot written to %s\n", path)
+	return nil
+}
+
+// writeFleetBench measures fleet capacity at the canonical tenant scales
+// (64, 1024 and 10240 tenants, 16 bins each, constant aggregate offered
+// load), prints the rows, and writes the BENCH_fleet.json snapshot. The
+// generation doubles as an equivalence check: it fails the checks fields
+// if batched ingest diverges from sequential Observe calls or a restored
+// fleet diverges from the original on the next bin. Tenant counts, bins,
+// per-bin load and snapshot bytes are deterministic and are the
+// projection CI diffs across regenerations; throughput, creation and
+// latency columns are wall-clock and vary run to run.
+func writeFleetBench(w io.Writer, path string) error {
+	snap, err := hierctl.RunFleetBench(16, []int{64, 1024, 10240})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Fleet capacity: batched ingest, snapshot and restore across tenant scales ==")
+	for _, r := range snap.Rows {
+		fmt.Fprintf(w, "%6d tenants  %6.0f tenant-ticks/sec  %8.0f ns/tick  create %6.2fs  snapshot %7.1fms  restore %7.1fms  %9d B\n",
+			r.Tenants, r.TenantTicksPerSec, r.NsPerTick, r.CreateSeconds, r.SnapshotMillis, r.RestoreMillis, r.SnapshotBytes)
+	}
+	fmt.Fprintf(w, "checks: batchEqualsSequential=%v restoreEqualsReplay=%v\n",
+		snap.Checks.BatchEqualsSequential, snap.Checks.RestoreEqualsReplay)
 	fmt.Fprintf(w, "snapshot written to %s\n", path)
 	return nil
 }

@@ -95,6 +95,7 @@ func TestRunRejectsConflictingModes(t *testing.T) {
 		{"-table", "energy", "-llc-json", "x.json"},
 		{"-llc-json", "x.json", "-tick-json", "y.json"},
 		{"-all", "-tick-json", "y.json"},
+		{"-tick-json", "y.json", "-fleet-json", "z.json"},
 	}
 	for _, args := range conflicts {
 		var out bytes.Buffer
@@ -118,6 +119,11 @@ func TestRunRejectsConflictingModes(t *testing.T) {
 	err = run([]string{"-tick-json", "x.json", "-parallelism", "4"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "sequential") {
 		t.Errorf("-parallelism with -tick-json: got %v, want usage error", err)
+	}
+	// Nor to the fleet benchmark, whose parallelism is the fleet's shards.
+	err = run([]string{"-fleet-json", "x.json", "-parallelism", "4"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Errorf("-parallelism with -fleet-json: got %v, want usage error", err)
 	}
 	// The nothing-to-do error lists the modes.
 	err = run(nil, &out)

@@ -8,6 +8,7 @@
 //
 //	hpmserve -addr :8700
 //	hpmserve -addr :8700 -snapshot fleet.snap -snapshot-interval 5m
+//	hpmserve -addr :8700 -journal fleet.log -journal-interval 30s
 //
 // Then:
 //
@@ -18,8 +19,15 @@
 //	curl localhost:8700/metrics
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// finish, a final snapshot is written (when -snapshot is set), and the
-// fleet's shard workers stop.
+// finish, a final snapshot is written (when -snapshot is set) or the
+// journal is flushed (when -journal is set), and the fleet's shard
+// workers stop.
+//
+// -snapshot rewrites the full fleet state each cadence; -journal keeps
+// an incremental log — one base snapshot plus deltas for what changed
+// since, compacted automatically — so large fleets persist at a cost
+// proportional to new observations, and a crash mid-append recovers to
+// the last durable write.
 package main
 
 import (
@@ -54,6 +62,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	shards := fs.Int("shards", 0, "worker shards hosting tenants (0 = one per CPU)")
 	snapshot := fs.String("snapshot", "", "snapshot file: restored on start when present, written on shutdown and every -snapshot-interval")
 	interval := fs.Duration("snapshot-interval", 0, "periodic snapshot cadence (0 = only on shutdown; needs -snapshot)")
+	journal := fs.String("journal", "", "incremental snapshot journal: recovered on start when present, appended on shutdown and every -journal-interval (mutually exclusive with -snapshot)")
+	journalInterval := fs.Duration("journal-interval", 0, "periodic journal append cadence (0 = only on shutdown; needs -journal)")
 	telemetryRecords := fs.Int("telemetry-records", 4096, "flight-recorder ring size per tenant: decisions retained for /v1/tenants/{id}/telemetry and the per-level /metrics histograms (0 disables recording)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = profiling off; keep it private)")
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +74,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *interval > 0 && *snapshot == "" {
 		return fmt.Errorf("-snapshot-interval needs -snapshot")
+	}
+	if *journalInterval < 0 {
+		return fmt.Errorf("negative journal interval %v", *journalInterval)
+	}
+	if *journalInterval > 0 && *journal == "" {
+		return fmt.Errorf("-journal-interval needs -journal")
+	}
+	if *snapshot != "" && *journal != "" {
+		return fmt.Errorf("-snapshot and -journal are mutually exclusive; pick one persistence mode")
 	}
 	if *telemetryRecords < 0 {
 		return fmt.Errorf("negative -telemetry-records %d", *telemetryRecords)
@@ -76,12 +95,24 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	var jnl *hierctl.FleetJournal
+	if *journal != "" {
+		j, err := hierctl.OpenFleetJournal(f, *journal, hierctl.FleetJournalConfig{})
+		if err != nil {
+			return err
+		}
+		jnl = j
+		defer jnl.Close()
+		fmt.Fprintf(stdout, "hpmserve journal %s (%d tenants recovered)\n", *journal, f.Stats().Tenants)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newServer(f, *telemetryRecords).routes()}
+	sv := newServer(f, *telemetryRecords)
+	sv.journal = jnl
+	srv := &http.Server{Handler: sv.routes()}
 	fmt.Fprintf(stdout, "hpmserve listening on %s (%d shards, %d tenants)\n",
 		ln.Addr(), f.Stats().Shards, f.Stats().Tenants)
 
@@ -108,22 +139,37 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
+	// One periodic persister at most: full snapshots or journal appends,
+	// per the mutually exclusive flags.
 	snapDone := make(chan struct{})
 	close(snapDone)
-	if *interval > 0 {
+	persist := func() {}
+	switch {
+	case *interval > 0:
+		persist = func() {
+			if err := writeSnapshot(f, *snapshot); err != nil {
+				fmt.Fprintf(stdout, "hpmserve: periodic snapshot: %v\n", err)
+			}
+		}
+	case *journalInterval > 0:
+		persist = func() {
+			if err := jnl.Append(); err != nil {
+				fmt.Fprintf(stdout, "hpmserve: periodic journal append: %v\n", err)
+			}
+		}
+	}
+	if cadence := max(*interval, *journalInterval); cadence > 0 {
 		snapDone = make(chan struct{})
 		go func() {
 			defer close(snapDone)
-			ticker := time.NewTicker(*interval)
+			ticker := time.NewTicker(cadence)
 			defer ticker.Stop()
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					if err := writeSnapshot(f, *snapshot); err != nil {
-						fmt.Fprintf(stdout, "hpmserve: periodic snapshot: %v\n", err)
-					}
+					persist()
 				}
 			}
 		}()
@@ -143,14 +189,23 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if debugSrv != nil {
 		_ = debugSrv.Close()
 	}
-	// Join the periodic snapshotter before the final write so a stale
-	// in-flight snapshot can never overwrite the shutdown state.
+	// Join the periodic persister before the final write so a stale
+	// in-flight snapshot or append can never overwrite the shutdown state.
 	<-snapDone
 	if *snapshot != "" {
 		if err := writeSnapshot(f, *snapshot); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "hpmserve snapshot written to %s\n", *snapshot)
+	}
+	if jnl != nil {
+		if err := jnl.Append(); err != nil {
+			return err
+		}
+		if err := jnl.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "hpmserve journal flushed to %s\n", *journal)
 	}
 	return nil
 }

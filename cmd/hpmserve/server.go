@@ -19,6 +19,7 @@ import (
 //
 //	POST   /v1/tenants                create a tenant hierarchy
 //	GET    /v1/tenants                list tenant states
+//	POST   /v1/observe:batch          feed many bins across many tenants
 //	POST   /v1/tenants/{id}/observe   feed one arrival bin, get decisions
 //	GET    /v1/tenants/{id}/state     progress and last decision
 //	GET    /v1/tenants/{id}/telemetry recent flight-recorder window
@@ -28,6 +29,13 @@ import (
 type server struct {
 	fleet *hierctl.Fleet
 	start time.Time
+	// journal, when set, is the incremental snapshot journal whose size
+	// and compaction counters surface on /metrics.
+	journal *hierctl.FleetJournal
+	// batch performs the fan-out for /v1/observe:batch; defaults to the
+	// fleet's ObserveBatch, overridable so tests can force deterministic
+	// queue-full responses.
+	batch func([]hierctl.BatchEntry) ([]hierctl.BatchResult, error)
 	// telemetryRecords sizes each new tenant's flight recorder (0 turns
 	// recording off and empties the telemetry endpoint and the per-level
 	// decision histograms).
@@ -38,6 +46,14 @@ type server struct {
 	tenants, shards, uptime            metrics.Gauge
 	observations, ticks, decideSeconds metrics.Counter
 	snapshots, restores                metrics.Counter
+	queueRejects                       metrics.Counter
+	// Per-shard ingest backlog, sampled at scrape time.
+	shardQueueDepth *metrics.GaugeVec
+	// Batch ingest shape, observed per /v1/observe:batch call.
+	batchEntries, batchBins metrics.FixedHistogram
+	// Journal size/compaction series; stay zero when no journal runs.
+	journalBase, journalTail metrics.Gauge
+	journalCompactions       metrics.Counter
 	// Per-tenant progress, rebuilt from Fleet.States at scrape time so
 	// closed tenants' series disappear.
 	tenantBins        *metrics.CounterVec
@@ -96,6 +112,23 @@ func newServer(f *hierctl.Fleet, telemetryRecords int) *server {
 	s.decideSeconds = mustCounter("hpmserve_decide_seconds_total", "Wall-clock seconds spent stepping tenants.").With()
 	s.snapshots = mustCounter("hpmserve_snapshots_total", "Fleet snapshots written.").With()
 	s.restores = mustCounter("hpmserve_restores_total", "Fleet snapshots restored.").With()
+	s.queueRejects = mustCounter("hpmserve_queue_rejects_total",
+		"Batch entries rejected because a shard's ingest queue was full.").With()
+	s.shardQueueDepth = mustGauge("hpmserve_shard_queue_depth",
+		"Jobs waiting in each shard's ingest queue at scrape time.", "shard")
+	s.batchEntries = mustHistogram("hpmserve_batch_entries",
+		"Tenant entries per /v1/observe:batch call.",
+		[]float64{1, 4, 16, 64, 256, 1024, 4096}).With()
+	s.batchBins = mustHistogram("hpmserve_batch_bins",
+		"Observation bins per /v1/observe:batch call.",
+		[]float64{1, 8, 64, 512, 4096, 32768}).With()
+	s.journalBase = mustGauge("hpmserve_journal_base_bytes",
+		"Size of the journal's last full snapshot (0 when no journal runs).").With()
+	s.journalTail = mustGauge("hpmserve_journal_tail_bytes",
+		"Delta bytes appended to the journal since its last compaction.").With()
+	s.journalCompactions = mustCounter("hpmserve_journal_compactions_total",
+		"Full-snapshot rewrites of the journal.").With()
+	s.batch = f.ObserveBatch
 	s.tenantBins = mustCounter("hpmserve_tenant_bins", "Observation bins ingested per tenant.", "tenant")
 	s.tenantOperational = mustGauge("hpmserve_tenant_operational", "Operational computers per tenant.", "tenant")
 	s.observeLatency = mustHistogram("hpmserve_observe_seconds",
@@ -116,6 +149,7 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/tenants", s.handleTenants)
 	mux.HandleFunc("/v1/tenants/", s.handleTenant)
+	mux.HandleFunc("/v1/observe:batch", s.handleObserveBatch)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -171,6 +205,13 @@ const (
 	// creation — each bin synthesizes its full request batch, so the cap
 	// keeps a create call from pinning the daemon.
 	maxScenarioBins = 512
+
+	// Batch ingest bounds: one /v1/observe:batch call may carry many
+	// tenants' bins, so it gets a larger body allowance but hard caps on
+	// fan-out width and total simulated work.
+	maxBatchEntries   = 4096
+	maxBatchBins      = 65536
+	maxBatchBodyBytes = 8 << 20
 )
 
 // validTenantID rejects ids that would be unroutable in the path-based
@@ -442,6 +483,117 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, resp)
 }
 
+// batchReq is the /v1/observe:batch payload: per-tenant runs of arrival
+// bins, applied in entry order (entries naming the same tenant apply
+// consecutively in the order given). decisions=true echoes each entry's
+// last control decision back — off by default to keep 10k-tenant
+// responses small.
+type batchReq struct {
+	Entries   []batchEntryReq `json:"entries"`
+	Decisions bool            `json:"decisions"`
+}
+
+type batchEntryReq struct {
+	Tenant string    `json:"tenant"`
+	Counts []float64 `json:"counts"`
+}
+
+type batchEntryResp struct {
+	Tenant string `json:"tenant"`
+	// Applied counts the entry's bins actually ingested; on a per-entry
+	// error it reports how far the entry got before stopping.
+	Applied      int          `json:"applied"`
+	Error        string       `json:"error,omitempty"`
+	LastDecision *decisionDTO `json:"lastDecision,omitempty"`
+}
+
+type batchResp struct {
+	Applied  int              `json:"applied"`
+	Rejected int              `json:"rejected"`
+	Results  []batchEntryResp `json:"results"`
+}
+
+// handleObserveBatch ingests many bins across many tenants in one
+// round-trip. Validation is all-or-nothing: a malformed request (bad id,
+// non-finite or oversized count, too many entries/bins) 400s before any
+// bin is applied. Per-entry failures after that — an unknown tenant in
+// the middle of the batch — surface as entry-level errors in a 200 while
+// the other entries' bins stand. A full shard ingest queue turns the
+// response into 429 with Retry-After so clients back off and resend the
+// rejected entries (per-tenant ordering is preserved: once one entry for
+// a tenant is rejected, later entries for it in the same call are too).
+func (s *server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req batchReq
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Entries) == 0 {
+		writeError(w, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(req.Entries) > maxBatchEntries {
+		writeError(w, fmt.Errorf("%d entries exceed the %d per-batch cap", len(req.Entries), maxBatchEntries))
+		return
+	}
+	totalBins := 0
+	for i, e := range req.Entries {
+		if err := validTenantID(e.Tenant); err != nil {
+			writeError(w, fmt.Errorf("entry %d: %w", i, err))
+			return
+		}
+		totalBins += len(e.Counts)
+		for _, c := range e.Counts {
+			if !(c >= 0) || c > maxBinCount { // also rejects NaN
+				writeError(w, fmt.Errorf("entry %d (%s): count %v outside [0, %g]", i, e.Tenant, c, float64(maxBinCount)))
+				return
+			}
+		}
+	}
+	if totalBins > maxBatchBins {
+		writeError(w, fmt.Errorf("%d bins exceed the %d per-batch cap", totalBins, maxBatchBins))
+		return
+	}
+
+	entries := make([]hierctl.BatchEntry, len(req.Entries))
+	for i, e := range req.Entries {
+		entries[i] = hierctl.BatchEntry{Tenant: e.Tenant, Counts: e.Counts}
+	}
+	results, err := s.batch(entries)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.batchEntries.Observe(float64(len(entries)))
+	s.batchBins.Observe(float64(totalBins))
+
+	resp := batchResp{Results: make([]batchEntryResp, len(results))}
+	status := http.StatusOK
+	for i, res := range results {
+		out := batchEntryResp{Tenant: res.Tenant, Applied: res.Applied}
+		resp.Applied += res.Applied
+		switch {
+		case res.Err != nil:
+			out.Error = res.Err.Error()
+			if errors.Is(res.Err, hierctl.ErrFleetQueueFull) {
+				resp.Rejected++
+				status = http.StatusTooManyRequests
+			}
+		case req.Decisions && res.LastDecision != nil:
+			out.LastDecision = toDecisionDTO(*res.LastDecision)
+		}
+		resp.Results[i] = out
+	}
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, resp)
+}
+
 // handleTenant serves one tenant: {id}/observe, {id}/state, DELETE {id}.
 func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/v1/tenants/"), "/")
@@ -560,6 +712,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.decideSeconds.SetTotal(stats.DecideSeconds)
 	s.snapshots.SetTotal(float64(stats.Snapshots))
 	s.restores.SetTotal(float64(stats.Restores))
+	s.queueRejects.SetTotal(float64(stats.QueueRejects))
+	s.shardQueueDepth.Reset()
+	for i, depth := range s.fleet.QueueDepths() {
+		s.shardQueueDepth.With(strconv.Itoa(i)).Set(float64(depth))
+	}
+	if s.journal != nil {
+		js := s.journal.Stats()
+		s.journalBase.Set(float64(js.BaseBytes))
+		s.journalTail.Set(float64(js.TailBytes))
+		s.journalCompactions.SetTotal(float64(js.Compactions))
+	}
 
 	// Rebuild the per-tenant progress series from scratch: States() is the
 	// authority, and a Reset drops series for tenants closed since the

@@ -1,0 +1,304 @@
+package hierctl
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"hierctl/internal/approx"
+	"hierctl/internal/cluster"
+	"hierctl/internal/controller"
+	"hierctl/internal/core"
+	"hierctl/internal/fleet"
+	"hierctl/internal/workload"
+)
+
+// fleetScaleTenantConfig is the fleet benchmark's per-tenant shape: a
+// 10k-tenant node hosts many small, lightly loaded hierarchies, not ten
+// thousand copies of the §4.3 benchmark module. Each tenant manages a
+// 2-computer module under a greedy (horizon-1) L0, a coarse learning
+// grid, and the paper's multi-rate cadence stretched to T_L1 = 240 s —
+// the observe→decide loop this leaves is what has to be cheap for fleet
+// scale (the tick bench's fleet-64 row keeps the heavier §4.3 module as
+// the per-tenant depth benchmark; this one measures breadth).
+func fleetScaleTenantConfig(seed int64, dir string) (fleet.TenantConfig, error) {
+	module, err := cluster.ScaledModule("M1", "M1", 2)
+	if err != nil {
+		return fleet.TenantConfig{}, err
+	}
+	storeCfg := workload.DefaultStoreConfig()
+	storeCfg.Objects = 100
+	storeCfg.PopularCount = 10
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Parallelism = 1 // shards provide the parallelism, not the tenants
+	cfg.RecordFrequencies = false
+	cfg.L0.Horizon = 1
+	cfg.L1.PeriodSeconds = 480
+	cfg.L2.PeriodSeconds = 960
+	cfg.GMap = controller.GMapConfig{
+		QMax: 100, QStep: 50,
+		LambdaMax: 100, LambdaStep: 50,
+		CMin: 0.016, CMax: 0.02, CStep: 0.004,
+		SubSteps: 2,
+	}
+	cfg.ModuleSim = controller.ModuleSimConfig{
+		QLevels:      []float64{0, 50},
+		LambdaLevels: []float64{0, 30, 60, 120, 200},
+		CLevels:      []float64{0.018},
+		Tree:         approx.TreeConfig{MaxDepth: 6, MinLeaf: 1},
+	}
+	cfg.ArtifactDir = dir // identical hardware: learn once, load the rest
+	return fleet.TenantConfig{
+		Spec:       cluster.Spec{Modules: []cluster.ModuleSpec{module}},
+		Core:       cfg,
+		Store:      storeCfg,
+		StoreSeed:  seed,
+		BinSeconds: 30,
+	}, nil
+}
+
+// FleetBenchRow is one scale point of the fleet benchmark: n tenants
+// ingesting `bins` bins each through ObserveBatch, followed by a full
+// snapshot and a streaming restore of the fleet.
+//
+// TenantTicksPerSec, NsPerTick, CreateSeconds and the latency columns
+// are wall-clock and vary run to run; Tenants, Bins, CountPerBin and
+// SnapshotBytes are deterministic and form the projection CI diffs
+// across regenerations (snapshot bytes are reproducible because the
+// snapshot encoder sorts every map — see TestSnapshotBytesDeterministic).
+type FleetBenchRow struct {
+	Tenants int `json:"tenants"`
+	// Bins is the number of observation bins ingested per tenant in the
+	// measured window (one batched round per bin).
+	Bins int `json:"bins"`
+	// CountPerBin is the arrivals per tenant bin. The benchmark holds the
+	// aggregate offered load constant across scales — many small tenants
+	// instead of few big ones — so the scale rows measure fleet capacity,
+	// not shrinking simulation work per row.
+	CountPerBin       float64 `json:"countPerBin"`
+	TenantTicksPerSec float64 `json:"tenantTicksPerSec"`
+	NsPerTick         float64 `json:"nsPerTick"`
+	// CreateSeconds is the wall-clock cost of standing up all n tenants
+	// (artifact-cached: the first tenant learns, the rest load).
+	CreateSeconds  float64 `json:"createSeconds"`
+	SnapshotMillis float64 `json:"snapshotMillis"`
+	RestoreMillis  float64 `json:"restoreMillis"`
+	SnapshotBytes  int64   `json:"snapshotBytes"`
+}
+
+// FleetBenchChecks are the correctness pins the generation verifies on
+// every run: false in a committed snapshot (or a CI regeneration) means
+// the batched ingest or the snapshot subsystem broke equivalence.
+type FleetBenchChecks struct {
+	// BatchEqualsSequential: a fleet fed through ObserveBatch produced
+	// bit-identical decisions to a twin fed the same bins one Observe at
+	// a time (verified at the smallest scale).
+	BatchEqualsSequential bool `json:"batchEqualsSequential"`
+	// RestoreEqualsReplay: at every scale, a fleet restored from the
+	// snapshot produced bit-identical next-bin decisions to the original.
+	RestoreEqualsReplay bool `json:"restoreEqualsReplay"`
+}
+
+// FleetBenchSnapshot is the BENCH_fleet.json payload.
+type FleetBenchSnapshot struct {
+	// AggregateCountPerRound is the constant total arrivals per batched
+	// round shared by every scale row (tenants × countPerBin).
+	AggregateCountPerRound float64 `json:"aggregateCountPerRound"`
+	// ComputersPerTenant records the scale-tenant shape (see
+	// fleetScaleTenantConfig) so the rows are read against the right
+	// per-tenant cluster size.
+	ComputersPerTenant int              `json:"computersPerTenant"`
+	Rows               []FleetBenchRow  `json:"rows"`
+	Checks             FleetBenchChecks `json:"checks"`
+}
+
+// fleetBenchAggregate is the constant offered load per round: 64
+// tenants at 100 arrivals per bin, redistributed across more, smaller
+// tenants as the scale grows. Holding the aggregate constant keeps the
+// rows comparable — what a scale row measures is the per-tenant
+// control-loop overhead (observe, decide, snapshot bookkeeping), not
+// shrinking request-synthesis work per row.
+const fleetBenchAggregate = 64 * 100
+
+// RunFleetBench measures fleet capacity at the given tenant scales:
+// batched ingest throughput (tenant-ticks/sec), tenant creation cost,
+// and snapshot/restore latency, holding the aggregate offered load per
+// round constant across scales. The generation doubles as an
+// equivalence check (see FleetBenchChecks); bins sets the measured
+// rounds per scale.
+func RunFleetBench(bins int, scales []int) (FleetBenchSnapshot, error) {
+	if bins < 1 {
+		return FleetBenchSnapshot{}, fmt.Errorf("hierctl: fleet bench needs >= 1 bin, got %d", bins)
+	}
+	if len(scales) == 0 {
+		return FleetBenchSnapshot{}, fmt.Errorf("hierctl: fleet bench needs >= 1 tenant scale")
+	}
+	for _, n := range scales {
+		if n < 1 {
+			return FleetBenchSnapshot{}, fmt.Errorf("hierctl: fleet bench scale %d < 1", n)
+		}
+	}
+	// A fixed artifact-cache path (not MkdirTemp) keeps the embedded
+	// ArtifactDir — and with it the snapshot bytes — identical across
+	// regenerations, and lets back-to-back runs reuse the learned maps.
+	dir := filepath.Join(os.TempDir(), "hpm-fleetbench-artifacts")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return FleetBenchSnapshot{}, err
+	}
+	snap := FleetBenchSnapshot{
+		AggregateCountPerRound: fleetBenchAggregate,
+		ComputersPerTenant:     2,
+		Checks:                 FleetBenchChecks{BatchEqualsSequential: true, RestoreEqualsReplay: true},
+	}
+	for si, n := range scales {
+		row, restoreOK, batchOK, err := runFleetBenchScale(n, bins, fleetBenchAggregate/float64(n), dir, si == 0)
+		if err != nil {
+			return FleetBenchSnapshot{}, err
+		}
+		snap.Rows = append(snap.Rows, row)
+		snap.Checks.RestoreEqualsReplay = snap.Checks.RestoreEqualsReplay && restoreOK
+		if si == 0 {
+			snap.Checks.BatchEqualsSequential = batchOK
+		}
+	}
+	return snap, nil
+}
+
+// newBenchFleet stands up n bench tenants on a fleet whose shard queues
+// are sized to accept one whole-fleet batch.
+func newBenchFleet(n int, dir string) (*fleet.Fleet, []string, error) {
+	f := fleet.New(fleet.Config{QueueDepth: n})
+	ids := make([]string, n)
+	for i := range ids {
+		tc, err := fleetScaleTenantConfig(int64(i+1), dir)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		ids[i] = fmt.Sprintf("t%05d", i)
+		if err := f.CreateTenant(ids[i], tc); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return f, ids, nil
+}
+
+// observeRound pushes one bin of count arrivals to every tenant in a
+// single ObserveBatch call and returns the per-entry decisions.
+func observeRound(f *fleet.Fleet, entries []fleet.BatchEntry) ([]fleet.BatchResult, error) {
+	results, err := f.ObserveBatch(entries)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			return nil, fmt.Errorf("hierctl: fleet bench tenant %s: %w", res.Tenant, res.Err)
+		}
+	}
+	return results, nil
+}
+
+func runFleetBenchScale(n, bins int, count float64, dir string, verifySequential bool) (FleetBenchRow, bool, bool, error) {
+	createStart := time.Now()
+	f, ids, err := newBenchFleet(n, dir)
+	if err != nil {
+		return FleetBenchRow{}, false, false, err
+	}
+	defer f.Close()
+	createSeconds := time.Since(createStart).Seconds()
+
+	entries := make([]fleet.BatchEntry, n)
+	for i := range entries {
+		entries[i] = fleet.BatchEntry{Tenant: ids[i], Counts: []float64{count}}
+	}
+	// Batched decisions are retained only when the sequential twin will
+	// need them for the equivalence check.
+	var rounds [][]fleet.BatchResult
+	start := time.Now()
+	for r := 0; r < bins; r++ {
+		results, err := observeRound(f, entries)
+		if err != nil {
+			return FleetBenchRow{}, false, false, err
+		}
+		if verifySequential {
+			rounds = append(rounds, results)
+		}
+	}
+	elapsed := time.Since(start)
+	ticks := n * bins
+
+	batchOK := true
+	if verifySequential {
+		g, gids, err := newBenchFleet(n, dir)
+		if err != nil {
+			return FleetBenchRow{}, false, false, err
+		}
+		for r := 0; r < bins && batchOK; r++ {
+			for i := range gids {
+				dec, err := g.Observe(gids[i], count)
+				if err != nil {
+					g.Close()
+					return FleetBenchRow{}, false, false, err
+				}
+				batched := rounds[r][i].LastDecision
+				if batched == nil || !reflect.DeepEqual(*batched, dec) {
+					batchOK = false
+					break
+				}
+			}
+		}
+		g.Close()
+	}
+
+	var buf bytes.Buffer
+	snapStart := time.Now()
+	if err := f.Snapshot(&buf); err != nil {
+		return FleetBenchRow{}, false, false, err
+	}
+	snapshotMillis := float64(time.Since(snapStart).Nanoseconds()) / 1e6
+
+	restored := fleet.New(fleet.Config{QueueDepth: n})
+	defer restored.Close()
+	restoreStart := time.Now()
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		return FleetBenchRow{}, false, false, err
+	}
+	restoreMillis := float64(time.Since(restoreStart).Nanoseconds()) / 1e6
+
+	// The restored fleet must continue exactly where the original left
+	// off: one more bin on both, decisions bit-identical.
+	restoreOK := true
+	orig, err := observeRound(f, entries)
+	if err != nil {
+		return FleetBenchRow{}, false, false, err
+	}
+	rest, err := observeRound(restored, entries)
+	if err != nil {
+		return FleetBenchRow{}, false, false, err
+	}
+	for i := range orig {
+		a, b := orig[i].LastDecision, rest[i].LastDecision
+		if a == nil || b == nil || !reflect.DeepEqual(*a, *b) {
+			restoreOK = false
+			break
+		}
+	}
+
+	return FleetBenchRow{
+		Tenants:           n,
+		Bins:              bins,
+		CountPerBin:       count,
+		TenantTicksPerSec: float64(ticks) / elapsed.Seconds(),
+		NsPerTick:         float64(elapsed.Nanoseconds()) / float64(ticks),
+		CreateSeconds:     createSeconds,
+		SnapshotMillis:    snapshotMillis,
+		RestoreMillis:     restoreMillis,
+		SnapshotBytes:     int64(buf.Len()),
+	}, restoreOK, batchOK, nil
+}

@@ -1,0 +1,102 @@
+package hierctl
+
+import (
+	"strings"
+	"testing"
+
+	"hierctl/internal/fleet"
+)
+
+func TestRunFleetBenchRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		name   string
+		bins   int
+		scales []int
+		frag   string
+	}{
+		{"zero bins", 0, []int{4}, "bin"},
+		{"no scales", 2, nil, "scale"},
+		{"zero scale", 2, []int{4, 0}, "scale 0"},
+	}
+	for _, tc := range cases {
+		_, err := RunFleetBench(tc.bins, tc.scales)
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: got %v, want error mentioning %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+// TestRunFleetBenchSmall runs the full generation at toy scales and pins
+// its invariants: one row per scale, constant aggregate load, and both
+// equivalence checks passing — the same checks whose failure in a CI
+// regeneration flags a batched-ingest or snapshot regression.
+func TestRunFleetBenchSmall(t *testing.T) {
+	snap, err := RunFleetBench(2, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(snap.Rows))
+	}
+	if snap.ComputersPerTenant != 2 {
+		t.Errorf("computersPerTenant = %d, want 2", snap.ComputersPerTenant)
+	}
+	if snap.AggregateCountPerRound != fleetBenchAggregate {
+		t.Errorf("aggregate = %v, want %v", snap.AggregateCountPerRound, float64(fleetBenchAggregate))
+	}
+	for i, n := range []int{4, 8} {
+		row := snap.Rows[i]
+		if row.Tenants != n || row.Bins != 2 {
+			t.Errorf("row %d: tenants %d bins %d, want %d and 2", i, row.Tenants, row.Bins, n)
+		}
+		if got, want := row.CountPerBin, fleetBenchAggregate/float64(n); got != want {
+			t.Errorf("row %d: countPerBin %v, want %v", i, got, want)
+		}
+		if row.TenantTicksPerSec <= 0 || row.NsPerTick <= 0 {
+			t.Errorf("row %d: non-positive throughput %v / %v", i, row.TenantTicksPerSec, row.NsPerTick)
+		}
+		if row.SnapshotBytes <= 0 {
+			t.Errorf("row %d: snapshot bytes %d", i, row.SnapshotBytes)
+		}
+	}
+	// Larger fleets under the same load must snapshot larger.
+	if snap.Rows[1].SnapshotBytes <= snap.Rows[0].SnapshotBytes {
+		t.Errorf("snapshot bytes did not grow with the fleet: %d then %d",
+			snap.Rows[0].SnapshotBytes, snap.Rows[1].SnapshotBytes)
+	}
+	if !snap.Checks.BatchEqualsSequential {
+		t.Error("batched ingest diverged from sequential Observe calls")
+	}
+	if !snap.Checks.RestoreEqualsReplay {
+		t.Error("restored fleet diverged from the original on the next bin")
+	}
+}
+
+// benchmarkFleetIngest measures steady-state batched ingest: the fleet is
+// built outside the timer, then each iteration pushes one bin to every
+// tenant through a single ObserveBatch call.
+func benchmarkFleetIngest(b *testing.B, n int) {
+	dir := b.TempDir()
+	f, ids, err := newBenchFleet(n, dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	count := fleetBenchAggregate / float64(n)
+	entries := make([]fleet.BatchEntry, n)
+	for i := range entries {
+		entries[i] = fleet.BatchEntry{Tenant: ids[i], Counts: []float64{count}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := observeRound(f, entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ticks := float64(n) * float64(b.N)
+	b.ReportMetric(ticks/b.Elapsed().Seconds(), "tenant-ticks/sec")
+}
+
+func BenchmarkFleetIngest64(b *testing.B)   { benchmarkFleetIngest(b, 64) }
+func BenchmarkFleetIngest1024(b *testing.B) { benchmarkFleetIngest(b, 1024) }

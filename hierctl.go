@@ -106,6 +106,19 @@ type (
 	TenantState = fleet.TenantState
 	// FleetStats summarizes fleet-level counters.
 	FleetStats = fleet.Stats
+	// BatchEntry is one tenant's slice of a batched ingest call.
+	BatchEntry = fleet.BatchEntry
+	// BatchResult reports one batch entry's outcome (index-aligned with
+	// the entries passed to Fleet.ObserveBatch).
+	BatchResult = fleet.BatchResult
+	// FleetJournal is the incremental on-disk snapshot journal: a full
+	// base snapshot plus delta frames for what changed since, with
+	// size/age-triggered compaction. Construct with OpenFleetJournal.
+	FleetJournal = fleet.Journal
+	// FleetJournalConfig tunes the journal's compaction policy.
+	FleetJournalConfig = fleet.JournalConfig
+	// FleetJournalStats reports journal size and compaction counters.
+	FleetJournalStats = fleet.JournalStats
 	// L3Policy decides the cross-cluster budget split at each L3 boundary
 	// of a multi-cluster run.
 	L3Policy = engine.L3Policy
@@ -133,11 +146,23 @@ var (
 	ErrFleetClosed    = fleet.ErrClosed
 	ErrTenantNotFound = fleet.ErrNotFound
 	ErrTenantExists   = fleet.ErrExists
+	// ErrFleetQueueFull is returned per-entry by Fleet.ObserveBatch when
+	// the target tenant's home-shard ingest queue is at capacity.
+	ErrFleetQueueFull = fleet.ErrQueueFull
 )
 
 // NewFleet starts an online control plane hosting tenant hierarchies
 // sharded across worker goroutines.
 func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
+
+// OpenFleetJournal opens (or creates) the incremental snapshot journal
+// at path: an existing log — including one cut short by a crash — is
+// restored into the fleet, and a fresh full snapshot is compacted before
+// the journal accepts appends. Journal.Append then persists only what
+// changed since the previous append.
+func OpenFleetJournal(f *Fleet, path string, cfg FleetJournalConfig) (*FleetJournal, error) {
+	return fleet.OpenJournal(f, path, cfg)
+}
 
 // NewTelemetryRecorder builds a flight recorder retaining the newest
 // capacity records. Writes are allocation-free and safe from the L1

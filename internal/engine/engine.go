@@ -298,10 +298,14 @@ func (h *Harness) pending(k int) []workload.Request {
 	return h.flat[k]
 }
 
-// clearPending consumes tick k's batch.
+// clearPending consumes tick k's batch. Ring slots keep their capacity —
+// Dispatch copies requests into the computer queues, so the batch never
+// escapes, and a long-running session would otherwise reallocate the
+// slot's backing array every bin. Flat slots are one-shot per run and are
+// released so a batch run's memory falls as it drains.
 func (h *Harness) clearPending(k int) {
 	if h.cfg.Spread == SpreadBinRing {
-		h.ring[k%h.sub] = nil
+		h.ring[k%h.sub] = h.ring[k%h.sub][:0]
 		return
 	}
 	h.flat[k] = nil

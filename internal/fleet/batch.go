@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"time"
+
+	"hierctl/internal/core"
+)
+
+// BatchEntry is one tenant's slice of a batched ingest call: Counts are
+// consecutive observation bins, applied in order.
+type BatchEntry struct {
+	Tenant string
+	Counts []float64
+}
+
+// BatchResult reports one entry's outcome, index-aligned with the entries
+// passed to ObserveBatch.
+type BatchResult struct {
+	Tenant string
+	// Applied is the number of bins stepped (may be short of len(Counts)
+	// when a bin errored mid-entry; bins before the error stay applied).
+	Applied int
+	// LastDecision is the decision in force after the entry's final
+	// applied bin (nil when nothing was applied).
+	LastDecision *core.BinDecision
+	// Err is nil on full application; ErrNotFound, ErrQueueFull,
+	// ErrClosed, or the session error that stopped the entry otherwise.
+	Err error
+}
+
+// batchOut is the shard-side result cell of one entry's job. The job owns
+// it until its done channel closes; the caller reads it only after that,
+// so a job abandoned by fleet shutdown can still write it harmlessly.
+type batchOut struct {
+	applied int
+	last    *core.BinDecision
+	err     error
+}
+
+// ObserveBatch feeds many observation bins across many tenants in one
+// call. Entries fan out to their tenants' home shards as one job per
+// entry; a tenant's bins are applied in entry order (shard queues are
+// FIFO), so per-tenant ordering is deterministic and the resulting
+// records are bit-identical to delivering the same counts one-by-one via
+// Observe — the batch≡sequential invariant pinned by
+// TestObserveBatchEquivalence. Distinct tenants step concurrently.
+//
+// Enqueueing is non-blocking: an entry whose home shard's ingest queue is
+// full fails with ErrQueueFull, and so do the batch's later entries for
+// the same tenant (applying them would reorder that tenant's stream).
+// Other tenants are unaffected — this is the backpressure boundary that
+// keeps a slow shard from stalling the network accept path. The call then
+// waits for the entries it did enqueue, so results are final on return.
+//
+// The error return is reserved for whole-call failures (ErrClosed);
+// per-entry failures ride in the results.
+func (f *Fleet) ObserveBatch(entries []BatchEntry) ([]BatchResult, error) {
+	if err := f.ctx.Err(); err != nil {
+		return nil, ErrClosed
+	}
+	results := make([]BatchResult, len(entries))
+	outs := make([]*batchOut, len(entries))
+	dones := make([]chan struct{}, len(entries))
+	var blocked map[string]bool
+	for i := range entries {
+		e := &entries[i]
+		results[i].Tenant = e.Tenant
+		if len(e.Counts) == 0 {
+			continue
+		}
+		if blocked[e.Tenant] {
+			results[i].Err = ErrQueueFull
+			f.queueRejects.Add(1)
+			continue
+		}
+		t, err := f.tenant(e.Tenant)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		out := &batchOut{}
+		done := make(chan struct{})
+		counts := e.Counts
+		job := func() {
+			defer close(done)
+			start := time.Now()
+			for _, c := range counts {
+				dec, err := t.observe(c)
+				if err != nil {
+					out.err = err
+					break
+				}
+				out.applied++
+				held := dec
+				out.last = &held
+			}
+			f.observations.Add(int64(out.applied))
+			f.ticks.Add(int64(out.applied * t.sub))
+			f.decideNanos.Add(time.Since(start).Nanoseconds())
+		}
+		select {
+		case t.home.jobs <- job:
+			outs[i], dones[i] = out, done
+		default:
+			results[i].Err = ErrQueueFull
+			f.queueRejects.Add(1)
+			if blocked == nil {
+				blocked = map[string]bool{}
+			}
+			blocked[e.Tenant] = true
+		}
+	}
+	for i, done := range dones {
+		if done == nil {
+			continue
+		}
+		select {
+		case <-done:
+		case <-f.ctx.Done():
+			// Both may be ready at once; prefer done so a job that did
+			// run is never reported as closed.
+			select {
+			case <-done:
+			default:
+				// The job is either still queued (it will never run —
+				// the shard loops exited) or mid-flight on a shard that
+				// outlives the cancellation; either way its cell cannot
+				// be read safely, so the entry reports ErrClosed.
+				results[i].Err = ErrClosed
+				continue
+			}
+		}
+		results[i].Applied = outs[i].applied
+		results[i].LastDecision = outs[i].last
+		results[i].Err = outs[i].err
+	}
+	return results, nil
+}
+
+// QueueDepths reports each shard's pending ingest-queue length — the
+// live backlog behind the ObserveBatch backpressure boundary, exported
+// per shard on /metrics.
+func (f *Fleet) QueueDepths() []int {
+	depths := make([]int, len(f.shards))
+	for i, s := range f.shards {
+		depths[i] = len(s.jobs)
+	}
+	return depths
+}

@@ -1,0 +1,384 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hierctl/internal/cluster"
+)
+
+// batchTenantConfig builds a batch-test tenant: coarse grids, serial
+// decision pipeline (so replicas across fleets are comparable), and a
+// shared artifact cache so only the first tenant pays offline learning.
+func batchTenantConfig(artifactDir string, storeSeed int64) TenantConfig {
+	cfg := fastCore()
+	cfg.Parallelism = 1
+	cfg.RecordFrequencies = false
+	cfg.ArtifactDir = artifactDir
+	return TenantConfig{
+		Spec:       cluster.Spec{Modules: []cluster.ModuleSpec{moduleOf("M1", 2)}},
+		Core:       cfg,
+		Store:      testStoreConfig(),
+		StoreSeed:  storeSeed,
+		BinSeconds: 30,
+	}
+}
+
+// splitChunks chops a count stream into random-length runs (1–3 bins),
+// preserving order — the shapes a batching client would produce.
+func splitChunks(rng *rand.Rand, counts []float64) [][]float64 {
+	var chunks [][]float64
+	for i := 0; i < len(counts); {
+		n := 1 + rng.Intn(3)
+		if i+n > len(counts) {
+			n = len(counts) - i
+		}
+		chunks = append(chunks, counts[i:i+n])
+		i += n
+	}
+	return chunks
+}
+
+// TestObserveBatchEquivalence is the batch≡sequential property test: for
+// random chunkings and interleavings of per-tenant count streams — across
+// seeds, shard counts, and client parallelism — a fleet fed through
+// ObserveBatch finishes with records bit-identical to a fleet fed the
+// same streams one bin at a time through Observe. Batches mix entries
+// from different tenants, repeat a tenant within one batch, and at
+// parallelism 4 arrive from concurrent goroutines (disjoint tenant sets,
+// so per-tenant order stays defined).
+func TestObserveBatchEquivalence(t *testing.T) {
+	const tenants = 4
+	const bins = 8
+	dir := t.TempDir()
+	counts := make([][]float64, tenants)
+	for i := range counts {
+		counts[i] = make([]float64, bins)
+		for b := range counts[i] {
+			counts[i][b] = 150 + 50*float64((i*7+b*3)%5)
+		}
+	}
+	ids := make([]string, tenants)
+	for i := range ids {
+		ids[i] = string(rune('a' + i))
+	}
+
+	cases := []struct {
+		seed        int64
+		shards, par int
+	}{
+		{1, 1, 1}, {2, 3, 1}, {3, 1, 4}, {4, 3, 4}, {5, 3, 1}, {6, 3, 4},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("seed%d_shards%d_par%d", c.seed, c.shards, c.par), func(t *testing.T) {
+			// Reference: the same streams, one bin at a time.
+			seq := New(Config{Shards: c.shards})
+			defer seq.Close()
+			for i, id := range ids {
+				if err := seq.CreateTenant(id, batchTenantConfig(dir, int64(i+1))); err != nil {
+					t.Fatal(err)
+				}
+				for _, count := range counts[i] {
+					if _, err := seq.Observe(id, count); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			bf := New(Config{Shards: c.shards})
+			defer bf.Close()
+			for i, id := range ids {
+				if err := bf.CreateTenant(id, batchTenantConfig(dir, int64(i+1))); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			checkResults := func(results []BatchResult, err error) error {
+				if err != nil {
+					return err
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						return fmt.Errorf("entry for %s: %w", r.Tenant, r.Err)
+					}
+					if r.LastDecision == nil {
+						return fmt.Errorf("entry for %s: no decision", r.Tenant)
+					}
+				}
+				return nil
+			}
+
+			if c.par == 1 {
+				// One client: random interleaving of every tenant's
+				// chunks into mixed batches, per-tenant chunk order kept.
+				rng := rand.New(rand.NewSource(c.seed))
+				queues := make([][][]float64, tenants)
+				remaining := 0
+				for i := range queues {
+					queues[i] = splitChunks(rng, counts[i])
+					remaining += len(queues[i])
+				}
+				var batch []BatchEntry
+				for remaining > 0 {
+					i := rng.Intn(tenants)
+					if len(queues[i]) == 0 {
+						continue
+					}
+					batch = append(batch, BatchEntry{Tenant: ids[i], Counts: queues[i][0]})
+					queues[i] = queues[i][1:]
+					remaining--
+					if rng.Intn(3) == 0 || remaining == 0 {
+						results, err := bf.ObserveBatch(batch)
+						if err := checkResults(results, err); err != nil {
+							t.Fatal(err)
+						}
+						batch = batch[:0]
+					}
+				}
+			} else {
+				// Concurrent clients, one tenant each: batches from
+				// different goroutines race on the shards, but each
+				// tenant's chunks arrive in order.
+				errc := make(chan error, tenants)
+				for i := 0; i < tenants; i++ {
+					go func(i int) {
+						rng := rand.New(rand.NewSource(c.seed*100 + int64(i)))
+						for _, chunk := range splitChunks(rng, counts[i]) {
+							results, err := bf.ObserveBatch([]BatchEntry{{Tenant: ids[i], Counts: chunk}})
+							if err := checkResults(results, err); err != nil {
+								errc <- err
+								return
+							}
+						}
+						errc <- nil
+					}(i)
+				}
+				for i := 0; i < tenants; i++ {
+					if err := <-errc; err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			for _, id := range ids {
+				want, err := seq.CloseTenant(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := bf.CloseTenant(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				recordsIdentical(t, want, got)
+			}
+		})
+	}
+}
+
+// TestObserveBatchErrors covers the per-entry error contract: an unknown
+// tenant mid-batch fails only its own entry, empty entries are no-ops,
+// results stay index-aligned, and a closed fleet fails the whole call.
+func TestObserveBatchErrors(t *testing.T) {
+	f := New(Config{Shards: 2})
+	defer f.Close()
+	if err := f.CreateTenant("x", batchTenantConfig(t.TempDir(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := f.ObserveBatch([]BatchEntry{
+		{Tenant: "x", Counts: []float64{200, 250}},
+		{Tenant: "ghost", Counts: []float64{100}},
+		{Tenant: "x", Counts: nil},
+		{Tenant: "x", Counts: []float64{300}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	if results[0].Err != nil || results[0].Applied != 2 || results[0].LastDecision == nil {
+		t.Errorf("entry 0: %+v", results[0])
+	}
+	if !errors.Is(results[1].Err, ErrNotFound) {
+		t.Errorf("unknown tenant mid-batch: got %v, want ErrNotFound", results[1].Err)
+	}
+	if results[2].Err != nil || results[2].Applied != 0 {
+		t.Errorf("empty entry: %+v", results[2])
+	}
+	if results[3].Err != nil || results[3].Applied != 1 {
+		t.Errorf("entry after failed entry: %+v", results[3])
+	}
+	st, err := f.State("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bins != 3 {
+		t.Errorf("tenant at %d bins, want 3", st.Bins)
+	}
+
+	f.Close()
+	if _, err := f.ObserveBatch([]BatchEntry{{Tenant: "x", Counts: []float64{100}}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("batch after close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestObserveBatchQueueFull pins the backpressure boundary: with the
+// shard wedged and its queue at QueueDepth, entries fail fast with
+// ErrQueueFull — including later same-tenant entries even as slots free
+// up (applying them would gap the tenant's stream) — nothing is applied,
+// the reject counter advances, and the same entries succeed on retry.
+func TestObserveBatchQueueFull(t *testing.T) {
+	f := New(Config{Shards: 1, QueueDepth: 1})
+	defer f.Close()
+	if err := f.CreateTenant("x", batchTenantConfig(t.TempDir(), 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wedge the shard on a job we control, then fill the queue's single
+	// slot; the next enqueue cannot succeed until both are released.
+	release := make(chan struct{})
+	wedged := make(chan struct{})
+	f.shards[0].jobs <- func() { close(wedged); <-release }
+	<-wedged
+	drained := make(chan struct{})
+	f.shards[0].jobs <- func() { close(drained) }
+
+	entries := []BatchEntry{
+		{Tenant: "x", Counts: []float64{200}},
+		{Tenant: "x", Counts: []float64{250}},
+	}
+	results, err := f.ObserveBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, ErrQueueFull) {
+			t.Errorf("entry %d: got %v, want ErrQueueFull", i, r.Err)
+		}
+		if r.Applied != 0 {
+			t.Errorf("entry %d applied %d bins through a full queue", i, r.Applied)
+		}
+	}
+	if got := f.Stats().QueueRejects; got != 2 {
+		t.Errorf("queue rejects = %d, want 2", got)
+	}
+	close(release)
+	<-drained
+	st, err := f.State("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bins != 0 {
+		t.Errorf("rejected entries reached the tenant: %d bins", st.Bins)
+	}
+
+	// Retry after drain: the same entries apply cleanly, in order.
+	results, err = f.ObserveBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Applied != 1 {
+			t.Errorf("retry entry %d: %+v", i, r)
+		}
+	}
+	st, err = f.State("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bins != 2 {
+		t.Errorf("tenant at %d bins after retry, want 2", st.Bins)
+	}
+}
+
+// TestObserveBatchStress hammers ObserveBatch from concurrent clients
+// while snapshots, state listings, stats, and queue-depth reads run
+// against the same fleet — the -race pin for the ingest layer. Outcomes
+// are checked loosely (every submitted bin lands); bit-identical replay
+// is TestObserveBatchEquivalence's job.
+func TestObserveBatchStress(t *testing.T) {
+	const clients = 4
+	const batches = 12
+	dir := t.TempDir()
+	f := New(Config{Shards: 2})
+	defer f.Close()
+	ids := make([]string, clients)
+	for i := range ids {
+		ids[i] = string(rune('a' + i))
+		if err := f.CreateTenant(ids[i], batchTenantConfig(dir, int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := f.Snapshot(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			f.States()
+			f.Stats()
+			f.QueueDepths()
+		}
+	}()
+
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			for b := 0; b < batches; b++ {
+				entries := []BatchEntry{
+					{Tenant: ids[i], Counts: []float64{150, 200}},
+					{Tenant: ids[(i+1)%clients], Counts: nil},
+					{Tenant: ids[i], Counts: []float64{250}},
+				}
+				results, err := f.ObserveBatch(entries)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						errc <- fmt.Errorf("batch %d entry %s: %w", b, r.Tenant, r.Err)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+
+	for _, id := range ids {
+		st, err := f.State(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Bins != batches*3 {
+			t.Errorf("tenant %s at %d bins, want %d", id, st.Bins, batches*3)
+		}
+	}
+	stats := f.Stats()
+	if stats.Observations < int64(clients*batches*3) {
+		t.Errorf("observations = %d, want >= %d", stats.Observations, clients*batches*3)
+	}
+}

@@ -42,7 +42,15 @@ type Config struct {
 	// Shards is the number of worker goroutines tenants are distributed
 	// over (round-robin at creation). 0 = one shard per available CPU.
 	Shards int
+	// QueueDepth bounds each shard's ingest queue — the number of pending
+	// jobs a shard accepts before ObserveBatch starts rejecting entries
+	// with ErrQueueFull. 0 = DefaultQueueDepth.
+	QueueDepth int
 }
+
+// DefaultQueueDepth is the per-shard ingest-queue bound when
+// Config.QueueDepth is zero.
+const DefaultQueueDepth = 1024
 
 var (
 	// ErrClosed is returned by every operation after Close.
@@ -51,6 +59,10 @@ var (
 	ErrNotFound = errors.New("fleet: tenant not found")
 	// ErrExists is returned when creating a tenant under a taken id.
 	ErrExists = errors.New("fleet: tenant already exists")
+	// ErrQueueFull is returned per-entry by ObserveBatch when the target
+	// tenant's home-shard ingest queue is at QueueDepth. The entry was not
+	// applied; callers should back off and retry.
+	ErrQueueFull = errors.New("fleet: shard ingest queue full")
 )
 
 // Fleet is a sharded multi-tenant controller host. Construct with New;
@@ -70,6 +82,7 @@ type Fleet struct {
 	decideNanos  atomic.Int64
 	snapshots    atomic.Int64
 	restores     atomic.Int64
+	queueRejects atomic.Int64
 }
 
 // shard executes the jobs of its assigned tenants serially.
@@ -91,6 +104,10 @@ func (s *shard) run(ctx context.Context) {
 // New starts a fleet with the configured number of shards.
 func New(cfg Config) *Fleet {
 	n := par.Workers(cfg.Shards)
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
 	f := &Fleet{
 		tenants: map[string]*tenant{},
 		shards:  make([]*shard, n),
@@ -98,7 +115,7 @@ func New(cfg Config) *Fleet {
 	}
 	f.ctx, f.cancel = context.WithCancel(context.Background())
 	for i := range f.shards {
-		f.shards[i] = &shard{jobs: make(chan func(), 64)}
+		f.shards[i] = &shard{jobs: make(chan func(), depth)}
 	}
 	go func() { //hpm:goroutine single long-lived supervisor; the fan-out inside is the bounded par pool
 		defer close(f.done)
@@ -344,6 +361,7 @@ type Stats struct {
 	DecideSeconds float64 // wall-clock spent inside tenant stepping
 	Snapshots     int64
 	Restores      int64
+	QueueRejects  int64 // batch entries refused with ErrQueueFull
 }
 
 // Stats returns a snapshot of the fleet counters.
@@ -359,5 +377,6 @@ func (f *Fleet) Stats() Stats {
 		DecideSeconds: float64(f.decideNanos.Load()) / 1e9,
 		Snapshots:     f.snapshots.Load(),
 		Restores:      f.restores.Load(),
+		QueueRejects:  f.queueRejects.Load(),
 	}
 }

@@ -1,0 +1,317 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"hierctl/internal/par"
+)
+
+// JournalConfig tunes the incremental snapshot journal's compaction
+// policy. Zero values select the defaults.
+type JournalConfig struct {
+	// CompactFactor triggers compaction when the delta tail exceeds this
+	// multiple of the last full snapshot's size — the classic log/base
+	// size trade: a bigger factor appends longer between full rewrites,
+	// a smaller one keeps recovery replay short. <= 0 = 1.0.
+	CompactFactor float64
+	// MaxAppends triggers compaction after this many Append calls since
+	// the last full snapshot regardless of size — the age bound that
+	// keeps a low-traffic journal's recovery path from accumulating
+	// months of tiny frames. <= 0 = 256.
+	MaxAppends int
+}
+
+const (
+	defaultCompactFactor = 1.0
+	defaultMaxAppends    = 256
+)
+
+// Journal maintains an incremental on-disk snapshot of a fleet: a frame
+// log (see snapshot.go) holding one full base snapshot plus the delta
+// frames appended since. Append writes only what changed — new tenants
+// as base frames, grown tenants as observation deltas, closed tenants as
+// removes — so steady-state persistence cost is proportional to new
+// observations, not fleet size. When the delta tail outgrows the base
+// (CompactFactor) or ages out (MaxAppends), the journal compacts: a
+// fresh full snapshot is written to a temp file, fsynced, and renamed
+// over the log, so a crash at any instant leaves either the old log
+// (with its deltas) or the new one — never a half-written base.
+//
+// Recovery is OpenJournal on the same path: an existing log is streamed
+// back into the fleet (tolerating a torn final frame — the signature of
+// a crash mid-append) and a fresh base is compacted before the journal
+// accepts new appends. The crash invariant — every observation whose
+// append completed is restored exactly once — is pinned by the failpoint
+// tests in journal_test.go.
+//
+// Construct with OpenJournal. Methods are safe for concurrent use with
+// each other and with fleet ingestion; captures serialize on the
+// tenants' home shards like Snapshot.
+type Journal struct {
+	mu   sync.Mutex
+	fl   *Fleet
+	path string
+	file *os.File
+	// marks records, per tenant, how many observations the log already
+	// holds; Append journals past the mark and advances it only after
+	// the frames are durably written, so a crash between the two re-sends
+	// an idempotent overlap instead of losing a suffix.
+	marks       map[string]int
+	baseBytes   int64
+	tailBytes   int64
+	appends     int
+	compactions int64
+	cfg         JournalConfig
+
+	// failpoints: when non-nil, invoked at the matching point and the
+	// operation aborts with the returned error — the crash injection
+	// seam for the recovery tests.
+	hookAfterAppend func() error
+	hookBeforeSwap  func() error
+}
+
+// JournalStats reports the journal's live size and compaction counters
+// for the metrics endpoint.
+type JournalStats struct {
+	BaseBytes   int64 // size of the last full snapshot
+	TailBytes   int64 // delta frames appended since
+	Appends     int   // Append calls since the last compaction
+	Compactions int64 // full-snapshot rewrites over the journal's life
+}
+
+// OpenJournal opens (or creates) the incremental snapshot journal at
+// path for fl. An existing non-empty log is first restored into the
+// fleet — tolerating a torn final frame, so a journal cut off by a crash
+// recovers to the last durable append — and in all cases a fresh full
+// snapshot is compacted before the journal is returned, bounding every
+// future recovery to one base plus the newest deltas.
+func OpenJournal(fl *Fleet, path string, cfg JournalConfig) (*Journal, error) {
+	if cfg.CompactFactor <= 0 {
+		cfg.CompactFactor = defaultCompactFactor
+	}
+	if cfg.MaxAppends <= 0 {
+		cfg.MaxAppends = defaultMaxAppends
+	}
+	if prior, err := os.Open(path); err == nil {
+		st, serr := prior.Stat()
+		if serr == nil && st.Size() > 0 {
+			if rerr := fl.restoreLog(prior, true); rerr != nil {
+				prior.Close()
+				return nil, fmt.Errorf("fleet: recover journal %s: %w", path, rerr)
+			}
+		}
+		prior.Close()
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("fleet: open journal: %w", err)
+	}
+	j := &Journal{fl: fl, path: path, marks: map[string]int{}, cfg: cfg}
+	if err := j.Compact(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Append journals everything that changed since the last Append or
+// compaction: base frames for tenants the log has never seen, delta
+// frames for grown observation logs, remove frames for closed tenants.
+// Frames are fsynced before the marks advance. Triggers compaction per
+// the configured policy after a successful append.
+func (j *Journal) Append() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.file == nil {
+		return fmt.Errorf("fleet: journal closed")
+	}
+	ids := j.fl.Tenants()
+	type change struct {
+		frame *logFrame
+		mark  int
+	}
+	// Captures fan out across the home shards like Snapshot's; frame
+	// order follows the sorted id listing, so identical change sets
+	// append identical bytes.
+	changes, err := par.MapCtx(j.fl.ctx, len(j.fl.shards), len(ids), func(i int) (change, error) {
+		t, err := j.fl.tenant(ids[i])
+		if err != nil {
+			return change{}, nil // closed since the listing: removed next Append
+		}
+		mark, known := j.marks[ids[i]]
+		var c change
+		var serr error
+		if err := j.fl.exec(t, func() {
+			switch {
+			case !known:
+				var snap tenantSnap
+				snap, serr = t.snapshot()
+				if serr == nil {
+					c = change{frame: &logFrame{Kind: frameBase, Base: &snap}, mark: len(snap.Observations)}
+				}
+			case len(t.observations) > mark:
+				counts := append([]float64(nil), t.observations[mark:]...)
+				c = change{
+					frame: &logFrame{Kind: frameDelta, ID: t.id, From: mark, Counts: counts},
+					mark:  mark + len(counts),
+				}
+			}
+		}); err != nil {
+			return change{}, err
+		}
+		return c, serr
+	})
+	if err != nil {
+		return err
+	}
+	live := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		live[id] = true
+	}
+	var removed []string
+	for id := range j.marks {
+		if !live[id] {
+			removed = append(removed, id)
+		}
+	}
+	sort.Strings(removed)
+
+	var written int64
+	for _, c := range changes {
+		if c.frame == nil {
+			continue
+		}
+		n, err := writeFrame(j.file, c.frame)
+		if err != nil {
+			return err
+		}
+		written += n
+	}
+	for _, id := range removed {
+		n, err := writeFrame(j.file, &logFrame{Kind: frameRemove, ID: id})
+		if err != nil {
+			return err
+		}
+		written += n
+	}
+	if written > 0 {
+		if err := j.file.Sync(); err != nil {
+			return fmt.Errorf("fleet: sync journal: %w", err)
+		}
+	}
+	// The frames are durable; only now may the marks move past them.
+	for i, c := range changes {
+		if c.frame != nil {
+			j.marks[ids[i]] = c.mark
+		}
+	}
+	for _, id := range removed {
+		delete(j.marks, id)
+	}
+	j.tailBytes += written
+	j.appends++
+	if j.hookAfterAppend != nil {
+		if err := j.hookAfterAppend(); err != nil {
+			return err
+		}
+	}
+	if j.tailBytes > int64(j.cfg.CompactFactor*float64(j.baseBytes)) || j.appends >= j.cfg.MaxAppends {
+		return j.compactLocked()
+	}
+	return nil
+}
+
+// Compact rewrites the journal as one fresh full snapshot, replacing the
+// accumulated base + delta history. The new log is written to a temp
+// file, fsynced, and atomically renamed over the old one.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactLocked()
+}
+
+func (j *Journal) compactLocked() error {
+	snaps, err := j.fl.captureAll()
+	if err != nil {
+		return err
+	}
+	tmp := j.path + ".tmp"
+	file, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("fleet: compact journal: %w", err)
+	}
+	var written int64
+	_, werr := file.WriteString(snapshotMagic)
+	if werr == nil {
+		written = int64(len(snapshotMagic))
+		for i := range snaps {
+			n, err := writeFrame(file, &logFrame{Kind: frameBase, Base: &snaps[i]})
+			if err != nil {
+				werr = err
+				break
+			}
+			written += n
+		}
+	}
+	if werr == nil {
+		werr = file.Sync()
+	}
+	if cerr := file.Close(); werr == nil && cerr != nil {
+		werr = cerr
+	}
+	if werr == nil && j.hookBeforeSwap != nil {
+		werr = j.hookBeforeSwap()
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: compact journal: %w", werr)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: compact journal: %w", err)
+	}
+	if j.file != nil {
+		j.file.Close()
+	}
+	j.file, err = os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("fleet: reopen journal: %w", err)
+	}
+	marks := make(map[string]int, len(snaps))
+	for i := range snaps {
+		marks[snaps[i].ID] = len(snaps[i].Observations)
+	}
+	j.marks = marks
+	j.baseBytes = written
+	j.tailBytes = 0
+	j.appends = 0
+	j.compactions++
+	j.fl.snapshots.Add(1)
+	return nil
+}
+
+// Stats reports the journal's size and compaction counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		BaseBytes:   j.baseBytes,
+		TailBytes:   j.tailBytes,
+		Appends:     j.appends,
+		Compactions: j.compactions,
+	}
+}
+
+// Close releases the journal's file handle. The log on disk stays valid;
+// reopen with OpenJournal. Callers wanting the newest observations
+// persisted should Append (or Compact) first.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.file == nil {
+		return nil
+	}
+	err := j.file.Close()
+	j.file = nil
+	return err
+}

@@ -1,0 +1,376 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hierctl/internal/core"
+)
+
+var errCrash = errors.New("injected crash")
+
+func journalPath(t *testing.T) string {
+	return filepath.Join(t.TempDir(), "fleet.journal")
+}
+
+// TestJournalAppendCompactCycle drives the journal through its whole
+// life: base on open, deltas on append, removes for closed tenants, a
+// policy-triggered compaction, and a reopen that restores the end state.
+func TestJournalAppendCompactCycle(t *testing.T) {
+	dir := t.TempDir()
+	path := journalPath(t)
+	f := New(Config{Shards: 2})
+	defer f.Close()
+	for _, id := range []string{"a", "b"} {
+		if err := f.CreateTenant(id, batchTenantConfig(dir, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j, err := OpenJournal(f, path, JournalConfig{MaxAppends: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	st := j.Stats()
+	if st.BaseBytes == 0 || st.TailBytes != 0 || st.Compactions != 1 {
+		t.Fatalf("after open: %+v", st)
+	}
+
+	for i := 0; i < 4; i++ {
+		if _, err := f.Observe("a", 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.TailBytes == 0 || st.Appends != 1 {
+		t.Fatalf("delta append not recorded: %+v", st)
+	}
+	// An append with nothing new writes nothing (but still ages).
+	if err := j.Append(); err != nil {
+		t.Fatal(err)
+	}
+	tail := j.Stats().TailBytes
+	if got := j.Stats(); got.Appends != 2 || got.TailBytes != tail {
+		t.Fatalf("empty append changed the log: %+v", got)
+	}
+
+	// Close a tenant and create another: remove + base frames.
+	if _, err := f.CloseTenant("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CreateTenant("c", batchTenantConfig(dir, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Third append hits MaxAppends and compacts.
+	if err := j.Append(); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Compactions != 2 || st.TailBytes != 0 || st.Appends != 0 {
+		t.Fatalf("age-triggered compaction missing: %+v", st)
+	}
+
+	// Reopen into a fresh fleet: a with 4 bins, c with 0, no b.
+	f2 := New(Config{Shards: 2})
+	defer f2.Close()
+	j2, err := OpenJournal(f2, path, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := f2.Tenants(); !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Fatalf("restored tenants %v, want [a c]", got)
+	}
+	sta, err := f2.State("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sta.Bins != 4 {
+		t.Fatalf("tenant a restored at %d bins, want 4", sta.Bins)
+	}
+}
+
+// TestJournalSizeTriggeredCompaction: a tail outgrowing
+// CompactFactor × base forces a rewrite.
+func TestJournalSizeTriggeredCompaction(t *testing.T) {
+	f := New(Config{Shards: 1})
+	defer f.Close()
+	if err := f.CreateTenant("a", batchTenantConfig(t.TempDir(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	// A tiny factor means the first non-empty delta exceeds the bound.
+	j, err := OpenJournal(f, journalPath(t), JournalConfig{CompactFactor: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := f.Observe("a", 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Compactions != 2 || st.TailBytes != 0 {
+		t.Fatalf("size-triggered compaction missing: %+v", st)
+	}
+}
+
+// TestJournalCrashAfterAppendRestores is the crash invariant's pin: the
+// process dies after a delta append but before the next compaction, and
+// recovery must hold exactly the appended observations — none lost, none
+// double-applied — with the restored fleet's next decisions bit-identical
+// to the survivor's.
+func TestJournalCrashAfterAppendRestores(t *testing.T) {
+	dir := t.TempDir()
+	path := journalPath(t)
+	f := New(Config{Shards: 1})
+	defer f.Close()
+	if err := f.CreateTenant("a", batchTenantConfig(dir, 1)); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(f, path, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []float64{200, 250, 150, 300, 225, 175}
+	for _, c := range counts[:4] {
+		if _, err := f.Observe("a", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.hookAfterAppend = func() error { return errCrash } // die before the compaction check
+	if err := j.Append(); !errors.Is(err, errCrash) {
+		t.Fatalf("append: got %v, want injected crash", err)
+	}
+	j.Close()
+
+	// Bins 4 and 5 happen only on the survivor, after the last durable
+	// append — the restored fleet must reproduce their decisions from
+	// the same counts.
+	var want []core.BinDecision
+	for _, c := range counts[4:] {
+		dec, err := f.Observe("a", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, dec)
+	}
+
+	f2 := New(Config{Shards: 1})
+	defer f2.Close()
+	j2, err := OpenJournal(f2, path, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st, err := f2.State("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bins != 4 {
+		t.Fatalf("recovered %d bins, want exactly the 4 appended", st.Bins)
+	}
+	for i, c := range counts[4:] {
+		dec, err := f2.Observe("a", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dec, want[i]) {
+			t.Fatalf("post-recovery decision %d diverged:\nsurvivor %+v\nrecovered %+v", i, want[i], dec)
+		}
+	}
+}
+
+// TestJournalCrashDuringCompactKeepsOldLog: a crash after the new base
+// is written but before the rename swap must leave the old log — base
+// plus its deltas — fully restorable.
+func TestJournalCrashDuringCompactKeepsOldLog(t *testing.T) {
+	path := journalPath(t)
+	f := New(Config{Shards: 1})
+	defer f.Close()
+	if err := f.CreateTenant("a", batchTenantConfig(t.TempDir(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(f, path, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Observe("a", 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(); err != nil {
+		t.Fatal(err)
+	}
+	j.hookBeforeSwap = func() error { return errCrash }
+	if err := j.Compact(); !errors.Is(err, errCrash) {
+		t.Fatalf("compact: got %v, want injected crash", err)
+	}
+	j.Close()
+
+	f2 := New(Config{Shards: 1})
+	defer f2.Close()
+	j2, err := OpenJournal(f2, path, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st, err := f2.State("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bins != 3 {
+		t.Fatalf("recovered %d bins, want 3", st.Bins)
+	}
+}
+
+// TestJournalTornTailRecovers: a log truncated mid-frame (torn final
+// write) recovers to the last complete frame on the journal path, while
+// strict Restore rejects it.
+func TestJournalTornTailRecovers(t *testing.T) {
+	path := journalPath(t)
+	f := New(Config{Shards: 1})
+	defer f.Close()
+	if err := f.CreateTenant("a", batchTenantConfig(t.TempDir(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(f, path, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.Observe("a", 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	grown, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown) <= len(whole) {
+		t.Fatal("append grew nothing")
+	}
+	// Tear the delta frame: cut inside the appended suffix.
+	torn := grown[:len(whole)+(len(grown)-len(whole))/2]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := New(Config{Shards: 1}).Restore(bytes.NewReader(torn)); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("strict restore of torn log: got %v, want truncation error", err)
+	}
+
+	f2 := New(Config{Shards: 1})
+	defer f2.Close()
+	j2, err := OpenJournal(f2, path, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st, err := f2.State("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bins != 0 {
+		t.Fatalf("torn tail leaked %d bins into recovery, want 0", st.Bins)
+	}
+}
+
+// TestJournalReplayedDeltaIsIdempotent: a delta frame re-sent after a
+// crash between the durable write and the mark update overlaps the
+// assembled log; replay must apply the overlap once.
+func TestJournalReplayedDeltaIsIdempotent(t *testing.T) {
+	f := New(Config{Shards: 1})
+	defer f.Close()
+	if err := f.CreateTenant("a", batchTenantConfig(t.TempDir(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{200, 250, 150} {
+		if _, err := f.Observe("a", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Re-send bins 1-2 (already in the base) plus a new bin 3.
+	if _, err := writeFrame(&buf, &logFrame{
+		Kind: frameDelta, ID: "a", From: 1, Counts: []float64{250, 150, 300},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f2 := New(Config{Shards: 1})
+	defer f2.Close()
+	if err := f2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f2.State("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bins != 4 {
+		t.Fatalf("overlapping delta replayed to %d bins, want 4", st.Bins)
+	}
+
+	// A gap, by contrast, means lost frames: hard error.
+	var gapped bytes.Buffer
+	if err := f2.Snapshot(&gapped); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeFrame(&gapped, &logFrame{
+		Kind: frameDelta, ID: "a", From: 9, Counts: []float64{100},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(Config{Shards: 1}).Restore(bytes.NewReader(gapped.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gapped delta: got %v, want gap error", err)
+	}
+}
+
+// TestSnapshotBytesDeterministic: identical fleet state must snapshot to
+// identical bytes — the property that makes snapshot sizes CI-diffable
+// and journal appends reproducible.
+func TestSnapshotBytesDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	build := func() []byte {
+		f := New(Config{Shards: 2})
+		defer f.Close()
+		for i, id := range []string{"a", "b", "c"} {
+			if err := f.CreateTenant(id, batchTenantConfig(dir, int64(i+1))); err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < 3; b++ {
+				if _, err := f.Observe(id, 150+50*float64(b)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := f.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshot bytes nondeterministic: %d vs %d bytes", len(a), len(b))
+	}
+}

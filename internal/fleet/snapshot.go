@@ -2,8 +2,11 @@ package fleet
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"hierctl/internal/controller"
@@ -11,16 +14,55 @@ import (
 	"hierctl/internal/par"
 )
 
-// Snapshot format: event-sourced controller state. Mid-run plant state
+// Snapshot format v2: an event-sourced frame log. Mid-run plant state
 // (queues, in-flight requests, RNG positions) is never serialized —
-// instead a snapshot captures, per tenant, (a) the configuration, (b) the
+// instead the log captures, per tenant, (a) the configuration, (b) the
 // learned artifacts via the controller/approx persistence layers (the
-// expensive offline phase), and (c) the observation log. Because runs are
-// deterministic per seed, restoring = rebuild from artifacts + replay the
-// log, which reconstructs bit-identical controller state: the next K
-// decisions after a restore equal the original's.
+// expensive offline phase), and (c) the observation log. Because runs
+// are deterministic per seed, restoring = rebuild from artifacts +
+// replay the log, which reconstructs bit-identical controller state:
+// the next K decisions after a restore equal the original's.
+//
+// The container is a magic header followed by self-contained frames:
+//
+//	[u32 payload length][u32 crc32(payload)][gob(logFrame)]
+//
+// Each payload is encoded by a fresh gob encoder, so any frame decodes
+// without the stream state of its predecessors. A full snapshot is a log
+// of base frames only (one per tenant, sorted by id); the Journal
+// appends delta frames (counts since the tenant's last frame) and remove
+// frames to the same container, which is what makes an interrupted
+// journal restorable by the same reader. A torn final frame — the
+// signature of a crash mid-append — is tolerated on the journal recovery
+// path and rejected by strict Restore; a checksum mismatch on a complete
+// frame is corruption and always an error.
+//
+// Frame bytes are deterministic: tenant artifacts ride as key-sorted
+// slices (gob map encoding is randomized), so identical fleet state
+// snapshots to identical bytes — the property that lets CI diff
+// regenerated snapshot sizes.
+const snapshotMagic = "HPMSNAP2"
 
-const snapshotVersion = 1
+const (
+	frameBase byte = iota + 1
+	frameDelta
+	frameRemove
+)
+
+// maxFramePayload bounds a single frame (64 MiB) so a corrupt or
+// hostile length header cannot drive an arbitrary allocation.
+const maxFramePayload = 64 << 20
+
+// errTornFrame marks a frame cut short by EOF — recoverable crash
+// damage, unlike a checksum failure.
+var errTornFrame = errors.New("fleet: torn snapshot frame")
+
+// artifactBlob is one serialized learning artifact. Slices sorted by Key
+// replace maps so frame bytes are deterministic.
+type artifactBlob struct {
+	Key  string
+	Data []byte
+}
 
 type tenantSnap struct {
 	ID           string
@@ -28,20 +70,146 @@ type tenantSnap struct {
 	Observations []float64
 	// GMaps and Trees hold the serialized learning artifacts keyed by the
 	// manager's configuration fingerprints (controller.GMap.Save /
-	// TreeJTilde.Save framing).
-	GMaps map[string][]byte
-	Trees map[string][]byte
+	// TreeJTilde.Save framing), sorted by key.
+	GMaps []artifactBlob
+	Trees []artifactBlob
 }
 
-type fleetSnap struct {
-	Version int
-	Tenants []tenantSnap
+// logFrame is one frame of the snapshot/journal log.
+type logFrame struct {
+	Kind byte
+	// Base carries a tenant's full state (Kind == frameBase).
+	Base *tenantSnap
+	// ID names the tenant of a delta or remove frame.
+	ID string
+	// From is the observation-log index of Counts[0]; replay appends
+	// only the counts past the assembled log's length, so re-sent
+	// frames (crash between write and mark update) are idempotent.
+	From   int
+	Counts []float64
 }
 
-// Snapshot serializes every tenant's controller state to w. Per-tenant
-// captures run on the tenants' home shards (so they serialize against
-// in-flight observations) and fan out across shards concurrently.
-func (f *Fleet) Snapshot(w io.Writer) error {
+// writeFrame encodes fr as one framed payload and reports bytes written.
+func writeFrame(w io.Writer, fr *logFrame) (int64, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fr); err != nil {
+		return 0, fmt.Errorf("fleet: encode frame: %w", err)
+	}
+	payload := buf.Bytes()
+	if len(payload) > maxFramePayload {
+		return 0, fmt.Errorf("fleet: frame payload %d exceeds %d", len(payload), maxFramePayload)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("fleet: write frame: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, fmt.Errorf("fleet: write frame: %w", err)
+	}
+	return int64(len(hdr) + len(payload)), nil
+}
+
+// readFrame decodes the next frame. io.EOF marks a clean end at a frame
+// boundary; errTornFrame marks a truncated header or payload.
+func readFrame(r io.Reader) (logFrame, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return logFrame{}, io.EOF
+		}
+		return logFrame{}, errTornFrame
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n == 0 || n > maxFramePayload {
+		return logFrame{}, fmt.Errorf("fleet: frame payload length %d outside (0, %d]", n, maxFramePayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return logFrame{}, errTornFrame
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[4:]); got != want {
+		return logFrame{}, fmt.Errorf("fleet: frame checksum %08x, want %08x", got, want)
+	}
+	var fr logFrame
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&fr); err != nil {
+		return logFrame{}, fmt.Errorf("fleet: decode frame: %w", err)
+	}
+	return fr, nil
+}
+
+// assembleLog streams the frame log from r and folds it into per-tenant
+// end states, in order of first appearance. tolerateTorn stops cleanly
+// at a truncated final frame (journal crash recovery) instead of
+// erroring (strict restore).
+func assembleLog(r io.Reader, tolerateTorn bool) ([]tenantSnap, error) {
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("fleet: not a v2 snapshot log (bad magic)")
+	}
+	states := map[string]*tenantSnap{}
+	var order []string
+	for {
+		fr, err := readFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, errTornFrame) {
+			if tolerateTorn {
+				break
+			}
+			return nil, fmt.Errorf("fleet: truncated snapshot log")
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch fr.Kind {
+		case frameBase:
+			if fr.Base == nil || fr.Base.ID == "" {
+				return nil, fmt.Errorf("fleet: base frame without tenant")
+			}
+			s := *fr.Base
+			if _, seen := states[s.ID]; !seen {
+				order = append(order, s.ID)
+			}
+			states[s.ID] = &s
+		case frameDelta:
+			st, ok := states[fr.ID]
+			if !ok {
+				return nil, fmt.Errorf("fleet: delta frame for unknown tenant %q", fr.ID)
+			}
+			// skip counts the frame's overlap with the assembled log
+			// (re-sent after a crash between frame write and mark
+			// update); a positive gap means lost frames — corrupt.
+			skip := len(st.Observations) - fr.From
+			if skip < 0 {
+				return nil, fmt.Errorf("fleet: delta gap for tenant %q: log at %d, frame from %d", fr.ID, len(st.Observations), fr.From)
+			}
+			if skip < len(fr.Counts) {
+				st.Observations = append(st.Observations, fr.Counts[skip:]...)
+			}
+		case frameRemove:
+			delete(states, fr.ID)
+		default:
+			return nil, fmt.Errorf("fleet: unknown frame kind %d", fr.Kind)
+		}
+	}
+	out := make([]tenantSnap, 0, len(states))
+	for _, id := range order {
+		if st, ok := states[id]; ok {
+			out = append(out, *st)
+			delete(states, id)
+		}
+	}
+	return out, nil
+}
+
+// captureAll snapshots every tenant, sorted by id. Per-tenant captures
+// run on the tenants' home shards (so they serialize against in-flight
+// observations) and fan out across shards concurrently; tenants removed
+// mid-capture are skipped.
+func (f *Fleet) captureAll() ([]tenantSnap, error) {
 	ids := f.Tenants()
 	snaps, err := par.MapCtx(f.ctx, len(f.shards), len(ids), func(i int) (tenantSnap, error) {
 		t, err := f.tenant(ids[i])
@@ -57,7 +225,7 @@ func (f *Fleet) Snapshot(w io.Writer) error {
 		return snap, serr
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	kept := snaps[:0]
 	for _, s := range snaps {
@@ -65,30 +233,49 @@ func (f *Fleet) Snapshot(w io.Writer) error {
 			kept = append(kept, s)
 		}
 	}
-	if err := gob.NewEncoder(w).Encode(fleetSnap{Version: snapshotVersion, Tenants: kept}); err != nil {
-		return fmt.Errorf("fleet: encode snapshot: %w", err)
+	return kept, nil
+}
+
+// Snapshot serializes every tenant's controller state to w as a log of
+// base frames (sorted by tenant id — identical fleet state yields
+// identical bytes).
+func (f *Fleet) Snapshot(w io.Writer) error {
+	snaps, err := f.captureAll()
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+		return fmt.Errorf("fleet: write snapshot: %w", err)
+	}
+	for i := range snaps {
+		if _, err := writeFrame(w, &logFrame{Kind: frameBase, Base: &snaps[i]}); err != nil {
+			return err
+		}
 	}
 	f.snapshots.Add(1)
 	return nil
 }
 
-// Restore rebuilds the tenants of a snapshot written by Snapshot and
-// registers them. Restores fan out across tenants; each rebuild loads the
-// learned artifacts (skipping the offline learning) and replays the
-// observation log to reconstruct the exact controller state.
+// Restore rebuilds the tenants of a frame log written by Snapshot or a
+// Journal and registers them. Restores fan out across tenants; each
+// rebuild loads the learned artifacts (skipping the offline learning)
+// and replays the observation log to reconstruct the exact controller
+// state. Strict: a truncated log is an error (use OpenJournal for
+// crash-tolerant recovery).
 func (f *Fleet) Restore(r io.Reader) error {
+	return f.restoreLog(r, false)
+}
+
+func (f *Fleet) restoreLog(r io.Reader, tolerateTorn bool) error {
 	if err := f.ctx.Err(); err != nil {
 		return ErrClosed
 	}
-	var snap fleetSnap
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("fleet: decode snapshot: %w", err)
+	snaps, err := assembleLog(r, tolerateTorn)
+	if err != nil {
+		return err
 	}
-	if snap.Version != snapshotVersion {
-		return fmt.Errorf("fleet: snapshot version %d, want %d", snap.Version, snapshotVersion)
-	}
-	tenants, err := par.MapCtx(f.ctx, par.Workers(0), len(snap.Tenants), func(i int) (*tenant, error) {
-		return restoreTenant(snap.Tenants[i])
+	tenants, err := par.MapCtx(f.ctx, par.Workers(0), len(snaps), func(i int) (*tenant, error) {
+		return restoreTenant(snaps[i])
 	})
 	if err != nil {
 		return err
@@ -126,8 +313,6 @@ func (t *tenant) snapshot() (tenantSnap, error) {
 		ID:           t.id,
 		Config:       t.cfg,
 		Observations: append([]float64(nil), t.observations...),
-		GMaps:        map[string][]byte{},
-		Trees:        map[string][]byte{},
 	}
 	art := t.mgr.Artifacts()
 	for key, g := range art.GMaps {
@@ -135,16 +320,30 @@ func (t *tenant) snapshot() (tenantSnap, error) {
 		if err := g.Save(&buf); err != nil {
 			return snap, fmt.Errorf("fleet: tenant %s gmap: %w", t.id, err)
 		}
-		snap.GMaps[key] = buf.Bytes()
+		snap.GMaps = append(snap.GMaps, artifactBlob{Key: key, Data: buf.Bytes()})
 	}
 	for key, jt := range art.Trees {
 		var buf bytes.Buffer
 		if err := jt.Save(&buf); err != nil {
 			return snap, fmt.Errorf("fleet: tenant %s tree: %w", t.id, err)
 		}
-		snap.Trees[key] = buf.Bytes()
+		snap.Trees = append(snap.Trees, artifactBlob{Key: key, Data: buf.Bytes()})
 	}
+	sortBlobs(snap.GMaps)
+	sortBlobs(snap.Trees)
 	return snap, nil
+}
+
+func sortBlobs(blobs []artifactBlob) {
+	for i := 1; i < len(blobs); i++ {
+		b := blobs[i]
+		j := i - 1
+		for j >= 0 && blobs[j].Key > b.Key {
+			blobs[j+1] = blobs[j]
+			j--
+		}
+		blobs[j+1] = b
+	}
 }
 
 // restoreTenant rebuilds one tenant from its snapshot.
@@ -153,19 +352,19 @@ func restoreTenant(s tenantSnap) (*tenant, error) {
 		GMaps: make(map[string]*controller.GMap, len(s.GMaps)),
 		Trees: make(map[string]*controller.TreeJTilde, len(s.Trees)),
 	}
-	for key, b := range s.GMaps {
-		g, err := controller.ReadGMap(bytes.NewReader(b))
+	for _, b := range s.GMaps {
+		g, err := controller.ReadGMap(bytes.NewReader(b.Data))
 		if err != nil {
 			return nil, fmt.Errorf("fleet: tenant %s gmap: %w", s.ID, err)
 		}
-		art.GMaps[key] = g
+		art.GMaps[b.Key] = g
 	}
-	for key, b := range s.Trees {
-		jt, err := controller.ReadTreeJTilde(bytes.NewReader(b))
+	for _, b := range s.Trees {
+		jt, err := controller.ReadTreeJTilde(bytes.NewReader(b.Data))
 		if err != nil {
 			return nil, fmt.Errorf("fleet: tenant %s tree: %w", s.ID, err)
 		}
-		art.Trees[key] = jt
+		art.Trees[b.Key] = jt
 	}
 	t, err := newTenant(s.ID, s.Config, art)
 	if err != nil {

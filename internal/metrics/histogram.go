@@ -11,13 +11,17 @@ import (
 // plant track per-request response percentiles over tens of millions of
 // requests. The zero value is not usable; construct with NewHistogram.
 type Histogram struct {
-	base    float64
-	growth  float64
-	buckets []int64
-	under   int64 // observations below base
-	count   int64
-	sum     float64
-	max     float64
+	base   float64
+	growth float64
+	// logGrowth caches math.Log(growth): Observe sits on the simulator's
+	// per-request path, and the cached divisor is bit-identical to
+	// recomputing the Log each call.
+	logGrowth float64
+	buckets   []int64
+	under     int64 // observations below base
+	count     int64
+	sum       float64
+	max       float64
 }
 
 // NewHistogram returns a histogram with the given lowest bucket bound
@@ -34,7 +38,7 @@ func NewHistogram(base, growth float64, buckets int) (*Histogram, error) {
 	if buckets < 1 {
 		return nil, fmt.Errorf("metrics: histogram needs >= 1 bucket, got %d", buckets)
 	}
-	return &Histogram{base: base, growth: growth, buckets: make([]int64, buckets)}, nil
+	return &Histogram{base: base, growth: growth, logGrowth: math.Log(growth), buckets: make([]int64, buckets)}, nil
 }
 
 // DefaultLatencyHistogram covers 1 ms .. ~9 h at ≤ 15% relative error —
@@ -62,7 +66,7 @@ func (h *Histogram) Observe(x float64) {
 		h.under++
 		return
 	}
-	i := int(math.Log(x/h.base) / math.Log(h.growth))
+	i := int(math.Log(x/h.base) / h.logGrowth)
 	if i >= len(h.buckets) {
 		i = len(h.buckets) - 1
 	}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSortByArrivalMatchesStableSort pins the bucket sort against the
+// stdlib stable sort over random batches, including tiny bins, skewed
+// (non-uniform) keys, and duplicate keys — the bucket scatter plus
+// insertion cleanup must be a stable by-Arrival sort in every case.
+func TestSortByArrivalMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var scratch binScratch
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(600)
+		start := rng.Float64() * 1000
+		step := 30.0
+		reqs := make([]Request, n)
+		for i := range reqs {
+			arrival := start + rng.Float64()*step
+			switch trial % 3 {
+			case 1: // skewed: mass piled near the bin start
+				arrival = start + rng.Float64()*rng.Float64()*step
+			case 2: // coarse: duplicate keys across distinct payloads
+				arrival = start + float64(rng.Intn(8))*step/8
+			}
+			reqs[i] = Request{Arrival: arrival, Object: i, Demand: rng.Float64()}
+		}
+		want := append([]Request(nil), reqs...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Arrival < want[j].Arrival })
+		got := sortByArrival(reqs, start, step, &scratch)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: index %d: got %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSortByArrivalOutOfBinKeys: keys outside [start, start+step) (not
+// produced by the generator, but legal inputs) clamp into the edge
+// buckets and still sort correctly.
+func TestSortByArrivalOutOfBinKeys(t *testing.T) {
+	var scratch binScratch
+	reqs := make([]Request, 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := range reqs {
+		reqs[i] = Request{Arrival: -50 + rng.Float64()*200, Object: i}
+	}
+	got := sortByArrival(reqs, 0, 30, &scratch)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Arrival > got[i].Arrival {
+			t.Fatalf("unsorted at %d: %v > %v", i, got[i-1].Arrival, got[i].Arrival)
+		}
+	}
+}
+
+func BenchmarkSortByArrival400(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var scratch binScratch
+	reqs := make([]Request, 400)
+	for i := 0; i < b.N; i++ {
+		for j := range reqs {
+			reqs[j] = Request{Arrival: rng.Float64() * 30, Object: j}
+		}
+		reqs = sortByArrival(reqs, 0, 30, &scratch)
+	}
+}

@@ -3,7 +3,6 @@ package workload
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"hierctl/internal/series"
 )
@@ -22,11 +21,12 @@ type Request struct {
 // of individual requests. Batches are generated lazily so multi-million
 // request traces never exist in memory at once. Construct with NewGenerator.
 type Generator struct {
-	trace *series.Series
-	store *Store
-	rng   *rand.Rand
-	next  int
-	buf   []Request
+	trace   *series.Series
+	store   *Store
+	rng     *rand.Rand
+	next    int
+	buf     []Request
+	scratch binScratch
 }
 
 // NewGenerator returns a generator over the trace using the store for
@@ -64,7 +64,7 @@ func (g *Generator) NextBin() (bin int, reqs []Request, ok bool) {
 	bin = g.next
 	g.next++
 	n := int(g.trace.Values[bin] + 0.5)
-	g.buf = synthBin(g.buf, n, g.trace.TimeAt(bin), g.trace.Step, g.store, g.rng)
+	g.buf = synthBin(g.buf, &g.scratch, n, g.trace.TimeAt(bin), g.trace.Step, g.store, g.rng)
 	return bin, g.buf, true
 }
 
@@ -78,7 +78,7 @@ func (g *Generator) Reset() { g.next = 0 }
 // and Feed share this one code path — including the exact RNG call
 // sequence — which is what makes a pushed count stream reproduce a
 // pre-materialized trace bit-for-bit.
-func synthBin(buf []Request, n int, start, step float64, store *Store, rng *rand.Rand) []Request {
+func synthBin(buf []Request, scratch *binScratch, n int, start, step float64, store *Store, rng *rand.Rand) []Request {
 	if cap(buf) < n {
 		buf = make([]Request, 0, n)
 	}
@@ -91,8 +91,7 @@ func synthBin(buf []Request, n int, start, step float64, store *Store, rng *rand
 			Demand:  store.Demand(obj),
 		})
 	}
-	sort.Slice(buf, func(i, j int) bool { return buf[i].Arrival < buf[j].Arrival })
-	return buf
+	return sortByArrival(buf, start, step, scratch)
 }
 
 // Feed is the push-driven counterpart of Generator for online operation:
@@ -102,12 +101,13 @@ func synthBin(buf []Request, n int, start, step float64, store *Store, rng *rand
 // a trace produces the same request stream as a Generator over that trace
 // under the same store and RNG. Construct with NewFeed.
 type Feed struct {
-	store *Store
-	rng   *rand.Rand
-	start float64
-	step  float64
-	next  int
-	buf   []Request
+	store   *Store
+	rng     *rand.Rand
+	start   float64
+	step    float64
+	next    int
+	buf     []Request
+	scratch binScratch
 }
 
 // NewFeed returns a feed whose bin i covers [start+i*binSeconds,
@@ -141,6 +141,6 @@ func (f *Feed) Push(count float64) (bin int, reqs []Request) {
 	if n < 0 {
 		n = 0
 	}
-	f.buf = synthBin(f.buf, n, f.start+float64(bin)*f.step, f.step, f.store, f.rng)
+	f.buf = synthBin(f.buf, &f.scratch, n, f.start+float64(bin)*f.step, f.step, f.store, f.rng)
 	return bin, f.buf
 }

@@ -262,6 +262,46 @@ func RunTickBench(decisions, tenants int) (TickBenchSnapshot, error) {
 	return snap, nil
 }
 
+// benchTenantConfig is the per-tenant configuration the fleet benchmarks
+// share (the tick bench's fleet row and RunFleetBench's scale rows): the
+// §4.3 standard module under a coarse learning grid, with artifacts
+// cached in dir so the first tenant learns and the rest load.
+func benchTenantConfig(seed int64, dir string) (fleet.TenantConfig, error) {
+	module, err := cluster.StandardModule("M1", "M1")
+	if err != nil {
+		return fleet.TenantConfig{}, err
+	}
+	storeCfg := workload.DefaultStoreConfig()
+	storeCfg.Objects = 500
+	storeCfg.PopularCount = 50
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Parallelism = 1 // shards provide the parallelism, not the tenants
+	cfg.RecordFrequencies = false
+	cfg.L0.Horizon = 2
+	cfg.GMap = controller.GMapConfig{
+		QMax: 100, QStep: 50,
+		LambdaMax: 100, LambdaStep: 50,
+		CMin: 0.016, CMax: 0.02, CStep: 0.004,
+		SubSteps: 2,
+	}
+	cfg.ModuleSim = controller.ModuleSimConfig{
+		QLevels:      []float64{0, 50},
+		LambdaLevels: []float64{0, 30, 60, 120, 200},
+		CLevels:      []float64{0.018},
+		Tree:         approx.TreeConfig{MaxDepth: 6, MinLeaf: 1},
+	}
+	cfg.ArtifactDir = dir // identical hardware: learn once, load the rest
+	return fleet.TenantConfig{
+		Spec:       cluster.Spec{Modules: []cluster.ModuleSpec{module}},
+		Core:       cfg,
+		Store:      storeCfg,
+		StoreSeed:  seed,
+		BinSeconds: 30,
+	}, nil
+}
+
 // runFleetTick steps `tenants` concurrent tenant hierarchies `bins` times
 // each and reports tenant-ticks/sec, mirroring BenchmarkFleet64Tenants.
 func runFleetTick(tenants, bins int) (TickBenchRow, error) {
@@ -271,45 +311,16 @@ func runFleetTick(tenants, bins int) (TickBenchRow, error) {
 	}
 	defer os.RemoveAll(dir)
 
-	module, err := cluster.StandardModule("M1", "M1")
-	if err != nil {
-		return TickBenchRow{}, err
-	}
-	spec := cluster.Spec{Modules: []cluster.ModuleSpec{module}}
-	storeCfg := workload.DefaultStoreConfig()
-	storeCfg.Objects = 500
-	storeCfg.PopularCount = 50
-
 	f := fleet.New(fleet.Config{})
 	defer f.Close()
 	ids := make([]string, tenants)
 	for i := range ids {
-		cfg := core.DefaultConfig()
-		cfg.Seed = int64(i + 1)
-		cfg.Parallelism = 1 // shards provide the parallelism, not the tenants
-		cfg.RecordFrequencies = false
-		cfg.L0.Horizon = 2
-		cfg.GMap = controller.GMapConfig{
-			QMax: 100, QStep: 50,
-			LambdaMax: 100, LambdaStep: 50,
-			CMin: 0.016, CMax: 0.02, CStep: 0.004,
-			SubSteps: 2,
+		tc, err := benchTenantConfig(int64(i+1), dir)
+		if err != nil {
+			return TickBenchRow{}, err
 		}
-		cfg.ModuleSim = controller.ModuleSimConfig{
-			QLevels:      []float64{0, 50},
-			LambdaLevels: []float64{0, 30, 60, 120, 200},
-			CLevels:      []float64{0.018},
-			Tree:         approx.TreeConfig{MaxDepth: 6, MinLeaf: 1},
-		}
-		cfg.ArtifactDir = dir // identical hardware: learn once, load the rest
 		ids[i] = fmt.Sprintf("tick-%03d", i)
-		if err := f.CreateTenant(ids[i], fleet.TenantConfig{
-			Spec:       spec,
-			Core:       cfg,
-			Store:      storeCfg,
-			StoreSeed:  int64(i + 1),
-			BinSeconds: 30,
-		}); err != nil {
+		if err := f.CreateTenant(ids[i], tc); err != nil {
 			return TickBenchRow{}, err
 		}
 	}
