@@ -48,6 +48,9 @@ type batchOut struct {
 // Enqueueing is non-blocking: an entry whose home shard's ingest queue is
 // full fails with ErrQueueFull, and so do the batch's later entries for
 // the same tenant (applying them would reorder that tenant's stream).
+// Entries with no Counts are validated no-ops — the tenant id must still
+// resolve (ErrNotFound otherwise), but nothing is enqueued and the
+// same-tenant blocking above does not apply.
 // Other tenants are unaffected — this is the backpressure boundary that
 // keeps a slow shard from stalling the network accept path. The call then
 // waits for the entries it did enqueue, so results are final on return.
@@ -65,17 +68,19 @@ func (f *Fleet) ObserveBatch(entries []BatchEntry) ([]BatchResult, error) {
 	for i := range entries {
 		e := &entries[i]
 		results[i].Tenant = e.Tenant
+		t, err := f.tenant(e.Tenant)
+		if err != nil {
+			// Unknown tenants fail even with no bins to apply, matching
+			// Observe — an empty entry is a validated no-op, not a skip.
+			results[i].Err = err
+			continue
+		}
 		if len(e.Counts) == 0 {
 			continue
 		}
 		if blocked[e.Tenant] {
 			results[i].Err = ErrQueueFull
 			f.queueRejects.Add(1)
-			continue
-		}
-		t, err := f.tenant(e.Tenant)
-		if err != nil {
-			results[i].Err = err
 			continue
 		}
 		out := &batchOut{}

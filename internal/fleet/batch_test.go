@@ -180,8 +180,9 @@ func TestObserveBatchEquivalence(t *testing.T) {
 }
 
 // TestObserveBatchErrors covers the per-entry error contract: an unknown
-// tenant mid-batch fails only its own entry, empty entries are no-ops,
-// results stay index-aligned, and a closed fleet fails the whole call.
+// tenant mid-batch fails only its own entry, empty entries are validated
+// no-ops (unknown ids still fail), results stay index-aligned, and a
+// closed fleet fails the whole call.
 func TestObserveBatchErrors(t *testing.T) {
 	f := New(Config{Shards: 2})
 	defer f.Close()
@@ -193,12 +194,13 @@ func TestObserveBatchErrors(t *testing.T) {
 		{Tenant: "ghost", Counts: []float64{100}},
 		{Tenant: "x", Counts: nil},
 		{Tenant: "x", Counts: []float64{300}},
+		{Tenant: "ghost", Counts: nil},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("got %d results, want 4", len(results))
+	if len(results) != 5 {
+		t.Fatalf("got %d results, want 5", len(results))
 	}
 	if results[0].Err != nil || results[0].Applied != 2 || results[0].LastDecision == nil {
 		t.Errorf("entry 0: %+v", results[0])
@@ -211,6 +213,11 @@ func TestObserveBatchErrors(t *testing.T) {
 	}
 	if results[3].Err != nil || results[3].Applied != 1 {
 		t.Errorf("entry after failed entry: %+v", results[3])
+	}
+	// Empty entries are still validated: an unknown tenant with no bins
+	// fails like any other, it is not a silent success.
+	if !errors.Is(results[4].Err, ErrNotFound) {
+		t.Errorf("empty entry for unknown tenant: got %v, want ErrNotFound", results[4].Err)
 	}
 	st, err := f.State("x")
 	if err != nil {

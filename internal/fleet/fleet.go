@@ -76,6 +76,7 @@ type Fleet struct {
 	mu        sync.RWMutex
 	tenants   map[string]*tenant
 	nextShard int
+	nextGen   uint64 // registration generations; see tenant.gen
 
 	observations atomic.Int64
 	ticks        atomic.Int64
@@ -181,6 +182,8 @@ func (f *Fleet) register(t *tenant) error {
 	}
 	t.home = f.shards[f.nextShard%len(f.shards)]
 	f.nextShard++
+	f.nextGen++
+	t.gen = f.nextGen
 	f.tenants[t.id] = t
 	return nil
 }

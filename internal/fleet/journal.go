@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -55,22 +56,40 @@ type Journal struct {
 	fl   *Fleet
 	path string
 	file *os.File
-	// marks records, per tenant, how many observations the log already
-	// holds; Append journals past the mark and advances it only after
-	// the frames are durably written, so a crash between the two re-sends
-	// an idempotent overlap instead of losing a suffix.
-	marks       map[string]int
+	// marks records, per tenant incarnation, how many observations the
+	// log already holds; Append journals past the mark and advances it
+	// only after the frames are durably written, so a crash between the
+	// two re-sends an idempotent overlap instead of losing a suffix.
+	marks       map[string]journalMark
 	baseBytes   int64
 	tailBytes   int64
 	appends     int
 	compactions int64
 	cfg         JournalConfig
+	// broken poisons the journal after a failed append whose garbage
+	// tail could not be truncated away: further Appends refuse until a
+	// Compact rewrites the log wholesale. Without it, later fsynced
+	// frames would land after the garbage and be acknowledged, yet
+	// torn-tolerant recovery stops at the garbage and drops them.
+	broken bool
 
 	// failpoints: when non-nil, invoked at the matching point and the
 	// operation aborts with the returned error — the crash injection
 	// seam for the recovery tests.
 	hookAfterAppend func() error
+	hookAfterFrames func() error
 	hookBeforeSwap  func() error
+}
+
+// journalMark is the log's high-water mark for one tenant incarnation:
+// obs counts the observations journaled so far, gen is the tenant's
+// registration generation. A close+recreate under the same id bumps the
+// generation, which Append detects to retire the old incarnation
+// (remove frame) and re-base the new one — keyed by id alone, the new
+// tenant's log would be grafted onto the old tenant's base.
+type journalMark struct {
+	obs int
+	gen uint64
 }
 
 // JournalStats reports the journal's live size and compaction counters
@@ -107,7 +126,7 @@ func OpenJournal(fl *Fleet, path string, cfg JournalConfig) (*Journal, error) {
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("fleet: open journal: %w", err)
 	}
-	j := &Journal{fl: fl, path: path, marks: map[string]int{}, cfg: cfg}
+	j := &Journal{fl: fl, path: path, marks: map[string]journalMark{}, cfg: cfg}
 	if err := j.Compact(); err != nil {
 		return nil, err
 	}
@@ -117,6 +136,9 @@ func OpenJournal(fl *Fleet, path string, cfg JournalConfig) (*Journal, error) {
 // Append journals everything that changed since the last Append or
 // compaction: base frames for tenants the log has never seen, delta
 // frames for grown observation logs, remove frames for closed tenants.
+// A tenant closed and recreated under the same id (detected by its
+// registration generation) is retired and re-based — a remove frame then
+// a fresh base — never mistaken for growth of the old incarnation.
 // Frames are fsynced before the marks advance. Triggers compaction per
 // the configured policy after a successful append.
 func (j *Journal) Append() error {
@@ -125,10 +147,17 @@ func (j *Journal) Append() error {
 	if j.file == nil {
 		return fmt.Errorf("fleet: journal closed")
 	}
+	if j.broken {
+		return fmt.Errorf("fleet: journal poisoned by a failed append; Compact to recover")
+	}
 	ids := j.fl.Tenants()
 	type change struct {
 		frame *logFrame
-		mark  int
+		mark  journalMark
+		// stale flags a mark left by an older incarnation of this id
+		// (tenant closed and recreated between Appends): a remove frame
+		// precedes the fresh base so recovery retires the old state.
+		stale bool
 	}
 	// Captures fan out across the home shards like Snapshot's; frame
 	// order follows the sorted id listing, so identical change sets
@@ -138,7 +167,8 @@ func (j *Journal) Append() error {
 		if err != nil {
 			return change{}, nil // closed since the listing: removed next Append
 		}
-		mark, known := j.marks[ids[i]]
+		mark, marked := j.marks[ids[i]]
+		known := marked && mark.gen == t.gen
 		var c change
 		var serr error
 		if err := j.fl.exec(t, func() {
@@ -147,13 +177,17 @@ func (j *Journal) Append() error {
 				var snap tenantSnap
 				snap, serr = t.snapshot()
 				if serr == nil {
-					c = change{frame: &logFrame{Kind: frameBase, Base: &snap}, mark: len(snap.Observations)}
+					c = change{
+						frame: &logFrame{Kind: frameBase, Base: &snap},
+						mark:  journalMark{obs: len(snap.Observations), gen: t.gen},
+						stale: marked,
+					}
 				}
-			case len(t.observations) > mark:
-				counts := append([]float64(nil), t.observations[mark:]...)
+			case len(t.observations) > mark.obs:
+				counts := append([]float64(nil), t.observations[mark.obs:]...)
 				c = change{
-					frame: &logFrame{Kind: frameDelta, ID: t.id, From: mark, Counts: counts},
-					mark:  mark + len(counts),
+					frame: &logFrame{Kind: frameDelta, ID: t.id, From: mark.obs, Counts: counts},
+					mark:  journalMark{obs: mark.obs + len(counts), gen: t.gen},
 				}
 			}
 		}); err != nil {
@@ -176,27 +210,43 @@ func (j *Journal) Append() error {
 	}
 	sort.Strings(removed)
 
+	// The pre-append end of the log: on any write or sync failure the
+	// file is truncated back here, so a torn frame never sits in the
+	// middle of frames a later Append fsyncs.
+	offset := j.baseBytes + j.tailBytes
 	var written int64
-	for _, c := range changes {
+	for i, c := range changes {
 		if c.frame == nil {
 			continue
 		}
+		if c.stale {
+			n, err := writeFrame(j.file, &logFrame{Kind: frameRemove, ID: ids[i]})
+			if err != nil {
+				return j.failAppend(offset, err)
+			}
+			written += n
+		}
 		n, err := writeFrame(j.file, c.frame)
 		if err != nil {
-			return err
+			return j.failAppend(offset, err)
 		}
 		written += n
 	}
 	for _, id := range removed {
 		n, err := writeFrame(j.file, &logFrame{Kind: frameRemove, ID: id})
 		if err != nil {
-			return err
+			return j.failAppend(offset, err)
 		}
 		written += n
 	}
 	if written > 0 {
+		if j.hookAfterFrames != nil {
+			if err := j.hookAfterFrames(); err != nil {
+				return j.failAppend(offset, err)
+			}
+		}
 		if err := j.file.Sync(); err != nil {
-			return fmt.Errorf("fleet: sync journal: %w", err)
+			return j.failAppend(offset, fmt.Errorf("fleet: sync journal: %w", err))
 		}
 	}
 	// The frames are durable; only now may the marks move past them.
@@ -221,9 +271,41 @@ func (j *Journal) Append() error {
 	return nil
 }
 
+// failAppend cleans up after a write/sync failure mid-Append: the tail
+// past offset may hold a torn frame, and because the marks never
+// advanced, leaving it in place would let later successful Appends fsync
+// acknowledged frames *after* garbage that torn-tolerant recovery stops
+// at. Truncating back to the pre-append offset removes the garbage and
+// keeps the journal usable; if even the truncate fails, the journal is
+// poisoned — Append refuses until a Compact rewrites the log wholesale.
+func (j *Journal) failAppend(offset int64, werr error) error {
+	if terr := j.file.Truncate(offset); terr != nil {
+		j.broken = true
+		return fmt.Errorf("fleet: journal append failed (%v); truncate to %d failed (%v); journal poisoned until Compact", werr, offset, terr)
+	}
+	return werr
+}
+
+// syncDir fsyncs a directory, making a just-renamed file's directory
+// entry durable. Without it a power loss shortly after compaction can
+// revert to the old log file while subsequent deltas were appended to
+// the (lost) new inode.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
 // Compact rewrites the journal as one fresh full snapshot, replacing the
 // accumulated base + delta history. The new log is written to a temp
-// file, fsynced, and atomically renamed over the old one.
+// file, fsynced, and atomically renamed over the old one (with the
+// parent directory fsynced so the swap survives power loss).
 func (j *Journal) Compact() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -270,6 +352,13 @@ func (j *Journal) compactLocked() error {
 		os.Remove(tmp)
 		return fmt.Errorf("fleet: compact journal: %w", err)
 	}
+	if err := syncDir(filepath.Dir(j.path)); err != nil {
+		// The swap may not be durable and the open handle still points at
+		// the replaced inode, so appends could land on a file a crash
+		// reverts away. Poison until a Compact retry succeeds.
+		j.broken = true
+		return fmt.Errorf("fleet: sync journal dir: %w", err)
+	}
 	if j.file != nil {
 		j.file.Close()
 	}
@@ -277,14 +366,15 @@ func (j *Journal) compactLocked() error {
 	if err != nil {
 		return fmt.Errorf("fleet: reopen journal: %w", err)
 	}
-	marks := make(map[string]int, len(snaps))
+	marks := make(map[string]journalMark, len(snaps))
 	for i := range snaps {
-		marks[snaps[i].ID] = len(snaps[i].Observations)
+		marks[snaps[i].ID] = journalMark{obs: len(snaps[i].Observations), gen: snaps[i].gen}
 	}
 	j.marks = marks
 	j.baseBytes = written
 	j.tailBytes = 0
 	j.appends = 0
+	j.broken = false
 	j.compactions++
 	j.fl.snapshots.Add(1)
 	return nil

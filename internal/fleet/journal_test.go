@@ -121,6 +121,144 @@ func TestJournalSizeTriggeredCompaction(t *testing.T) {
 	}
 }
 
+// TestJournalCloseRecreateSameID: closing a tenant and recreating one
+// under the same id between two Appends is a new incarnation, not growth
+// of the old one — the journal must retire the old state (remove frame)
+// and re-base, never graft the new observation log onto the old base.
+// The new incarnation's log is deliberately shorter than the old mark,
+// the case an id-keyed journal would skip entirely.
+func TestJournalCloseRecreateSameID(t *testing.T) {
+	dir := t.TempDir()
+	path := journalPath(t)
+	f := New(Config{Shards: 1})
+	defer f.Close()
+	if err := f.CreateTenant("a", batchTenantConfig(dir, 1)); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(f, path, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{200, 250, 150} {
+		if _, err := f.Observe("a", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(); err != nil {
+		t.Fatal(err)
+	}
+
+	// New incarnation under the same id: different store seed, one bin —
+	// shorter than the old incarnation's journaled three.
+	if _, err := f.CloseTenant("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CreateTenant("a", batchTenantConfig(dir, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Observe("a", 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	f2 := New(Config{Shards: 1})
+	defer f2.Close()
+	j2, err := OpenJournal(f2, path, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st, err := f2.State("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bins != 1 {
+		t.Fatalf("recovered %d bins, want the new incarnation's 1", st.Bins)
+	}
+	// The restored tenant must be the *new* incarnation (config and all):
+	// its next decision matches the survivor's.
+	want, err := f.Observe("a", 225)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f2.Observe("a", 225)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-recovery decision diverged:\nsurvivor %+v\nrecovered %+v", want, got)
+	}
+}
+
+// TestJournalFailedAppendTruncates: a write failure mid-append must not
+// leave garbage in the middle of the log — the file is truncated back to
+// its pre-append offset, the marks stay put, and the next successful
+// Append re-sends (and durably lands) the same observations.
+func TestJournalFailedAppendTruncates(t *testing.T) {
+	path := journalPath(t)
+	f := New(Config{Shards: 1})
+	defer f.Close()
+	if err := f.CreateTenant("a", batchTenantConfig(t.TempDir(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(f, path, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{200, 250} {
+		if _, err := f.Observe("a", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := f.Observe("a", 150); err != nil {
+		t.Fatal(err)
+	}
+	j.hookAfterFrames = func() error { return errCrash } // frames written, not yet synced
+	if err := j.Append(); !errors.Is(err, errCrash) {
+		t.Fatalf("append: got %v, want injected failure", err)
+	}
+	j.hookAfterFrames = nil
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Fatalf("failed append left %d bytes, want truncation back to %d", after.Size(), before.Size())
+	}
+
+	// The journal stays usable: the un-journaled bin lands on retry and a
+	// reopen restores all three.
+	if err := j.Append(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f2 := New(Config{Shards: 1})
+	defer f2.Close()
+	j2, err := OpenJournal(f2, path, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st, err := f2.State("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bins != 3 {
+		t.Fatalf("recovered %d bins, want 3", st.Bins)
+	}
+}
+
 // TestJournalCrashAfterAppendRestores is the crash invariant's pin: the
 // process dies after a delta append but before the next compaction, and
 // recovery must hold exactly the appended observations — none lost, none

@@ -73,6 +73,10 @@ type tenantSnap struct {
 	// TreeJTilde.Save framing), sorted by key.
 	GMaps []artifactBlob
 	Trees []artifactBlob
+	// gen carries the captured tenant's registration generation to the
+	// journal's marks. Unexported, so gob never serializes it — the
+	// generation is process-local.
+	gen uint64
 }
 
 // logFrame is one frame of the snapshot/journal log.
@@ -302,6 +306,8 @@ func (f *Fleet) registerAll(tenants []*tenant) error {
 	for _, t := range tenants {
 		t.home = f.shards[f.nextShard%len(f.shards)]
 		f.nextShard++
+		f.nextGen++
+		t.gen = f.nextGen
 		f.tenants[t.id] = t
 	}
 	return nil
@@ -313,6 +319,7 @@ func (t *tenant) snapshot() (tenantSnap, error) {
 		ID:           t.id,
 		Config:       t.cfg,
 		Observations: append([]float64(nil), t.observations...),
+		gen:          t.gen,
 	}
 	art := t.mgr.Artifacts()
 	for key, g := range art.GMaps {

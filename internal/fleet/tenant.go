@@ -67,6 +67,11 @@ type tenant struct {
 	sess *core.Session
 	home *shard
 	sub  int // T_L0 steps per observation bin
+	// gen is the fleet-wide registration generation, assigned when the
+	// tenant is registered and immutable after. It distinguishes
+	// incarnations of the same id (close + recreate) for the journal's
+	// per-tenant marks; it is process-local and never persisted.
+	gen uint64
 
 	// observations is the event-sourcing log: the exact count stream fed
 	// so far. Snapshots persist it; restores replay it (runs are
