@@ -14,6 +14,7 @@
 //	hpmbench -table energy          # EXT1: LLC vs baselines
 //	hpmbench -table ablations       # EXT2: design-choice ablations
 //	hpmbench -table scenarios       # robustness matrix; writes BENCH_scenarios.json
+//	hpmbench -table chaos           # degraded-mode matrix; writes BENCH_chaos.json
 //	hpmbench -all                   # everything at the given scale
 //	hpmbench -llc-json BENCH_llc.json    # branch-and-bound engine snapshot
 //	hpmbench -tick-json BENCH_tick.json  # ns/B/allocs per decision snapshot
@@ -48,7 +49,7 @@ func main() {
 func run(args []string, w io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("hpmbench", flag.ContinueOnError)
 	fig := fs.Int("fig", 0, "figure to regenerate (3-7)")
-	table := fs.String("table", "", "table to regenerate: overhead-module, overhead-cluster, energy, ablations, scalability, scenarios")
+	table := fs.String("table", "", "table to regenerate: overhead-module, overhead-cluster, energy, ablations, scalability, scenarios, chaos")
 	all := fs.Bool("all", false, "regenerate every figure and table")
 	scale := fs.Float64("scale", 1, "fraction of each trace to simulate (0, 1]")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -59,6 +60,7 @@ func run(args []string, w io.Writer) (retErr error) {
 	tickJSON := fs.String("tick-json", "", "write the decision-tick benchmark (ns, B and allocs per L0/L1/L2 decision, table probe, fleet tenant-ticks/sec) to this JSON file (the workload is fixed and the measurement sequential — -seed/-scale/-fast/-parallelism do not apply)")
 	fleetJSON := fs.String("fleet-json", "", "write the fleet capacity benchmark (batched-ingest tenant-ticks/sec and snapshot/restore latency at 64, 1024 and 10240 tenants) to this JSON file; the generation verifies batch-vs-sequential and restore-vs-replay decision equivalence (the configuration is fixed — -seed/-scale/-fast/-parallelism do not apply)")
 	scenariosJSON := fs.String("scenarios-json", "BENCH_scenarios.json", "path the robustness-matrix snapshot is written to by -table scenarios")
+	chaosJSON := fs.String("chaos-json", "BENCH_chaos.json", "path the degraded-mode matrix snapshot is written to by -table chaos")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -121,6 +123,9 @@ func run(args []string, w io.Writer) (retErr error) {
 	if *table == "scenarios" {
 		return writeScenarioMatrix(w, *scenariosJSON, *seed, *parallelism)
 	}
+	if *table == "chaos" {
+		return writeChaosMatrix(w, *chaosJSON, *seed, *parallelism)
+	}
 	if *table != "" {
 		return runTable(w, *table, opts)
 	}
@@ -135,7 +140,7 @@ func run(args []string, w io.Writer) (retErr error) {
 var (
 	modeFlags   = []string{"-fig", "-table", "-all", "-llc-json", "-tick-json", "-fleet-json"}
 	allTables   = []string{"overhead-module", "overhead-cluster", "energy", "ablations", "scalability"}
-	validTables = append(append([]string(nil), allTables...), "scenarios")
+	validTables = append(append([]string(nil), allTables...), "scenarios", "chaos")
 )
 
 // validateModes rejects conflicting or unknown mode selections with a
@@ -181,6 +186,9 @@ func validateModes(fs *flag.FlagSet, fig int, table string, all bool, llcJSON, t
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if explicit["scenarios-json"] && table != "scenarios" {
 		return fmt.Errorf("-scenarios-json only applies to -table scenarios")
+	}
+	if explicit["chaos-json"] && table != "chaos" {
+		return fmt.Errorf("-chaos-json only applies to -table chaos")
 	}
 	// The tick benchmark is deliberately sequential (its B/allocs columns
 	// are a deterministic projection CI diffs); reject worker-width flags
@@ -342,6 +350,37 @@ func writeScenarioMatrix(w io.Writer, path string, seed int64, parallelism int) 
 	tab := metrics.NewTable("scenario", "policy", "bins", "completed", "dropped", "energy", "mean resp (s)", "violations", "states/period")
 	for _, c := range snap.Cells {
 		tab.AddRow(c.Scenario, c.Policy, c.Bins, c.Completed, c.Dropped, c.Energy, c.MeanResponse, c.ViolationFrac, c.ExploredPerPeriod)
+	}
+	fmt.Fprintln(w, tab)
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "snapshot written to %s\n", path)
+	return nil
+}
+
+// writeChaosMatrix runs the degraded-mode matrix at its canonical
+// benchmark configuration (DefaultChaosMatrixOptions; -scale and -fast do
+// not apply, matching the scenario-matrix convention), prints the table,
+// and writes the BENCH_chaos.json snapshot. The snapshot carries no
+// wall-clock fields, so regeneration with the same -seed is bit-identical
+// at any -parallelism.
+func writeChaosMatrix(w io.Writer, path string, seed int64, parallelism int) error {
+	opts := hierctl.DefaultChaosMatrixOptions()
+	opts.Seed = seed
+	opts.Parallelism = parallelism
+	snap, err := hierctl.RunChaosMatrix(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== Degraded-mode matrix: every registered chaos plan x {LLC hierarchy, threshold, centralized} on %s ==\n", snap.Scenario)
+	tab := metrics.NewTable("plan", "policy", "bins", "completed", "dropped", "energy", "mean resp (s)", "violations", "degraded", "stale", "rejects")
+	for _, c := range snap.Cells {
+		tab.AddRow(c.Plan, c.Policy, c.Bins, c.Completed, c.Dropped, c.Energy, c.MeanResponse, c.ViolationFrac, c.DegradedTicks, c.StaleObservations, c.SanitizedRejects)
 	}
 	fmt.Fprintln(w, tab)
 	data, err := json.MarshalIndent(snap, "", "  ")

@@ -66,8 +66,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	journalInterval := fs.Duration("journal-interval", 0, "periodic journal append cadence (0 = only on shutdown; needs -journal)")
 	telemetryRecords := fs.Int("telemetry-records", 4096, "flight-recorder ring size per tenant: decisions retained for /v1/tenants/{id}/telemetry and the per-level /metrics histograms (0 disables recording)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = profiling off; keep it private)")
+	journalVerify := fs.String("journal-verify", "", "verify the snapshot/journal log at this path read-only and exit: prints a frame/tenant report, reports a torn tail (recoverable) with exit 0, exits non-zero on corruption")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *journalVerify != "" {
+		return verifyJournal(*journalVerify, stdout)
 	}
 	if *interval < 0 {
 		return fmt.Errorf("negative snapshot interval %v", *interval)
@@ -112,7 +116,20 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	sv := newServer(f, *telemetryRecords)
 	sv.journal = jnl
-	srv := &http.Server{Handler: sv.routes()}
+	// Recovery (snapshot restore / journal replay) is done: the daemon can
+	// serve. /readyz flips back to 503 the moment shutdown starts.
+	sv.ready.Store(true)
+	// Timeouts bound what one slow or stalled client can hold: a header
+	// must arrive promptly, a whole request body within ReadTimeout (ample
+	// for the bounded 8 MiB batch bodies), and idle keep-alive connections
+	// are reaped. No WriteTimeout: /metrics and telemetry responses scale
+	// with fleet size and a hard write deadline would truncate them.
+	srv := &http.Server{
+		Handler:           sv.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	fmt.Fprintf(stdout, "hpmserve listening on %s (%d shards, %d tenants)\n",
 		ln.Addr(), f.Stats().Shards, f.Stats().Tenants)
 
@@ -131,7 +148,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		debugSrv = &http.Server{Handler: debugMux}
+		// ReadHeaderTimeout only: pprof profile/trace requests stream for
+		// their ?seconds= duration, so request-body/write deadlines would
+		// cut live profiles short.
+		debugSrv = &http.Server{
+			Handler:           debugMux,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
 		fmt.Fprintf(stdout, "hpmserve pprof on %s/debug/pprof/\n", dln.Addr())
 		go func() { _ = debugSrv.Serve(dln) }()
 	}
@@ -181,6 +205,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(stdout, "hpmserve shutting down")
+	// Fail readiness first so load balancers drain before Shutdown starts
+	// refusing new connections.
+	sv.ready.Store(false)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -207,6 +234,25 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "hpmserve journal flushed to %s\n", *journal)
 	}
+	return nil
+}
+
+// verifyJournal runs the read-only integrity scan behind -journal-verify.
+// A torn tail is recoverable crash damage (reported, exit 0); corruption
+// errors out, which main turns into a non-zero exit.
+func verifyJournal(path string, stdout io.Writer) error {
+	rep, err := hierctl.VerifyFleetJournal(path)
+	if rep != nil {
+		fmt.Fprintf(stdout, "hpmserve journal %s: %d frames (%d base, %d delta, %d remove), %d tenants, %d observations, %d quarantined\n",
+			path, rep.Frames, rep.BaseFrames, rep.DeltaFrames, rep.RemoveFrames, rep.Tenants, rep.Observations, rep.Quarantined)
+		if rep.TornTail {
+			fmt.Fprintln(stdout, "hpmserve journal: torn final frame (crash mid-append); recovery will restore up to the last durable frame")
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("verify %s: %w", path, err)
+	}
+	fmt.Fprintln(stdout, "hpmserve journal: ok")
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hierctl"
@@ -40,6 +41,10 @@ type server struct {
 	// recording off and empties the telemetry endpoint and the per-level
 	// decision histograms).
 	telemetryRecords int
+	// ready gates /readyz: false until startup recovery finished and again
+	// once shutdown begins, so load balancers stop routing before the
+	// listener closes. /healthz stays a pure liveness probe.
+	ready atomic.Bool
 
 	reg *metrics.Registry
 	// Fleet-wide series, set from Fleet.Stats at scrape time.
@@ -54,6 +59,12 @@ type server struct {
 	// Journal size/compaction series; stay zero when no journal runs.
 	journalBase, journalTail metrics.Gauge
 	journalCompactions       metrics.Counter
+	// Fault-containment series: HTTP handler panics caught by the recovery
+	// middleware, tenant panics recovered on the shards, and the current
+	// quarantine census.
+	handlerPanics      metrics.Counter
+	tenantPanics       metrics.Counter
+	quarantinedTenants metrics.Gauge
 	// Per-tenant progress, rebuilt from Fleet.States at scrape time so
 	// closed tenants' series disappear.
 	tenantBins        *metrics.CounterVec
@@ -62,6 +73,8 @@ type server struct {
 	// deleted explicitly when a tenant closes.
 	observeLatency *metrics.HistogramVec
 	qosViolations  *metrics.CounterVec
+	degradedTicks  *metrics.CounterVec
+	staleObs       *metrics.CounterVec
 	// Per-level decision telemetry folded in from the flight recorders.
 	levelDecide   *metrics.HistogramVec
 	levelExplored *metrics.HistogramVec
@@ -128,6 +141,12 @@ func newServer(f *hierctl.Fleet, telemetryRecords int) *server {
 		"Delta bytes appended to the journal since its last compaction.").With()
 	s.journalCompactions = mustCounter("hpmserve_journal_compactions_total",
 		"Full-snapshot rewrites of the journal.").With()
+	s.handlerPanics = mustCounter("hpmserve_panics_total",
+		"HTTP handler panics caught by the recovery middleware (each answered 500).").With()
+	s.tenantPanics = mustCounter("hpmserve_tenant_panics_total",
+		"Tenant controller panics recovered on the fleet's shards.").With()
+	s.quarantinedTenants = mustGauge("hpmserve_quarantined_tenants",
+		"Registered tenants currently quarantined after a panic.").With()
 	s.batch = f.ObserveBatch
 	s.tenantBins = mustCounter("hpmserve_tenant_bins", "Observation bins ingested per tenant.", "tenant")
 	s.tenantOperational = mustGauge("hpmserve_tenant_operational", "Operational computers per tenant.", "tenant")
@@ -136,6 +155,10 @@ func newServer(f *hierctl.Fleet, telemetryRecords int) *server {
 		[]float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10}, "tenant")
 	s.qosViolations = mustCounter("hpmserve_qos_violations_total",
 		"Control periods whose interval mean response exceeded the target, per tenant.", "tenant")
+	s.degradedTicks = mustCounter("hpmserve_degraded_ticks_total",
+		"Control periods decided through the deterministic fallback (decision budget exhausted or recovered controller panic), per tenant.", "tenant")
+	s.staleObs = mustCounter("hpmserve_stale_observations_total",
+		"Module observations held at the last good value by the input sanitizer, per tenant.", "tenant")
 	s.levelDecide = mustHistogram("hpmserve_level_decide_seconds",
 		"Controller decide latency from the flight recorders, per hierarchy level.",
 		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}, "level")
@@ -154,7 +177,30 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics is the outermost middleware: a panicking handler answers
+// 500 (when nothing was written yet) instead of killing the connection
+// with an empty reply, and the daemon keeps serving. The counter makes
+// the failure visible to scrapes even when the client swallowed the 500.
+func (s *server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.handlerPanics.Inc()
+				writeJSON(w, http.StatusInternalServerError, map[string]string{"error": fmt.Sprintf("internal error: %v", v)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // createReq is the tenant-creation payload. Cluster shapes mirror the
@@ -253,6 +299,7 @@ type stateDTO struct {
 	Bins         int          `json:"bins"`
 	Steps        int          `json:"steps"`
 	SimTime      float64      `json:"simTime"`
+	Quarantined  bool         `json:"quarantined,omitempty"`
 	LastDecision *decisionDTO `json:"lastDecision,omitempty"`
 }
 
@@ -283,11 +330,12 @@ func toDecisionDTO(d hierctl.BinDecision) *decisionDTO {
 
 func toStateDTO(st hierctl.TenantState) stateDTO {
 	out := stateDTO{
-		ID:        st.ID,
-		Computers: st.Computers,
-		Bins:      st.Bins,
-		Steps:     st.Steps,
-		SimTime:   st.SimTime,
+		ID:          st.ID,
+		Computers:   st.Computers,
+		Bins:        st.Bins,
+		Steps:       st.Steps,
+		SimTime:     st.SimTime,
+		Quarantined: st.Quarantined,
 	}
 	if st.LastDecision != nil {
 		out.LastDecision = toDecisionDTO(*st.LastDecision)
@@ -310,6 +358,10 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, hierctl.ErrFleetClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, hierctl.ErrTenantQuarantined):
+		// The tenant exists but refuses stepping until closed: a conflict
+		// with its state, not a client mistake or a missing resource.
+		status = http.StatusConflict
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -636,6 +688,11 @@ func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 		s.drainTelemetry(id)
 		rec, err := s.fleet.CloseTenant(id)
 		if err != nil {
+			// A quarantined tenant is removed without a drain, so there is
+			// no record to report — but its per-tenant series must still go.
+			if errors.Is(err, hierctl.ErrTenantQuarantined) {
+				s.forgetTenant(id)
+			}
 			writeError(w, err)
 			return
 		}
@@ -713,6 +770,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.snapshots.SetTotal(float64(stats.Snapshots))
 	s.restores.SetTotal(float64(stats.Restores))
 	s.queueRejects.SetTotal(float64(stats.QueueRejects))
+	s.tenantPanics.SetTotal(float64(stats.Panics))
+	s.quarantinedTenants.Set(float64(stats.Quarantined))
 	s.shardQueueDepth.Reset()
 	for i, depth := range s.fleet.QueueDepths() {
 		s.shardQueueDepth.With(strconv.Itoa(i)).Set(float64(depth))
@@ -762,6 +821,12 @@ func (s *server) drainTelemetry(id string) {
 			if rec.QoS {
 				s.qosViolations.With(id).Inc()
 			}
+			if rec.Degraded {
+				s.degradedTicks.With(id).Inc()
+			}
+			if rec.Stale > 0 {
+				s.staleObs.With(id).Add(float64(rec.Stale))
+			}
 			continue
 		case obs.LevelL1:
 			if rec.Comp != -1 { // per-computer detail row
@@ -788,4 +853,6 @@ func (s *server) forgetTenant(id string) {
 	s.mu.Unlock()
 	s.observeLatency.Delete(id)
 	s.qosViolations.Delete(id)
+	s.degradedTicks.Delete(id)
+	s.staleObs.Delete(id)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hierctl/internal/central"
+	"hierctl/internal/chaos"
 	"hierctl/internal/econ"
 	"hierctl/internal/metrics"
 	"hierctl/internal/par"
@@ -639,6 +640,214 @@ func runScenarioCell(sc workload.Scenario, policy string, opts ScenarioMatrixOpt
 		cell.ExploredPerPeriod = res.ExploredPerStep
 	default:
 		return ScenarioCell{}, fmt.Errorf("unknown matrix policy %q", policy)
+	}
+	return cell, nil
+}
+
+// ChaosCell is one cell of the degraded-mode matrix: one policy's outcome
+// under one registered sensor-fault plan on a fixed scenario. Like the
+// scenario matrix, wall-clock quantities are deliberately absent so the
+// serialized matrix (BENCH_chaos.json) is bit-identical across
+// regenerations and worker counts.
+type ChaosCell struct {
+	Plan   string `json:"plan"`
+	Policy string `json:"policy"`
+	// Bins is the trace length the cell ran (after the MaxBins budget).
+	Bins      int   `json:"bins"`
+	Completed int64 `json:"completed"`
+	Dropped   int64 `json:"dropped"`
+	// Energy and Switches are the power-management outcomes; MeanResponse
+	// and ViolationFrac the QoS outcomes under the injected faults.
+	Energy        float64 `json:"energy"`
+	Switches      int     `json:"switches"`
+	MeanResponse  float64 `json:"meanResponse"`
+	ViolationFrac float64 `json:"violationFrac"`
+	// DegradedTicks counts control periods decided through the
+	// deterministic fallback — always 0 for the search-free threshold
+	// policy and the deadline-free centralized controller.
+	DegradedTicks int `json:"degradedTicks"`
+	// StaleObservations and SanitizedRejects are the engine sanitizer's
+	// counters: module observations held at the last good value, and
+	// observations rejected as invalid (NaN/negative/dropped).
+	StaleObservations int64 `json:"staleObservations"`
+	SanitizedRejects  int64 `json:"sanitizedRejects"`
+}
+
+// ChaosMatrixOptions tunes RunChaosMatrix. The zero value is not valid;
+// start from DefaultChaosMatrixOptions.
+type ChaosMatrixOptions struct {
+	// Seed drives every cell's randomness (workload, dispatch, and the
+	// fault plans themselves); the whole matrix is deterministic per seed.
+	Seed int64
+	// MaxBins budgets each cell's trace length (trimmed to the leading
+	// MaxBins bins), like the scenario matrix's budget.
+	MaxBins int
+	// Fast selects the coarse learning grids (the benchmark setting).
+	Fast bool
+	// Parallelism fans the independent cells across this many workers
+	// (0 = one per CPU). Cell contents are bit-identical at any setting.
+	Parallelism int
+	// Scenario names the registered workload every cell runs — the matrix
+	// varies the fault plan, not the load shape.
+	Scenario string
+}
+
+// DefaultChaosMatrixOptions returns the canonical matrix configuration —
+// the one the committed BENCH_chaos.json snapshot is generated with. The
+// flashcrowd scenario gives the faults a demanding backdrop: a load spike
+// mid-trace punishes a controller that mishandles corrupted observations.
+func DefaultChaosMatrixOptions() ChaosMatrixOptions {
+	return ChaosMatrixOptions{Seed: 1, MaxBins: 160, Fast: true, Scenario: "flashcrowd"}
+}
+
+// ChaosMatrixPolicies are the controllers each fault plan is run under —
+// the same three strategies as the scenario matrix.
+func ChaosMatrixPolicies() []string {
+	return []string{"hierarchical-llc", "threshold", "centralized"}
+}
+
+// ChaosMatrixSnapshot is the BENCH_chaos.json payload: the matrix
+// configuration and one cell per (plan, policy) pair, plans in registry
+// order. Serialization is bit-identical across regenerations with the
+// same options at any Parallelism.
+type ChaosMatrixSnapshot struct {
+	Seed     int64       `json:"seed"`
+	MaxBins  int         `json:"maxBins"`
+	Fast     bool        `json:"fast"`
+	Scenario string      `json:"scenario"`
+	Policies []string    `json:"policies"`
+	Plans    []string    `json:"plans"`
+	Cells    []ChaosCell `json:"cells"`
+}
+
+// RunChaosMatrix runs the degraded-mode matrix: every registered chaos
+// plan (see ChaosPlans) under every matrix policy on the §4.3 module over
+// one fixed scenario, reporting QoS and the degraded-input/fallback
+// counters per cell. Cells are independent closed-loop runs fanned across
+// opts.Parallelism workers; order and contents match the sequential sweep
+// exactly — the "none" plan row doubles as the pinned healthy baseline.
+func RunChaosMatrix(opts ChaosMatrixOptions) (*ChaosMatrixSnapshot, error) {
+	if opts.MaxBins < 16 {
+		return nil, fmt.Errorf("hierctl: matrix bin budget %d < 16", opts.MaxBins)
+	}
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("hierctl: parallelism %d < 0", opts.Parallelism)
+	}
+	sc, err := workload.LookupScenario(opts.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if sc.NeedsArg {
+		return nil, fmt.Errorf("hierctl: chaos matrix scenario %q needs an argument; pick a parameter-free scenario", opts.Scenario)
+	}
+	plans := chaos.Specs()
+	policies := ChaosMatrixPolicies()
+	snap := &ChaosMatrixSnapshot{
+		Seed:     opts.Seed,
+		MaxBins:  opts.MaxBins,
+		Fast:     opts.Fast,
+		Scenario: opts.Scenario,
+		Policies: policies,
+	}
+	for _, p := range plans {
+		snap.Plans = append(snap.Plans, p.Name)
+	}
+	cells, err := par.Map(par.Workers(opts.Parallelism), len(plans)*len(policies), func(i int) (ChaosCell, error) {
+		spec, policy := plans[i/len(policies)], policies[i%len(policies)]
+		cell, err := runChaosCell(sc, spec, policy, opts)
+		if err != nil {
+			return ChaosCell{}, fmt.Errorf("hierctl: chaos plan %s under %s: %w", spec.Name, policy, err)
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap.Cells = cells
+	return snap, nil
+}
+
+// runChaosCell runs one (plan, policy) cell on the §4.3 module. Every
+// policy sees the identical trace, store configuration, scenario failure
+// plan, and fault plan, so rows compare degraded-mode behaviour, not
+// inputs.
+func runChaosCell(sc workload.Scenario, cspec chaos.Spec, policy string, opts ChaosMatrixOptions) (ChaosCell, error) {
+	spec, err := StandardModuleCluster()
+	if err != nil {
+		return ChaosCell{}, err
+	}
+	trace, err := sc.Trace(opts.Seed)
+	if err != nil {
+		return ChaosCell{}, err
+	}
+	sc.ScaleToCluster(trace, spec.Computers())
+	if trace.Len() > opts.MaxBins {
+		trace = trace.Slice(0, opts.MaxBins)
+	}
+	failures := sc.FailurePlan(trace)
+	span := float64(trace.Len()) * trace.Step
+	plan := cspec.Build(opts.Seed, span)
+	store, err := NewStore(opts.Seed, sc.StoreConfig())
+	if err != nil {
+		return ChaosCell{}, err
+	}
+	cell := ChaosCell{Plan: cspec.Name, Policy: policy, Bins: trace.Len()}
+	switch policy {
+	case "hierarchical-llc":
+		eopts := ExperimentOptions{Scale: 1, Seed: opts.Seed, Fast: opts.Fast, Parallelism: 1}
+		mgr, err := NewManager(spec, eopts.Config())
+		if err != nil {
+			return ChaosCell{}, err
+		}
+		mgr.InjectPlan(failures)
+		mgr.InjectChaos(plan)
+		rec, err := mgr.Run(trace, store)
+		if err != nil {
+			return ChaosCell{}, err
+		}
+		cell.Completed, cell.Dropped = rec.Completed, rec.Dropped
+		cell.Energy, cell.Switches = rec.Energy, rec.Switches
+		cell.MeanResponse, cell.ViolationFrac = rec.MeanResponse(), rec.ViolationFrac
+		cell.DegradedTicks = rec.DegradedTicks
+		cell.StaleObservations = rec.StaleObservations
+		cell.SanitizedRejects = rec.SanitizedRejects
+	case "threshold":
+		pol, err := ThresholdPolicy(0.35, 0.8, 1)
+		if err != nil {
+			return ChaosCell{}, err
+		}
+		bcfg := DefaultBaselineConfig()
+		bcfg.Seed = opts.Seed
+		bcfg.Failures = failures
+		bcfg.Chaos = plan
+		res, err := RunBaseline(spec, pol, trace, store, bcfg)
+		if err != nil {
+			return ChaosCell{}, err
+		}
+		cell.Completed, cell.Dropped = res.Completed, res.Dropped
+		cell.Energy, cell.Switches = res.Energy, res.Switches
+		cell.MeanResponse, cell.ViolationFrac = res.MeanResponse, res.ViolationFrac
+		cell.StaleObservations = res.StaleObservations
+		cell.SanitizedRejects = res.SanitizedRejects
+	case "centralized":
+		ccfg := central.DefaultRunnerConfig()
+		ccfg.Seed = opts.Seed
+		ccfg.Failures = failures
+		ccfg.Chaos = plan
+		if opts.Fast {
+			ccfg.Controller.NeighbourDepth = 1
+		}
+		res, err := central.Run(spec, trace, store, ccfg)
+		if err != nil {
+			return ChaosCell{}, err
+		}
+		cell.Completed, cell.Dropped = res.Completed, res.Dropped
+		cell.Energy, cell.Switches = res.Energy, res.Switches
+		cell.MeanResponse, cell.ViolationFrac = res.MeanResponse, res.ViolationFrac
+		cell.StaleObservations = res.StaleObservations
+		cell.SanitizedRejects = res.SanitizedRejects
+	default:
+		return ChaosCell{}, fmt.Errorf("unknown matrix policy %q", policy)
 	}
 	return cell, nil
 }

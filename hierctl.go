@@ -42,6 +42,7 @@ import (
 	"math/rand"
 
 	"hierctl/internal/baseline"
+	"hierctl/internal/chaos"
 	"hierctl/internal/cluster"
 	"hierctl/internal/core"
 	"hierctl/internal/engine"
@@ -119,6 +120,19 @@ type (
 	FleetJournalConfig = fleet.JournalConfig
 	// FleetJournalStats reports journal size and compaction counters.
 	FleetJournalStats = fleet.JournalStats
+	// FleetVerifyReport summarizes a read-only integrity scan of a
+	// snapshot/journal log (see VerifyFleetJournal).
+	FleetVerifyReport = fleet.VerifyReport
+	// ChaosPlan is a deterministic sensor-fault plan: faults that corrupt
+	// what the controllers observe (never the plant), availability events
+	// merged into the run's failure plan, and an optional decision budget
+	// that trips the degraded-mode fallback. The zero plan is bit-identical
+	// to no plan.
+	ChaosPlan = chaos.Plan
+	// ChaosFault is one sensor-fault event of a ChaosPlan.
+	ChaosFault = chaos.Fault
+	// ChaosSpec is one named entry of the chaos-plan registry.
+	ChaosSpec = chaos.Spec
 	// L3Policy decides the cross-cluster budget split at each L3 boundary
 	// of a multi-cluster run.
 	L3Policy = engine.L3Policy
@@ -149,6 +163,10 @@ var (
 	// ErrFleetQueueFull is returned per-entry by Fleet.ObserveBatch when
 	// the target tenant's home-shard ingest queue is at capacity.
 	ErrFleetQueueFull = fleet.ErrQueueFull
+	// ErrTenantQuarantined is returned for stepping operations on a tenant
+	// whose controller stack panicked; the panic was recovered on the home
+	// shard and sibling tenants keep running.
+	ErrTenantQuarantined = fleet.ErrTenantQuarantined
 )
 
 // NewFleet starts an online control plane hosting tenant hierarchies
@@ -163,6 +181,25 @@ func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
 func OpenFleetJournal(f *Fleet, path string, cfg FleetJournalConfig) (*FleetJournal, error) {
 	return fleet.OpenJournal(f, path, cfg)
 }
+
+// VerifyFleetJournal scans the snapshot/journal log at path read-only and
+// checks every integrity property the restore path relies on (magic
+// header, per-frame CRCs, delta ordering) without building any tenant. A
+// torn final frame — recoverable crash damage — is reported on the
+// returned report, not as an error; corruption is an error.
+func VerifyFleetJournal(path string) (*FleetVerifyReport, error) {
+	return fleet.VerifyJournalFile(path)
+}
+
+// ChaosPlans returns every registered chaos plan's spec sorted by name.
+func ChaosPlans() []ChaosSpec { return chaos.Specs() }
+
+// ChaosPlanNames returns the sorted registered chaos-plan names.
+func ChaosPlanNames() []string { return chaos.Names() }
+
+// LookupChaosPlan resolves a registered chaos plan by name. Unknown names
+// error with the registered list.
+func LookupChaosPlan(name string) (ChaosSpec, error) { return chaos.Lookup(name) }
 
 // NewTelemetryRecorder builds a flight recorder retaining the newest
 // capacity records. Writes are allocation-free and safe from the L1

@@ -73,6 +73,7 @@ var DeterministicPkgs = map[string]bool{
 	"hierctl/internal/approx":     true,
 	"hierctl/internal/baseline":   true,
 	"hierctl/internal/central":    true,
+	"hierctl/internal/chaos":      true,
 	"hierctl/internal/cluster":    true,
 	"hierctl/internal/controller": true,
 	"hierctl/internal/core":       true,

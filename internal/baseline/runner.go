@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"hierctl/internal/chaos"
 	"hierctl/internal/cluster"
 	"hierctl/internal/engine"
 	"hierctl/internal/series"
@@ -32,6 +33,12 @@ type RunnerConfig struct {
 	// ordering; entries whose (Module, Comp) indices are not in the
 	// cluster are skipped.
 	Failures []workload.FailureEvent
+	// Chaos is an optional sensor-fault plan (see internal/chaos): its
+	// faults corrupt what the policy observes, never the plant, and its
+	// availability events merge into Failures. DecisionBudget is ignored
+	// — the threshold policies run no lookahead search. An empty plan is
+	// bit-identical to no plan.
+	Chaos chaos.Plan
 }
 
 // DefaultRunnerConfig matches the hierarchy's cadences for fair
@@ -82,9 +89,13 @@ type Result struct {
 	// Spilled counts requests whose arrival offset landed past the run's
 	// final measurement period and were folded into it (a float-rounding
 	// edge at the trace end; see engine.Harness.Spilled). Almost always 0.
-	Spilled      int64
-	Operational  *series.Series // per adaptation period
-	ResponseMean *series.Series // per measurement period
+	Spilled int64
+	// StaleObservations and SanitizedRejects are the engine sanitizer's
+	// degraded-input counters (module-ticks; zero on healthy runs).
+	StaleObservations int64
+	SanitizedRejects  int64
+	Operational       *series.Series // per adaptation period
+	ResponseMean      *series.Series // per measurement period
 }
 
 // runner adapts a flat Policy onto the shared simulation engine: it keeps
@@ -322,6 +333,7 @@ func PrepareEngine(spec cluster.Spec, policy Policy, trace *series.Series, store
 		TotalBins:      trace.Len(),
 		DrainSeconds:   cfg.DrainSeconds,
 		Failures:       cfg.Failures,
+		Chaos:          cfg.Chaos,
 		Spread:         engine.SpreadRunArray,
 	}, store, r)
 	if err != nil {
@@ -340,6 +352,8 @@ func PrepareEngine(spec cluster.Spec, policy Policy, trace *series.Series, store
 		res.MeanResponse = tot.MeanResponse
 		res.ResponseP95 = tot.ResponseP95
 		res.Spilled = h.Spilled()
+		res.StaleObservations = h.StaleObservations()
+		res.SanitizedRejects = h.SanitizedRejects()
 		if r.respBins > 0 {
 			res.ViolationFrac = float64(r.violations) / float64(r.respBins)
 		}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"hierctl/internal/chaos"
 	"hierctl/internal/cluster"
 	"hierctl/internal/engine"
 	"hierctl/internal/forecast"
@@ -32,6 +33,12 @@ type RunnerConfig struct {
 	// ordering; entries whose (Module, Comp) indices are not in the
 	// cluster are skipped.
 	Failures []workload.FailureEvent
+	// Chaos is an optional sensor-fault plan (see internal/chaos): its
+	// faults corrupt what the controller observes, never the plant, and
+	// its availability events merge into Failures. DecisionBudget is
+	// ignored — the flat controller's exhaustive search carries no
+	// deadline fallback. An empty plan is bit-identical to no plan.
+	Chaos chaos.Plan
 }
 
 // DefaultRunnerConfig mirrors the hierarchy's cadences.
@@ -59,8 +66,12 @@ type Result struct {
 	DecideTimePerStep time.Duration // wall-clock per decision
 	// Spilled counts requests folded into the final sub-period by the
 	// trace-end rounding edge (see engine.Harness.Spilled).
-	Spilled     int64
-	Operational *series.Series
+	Spilled int64
+	// StaleObservations and SanitizedRejects are the engine sanitizer's
+	// degraded-input counters (module-ticks; zero on healthy runs).
+	StaleObservations int64
+	SanitizedRejects  int64
+	Operational       *series.Series
 }
 
 // runner adapts the flat controller onto the shared simulation engine,
@@ -280,6 +291,7 @@ func Run(spec cluster.Spec, trace *series.Series, store *workload.Store, cfg Run
 		TotalBins:      trace.Len(),
 		DrainSeconds:   cfg.DrainSeconds,
 		Failures:       cfg.Failures,
+		Chaos:          cfg.Chaos,
 		Spread:         engine.SpreadRunArray,
 	}, store, r)
 	if err != nil {
@@ -299,6 +311,8 @@ func Run(spec cluster.Spec, trace *series.Series, store *workload.Store, cfg Run
 	res.Dropped = tot.Dropped
 	res.MeanResponse = tot.MeanResponse
 	res.Spilled = h.Spilled()
+	res.StaleObservations = h.StaleObservations()
+	res.SanitizedRejects = h.SanitizedRejects()
 	if r.respBins > 0 {
 		res.ViolationFrac = float64(r.violations) / float64(r.respBins)
 	}

@@ -45,6 +45,12 @@ type L0Config struct {
 	// already own the CPUs, but standalone or few-module deployments can
 	// turn it on. Decisions are bit-identical at any setting.
 	SearchParallelism int
+	// MaxExplored caps the states one Decide's lookahead search may
+	// evaluate — the deterministic per-tick decision deadline. A search
+	// exhausting it fails with llc.ErrBudget and the caller applies safe
+	// fallback settings for the tick. 0 = unlimited. A positive budget
+	// forces the sequential search (see llc.Options.MaxExplored).
+	MaxExplored int
 }
 
 // EffectiveTarget returns the tightened internal set-point
@@ -85,6 +91,9 @@ func (c L0Config) Validate() error {
 	}
 	if c.SearchParallelism < 0 {
 		return fmt.Errorf("controller: L0 search parallelism %d < 0", c.SearchParallelism)
+	}
+	if c.MaxExplored < 0 {
+		return fmt.Errorf("controller: L0 explored budget %d < 0", c.MaxExplored)
 	}
 	return nil
 }
@@ -171,6 +180,7 @@ func NewL0(cfg L0Config, spec cluster.ComputerSpec) (*L0, error) {
 	sr, err := llc.NewSearcher[queue.State, int](m, llc.Options{
 		NonNegativeCosts: true,
 		Parallelism:      cfg.SearchParallelism,
+		MaxExplored:      cfg.MaxExplored,
 	})
 	if err != nil {
 		return nil, err
@@ -225,6 +235,17 @@ func newL0Model(cfg L0Config, spec cluster.ComputerSpec) (*l0Model, error) {
 
 // Config returns the controller's configuration.
 func (l *L0) Config() L0Config { return l.cfg }
+
+// SetMaxExplored replaces the decision budget for subsequent searches
+// (see L0Config.MaxExplored); n <= 0 removes it. It lets a runtime chaos
+// plan squeeze the budget of an already-constructed controller.
+func (l *L0) SetMaxExplored(n int) {
+	if n < 0 {
+		n = 0
+	}
+	l.cfg.MaxExplored = n
+	l.searcher.SetMaxExplored(n)
+}
 
 // SetRecorder attaches a decision flight recorder (nil detaches) and
 // names the (module, computer) coordinates stamped onto records.

@@ -43,6 +43,12 @@ type L2Config struct {
 	// incumbent (identical modules otherwise tie exactly and the
 	// enumeration order would starve some of them).
 	DeltaWeight float64
+	// MaxExplored caps the candidate-state evaluations one Decide may
+	// perform — the deterministic per-tick decision deadline. A search
+	// exhausting the budget fails with llc.ErrBudget; the caller applies
+	// deterministic safe fallback settings for the tick and searches
+	// again next period. 0 = unlimited.
+	MaxExplored int
 }
 
 // DefaultL2Config returns the paper's §5.2 settings.
@@ -75,6 +81,9 @@ func (c L2Config) Validate() error {
 	}
 	if c.DeltaWeight < 0 {
 		return fmt.Errorf("controller: L2 delta weight %v < 0", c.DeltaWeight)
+	}
+	if c.MaxExplored < 0 {
+		return fmt.Errorf("controller: L2 explored budget %d < 0", c.MaxExplored)
 	}
 	return nil
 }
@@ -203,6 +212,16 @@ func (l *L2) Modules() int { return len(l.jtildes) }
 // decisions are identical with it on or off.
 func (l *L2) SetRecorder(r *flight.Recorder) { l.rec = r }
 
+// SetMaxExplored replaces the decision budget for subsequent searches
+// (see L2Config.MaxExplored); n <= 0 removes it. It lets a runtime chaos
+// plan squeeze the budget of an already-constructed controller.
+func (l *L2) SetMaxExplored(n int) {
+	if n < 0 {
+		n = 0
+	}
+	l.cfg.MaxExplored = n
+}
+
 // Decide solves the L2 optimization (Eq. 15): choose {γ_i} minimizing
 // Σ_i J̃_i. The quantized simplex is enumerated exhaustively while small
 // enough, otherwise a bounded neighbourhood of the previous decision is
@@ -298,6 +317,11 @@ func (l *L2) Decide(obs L2Observation) (L2Decision, error) {
 				sum += c
 			}
 			explored++
+			if l.cfg.MaxExplored > 0 && explored > l.cfg.MaxExplored {
+				// Deterministic decision deadline (see
+				// L2Config.MaxExplored).
+				return L2Decision{}, fmt.Errorf("controller: L2 search: %w", llc.ErrBudget)
+			}
 			// The reallocation term added below is non-negative, so the
 			// partial-mean bound remains valid for the full cost.
 			if l.cfg.NonNegativeCosts && llc.PrunePartialMean(sum, len(samples), si, bestCost) {

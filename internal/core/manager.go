@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hierctl/internal/chaos"
 	"hierctl/internal/cluster"
 	"hierctl/internal/controller"
 	"hierctl/internal/forecast"
@@ -202,6 +203,14 @@ type Manager struct {
 	learnTime time.Duration
 
 	failures []failureEvent
+
+	// chaos is the injected sensor-fault plan (see InjectChaos); the zero
+	// plan injects nothing.
+	chaos chaos.Plan
+
+	// l1Failpoint is a test seam invoked at the top of every L1 planning
+	// call (see SetL1Failpoint). Never serialized; nil in production.
+	l1Failpoint func(module, tick int)
 
 	// recorder is the attached decision flight recorder (nil = off); it
 	// feeds every controller and the sessions built afterwards.
@@ -469,6 +478,35 @@ func (m *Manager) InjectPlan(plan []workload.FailureEvent) {
 		}
 	}
 }
+
+// InjectChaos schedules a sensor-fault chaos plan for sessions created
+// afterwards: its sensor faults corrupt what the controllers observe (the
+// plant and its accounting stay truthful), its availability events merge
+// with the scenario failure plan, and a positive DecisionBudget caps the
+// explored states of every LLC search — searches that exhaust it trip the
+// deterministic degraded-tick fallback. An empty plan is a no-op: runs
+// stay bit-identical to never calling InjectChaos. Call before
+// Run/NewSession.
+func (m *Manager) InjectChaos(p chaos.Plan) {
+	m.chaos = p
+	if p.DecisionBudget > 0 {
+		for _, asm := range m.modules {
+			asm.l1.SetMaxExplored(p.DecisionBudget)
+			for _, l0 := range asm.l0s {
+				l0.SetMaxExplored(p.DecisionBudget)
+			}
+		}
+		if m.l2 != nil {
+			m.l2.SetMaxExplored(p.DecisionBudget)
+		}
+	}
+}
+
+// SetL1Failpoint installs a test hook invoked at the top of every L1
+// planning call with the module index and tick; a panicking hook
+// exercises the degraded-tick recovery path. Nil (the default) disables
+// it. Test seam only — never serialized, never set in production.
+func (m *Manager) SetL1Failpoint(fn func(module, tick int)) { m.l1Failpoint = fn }
 
 // maxBootDelay returns the longest boot delay in the cluster — the
 // pre-roll the run uses to start from a warm, all-on configuration.

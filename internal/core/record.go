@@ -62,6 +62,11 @@ type Record struct {
 	ViolationFrac                                      float64 // fraction of T_L0 bins violating r*
 	TargetResponse                                     float64
 
+	// Degraded-mode accounting (zero on healthy runs).
+	DegradedTicks     int   // ticks decided via the deterministic fallback
+	StaleObservations int64 // module observations held at last good value
+	SanitizedRejects  int64 // module observations rejected as invalid
+
 	// Overhead (per level, summed over the run).
 	L0Explored, L1Explored, L2Explored    int
 	L0Decisions, L1Decisions, L2Decisions int

@@ -1,16 +1,30 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"hierctl/internal/cluster"
 	"hierctl/internal/controller"
 	"hierctl/internal/engine"
+	"hierctl/internal/llc"
 	"hierctl/internal/par"
 	"hierctl/internal/series"
 	"hierctl/internal/workload"
 )
+
+// errPanic wraps a panic recovered from a controller's search so the
+// degraded-tick fallback can treat it like an exhausted decision budget.
+// Any other error still aborts the run.
+var errPanic = errors.New("core: recovered controller panic")
+
+// degradable reports whether a controller error may be absorbed by the
+// deterministic fallback path instead of aborting the run: an exhausted
+// decision budget (llc.ErrBudget) or a recovered panic.
+func degradable(err error) bool {
+	return errors.Is(err, llc.ErrBudget) || errors.Is(err, errPanic)
+}
 
 // Run simulates the hierarchy against the plant for the whole trace and
 // returns the recorded results. The trace's bin width must be an integer
@@ -113,11 +127,19 @@ func (r *run) Init(p *cluster.Plant) error { return r.initPolicy(p) }
 // arrivals.
 func (r *run) Decide(k int, obs engine.TickObs) (engine.Settings, error) {
 	m := r.m
+	degraded := false
 
-	// (1) L2: redistribute load across modules.
+	// (1) L2: redistribute load across modules. A budget trip or panic
+	// leaves the previous split in force (decideL2 errors before it
+	// mutates L2 state); the fallback only re-appends the series sample
+	// so the record cadence is preserved.
 	if m.l2 != nil && k%r.l2Every == 0 {
-		if err := r.decideL2(k); err != nil {
-			return engine.Settings{}, err
+		if err := r.decideL2Guarded(k); err != nil {
+			if !degradable(err) {
+				return engine.Settings{}, err
+			}
+			r.fallbackL2()
+			degraded = true
 		}
 	}
 
@@ -125,17 +147,32 @@ func (r *run) Decide(k int, obs engine.TickObs) (engine.Settings, error) {
 	// The modules' searches are independent (§3's decomposition), so the
 	// planning fans out across the worker pool; plant mutations and
 	// record appends are applied sequentially in module order afterwards,
-	// keeping the run bit-identical to the sequential engine.
+	// keeping the run bit-identical to the sequential engine. Errors are
+	// captured in the plans — the closures always return nil, so par.For
+	// never early-exits and every module's estimator folds still run.
 	if k%r.l1Every == 0 {
 		plans := make([]l1Plan, len(m.modules))
-		if err := par.For(r.workers, len(m.modules), func(i int) error {
-			var err error
-			plans[i], err = r.planL1(i, k)
-			return err
-		}); err != nil {
-			return engine.Settings{}, err
-		}
+		_ = par.For(r.workers, len(m.modules), func(i int) error {
+			plans[i] = r.planL1Guarded(i, k)
+			return nil
+		})
 		for i := range m.modules {
+			if plans[i].err != nil {
+				if !degradable(plans[i].err) {
+					return engine.Settings{}, plans[i].err
+				}
+				// Deterministic safe fallback: every non-failed computer
+				// powered, capacity-proportional split — a pure function
+				// of the module's plant state, so degraded runs stay
+				// reproducible.
+				dec, err := r.fallbackL1(i)
+				if err != nil {
+					return engine.Settings{}, err
+				}
+				plans[i].dec = dec
+				plans[i].err = nil
+				degraded = true
+			}
 			if err := r.applyL1(i, plans[i]); err != nil {
 				return engine.Settings{}, err
 			}
@@ -143,18 +180,21 @@ func (r *run) Decide(k int, obs engine.TickObs) (engine.Settings, error) {
 		r.rec.Operational.Values = append(r.rec.Operational.Values, float64(r.plant.OperationalComputers()))
 	}
 
-	// (3) L0 per computer: frequency for the next period.
+	// (3) L0 per computer: frequency for the next period. Budget trips
+	// and panics degrade to full speed per computer inside decideL0.
 	for i, asm := range m.modules {
-		if err := r.decideL0(i, asm, k); err != nil {
+		deg, err := r.decideL0(i, asm, k)
+		if err != nil {
 			return engine.Settings{}, err
 		}
+		degraded = degraded || deg
 	}
 
 	// (4) Dispatch fractions for this step's arrivals. Only computers that
 	// are fully on receive weight — booting machines would sit on requests
 	// for up to the boot delay; the plant renormalizes the rest.
 	if obs.PendingRequests == 0 {
-		return engine.Settings{}, nil
+		return engine.Settings{Degraded: degraded}, nil
 	}
 	gm := r.gammaModules
 	if gm == nil {
@@ -177,7 +217,69 @@ func (r *run) Decide(k int, obs engine.TickObs) (engine.Settings, error) {
 		}
 		gc[i] = weights
 	}
-	return engine.Settings{GammaModules: gm, GammaComputers: gc}, nil
+	return engine.Settings{GammaModules: gm, GammaComputers: gc, Degraded: degraded}, nil
+}
+
+// decideL2Guarded is decideL2 with panic recovery: a panicking search is
+// absorbed into the degraded-tick fallback like an exhausted budget.
+func (r *run) decideL2Guarded(k int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("%w: L2: %v", errPanic, v)
+		}
+	}()
+	return r.decideL2(k)
+}
+
+// fallbackL2 is the L2 deterministic safe fallback: the previous split
+// (equal shares before any decision) stays in force, re-appended to the
+// record series so the per-boundary cadence is preserved.
+func (r *run) fallbackL2() {
+	m := r.m
+	if r.gammaModules == nil {
+		gm := make([]float64, len(m.modules))
+		for i := range gm {
+			gm[i] = 1 / float64(len(gm))
+		}
+		r.gammaModules = gm
+	}
+	for i := range m.modules {
+		r.rec.GammaModules[i].Values = append(r.rec.GammaModules[i].Values, r.gammaModules[i])
+	}
+}
+
+// fallbackL1 computes module i's deterministic threshold-style safe
+// decision: every non-failed computer powered, capacity-proportional
+// quantized split (all-off when nothing is available, mirroring the L1's
+// own degraded path). The result is a pure function of the module's
+// plant state, and it reseeds the L1's bounded search so the next
+// healthy tick resumes from a coherent previous decision.
+func (r *run) fallbackL1(i int) (controller.L1Decision, error) {
+	asm := r.m.modules[i]
+	alpha := make([]bool, len(asm.specs))
+	avail := 0
+	for j := range asm.specs {
+		c, err := r.plant.Computer(i, j)
+		if err != nil {
+			return controller.L1Decision{}, err
+		}
+		if c.State() != cluster.Failed {
+			alpha[j] = true
+			avail++
+		}
+	}
+	gamma := make([]float64, len(asm.specs))
+	if avail > 0 {
+		g, err := controller.SnapSimplex(capacities(asm.specs), alpha, r.m.cfg.L1.Quantum)
+		if err != nil {
+			return controller.L1Decision{}, err
+		}
+		gamma = g
+	}
+	if err := asm.l1.SetState(alpha, gamma); err != nil {
+		return controller.L1Decision{}, err
+	}
+	return controller.L1Decision{Alpha: alpha, Gamma: gamma}, nil
 }
 
 // decideL2 runs the cluster-level controller and stores its fractions.
@@ -249,6 +351,23 @@ type l1Plan struct {
 	// hasPredActual marks boundaries where the module had a forecast.
 	predActual    [2]float64
 	hasPredActual bool
+	// err is the planning failure, captured here instead of returned
+	// through par.For so the fan-out never early-exits (which would make
+	// which sibling modules folded their estimators depend on timing).
+	err error
+}
+
+// planL1Guarded is planL1 with panic recovery and in-plan error capture.
+func (r *run) planL1Guarded(i, k int) (plan l1Plan) {
+	defer func() {
+		if v := recover(); v != nil {
+			plan.err = fmt.Errorf("%w: L1 module %d: %v", errPanic, i, v)
+		}
+	}()
+	var err error
+	plan, err = r.planL1(i, k)
+	plan.err = err
+	return plan
 }
 
 // planL1 runs one module's L1 controller. It touches only module i's own
@@ -323,6 +442,9 @@ func (r *run) planL1(i int, k int) (l1Plan, error) {
 		CHat:      r.cHat(asm),
 		Available: avail,
 	}
+	if m.l1Failpoint != nil {
+		m.l1Failpoint(i, k)
+	}
 	dec, err := asm.l1.Decide(obs)
 	if err != nil {
 		return plan, err
@@ -366,8 +488,11 @@ func (r *run) isOperational(i, j int) bool {
 	return c.State() == cluster.PowerOn || c.State() == cluster.Booting
 }
 
-// decideL0 runs the frequency controllers of module i at step k.
-func (r *run) decideL0(i int, asm *moduleAsm, k int) error {
+// decideL0 runs the frequency controllers of module i at step k. A
+// computer whose search trips the decision budget or panics degrades to
+// full speed — the threshold-safe setting — and the tick is flagged; any
+// other error aborts.
+func (r *run) decideL0(i int, asm *moduleAsm, k int) (degraded bool, err error) {
 	m := r.m
 	cHat := r.cHat(asm)
 	if cap(asm.l0Lambda) < m.cfg.L0.Horizon {
@@ -376,7 +501,7 @@ func (r *run) decideL0(i int, asm *moduleAsm, k int) error {
 	for j := range asm.specs {
 		comp, err := r.plant.Computer(i, j)
 		if err != nil {
-			return err
+			return degraded, err
 		}
 		if comp.State() == cluster.Failed || comp.State() == cluster.PowerOff {
 			r.freqIdx[i][j] = -1
@@ -397,17 +522,31 @@ func (r *run) decideL0(i int, asm *moduleAsm, k int) error {
 		if m.cfg.OracleForecast {
 			delta = 0
 		}
-		idx, err := asm.l0s[j].DecideBanded(float64(asm.lastPer[j].QueueLen), lambda, delta, cHat)
+		idx, err := decideBandedGuarded(asm.l0s[j], float64(asm.lastPer[j].QueueLen), lambda, delta, cHat)
 		if err != nil {
-			return err
+			if !degradable(err) {
+				return degraded, err
+			}
+			idx = len(asm.specs[j].FrequenciesHz) - 1
+			degraded = true
 		}
 		if err := r.plant.SetFrequency(i, j, idx); err != nil {
-			return err
+			return degraded, err
 		}
 		r.freqIdx[i][j] = idx
 		r.recordFreq(asm.specs[j].Name, asm.specs[j].FrequenciesHz[idx])
 	}
-	return nil
+	return degraded, nil
+}
+
+// decideBandedGuarded is L0.DecideBanded with panic recovery.
+func decideBandedGuarded(l0 *controller.L0, queueLen float64, lambda []float64, delta, cHat float64) (idx int, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("%w: L0: %v", errPanic, v)
+		}
+	}()
+	return l0.DecideBanded(queueLen, lambda, delta, cHat)
 }
 
 func (r *run) recordFreq(name string, hz float64) {

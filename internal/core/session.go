@@ -188,6 +188,7 @@ func (m *Manager) NewSession(store *workload.Store, sc SessionConfig) (*Session,
 		TotalBins:      totalBins,
 		DrainSeconds:   m.cfg.DrainSeconds,
 		Failures:       plan,
+		Chaos:          m.chaos,
 		Spread:         engine.SpreadBinRing,
 		Recorder:       m.recorder,
 		QoSTarget:      m.cfg.L0.TargetResponse,
@@ -304,7 +305,14 @@ func (s *Session) Finish() (*Record, error) {
 	if err := s.h.Finish(); err != nil {
 		return nil, err
 	}
-	return s.r.finish()
+	rec, err := s.r.finish()
+	if err != nil {
+		return nil, err
+	}
+	rec.DegradedTicks = s.h.DegradedTicks()
+	rec.StaleObservations = s.h.StaleObservations()
+	rec.SanitizedRejects = s.h.SanitizedRejects()
+	return rec, nil
 }
 
 // binDecision assembles the decision payload after a bin's steps ran.

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"time"
 
+	"hierctl/internal/chaos"
 	"hierctl/internal/cluster"
 	"hierctl/internal/des"
 	// Aliased: Tick's per-tick observation local is conventionally named obs.
@@ -82,6 +83,13 @@ type Config struct {
 	// grid (ceil(At/PeriodSeconds)) and fired ahead of the policy at each
 	// boundary — and once more at the final boundary before the drain.
 	Failures []workload.FailureEvent
+	// Chaos is the sensor-fault injection plan. Its sensor faults corrupt
+	// what the policy observes — never the plant, so QoS and energy
+	// accounting stay truthful — and are quantized onto the tick grid the
+	// same ceil(At/PeriodSeconds) way as Failures; its availability
+	// events are merged into Failures at construction. An empty plan is
+	// pinned bit-identical to no plan at all.
+	Chaos chaos.Plan
 	// Spread selects the bin-to-tick request mapping.
 	Spread SpreadMode
 	// Recorder, when non-nil, receives one flight-recorder record per
@@ -116,6 +124,13 @@ type Harness struct {
 	stats    []ModuleStats
 	spilled  int64
 	finished bool
+
+	chaos    *chaos.Schedule
+	inj      []injectorState
+	san      []sanitizerState
+	degraded int
+	stale    int64
+	rejects  int64
 
 	// Lifetime arrival/completion counters for cross-cluster observation
 	// windows (MultiCluster snapshots deltas between L3 boundaries).
@@ -170,7 +185,21 @@ func New(cfg Config, store *workload.Store, p Policy) (*Harness, error) {
 	} else {
 		h.flat = make([][]workload.Request, h.steps)
 	}
-	h.failAt = cluster.FailureSteps(cfg.Failures, cfg.PeriodSeconds)
+	if len(cfg.Chaos.Failures) > 0 {
+		// Merge the chaos plan's availability events into the scenario
+		// failure plan without mutating the caller's slice.
+		merged := make([]workload.FailureEvent, 0, len(cfg.Failures)+len(cfg.Chaos.Failures))
+		merged = append(merged, cfg.Failures...)
+		merged = append(merged, cfg.Chaos.Failures...)
+		h.cfg.Failures = merged
+	}
+	sched, err := cfg.Chaos.Schedule(cfg.PeriodSeconds, len(cfg.Spec.Modules))
+	if err != nil {
+		return nil, err
+	}
+	h.chaos = sched
+	h.initSanitizer()
+	h.failAt = cluster.FailureSteps(h.cfg.Failures, cfg.PeriodSeconds)
 
 	// Warm start: boot every computer at full frequency; the policy scales
 	// down immediately if the load does not justify it.
@@ -242,6 +271,19 @@ func (h *Harness) Done() bool {
 // silently. Always 0 in SpreadBinRing mode, where offsets fold within
 // their own bin instead.
 func (h *Harness) Spilled() int64 { return h.spilled }
+
+// DegradedTicks reports how many ticks the policy decided through its
+// deterministic fallback path (Settings.Degraded).
+func (h *Harness) DegradedTicks() int { return h.degraded }
+
+// StaleObservations reports how many module observations the sanitizer
+// held at the last good value (module-ticks, cumulative).
+func (h *Harness) StaleObservations() int64 { return h.stale }
+
+// SanitizedRejects reports how many module observations the sanitizer
+// rejected for carrying non-finite or negative values (module-ticks,
+// cumulative). Rejected observations are also counted stale.
+func (h *Harness) SanitizedRejects() int64 { return h.rejects }
 
 // PushBin ingests the next observation bin's arrival count: the bin's
 // requests are synthesized through the feed and spread onto the tick grid.
@@ -371,6 +413,13 @@ func (h *Harness) Tick() error {
 			h.cumRespSum += agg.MeanResponse * float64(agg.Completed)
 		}
 	}
+	// Sensor faults and sanitization sit between the harvest and the
+	// policy's Observe: the plant's accounting above is already truthful,
+	// and only the policy's view of the interval is corrupted or healed.
+	staleNow := h.injectAndSanitize(k)
+	if st.Degraded {
+		h.degraded++
+	}
 	if rec.Enabled() {
 		// One tick record after the harvest: the interval's mean response
 		// across modules, judged against the configured QoS target.
@@ -387,6 +436,8 @@ func (h *Harness) Tick() error {
 			DecideNs: decideNs,
 			Resp:     mean,
 			QoS:      h.cfg.QoSTarget > 0 && completed > 0 && mean > h.cfg.QoSTarget,
+			Degraded: st.Degraded,
+			Stale:    int16(staleNow),
 		})
 	}
 	h.tick++

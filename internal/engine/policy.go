@@ -14,6 +14,11 @@ type Settings struct {
 	GammaModules []float64
 	// GammaComputers is the within-module split γ_ij per module.
 	GammaComputers [][]float64
+	// Degraded marks a tick the policy decided through its deterministic
+	// fallback path (decision budget exhausted or a recovered controller
+	// panic) instead of its lookahead search. The harness counts these
+	// ticks and stamps the flag onto the tick flight record.
+	Degraded bool
 }
 
 // ModuleStats is one module's harvested plant interval: the aggregate and

@@ -90,7 +90,7 @@ func (f *Fleet) ObserveBatch(entries []BatchEntry) ([]BatchResult, error) {
 			defer close(done)
 			start := time.Now()
 			for _, c := range counts {
-				dec, err := t.observe(c)
+				dec, err := f.stepTenant(t, c)
 				if err != nil {
 					out.err = err
 					break

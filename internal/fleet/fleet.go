@@ -46,6 +46,12 @@ type Config struct {
 	// jobs a shard accepts before ObserveBatch starts rejecting entries
 	// with ErrQueueFull. 0 = DefaultQueueDepth.
 	QueueDepth int
+	// ObserveFailpoint, when non-nil, runs on the tenant's home shard
+	// immediately before every observation bin is applied — the fault
+	// injection seam the quarantine tests use to panic a chosen tenant at
+	// a chosen bin. Process-local only: Config is never serialized, so
+	// snapshots and journals carry no trace of it.
+	ObserveFailpoint func(id string, count float64)
 }
 
 // DefaultQueueDepth is the per-shard ingest-queue bound when
@@ -63,6 +69,13 @@ var (
 	// tenant's home-shard ingest queue is at QueueDepth. The entry was not
 	// applied; callers should back off and retry.
 	ErrQueueFull = errors.New("fleet: shard ingest queue full")
+	// ErrTenantQuarantined is returned for stepping operations on a tenant
+	// whose controller stack panicked. The panic is recovered on the home
+	// shard (siblings keep running); the tenant's observation log holds
+	// only the bins applied before the fault, so snapshots and journal
+	// frames stay consistent. Reads (State, Telemetry) still work, and
+	// CloseTenant removes the tenant without attempting a drain.
+	ErrTenantQuarantined = errors.New("fleet: tenant quarantined after panic")
 )
 
 // Fleet is a sharded multi-tenant controller host. Construct with New;
@@ -84,6 +97,9 @@ type Fleet struct {
 	snapshots    atomic.Int64
 	restores     atomic.Int64
 	queueRejects atomic.Int64
+	panics       atomic.Int64
+
+	failpoint func(id string, count float64)
 }
 
 // shard executes the jobs of its assigned tenants serially.
@@ -110,9 +126,10 @@ func New(cfg Config) *Fleet {
 		depth = DefaultQueueDepth
 	}
 	f := &Fleet{
-		tenants: map[string]*tenant{},
-		shards:  make([]*shard, n),
-		done:    make(chan struct{}),
+		tenants:   map[string]*tenant{},
+		shards:    make([]*shard, n),
+		done:      make(chan struct{}),
+		failpoint: cfg.ObserveFailpoint,
 	}
 	f.ctx, f.cancel = context.WithCancel(context.Background())
 	for i := range f.shards {
@@ -161,6 +178,32 @@ func (f *Fleet) exec(t *tenant, fn func()) error {
 			return ErrClosed
 		}
 	}
+}
+
+// stepTenant applies one observation bin to t with panic containment.
+// Runs on t's home shard. A panic anywhere in the tenant's controller
+// stack is recovered here — before the frame unwinds into the shard
+// loop, so sibling tenants (including same-shard ones) are unaffected —
+// and the tenant is quarantined: this bin and every later stepping
+// operation return ErrTenantQuarantined. The observation log gains an
+// entry only after a bin applies cleanly, so a quarantined tenant's
+// snapshot/journal state is exactly the pre-fault state.
+func (f *Fleet) stepTenant(t *tenant, count float64) (dec core.BinDecision, err error) {
+	if t.quarantined.Load() {
+		return core.BinDecision{}, ErrTenantQuarantined
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			t.quarantined.Store(true)
+			f.panics.Add(1)
+			dec = core.BinDecision{}
+			err = fmt.Errorf("%w: %v", ErrTenantQuarantined, v)
+		}
+	}()
+	if f.failpoint != nil {
+		f.failpoint(t.id, count)
+	}
+	return t.observe(count)
 }
 
 func (f *Fleet) tenant(id string) (*tenant, error) {
@@ -227,7 +270,7 @@ func (f *Fleet) Observe(id string, count float64) (core.BinDecision, error) {
 		// Time inside the shard job so the counter measures stepping,
 		// not shard-queue wait.
 		start := time.Now()
-		dec, oerr = t.observe(count)
+		dec, oerr = f.stepTenant(t, count)
 		decided = time.Since(start)
 	}); err != nil {
 		return core.BinDecision{}, err
@@ -298,7 +341,11 @@ func (f *Fleet) TelemetrySince(id string, cursor uint64) ([]obs.Record, uint64, 
 }
 
 // CloseTenant finishes the tenant's session (draining in-flight work),
-// removes it from the fleet, and returns its full run record.
+// removes it from the fleet, and returns its full run record. A
+// quarantined tenant is removed without a drain — its post-panic session
+// state cannot be trusted to finish — and the call returns
+// ErrTenantQuarantined with a nil record; a panic during the drain
+// itself quarantines the same way, with the tenant still removed.
 func (f *Fleet) CloseTenant(id string) (*core.Record, error) {
 	t, err := f.tenant(id)
 	if err != nil {
@@ -306,7 +353,21 @@ func (f *Fleet) CloseTenant(id string) (*core.Record, error) {
 	}
 	var rec *core.Record
 	var ferr error
-	if err := f.exec(t, func() { rec, ferr = t.sess.Finish() }); err != nil {
+	if err := f.exec(t, func() {
+		if t.quarantined.Load() {
+			ferr = ErrTenantQuarantined
+			return
+		}
+		defer func() {
+			if v := recover(); v != nil {
+				t.quarantined.Store(true)
+				f.panics.Add(1)
+				rec = nil
+				ferr = fmt.Errorf("%w: %v", ErrTenantQuarantined, v)
+			}
+		}()
+		rec, ferr = t.sess.Finish()
+	}); err != nil {
 		return nil, err
 	}
 	f.mu.Lock()
@@ -365,12 +426,20 @@ type Stats struct {
 	Snapshots     int64
 	Restores      int64
 	QueueRejects  int64 // batch entries refused with ErrQueueFull
+	Panics        int64 // tenant panics recovered over the fleet's life
+	Quarantined   int   // currently registered tenants under quarantine
 }
 
 // Stats returns a snapshot of the fleet counters.
 func (f *Fleet) Stats() Stats {
 	f.mu.RLock()
 	n := len(f.tenants)
+	q := 0
+	for _, t := range f.tenants {
+		if t.quarantined.Load() {
+			q++
+		}
+	}
 	f.mu.RUnlock()
 	return Stats{
 		Tenants:       n,
@@ -381,5 +450,7 @@ func (f *Fleet) Stats() Stats {
 		Snapshots:     f.snapshots.Load(),
 		Restores:      f.restores.Load(),
 		QueueRejects:  f.queueRejects.Load(),
+		Panics:        f.panics.Load(),
+		Quarantined:   q,
 	}
 }

@@ -90,6 +90,12 @@ type Journal struct {
 type journalMark struct {
 	obs int
 	gen uint64
+	// quar mirrors the tenant's quarantine latch as of the last journaled
+	// frame. A transition (always false→true) changes no observation
+	// count, so without this Append would journal nothing and a recovery
+	// would resurrect the tenant un-quarantined; instead the transition
+	// forces a one-time re-base.
+	quar bool
 }
 
 // JournalStats reports the journal's live size and compaction counters
@@ -173,21 +179,26 @@ func (j *Journal) Append() error {
 		var serr error
 		if err := j.fl.exec(t, func() {
 			switch {
-			case !known:
+			case !known, t.quarantined.Load() != mark.quar:
+				// Never journaled under this incarnation, or the
+				// quarantine latch flipped since the last frame: write a
+				// full base (a later base frame for the same id replaces
+				// the assembled state wholesale, so no remove is needed
+				// for the quarantine re-base).
 				var snap tenantSnap
 				snap, serr = t.snapshot()
 				if serr == nil {
 					c = change{
 						frame: &logFrame{Kind: frameBase, Base: &snap},
-						mark:  journalMark{obs: len(snap.Observations), gen: t.gen},
-						stale: marked,
+						mark:  journalMark{obs: len(snap.Observations), gen: t.gen, quar: snap.Quarantined},
+						stale: marked && !known,
 					}
 				}
 			case len(t.observations) > mark.obs:
 				counts := append([]float64(nil), t.observations[mark.obs:]...)
 				c = change{
 					frame: &logFrame{Kind: frameDelta, ID: t.id, From: mark.obs, Counts: counts},
-					mark:  journalMark{obs: mark.obs + len(counts), gen: t.gen},
+					mark:  journalMark{obs: mark.obs + len(counts), gen: t.gen, quar: mark.quar},
 				}
 			}
 		}); err != nil {
@@ -368,7 +379,7 @@ func (j *Journal) compactLocked() error {
 	}
 	marks := make(map[string]journalMark, len(snaps))
 	for i := range snaps {
-		marks[snaps[i].ID] = journalMark{obs: len(snaps[i].Observations), gen: snaps[i].gen}
+		marks[snaps[i].ID] = journalMark{obs: len(snaps[i].Observations), gen: snaps[i].gen, quar: snaps[i].Quarantined}
 	}
 	j.marks = marks
 	j.baseBytes = written

@@ -68,6 +68,13 @@ type tenantSnap struct {
 	ID           string
 	Config       TenantConfig
 	Observations []float64
+	// Quarantined persists the panic-quarantine latch: a restored tenant
+	// that was quarantined stays quarantined (its observation log ends at
+	// the last clean bin, so the replayed state is consistent — but the
+	// fault that tripped it is in the config/workload, not the log, and
+	// un-quarantining by restore would invite a re-panic). Decoded as
+	// false from frames written before the field existed.
+	Quarantined bool
 	// GMaps and Trees hold the serialized learning artifacts keyed by the
 	// manager's configuration fingerprints (controller.GMap.Save /
 	// TreeJTilde.Save framing), sorted by key.
@@ -319,6 +326,7 @@ func (t *tenant) snapshot() (tenantSnap, error) {
 		ID:           t.id,
 		Config:       t.cfg,
 		Observations: append([]float64(nil), t.observations...),
+		Quarantined:  t.quarantined.Load(),
 		gen:          t.gen,
 	}
 	art := t.mgr.Artifacts()
@@ -381,6 +389,9 @@ func restoreTenant(s tenantSnap) (*tenant, error) {
 		if _, err := t.observe(count); err != nil {
 			return nil, fmt.Errorf("fleet: tenant %s replay: %w", s.ID, err)
 		}
+	}
+	if s.Quarantined {
+		t.quarantined.Store(true)
 	}
 	return t, nil
 }

@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"hierctl/internal/cluster"
 	"hierctl/internal/core"
@@ -52,6 +53,9 @@ type TenantState struct {
 	Bins      int
 	Steps     int
 	SimTime   float64
+	// Quarantined marks a tenant whose controller stack panicked: its
+	// stepping operations return ErrTenantQuarantined until it is closed.
+	Quarantined bool
 	// LastDecision is the most recent observation's decision (nil before
 	// the first observation).
 	LastDecision *core.BinDecision
@@ -82,6 +86,13 @@ type tenant struct {
 	// (close + recreate, or a future checkpoint format).
 	observations []float64
 	lastDecision *core.BinDecision
+
+	// quarantined latches true when a panic was recovered while stepping
+	// this tenant (see Fleet.stepTenant). Atomic because readers off the
+	// home shard (Fleet.Stats, pre-exec fast paths) may inspect it while
+	// the shard is mid-job; it never resets — a quarantined tenant's only
+	// exit is CloseTenant.
+	quarantined atomic.Bool
 }
 
 // newTenant builds a tenant's manager and session. A non-nil artifact set
@@ -138,11 +149,12 @@ func (t *tenant) observe(count float64) (core.BinDecision, error) {
 func (t *tenant) state() TenantState {
 	bins, steps, simTime := t.sess.Progress()
 	st := TenantState{
-		ID:        t.id,
-		Computers: t.cfg.Spec.Computers(),
-		Bins:      bins,
-		Steps:     steps,
-		SimTime:   simTime,
+		ID:          t.id,
+		Computers:   t.cfg.Spec.Computers(),
+		Bins:        bins,
+		Steps:       steps,
+		SimTime:     simTime,
+		Quarantined: t.quarantined.Load(),
 	}
 	if t.lastDecision != nil {
 		held := *t.lastDecision

@@ -131,6 +131,17 @@ type Options struct {
 	// outer worker pools that already own the CPUs, so parallel search
 	// must be an explicit choice.
 	Parallelism int
+
+	// MaxExplored caps the state evaluations one search may perform — the
+	// deterministic analogue of a wall-clock decision deadline,
+	// denominated in the paper's own §4.3 overhead metric so the trip
+	// point is identical on every machine and every run. A search that
+	// exhausts the budget aborts with ErrBudget; callers fall back to
+	// safe settings for the tick and retry next period. 0 = unlimited.
+	// A positive budget forces the sequential walk (Parallelism is
+	// ignored): with parallel walkers the explored count at the trip
+	// point would depend on scheduling, breaking reproducibility.
+	MaxExplored int
 }
 
 func (o Options) penalty() float64 {
@@ -163,6 +174,12 @@ type Result[S, U any] struct {
 // ErrNoInputs is returned when the model offers no admissible inputs at
 // some state the search must expand.
 var ErrNoInputs = errors.New("llc: model returned no admissible inputs")
+
+// ErrBudget is returned when a search exhausts Options.MaxExplored (or a
+// controller its configured explored-state budget) before completing.
+// Callers treat it as the decision deadline expiring: apply deterministic
+// fallback settings for this tick and search again next tick.
+var ErrBudget = errors.New("llc: decision budget exhausted")
 
 // Exhaustive runs the full tree search of §4.1: every admissible input
 // sequence over the horizon is evaluated (or provably pruned — see
@@ -358,6 +375,7 @@ func (w *walker[S, U]) run(shared *atomic.Uint64) {
 	last := len(s.envs) - 1
 	prune := s.opt.NonNegativeCosts
 	penalty := s.opt.penalty()
+	maxExplored := s.opt.MaxExplored
 	for root := w.first; root < len(w.roots); root += w.stride {
 		w.frames[0].x = w.x0
 		lv := 0
@@ -389,6 +407,14 @@ func (w *walker[S, U]) run(shared *atomic.Uint64) {
 			for _, env := range samples {
 				next := s.m.Step(f.x, u, env)
 				w.explored++
+				if maxExplored > 0 && w.explored > maxExplored {
+					// Deterministic decision deadline: the budget is
+					// denominated in explored states, so the trip point
+					// is identical across runs and machines.
+					w.err = ErrBudget
+					w.errRoot = root
+					return
+				}
 				c := s.m.Cost(next, u, env)
 				if !s.m.Feasible(next) {
 					c += penalty

@@ -41,6 +41,16 @@ func NewSearcher[S, U any](m Model[S, U], opt Options) (*Searcher[S, U], error) 
 	return sr, nil
 }
 
+// SetMaxExplored replaces the decision budget for subsequent searches
+// (see Options.MaxExplored); n <= 0 removes it. It lets a runtime chaos
+// plan squeeze the budget of an already-constructed controller.
+func (sr *Searcher[S, U]) SetMaxExplored(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sr.s.opt.MaxExplored = n
+}
+
 // Exhaustive runs the full tree search of §4.1 from x0 (see the package
 // function of the same name for semantics).
 func (sr *Searcher[S, U]) Exhaustive(x0 S, envs []([]Env)) (Result[S, U], error) {
@@ -83,6 +93,12 @@ func (sr *Searcher[S, U]) run(x0 S) (Result[S, U], error) {
 	workers := s.opt.Parallelism
 	if workers > len(roots) {
 		workers = len(roots)
+	}
+	if s.opt.MaxExplored > 0 {
+		// A decision budget demands a deterministic trip point; parallel
+		// walkers would make the explored count at the trip depend on
+		// scheduling (see Options.MaxExplored).
+		workers = 1
 	}
 	if workers <= 1 {
 		if sr.seq == nil {

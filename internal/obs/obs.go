@@ -71,7 +71,11 @@ func (l *Level) UnmarshalText(b []byte) error {
 //
 //   - tick records (LevelTick): DecideNs spans the whole hierarchical
 //     decision, Resp is the interval's mean response time and QoS flags a
-//     violation of the configured target.
+//     violation of the configured target. Degraded flags a tick the
+//     policy decided via its deterministic fallback path (decision
+//     budget exhausted or a recovered controller panic); Stale counts
+//     modules whose observation the engine sanitizer held at the last
+//     good value this tick.
 //   - L0 records: Module/Comp locate the computer, FreqIdx is the chosen
 //     frequency index, Explored/Cost/DecideNs describe the lookahead
 //     search.
@@ -97,6 +101,8 @@ type Record struct {
 	Gamma    float64 `json:"gamma"`
 	Cost     float64 `json:"cost"`
 	Resp     float64 `json:"resp"`
+	Degraded bool    `json:"degraded,omitempty"`
+	Stale    int16   `json:"stale,omitempty"`
 }
 
 // Recorder is a fixed-size ring of the most recent Records. The zero
